@@ -1,0 +1,63 @@
+//! Criterion bench: coverage-map construction and determinism checking
+//! (the inner loop of every analysis in this repository).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nd_core::coverage::{CoverageMap, OverlapModel};
+use nd_core::schedule::ReceptionWindows;
+use nd_core::time::Tick;
+use std::hint::black_box;
+
+fn bench_coverage_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coverage_map_build");
+    for &n_beacons in &[16u64, 64, 256, 1024] {
+        let windows = ReceptionWindows::single(
+            Tick::ZERO,
+            Tick::from_micros(500),
+            Tick::from_millis(10),
+        )
+        .unwrap();
+        // irregular-ish gaps exercising the modular shifts
+        let rel: Vec<Tick> = (0..n_beacons)
+            .map(|i| Tick::from_micros(i * 10_500 + (i % 7) * 131))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_beacons),
+            &rel,
+            |b, rel| {
+                b.iter(|| {
+                    let map = CoverageMap::build(
+                        black_box(rel),
+                        black_box(&windows),
+                        Tick::from_micros(36),
+                        OverlapModel::Start,
+                    );
+                    black_box(map.is_deterministic())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_first_hit_profile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("first_hit_profile");
+    for &n_beacons in &[64u64, 512] {
+        let windows = ReceptionWindows::single(
+            Tick::ZERO,
+            Tick::from_micros(500),
+            Tick::from_millis(10),
+        )
+        .unwrap();
+        let rel: Vec<Tick> = (0..n_beacons)
+            .map(|i| Tick::from_micros(i * 10_500))
+            .collect();
+        let map = CoverageMap::build(&rel, &windows, Tick::from_micros(36), OverlapModel::Start);
+        group.bench_with_input(BenchmarkId::from_parameter(n_beacons), &map, |b, map| {
+            b.iter(|| black_box(map.first_hit_profile().worst()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coverage_build, bench_first_hit_profile);
+criterion_main!(benches);

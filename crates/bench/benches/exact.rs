@@ -1,0 +1,67 @@
+//! Criterion bench: the exact worst-case engine on representative
+//! protocols (the workhorse behind `table1`, `classify` and `achieve`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nd_analysis::{one_way_coverage, one_way_worst_case, AnalysisConfig};
+use nd_core::time::Tick;
+use nd_protocols::optimal::{self, OptimalParams};
+use nd_protocols::{DiffCode, Disco, Searchlight};
+use std::hint::black_box;
+
+fn cfg() -> AnalysisConfig {
+    AnalysisConfig::paper_default()
+}
+
+fn bench_optimal(c: &mut Criterion) {
+    let opt = optimal::symmetric(OptimalParams::paper_default(), 0.02).unwrap();
+    let b = opt.schedule.beacons.clone().unwrap();
+    let w = opt.schedule.windows.clone().unwrap();
+    c.bench_function("exact_optimal_eta2pct", |bench| {
+        bench.iter(|| black_box(one_way_worst_case(&b, &w, &cfg()).unwrap().latency))
+    });
+}
+
+fn bench_diffcode(c: &mut Criterion) {
+    let d = DiffCode::new(
+        73,
+        vec![0, 1, 12, 20, 26, 30, 33, 35, 57],
+        Tick::from_millis(1),
+        Tick::from_micros(36),
+    )
+    .unwrap();
+    let sched = d.schedule().unwrap();
+    let b = sched.beacons.clone().unwrap();
+    let w = sched.windows.clone().unwrap();
+    c.bench_function("exact_diffcode_v73", |bench| {
+        bench.iter(|| black_box(one_way_coverage(&b, &w, &cfg()).unwrap().worst_covered))
+    });
+}
+
+fn bench_searchlight(c: &mut Criterion) {
+    let s = Searchlight::new(10, Tick::from_millis(1), Tick::from_micros(36)).unwrap();
+    let sched = s.schedule().unwrap();
+    let b = sched.beacons.clone().unwrap();
+    let w = sched.windows.clone().unwrap();
+    c.bench_function("exact_searchlight_t10", |bench| {
+        bench.iter(|| black_box(one_way_coverage(&b, &w, &cfg()).unwrap().worst_covered))
+    });
+}
+
+fn bench_disco(c: &mut Criterion) {
+    let d = Disco::new(11, 13, Tick::from_millis(1), Tick::from_micros(36)).unwrap();
+    let sched = d.schedule().unwrap();
+    let b = sched.beacons.clone().unwrap();
+    let w = sched.windows.clone().unwrap();
+    c.bench_function("exact_disco_11x13", |bench| {
+        bench.iter(|| black_box(one_way_coverage(&b, &w, &cfg()).unwrap().worst_covered))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_optimal,
+    bench_diffcode,
+    bench_searchlight,
+    bench_disco
+);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench: discrete-event simulator throughput for growing
+//! device counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nd_core::time::Tick;
+use nd_protocols::optimal::{self, OptimalParams};
+use nd_sim::{ScheduleBehavior, SimConfig, Simulator, Topology};
+use std::hint::black_box;
+
+fn bench_pair_throughput(c: &mut Criterion) {
+    let opt = optimal::symmetric(OptimalParams::paper_default(), 0.05).unwrap();
+    let mut group = c.benchmark_group("sim_run");
+    for &n in &[2usize, 5, 10, 20] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("devices", n), &n, |b, &n| {
+            b.iter(|| {
+                let cfg = SimConfig::paper_baseline(Tick::from_millis(200), 7);
+                let mut sim = Simulator::new(cfg, Topology::full(n));
+                for i in 0..n {
+                    sim.add_device(Box::new(ScheduleBehavior::with_phase(
+                        opt.schedule.clone(),
+                        Tick::from_micros(i as u64 * 977),
+                    )));
+                }
+                black_box(sim.run().packets.sent)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_collision_heavy(c: &mut Criterion) {
+    // dense schedules stress the collision scan
+    let opt = optimal::symmetric(OptimalParams::paper_default(), 0.2).unwrap();
+    c.bench_function("sim_dense_10dev_100ms", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::paper_baseline(Tick::from_millis(100), 3);
+            let mut sim = Simulator::new(cfg, Topology::full(10));
+            for i in 0..10 {
+                sim.add_device(Box::new(ScheduleBehavior::with_phase(
+                    opt.schedule.clone(),
+                    Tick::from_micros(i * 131),
+                )));
+            }
+            black_box(sim.run().packets.lost_collision)
+        })
+    });
+}
+
+criterion_group!(benches, bench_pair_throughput, bench_collision_heavy);
+criterion_main!(benches);

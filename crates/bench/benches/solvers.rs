@@ -1,0 +1,47 @@
+//! Criterion bench: the numeric solvers — Appendix B optimal redundancy
+//! and the difference-set searcher.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nd_core::bounds::redundancy::{optimal_redundancy, CollisionExponent};
+use nd_protocols::diffcodes::find_difference_set;
+use std::hint::black_box;
+
+fn bench_redundancy_solver(c: &mut Criterion) {
+    c.bench_function("appb_optimal_redundancy", |b| {
+        b.iter(|| {
+            black_box(optimal_redundancy(
+                0.05,
+                1.0,
+                36e-6,
+                0.0005,
+                3,
+                CollisionExponent::SMinusOne,
+                16,
+            ))
+        })
+    });
+}
+
+fn bench_diffset_search(c: &mut Criterion) {
+    c.bench_function("diffset_search_v31_k6", |b| {
+        b.iter(|| black_box(find_difference_set(31, 6)))
+    });
+    c.bench_function("diffset_search_v57_k8", |b| {
+        b.iter(|| black_box(find_difference_set(57, 8)))
+    });
+}
+
+fn bench_schedule_construction(c: &mut Criterion) {
+    use nd_protocols::optimal::{symmetric, OptimalParams};
+    c.bench_function("optimal_symmetric_construction", |b| {
+        b.iter(|| black_box(symmetric(OptimalParams::paper_default(), 0.02).unwrap()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_redundancy_solver,
+    bench_diffset_search,
+    bench_schedule_construction
+);
+criterion_main!(benches);

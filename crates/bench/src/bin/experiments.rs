@@ -1,0 +1,39 @@
+//! CLI entry point: regenerate any table/figure of the paper.
+//!
+//! ```text
+//! experiments list        # what's available
+//! experiments all         # run everything
+//! experiments fig7 table1 # run specific experiments
+//! ```
+
+use nd_bench::{all_experiments, run_experiment};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "list" {
+        println!("available experiments (run with `experiments <id>` or `experiments all`):\n");
+        for e in all_experiments() {
+            println!("  {:<10} {}", e.id, e.artifact);
+        }
+        return;
+    }
+    let ids: Vec<String> = if args[0] == "all" {
+        all_experiments().iter().map(|e| e.id.to_string()).collect()
+    } else {
+        args
+    };
+    for id in ids {
+        match run_experiment(&id) {
+            Some(report) => {
+                println!("==================================================================");
+                println!("experiment: {id}");
+                println!("==================================================================");
+                println!("{report}");
+            }
+            None => {
+                eprintln!("unknown experiment: {id} (try `experiments list`)");
+                std::process::exit(1);
+            }
+        }
+    }
+}

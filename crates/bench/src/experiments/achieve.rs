@@ -1,0 +1,133 @@
+//! Tightness of the fundamental bounds (Theorems 5.4–5.7): the
+//! constructed optimal schedules achieve them, machine-checked by the
+//! exact engine and cross-validated against the simulator.
+
+use crate::table::{factor, pct, secs, Table};
+use nd_analysis::{cross_validate, two_way_worst_case, AnalysisConfig};
+use nd_core::bounds::{asymmetric_bound, constrained_bound, symmetric_bound, unidirectional_bound};
+use nd_protocols::optimal::{self, OptimalParams};
+
+const OMEGA_S: f64 = 36e-6;
+
+fn params() -> OptimalParams {
+    OptimalParams::paper_default()
+}
+
+/// Generate the report.
+pub fn run() -> String {
+    let cfg = AnalysisConfig::paper_default();
+    let mut out = String::new();
+    out.push_str("Achievability — constructed optimal schedules vs. the bounds\n");
+    out.push_str("(exact engine; ratio 1.000x = bound achieved; ω = 36 µs, α = 1)\n\n");
+
+    // --- Theorem 5.4: unidirectional ---------------------------------
+    out.push_str("Theorem 5.4 (unidirectional, L = ω/(βγ)):\n\n");
+    let mut t = Table::new(&["β", "γ", "bound", "exact L", "ratio", "xval"]);
+    for (beta, gamma) in [(0.005, 0.01), (0.01, 0.02), (0.02, 0.05), (0.01, 0.1)] {
+        let (tx, rx) = optimal::unidirectional(params(), beta, gamma).expect("constructible");
+        let b = tx.schedule.beacons.as_ref().unwrap();
+        let c = rx.schedule.windows.as_ref().unwrap();
+        let wc = nd_analysis::one_way_worst_case(b, c, &cfg).expect("deterministic");
+        let bound = unidirectional_bound(OMEGA_S, tx.achieved.beta, rx.achieved.gamma);
+        let v = cross_validate(&tx.schedule, &rx.schedule, &cfg, 23).expect("validates");
+        t.row(vec![
+            pct(beta),
+            pct(gamma),
+            secs(bound),
+            secs(wc.latency.as_secs_f64()),
+            factor(wc.latency.as_secs_f64() / bound),
+            if v.consistent() { "ok".into() } else { format!("{} mismatches", v.mismatches) },
+        ]);
+    }
+    out.push_str(&t.render());
+
+    // --- Theorem 5.5: symmetric --------------------------------------
+    out.push_str("\nTheorem 5.5 (symmetric, L = 4αω/η²):\n\n");
+    let mut t = Table::new(&["η", "bound", "exact two-way L", "ratio"]);
+    for eta_pct in [0.5f64, 1.0, 2.0, 5.0, 10.0] {
+        let eta = eta_pct / 100.0;
+        let opt = optimal::symmetric(params(), eta).expect("constructible");
+        let l = two_way_worst_case(&opt.schedule, &opt.schedule, &cfg).expect("deterministic");
+        let bound = symmetric_bound(1.0, OMEGA_S, eta);
+        t.row(vec![
+            pct(eta),
+            secs(bound),
+            secs(l.as_secs_f64()),
+            factor(l.as_secs_f64() / bound),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    // --- Theorem 5.6: channel-constrained -----------------------------
+    out.push_str("\nTheorem 5.6 (channel-utilization-constrained):\n\n");
+    let mut t = Table::new(&["η", "β_m", "bound", "exact L", "ratio"]);
+    for (eta, beta_m) in [(0.05, 0.01), (0.05, 0.005), (0.1, 0.02), (0.02, 0.02)] {
+        let opt = optimal::constrained(params(), eta, beta_m).expect("constructible");
+        let l = two_way_worst_case(&opt.schedule, &opt.schedule, &cfg).expect("deterministic");
+        let bound = constrained_bound(1.0, OMEGA_S, eta, beta_m);
+        t.row(vec![
+            pct(eta),
+            pct(beta_m),
+            secs(bound),
+            secs(l.as_secs_f64()),
+            factor(l.as_secs_f64() / bound),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    // --- α sweep: the bounds hold for asymmetric TX/RX power too ------
+    out.push_str("\nTheorem 5.5 across TX/RX power ratios (η = 5 %):\n\n");
+    let mut t = Table::new(&["α", "β = η/2α", "bound 4αω/η²", "exact L", "ratio"]);
+    for alpha in [0.5, 1.0, 2.0, 4.0] {
+        let p = OptimalParams {
+            alpha,
+            ..params()
+        };
+        let opt = optimal::symmetric(p, 0.05).expect("constructible");
+        let l = two_way_worst_case(&opt.schedule, &opt.schedule, &cfg).expect("deterministic");
+        let bound = symmetric_bound(alpha, OMEGA_S, 0.05);
+        t.row(vec![
+            format!("{alpha:.1}"),
+            pct(opt.achieved.beta),
+            secs(bound),
+            secs(l.as_secs_f64()),
+            factor(l.as_secs_f64() / bound),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    // --- Theorem 5.7: asymmetric --------------------------------------
+    out.push_str("\nTheorem 5.7 (asymmetric, L = 4αω/(η_E·η_F)):\n\n");
+    let mut t = Table::new(&["η_E", "η_F", "bound", "exact two-way L", "ratio"]);
+    for (ee, ff) in [(0.08, 0.02), (0.1, 0.01), (0.05, 0.05), (0.2, 0.02)] {
+        let (e, f) = optimal::asymmetric(params(), ee, ff).expect("constructible");
+        let l = two_way_worst_case(&e.schedule, &f.schedule, &cfg).expect("deterministic");
+        let bound = asymmetric_bound(1.0, OMEGA_S, ee, ff);
+        t.row(vec![
+            pct(ee),
+            pct(ff),
+            secs(bound),
+            secs(l.as_secs_f64()),
+            factor(l.as_secs_f64() / bound),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nReading: every ratio sits at 1.000x up to integer-grid rounding —\n\
+         the paper's bounds are tight (achievable), its central claim.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_with_unity_ratios() {
+        let r = run();
+        assert!(r.contains("Theorem 5.5"));
+        assert!(r.contains("1.000x"), "bounds achieved");
+        assert!(!r.contains("mismatches"), "cross-validation clean");
+    }
+}

@@ -1,0 +1,116 @@
+//! Extension: mutual assistance (Griassdi-style, the paper's reference
+//! [13] and the Appendix C closing discussion).
+//!
+//! Beacons announce the sender's next reception window; the receiver
+//! schedules a reply beacon right inside it, converting one-way into
+//! two-way discovery almost immediately. Mean *two-way* latency then
+//! collapses from E[max(X, Y)] of two independent one-way latencies to
+//! E[min-direction] + (time to the announced window).
+
+use crate::table::{secs, Table};
+use nd_analysis::montecarlo::LatencySummary;
+use nd_core::time::Tick;
+use nd_protocols::optimal::{symmetric, OptimalParams};
+use nd_protocols::MutualAssist;
+use nd_sim::{ScheduleBehavior, SimConfig, Simulator, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn trial_two_way(
+    schedule: &nd_core::Schedule,
+    assist: bool,
+    trials: usize,
+    horizon: Tick,
+) -> LatencySummary {
+    let mut rng = StdRng::seed_from_u64(0xa551);
+    let period = schedule.windows.as_ref().unwrap().period();
+    let mut lat = Vec::with_capacity(trials);
+    for trial in 0..trials {
+        let phase = Tick(rng.gen_range(0..period.as_nanos()));
+        let mut cfg = SimConfig::paper_baseline(horizon, 400 + trial as u64);
+        cfg.collisions = false;
+        cfg.half_duplex = false;
+        let mut sim = Simulator::new(cfg, Topology::full(2));
+        if assist {
+            sim.add_device(Box::new(MutualAssist::new(schedule.clone())));
+            sim.add_device(Box::new(MutualAssist::with_phase(schedule.clone(), phase)));
+        } else {
+            sim.add_device(Box::new(ScheduleBehavior::new(schedule.clone())));
+            sim.add_device(Box::new(ScheduleBehavior::with_phase(
+                schedule.clone(),
+                phase,
+            )));
+        }
+        sim.stop_when_all_discovered(true);
+        let report = sim.run();
+        lat.push(report.discovery.two_way(0, 1));
+    }
+    LatencySummary::from_latencies(&lat)
+}
+
+/// Generate the report.
+pub fn run() -> String {
+    let mut out = String::new();
+    out.push_str("Mutual assistance (Griassdi-style) — two-way latency, η = 5 %\n\n");
+    let opt = symmetric(OptimalParams::paper_default(), 0.05).expect("constructible");
+    let horizon = Tick(opt.predicted_latency.as_nanos() * 4);
+    let trials = 120;
+    let plain = trial_two_way(&opt.schedule, false, trials, horizon);
+    let assisted = trial_two_way(&opt.schedule, true, trials, horizon);
+
+    let mut t = Table::new(&["variant", "mean", "p50", "p95", "max", "failures"]);
+    for (name, s) in [("plain schedules", &plain), ("with assistance", &assisted)] {
+        t.row(vec![
+            name.into(),
+            secs(s.mean),
+            secs(s.p50),
+            secs(s.p95),
+            secs(s.max),
+            format!("{}", s.failures),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nmean speedup: {:.2}x (worst case unchanged at {} — assistance is a\n\
+         synchronous shortcut after the first asynchronous contact, so it\n\
+         improves the expectation, not the guarantee)\n",
+        plain.mean / assisted.mean,
+        opt.predicted_latency
+    ));
+    out.push_str(
+        "\nReading: announcing the next reception window lets the second\n\
+         direction complete almost immediately after the first, squeezing\n\
+         E[max(X,Y)] toward E[min(X,Y)] — Griassdi's mechanism [13]. The\n\
+         deterministic worst case still belongs to the first asynchronous\n\
+         contact, which is what the paper's bounds govern.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assistance_improves_mean_two_way() {
+        let opt = symmetric(OptimalParams::paper_default(), 0.1).unwrap();
+        let horizon = Tick(opt.predicted_latency.as_nanos() * 4);
+        let plain = trial_two_way(&opt.schedule, false, 25, horizon);
+        let assisted = trial_two_way(&opt.schedule, true, 25, horizon);
+        assert_eq!(plain.failures, 0);
+        assert_eq!(assisted.failures, 0);
+        assert!(
+            assisted.mean < plain.mean,
+            "assisted {} vs plain {}",
+            assisted.mean,
+            plain.mean
+        );
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = run();
+        assert!(r.contains("Mutual assistance"));
+        assert!(r.contains("speedup"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Extension: full latency distributions, not just worst cases.
+//!
+//! The paper's metric is the worst case; deployments also care about the
+//! typical encounter. The exact engine yields the *entire* latency
+//! distribution in closed form (uniform-arrival ⊛ first-hit profile);
+//! this experiment prints mean/median/p95/p99/worst for every protocol at
+//! a matched duty cycle and cross-checks one distribution against
+//! simulated percentiles.
+
+use crate::table::{pct, secs, Table};
+use nd_analysis::montecarlo::{pair_trials, LatencySummary, PairMetric};
+use nd_analysis::{AnalysisConfig, LatencyDistribution};
+use nd_core::time::Tick;
+use nd_protocols::ProtocolKind;
+use nd_sim::SimConfig;
+
+/// Generate the report.
+pub fn run() -> String {
+    let mut out = String::new();
+    out.push_str("Exact latency distributions at η ≈ 10 % (slot 1 ms, ω = 36 µs)\n\n");
+    let slot = Tick::from_millis(1);
+    let omega = Tick::from_micros(36);
+    let cfg = AnalysisConfig::with_omega(omega);
+    let mut t = Table::new(&[
+        "protocol", "mean", "p50", "p95", "p99", "worst", "never",
+    ]);
+    for kind in ProtocolKind::all() {
+        let Ok(sched) = kind.schedule_for_eta(0.10, slot, omega) else {
+            continue;
+        };
+        let dist = LatencyDistribution::build(
+            sched.beacons.as_ref().unwrap(),
+            sched.windows.as_ref().unwrap(),
+            &cfg,
+            true,
+        )
+        .expect("analyzable");
+        t.row(vec![
+            kind.name().into(),
+            secs(dist.mean()),
+            secs(dist.quantile(0.5)),
+            secs(dist.quantile(0.95)),
+            secs(dist.quantile(0.99)),
+            dist.worst()
+                .map_or("∞ (strips)".into(), |w| secs(w.as_secs_f64())),
+            pct(dist.undiscovered_probability()),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    // cross-check the optimal protocol's distribution against simulation
+    let sched = ProtocolKind::OptimalSlotless
+        .schedule_for_eta(0.10, slot, omega)
+        .unwrap();
+    let dist = LatencyDistribution::build(
+        sched.beacons.as_ref().unwrap(),
+        sched.windows.as_ref().unwrap(),
+        &cfg,
+        false,
+    )
+    .unwrap();
+    let worst = dist.worst().unwrap();
+    let mut sim = SimConfig::paper_baseline(Tick(worst.as_nanos() * 2), 21);
+    sim.collisions = false;
+    sim.half_duplex = false;
+    let lat = pair_trials(&sched, &sched, PairMetric::OneWay, &sim, 400);
+    let s = LatencySummary::from_latencies(&lat);
+    out.push_str("\nCross-check (optimal-slotless, 400 random-phase simulations):\n\n");
+    let mut v = Table::new(&["quantile", "exact", "simulated"]);
+    v.row(vec!["p50".into(), secs(dist.quantile(0.5)), secs(s.p50)]);
+    v.row(vec!["p95".into(), secs(dist.quantile(0.95)), secs(s.p95)]);
+    v.row(vec!["p99".into(), secs(dist.quantile(0.99)), secs(s.p99)]);
+    v.row(vec![
+        "max/worst".into(),
+        secs(worst.as_secs_f64()),
+        secs(s.max),
+    ]);
+    out.push_str(&v.render());
+    out.push_str(
+        "\nReading: the optimal tiling's latency is uniform on (0, L] — its mean\n\
+         is half its worst case. Slotted protocols have *better-than-uniform*\n\
+         means relative to their (much larger) worst cases: their probability\n\
+         mass sits early, but the tail — the metric the paper bounds — is what\n\
+         separates them.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_all_protocols() {
+        let r = run();
+        for kind in ProtocolKind::all() {
+            assert!(r.contains(kind.name()), "{}", kind.name());
+        }
+        assert!(r.contains("p99"));
+    }
+}

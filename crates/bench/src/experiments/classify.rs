@@ -1,0 +1,98 @@
+//! §6.2: classifying known protocols against the fundamental bounds.
+//!
+//! Every protocol is instantiated at (approximately) the same total duty
+//! cycle and measured with the exact engine. Two comparisons matter:
+//!
+//! * against the **unconstrained** bound `4αω/η²` (Theorem 5.5) — here no
+//!   slotted protocol can be optimal, because at `I ≫ ω` its channel
+//!   utilization is far below the optimal `β = η/2α`;
+//! * against the **constrained** bound at the protocol's own β
+//!   (Theorem 5.6) — here diff-codes are optimal and the others carry
+//!   their Table 1 constants.
+
+use crate::table::{factor, pct, secs, Table};
+use nd_analysis::{one_way_coverage, AnalysisConfig};
+use nd_core::bounds::{constrained_bound, symmetric_bound};
+use nd_core::time::Tick;
+use nd_protocols::ProtocolKind;
+
+const ALPHA: f64 = 1.0;
+const OMEGA_S: f64 = 36e-6;
+
+/// Generate the report.
+pub fn run() -> String {
+    let mut out = String::new();
+    out.push_str("Protocol classification at η ≈ 10 % (slot I = 1 ms, ω = 36 µs, α = 1)\n\n");
+    let slot = Tick::from_millis(1);
+    let omega = Tick::from_micros(36);
+    let cfg = AnalysisConfig::with_omega(omega);
+    let mut t = Table::new(&[
+        "protocol",
+        "η meas",
+        "β meas",
+        "exact L (one-way)",
+        "vs 4αω/η²",
+        "vs Thm5.6(β)",
+        "uncovered",
+    ]);
+    for kind in ProtocolKind::all() {
+        let sched = match kind.schedule_for_eta(0.10, slot, omega) {
+            Ok(s) => s,
+            Err(e) => {
+                t.row(vec![
+                    kind.name().into(),
+                    format!("error: {e}"),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
+                continue;
+            }
+        };
+        let dc = sched.duty_cycle();
+        let eta = dc.eta(ALPHA);
+        let cc = one_way_coverage(
+            sched.beacons.as_ref().unwrap(),
+            sched.windows.as_ref().unwrap(),
+            &cfg,
+        )
+        .expect("analyzable");
+        let l = cc.worst_covered.as_secs_f64();
+        let unconstrained = symmetric_bound(ALPHA, OMEGA_S, eta);
+        let constrained = constrained_bound(ALPHA, OMEGA_S, eta, dc.beta.max(1e-9));
+        t.row(vec![
+            kind.name().into(),
+            pct(eta),
+            pct(dc.beta),
+            secs(l),
+            factor(l / unconstrained),
+            factor(l / constrained),
+            pct(cc.undiscovered_probability),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nReading (paper §6.2): in the unconstrained latency/duty-cycle metric\n\
+         only the slotless optimal construction reaches 1x; slotted protocols\n\
+         are orders of magnitude off because their slots waste channel\n\
+         utilization. Normalized by their own β (Theorem 5.6), diff-codes are\n\
+         optimal (≈1x) and Searchlight/Disco/U-Connect carry their Table 1\n\
+         constant factors.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_has_all_protocols() {
+        let r = run();
+        for kind in ProtocolKind::all() {
+            assert!(r.contains(kind.name()), "{} missing", kind.name());
+        }
+    }
+}

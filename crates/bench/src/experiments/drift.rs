@@ -1,0 +1,92 @@
+//! Extension: clock drift rescues the slot-boundary alignment slivers.
+//!
+//! Under the paper's strict reception model, slotted protocols leave
+//! offsets near exact slot alignment permanently undiscovered (the
+//! Figure 5 strips, `fig5`/`table1` experiments). Real crystals drift by
+//! tens of ppm, so two devices *slide* through any unlucky alignment at
+//! Δ·10⁻⁶ s/s — discovery happens, but only after the relative clocks
+//! slip past the ω-wide strip, which can take orders of magnitude longer
+//! than the protocol's nominal worst case. This experiment measures that
+//! rescue time and checks it against the slip-rate prediction ω/(Δppm·1e-6).
+
+use crate::table::{secs, Table};
+use nd_core::time::Tick;
+use nd_protocols::DiffCode;
+use nd_sim::{Drifting, ScheduleBehavior, SimConfig, Simulator, Topology};
+
+/// Generate the report.
+pub fn run() -> String {
+    let mut out = String::new();
+    out.push_str("Clock drift vs. the slot-boundary strips (diff-code v=7, I = 1 ms)\n\n");
+    let slot = Tick::from_millis(1);
+    let omega = Tick::from_micros(36);
+    let d = DiffCode::new(7, vec![1, 2, 4], slot, omega).expect("valid");
+    let sched = d.schedule().expect("valid");
+    // The *one-way* undiscovered strip of the StartEnd slot geometry is
+    // φ ∈ [0, ω): a receiver whose schedule leads the sender's by less
+    // than one airtime never hears it (its window opens ω after the slot
+    // start, exactly straddling the sender's boundary beacons). Park the
+    // receiver mid-strip (φ = ω/2); a +ppm drift slides it out at the
+    // slip rate, so discovery happens after ≈ (ω/2)/slip.
+    let depth = omega / 2;
+    let mut t = Table::new(&[
+        "relative drift",
+        "one-way discovered?",
+        "discovery time",
+        "nominal worst (7 slots)",
+        "predicted escape (ω/2)/slip",
+    ]);
+    for ppm in [0i64, 10, 50, 100] {
+        let horizon = Tick::from_secs(20);
+        let cfg = SimConfig::paper_baseline(horizon, 77);
+        let mut sim = Simulator::new(cfg, Topology::full(2));
+        sim.add_device(Box::new(Drifting::ppm(
+            ScheduleBehavior::new(sched.clone()),
+            0,
+        )));
+        sim.add_device(Box::new(Drifting::ppm(
+            ScheduleBehavior::with_phase(sched.clone(), depth),
+            ppm,
+        )));
+        sim.stop_when_all_discovered(false);
+        let report = sim.run();
+        // the strip blocks device 1 (the leading receiver) hearing device 0
+        let found = report.discovery.one_way(1, 0);
+        let predicted = if ppm == 0 {
+            "never".to_string()
+        } else {
+            secs(depth.as_secs_f64() / (ppm as f64 * 1e-6))
+        };
+        t.row(vec![
+            format!("{ppm} ppm"),
+            if found.is_some() { "yes".into() } else { "no".into() },
+            found.map_or("—".into(), |f| secs(f.as_secs_f64())),
+            secs(7.0 * slot.as_secs_f64()),
+            predicted,
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nReading: inside the strip a drift-free pair never completes this\n\
+         direction; any realistic drift rescues it, but the rescue takes\n\
+         (strip depth)/(slip rate) — hundreds to thousands of nominal worst\n\
+         cases. Slotted deployments owe their *one-way* worst-case guarantees\n\
+         near slot alignment to drift (or guard margins), not to the slot\n\
+         schedule alone; slotless optimal schedules have no strips at all.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_shows_drift_rescue() {
+        let r = run();
+        assert!(r.contains("Clock drift"));
+        // the zero-drift row never discovers; some drifted row does
+        assert!(r.contains("never"));
+        assert!(r.contains("yes"));
+    }
+}

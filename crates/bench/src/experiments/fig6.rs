@@ -1,0 +1,77 @@
+//! Figure 6 (§7.1): the energy cost of asymmetry.
+//!
+//! The paper plots `L · (η_E + η_F)` — the product of the Theorem 5.7
+//! bound and the joint duty cycle — and concludes that the product depends
+//! only on the *sum* of the duty cycles, i.e. asymmetry is free. Exact
+//! evaluation shows a mild ratio dependence, factor `(1+r)²/(4r)` (1.0 at
+//! r = 1, 1.125 at r = 2, 1.8 at r = 5): invisible on the paper's log
+//! scale for moderate asymmetry, and growing slowly beyond it. We print
+//! both the product series and the exact penalty factor.
+
+use crate::table::{secs, Table};
+use nd_core::bounds::asymmetric::{asymmetry_penalty, product_vs_joint_budget};
+
+const OMEGA: f64 = 36e-6;
+const ALPHA: f64 = 1.0;
+
+/// Generate the report.
+pub fn run() -> String {
+    let mut out = String::new();
+    out.push_str("Figure 6 — L·(η_E+η_F) vs. joint duty cycle, by asymmetry ratio\n");
+    out.push_str("(Theorem 5.7 with ω = 36 µs, α = 1; product in seconds·1)\n\n");
+    let ratios = [1.0, 2.0, 5.0, 10.0];
+    let mut headers = vec!["sum η_E+η_F".to_string(), "L (sym)".to_string()];
+    for r in ratios {
+        headers.push(format!("r={r:.0}"));
+    }
+    let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(&hdr_refs);
+    for pctsum in [1.0f64, 2.0, 5.0, 10.0, 20.0] {
+        let sum = pctsum / 100.0;
+        let mut row = vec![format!("{pctsum:.0}%")];
+        // symmetric latency itself, for scale
+        let l_sym = product_vs_joint_budget(ALPHA, OMEGA, sum, 1.0) / sum;
+        row.push(secs(l_sym));
+        for r in ratios {
+            row.push(format!(
+                "{:.4}",
+                product_vs_joint_budget(ALPHA, OMEGA, sum, r)
+            ));
+        }
+        t.row(row);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\nExact asymmetry penalty factor (1+r)²/(4r) relative to symmetric:\n\n");
+    let mut p = Table::new(&["ratio r = η_E/η_F", "penalty"]);
+    for r in [1.0, 1.5, 2.0, 3.0, 5.0, 10.0, 20.0] {
+        p.row(vec![format!("{r:.1}"), format!("{:.3}x", asymmetry_penalty(r))]);
+    }
+    out.push_str(&p.render());
+    out.push_str(
+        "\nReading: the product scales as 1/(η_E+η_F) for every ratio (the paper's\n\
+         headline), with a ratio-dependent constant that stays within 13 % up to\n\
+         r = 2 — 'no cost for asymmetry' holds for the moderate asymmetries\n\
+         practical deployments use; extreme asymmetry (r = 10) costs 3x.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn product_scales_inverse_in_sum() {
+        let a = product_vs_joint_budget(ALPHA, OMEGA, 0.05, 2.0);
+        let b = product_vs_joint_budget(ALPHA, OMEGA, 0.10, 2.0);
+        assert!((a / b - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = run();
+        assert!(r.contains("Figure 6"));
+        assert!(r.contains("penalty"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Experiment registry: every table and figure of the paper, plus the
+//! appendix results, as runnable text-report generators.
+
+pub mod achieve;
+pub mod aperiodic;
+pub mod appb;
+pub mod appc;
+pub mod assist;
+pub mod blind;
+pub mod cdf;
+pub mod classify;
+pub mod drift;
+pub mod eq18;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod overheads;
+pub mod pfail;
+pub mod pi;
+pub mod shortwin;
+pub mod table1;
+
+/// An experiment: id, what paper artifact it regenerates, and the runner.
+pub struct Experiment {
+    /// CLI id.
+    pub id: &'static str,
+    /// Which table/figure/appendix of the paper this regenerates.
+    pub artifact: &'static str,
+    /// Produces the full text report.
+    pub run: fn() -> String,
+}
+
+/// All experiments in presentation order.
+pub fn all_experiments() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "fig5",
+            artifact: "Figure 5 (§6.1.1): receivable offsets vs. slot length",
+            run: fig5::run,
+        },
+        Experiment {
+            id: "fig6",
+            artifact: "Figure 6 (§7.1): cost of asymmetry",
+            run: fig6::run,
+        },
+        Experiment {
+            id: "fig7",
+            artifact: "Figure 7 (§7.2): collision-constrained bounds",
+            run: fig7::run,
+        },
+        Experiment {
+            id: "table1",
+            artifact: "Table 1 (§6.1.2): slotted protocols vs. fundamental bound",
+            run: table1::run,
+        },
+        Experiment {
+            id: "eq18",
+            artifact: "Eqs. 18/19 (§6.1.1): slotted time-domain bounds vs. α",
+            run: eq18::run,
+        },
+        Experiment {
+            id: "appb",
+            artifact: "Appendix B: optimal redundancy under collisions",
+            run: appb::run,
+        },
+        Experiment {
+            id: "appc",
+            artifact: "Appendix C / Theorem C.1: one-way discovery at 2αω/η²",
+            run: appc::run,
+        },
+        Experiment {
+            id: "achieve",
+            artifact: "Theorems 5.4–5.7: constructed schedules achieve the bounds",
+            run: achieve::run,
+        },
+        Experiment {
+            id: "classify",
+            artifact: "§6.2: classification of known protocols against the bounds",
+            run: classify::run,
+        },
+        Experiment {
+            id: "overheads",
+            artifact: "Appendix A.2 (Eqs. 26–27): non-ideal radios",
+            run: overheads::run,
+        },
+        Experiment {
+            id: "shortwin",
+            artifact: "Appendix A.3 (Eqs. 28–30): full-packet reception model",
+            run: shortwin::run,
+        },
+        Experiment {
+            id: "pfail",
+            artifact: "Appendix A.5 (Eq. 31): self-blocking failure probability",
+            run: pfail::run,
+        },
+        Experiment {
+            id: "cdf",
+            artifact: "extension: exact latency distributions per protocol",
+            run: cdf::run,
+        },
+        Experiment {
+            id: "pi",
+            artifact: "extension: PI (BLE-like) parametrization sensitivity [18]",
+            run: pi::run,
+        },
+        Experiment {
+            id: "drift",
+            artifact: "extension: clock drift vs. slot-boundary strips",
+            run: drift::run,
+        },
+        Experiment {
+            id: "assist",
+            artifact: "extension: mutual assistance (Griassdi [13]) mean speedup",
+            run: assist::run,
+        },
+        Experiment {
+            id: "blind",
+            artifact: "extension: open problem #1 — unknown peer duty cycles",
+            run: blind::run,
+        },
+        Experiment {
+            id: "aperiodic",
+            artifact: "Appendix A.1: non-repetitive reception sequences",
+            run: aperiodic::run,
+        },
+    ]
+}
+
+/// Run one experiment by id; `None` if the id is unknown.
+pub fn run_experiment(id: &str) -> Option<String> {
+    all_experiments()
+        .into_iter()
+        .find(|e| e.id == id)
+        .map(|e| (e.run)())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_unique() {
+        let mut ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
+        let n = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(run_experiment("nope").is_none());
+    }
+}

@@ -1,0 +1,81 @@
+//! Appendix A.2 (Eqs. 24–27): bounds for non-ideal radios with switching
+//! overheads, and why a single reception window per period is optimal.
+
+use crate::table::{factor, secs, Table};
+use nd_core::bounds::overheads::unidirectional_with_overheads;
+use nd_core::time::Tick;
+
+/// Generate the report.
+pub fn run() -> String {
+    let omega = Tick::from_micros(36);
+    let (beta, gamma) = (0.01, 0.02);
+    let mut out = String::new();
+    out.push_str("Appendix A.2 — unidirectional bound with radio overheads (Eq. 26)\n");
+    out.push_str("(β = 1 %, γ = 2 %, ω = 36 µs; Σd = 2 ms per period split into n_C windows)\n\n");
+    let sum_d = Tick::from_millis(2);
+    let mut t = Table::new(&["radio", "n_C=1", "n_C=2", "n_C=4", "n_C=8", "n_C=8 / n_C=1"]);
+    for (name, do_tx, do_rx) in [
+        ("ideal", Tick::ZERO, Tick::ZERO),
+        ("nRF-class (130 µs)", Tick::from_micros(130), Tick::from_micros(130)),
+        ("slow MCU (1 ms)", Tick::from_millis(1), Tick::from_millis(1)),
+    ] {
+        let l = |n: u64| unidirectional_with_overheads(omega, do_tx, do_rx, sum_d, n, beta, gamma);
+        t.row(vec![
+            name.into(),
+            secs(l(1)),
+            secs(l(2)),
+            secs(l(4)),
+            secs(l(8)),
+            factor(l(8) / l(1)),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\nEffective duty-cycle inflation (Eqs. 24/25, nRF-class radio):\n\n");
+    let mut e = Table::new(&["quantity", "ideal", "with overheads"]);
+    let gap = Tick::from_micros(3600); // λ for β = 1 %
+    let ideal_beta = omega.as_nanos() as f64 / gap.as_nanos() as f64;
+    let oh_beta = nd_core::bounds::overheads::beta_with_overhead(
+        omega,
+        Tick::from_micros(130),
+        gap,
+    );
+    e.row(vec![
+        "β at λ = 3.6 ms".into(),
+        format!("{:.4}%", ideal_beta * 100.0),
+        format!("{:.4}%", oh_beta * 100.0),
+    ]);
+    let period = Tick::from_millis(100);
+    let ideal_gamma = sum_d.as_nanos() as f64 / period.as_nanos() as f64;
+    let oh_gamma = nd_core::bounds::overheads::gamma_with_overhead(
+        sum_d,
+        4,
+        Tick::from_micros(130),
+        period,
+    );
+    e.row(vec![
+        "γ at Σd = 2 ms / 100 ms, n_C = 4".into(),
+        format!("{:.4}%", ideal_gamma * 100.0),
+        format!("{:.4}%", oh_gamma * 100.0),
+    ]);
+    out.push_str(&e.render());
+    out.push_str(
+        "\nReading: every extra window per period costs d_oRx of dead time, so the\n\
+         bound grows monotonically with n_C — single-window sequences are optimal\n\
+         for non-ideal radios (paper's Eq. 27 conclusion). Our optimal\n\
+         constructions use n_C = 1 accordingly.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders() {
+        let r = run();
+        assert!(r.contains("Appendix A.2"));
+        assert!(r.contains("n_C=8"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Appendix A.5 (Eq. 31): discovery failures caused by a device's own
+//! transmissions blanking its reception windows, formula vs. simulation.
+//!
+//! When both devices of a pair run the *same* optimal sequences, exactly
+//! one beacon per worst-case period lands inside the device's own
+//! reception window; a radio cannot receive while transmitting (plus
+//! turnaround times), so the offsets served by that window slice are at
+//! risk: `P_fail = (d_oTxRx + d_oRxTx + d_a)/(M·Σd)`.
+
+use crate::table::{pct, Table};
+use nd_analysis::montecarlo::{pair_trials, LatencySummary, PairMetric};
+use nd_core::bounds::overheads::self_blocking_failure_probability;
+use nd_core::time::Tick;
+use nd_protocols::optimal::{self, OptimalParams};
+use nd_sim::SimConfig;
+
+const ETA: f64 = 0.05;
+
+/// Generate the report.
+pub fn run() -> String {
+    let mut out = String::new();
+    out.push_str("Appendix A.5 — self-blocking failure probability (Eq. 31)\n");
+    out.push_str("(same optimal sequences on both devices, η = 5 %, ω = 36 µs)\n\n");
+
+    let opt = optimal::symmetric(OptimalParams::paper_default(), ETA).expect("constructible");
+    let c = opt.schedule.windows.as_ref().unwrap();
+    let b = opt.schedule.beacons.as_ref().unwrap();
+    let m = c.period().div_ceil(c.sum_d());
+    let sum_d = c.sum_d();
+    let omega = b.omega();
+
+    let mut t = Table::new(&[
+        "turnarounds (TxRx+RxTx)",
+        "Eq.31 P_fail",
+        "sim failures > L (one-way)",
+        "trials",
+    ]);
+    for (label, turnaround_us) in [("ideal (0)", 0u64), ("BLE-class (300 µs)", 300)] {
+        let guard = Tick::from_micros(turnaround_us);
+        let p_formula = self_blocking_failure_probability(
+            guard,
+            Tick::ZERO,
+            omega,
+            m,
+            sum_d,
+        );
+        // simulate: half-duplex on, collisions on, random phases
+        let mut cfg = SimConfig::paper_baseline(Tick(opt.predicted_latency.as_nanos() * 2), 31);
+        cfg.radio.do_tx_rx = guard / 2;
+        cfg.radio.do_rx_tx = guard / 2;
+        let trials = 300;
+        let lat = pair_trials(
+            &opt.schedule,
+            &opt.schedule,
+            PairMetric::OneWay,
+            &cfg,
+            trials,
+        );
+        let over: usize = lat
+            .iter()
+            .filter(|l| l.is_none_or(|t| t > opt.predicted_latency))
+            .count();
+        let s = LatencySummary::from_latencies(&lat);
+        let _ = s;
+        t.row(vec![
+            label.into(),
+            pct(p_formula),
+            pct(over as f64 / trials as f64),
+            format!("{trials}"),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nReading: with an ideal radio only the packet airtime is blanked and\n\
+         failures are rare; realistic turnaround times push P_fail to the Eq. 31\n\
+         level. The Appendix C correlated schedules avoid the issue entirely\n\
+         (their beacons never meet their own windows).\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formula_increases_with_turnaround() {
+        let p0 = self_blocking_failure_probability(
+            Tick::ZERO,
+            Tick::ZERO,
+            Tick::from_micros(36),
+            20,
+            Tick::from_millis(1),
+        );
+        let p1 = self_blocking_failure_probability(
+            Tick::from_micros(300),
+            Tick::ZERO,
+            Tick::from_micros(36),
+            20,
+            Tick::from_millis(1),
+        );
+        assert!(p1 > p0);
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = run();
+        assert!(r.contains("Appendix A.5"));
+        assert!(r.contains("Eq.31"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Appendix A.3 (Eqs. 28–30): the full-packet reception model.
+//!
+//! When packets must fit entirely inside a window, each window loses ω of
+//! effective coverage (Eq. 28). Growing the period (and with it the
+//! window) makes the loss negligible: Eq. 29 converges to the ideal
+//! `ω/(βγ)` (Eq. 30) — the paper's bounds survive the relaxation. We
+//! print the convergence and validate one point with the exact engine
+//! under the `FullPacket` model.
+
+use crate::table::{factor, secs, Table};
+use nd_analysis::{one_way_worst_case, AnalysisConfig};
+use nd_core::bounds::overheads::{shortened_window_bound, shortened_window_limit};
+use nd_core::coverage::OverlapModel;
+use nd_core::schedule::{BeaconSeq, ReceptionWindows};
+use nd_core::time::Tick;
+
+const OMEGA_S: f64 = 36e-6;
+const BETA: f64 = 0.01;
+const GAMMA: f64 = 0.02;
+
+/// Generate the report.
+pub fn run() -> String {
+    let mut out = String::new();
+    out.push_str("Appendix A.3 — full-packet reception: L(T_C) → ω/(βγ) (Eqs. 29/30)\n");
+    out.push_str("(β = 1 %, γ = 2 %, ω = 36 µs)\n\n");
+    let limit = shortened_window_limit(OMEGA_S, BETA, GAMMA);
+    let mut t = Table::new(&["T_C", "window d₁", "Eq.29 L", "vs limit"]);
+    for tc_ms in [5.0f64, 10.0, 50.0, 100.0, 1000.0] {
+        let tc = tc_ms / 1e3;
+        let d1 = tc * GAMMA;
+        let l = shortened_window_bound(tc, OMEGA_S, BETA, GAMMA);
+        t.row(vec![
+            secs(tc),
+            secs(d1),
+            secs(l),
+            factor(l / limit),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!("limit ω/(βγ) = {}\n", secs(limit)));
+
+    // --- exact-engine validation under FullPacket ----------------------
+    out.push_str("\nExact engine under the FullPacket model (window widened by ω, A.3 compensation):\n\n");
+    let omega = Tick::from_micros(36);
+    let mut v = Table::new(&["T_C", "exact L", "vs limit"]);
+    for k in [10u64, 50, 200] {
+        // single window of d₁ = γ·T_C + ω, uniform beacons at λ = ω/β
+        // tiling over the *effective* window d₁ − ω
+        let d_eff = Tick::from_micros(36 * 20); // 720 µs effective window
+        let tc = d_eff * k;
+        let d1 = d_eff + omega;
+        let lambda = Tick(tc.as_nanos() + d_eff.as_nanos());
+        let windows = ReceptionWindows::single(Tick::ZERO, d1, tc).expect("valid");
+        let beacons =
+            BeaconSeq::uniform(k, Tick(lambda.as_nanos() * k), omega, Tick::ZERO).expect("valid");
+        let mut cfg = AnalysisConfig::with_omega(omega);
+        cfg.model = OverlapModel::FullPacket;
+        let wc = one_way_worst_case(&beacons, &windows, &cfg).expect("deterministic");
+        let beta = beacons.beta();
+        let gamma_eff = d_eff.as_nanos() as f64 / tc.as_nanos() as f64;
+        let ideal = OMEGA_S / (beta * gamma_eff);
+        v.row(vec![
+            secs(tc.as_secs_f64()),
+            secs(wc.latency.as_secs_f64()),
+            factor(wc.latency.as_secs_f64() / ideal),
+        ]);
+    }
+    out.push_str(&v.render());
+    out.push_str(
+        "\nReading: paying one ω of extra window per period restores exact\n\
+         determinism under the realistic reception model, at a duty-cycle\n\
+         overhead that vanishes as T_C grows — Eq. 30's limit.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn convergence_is_monotone() {
+        let limit = shortened_window_limit(OMEGA_S, BETA, GAMMA);
+        let mut prev = f64::INFINITY;
+        for tc in [0.005, 0.01, 0.05, 0.1, 1.0] {
+            let l = shortened_window_bound(tc, OMEGA_S, BETA, GAMMA);
+            assert!(l >= limit && l <= prev);
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = run();
+        assert!(r.contains("Appendix A.3"));
+        assert!(r.contains("limit"));
+    }
+}

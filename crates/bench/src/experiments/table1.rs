@@ -1,0 +1,179 @@
+//! Table 1 (§6.1.2): worst-case latencies of slotted protocols in the
+//! latency/duty-cycle/channel-utilization metric — formulas *and* an
+//! empirical column measured with the exact engine on our from-scratch
+//! protocol implementations.
+
+use crate::table::{factor, pct, secs, Table};
+use nd_analysis::{one_way_coverage, AnalysisConfig};
+use nd_core::bounds::slotted::{
+    table1_diffcodes, table1_disco, table1_searchlight, table1_uconnect,
+};
+use nd_core::time::Tick;
+use nd_protocols::{DiffCode, Disco, Searchlight, UConnect};
+
+const OMEGA_S: f64 = 36e-6;
+const ALPHA: f64 = 1.0;
+
+/// Generate the report.
+pub fn run() -> String {
+    let mut out = String::new();
+    out.push_str("Table 1 — slotted-protocol worst cases d_m(β, η)\n");
+    out.push_str("(ω = 36 µs, α = 1; the fundamental Thm 5.6 bound at β ≤ η/2α equals diff-codes)\n\n");
+
+    // --- the analytical table over an (η, β) grid --------------------
+    let mut t = Table::new(&[
+        "η", "β", "diffcodes", "searchlight", "disco", "u-connect", "sl/dc", "disco/dc",
+    ]);
+    for (eta, beta) in [
+        (0.02, 0.002),
+        (0.02, 0.005),
+        (0.05, 0.005),
+        (0.05, 0.01),
+        (0.10, 0.01),
+        (0.10, 0.02),
+    ] {
+        let dc = table1_diffcodes(ALPHA, OMEGA_S, eta, beta);
+        let sl = table1_searchlight(ALPHA, OMEGA_S, eta, beta);
+        let di = table1_disco(ALPHA, OMEGA_S, eta, beta);
+        let uc = table1_uconnect(ALPHA, OMEGA_S, eta, beta);
+        t.row(vec![
+            pct(eta),
+            pct(beta),
+            secs(dc),
+            secs(sl),
+            secs(di),
+            secs(uc),
+            factor(sl / dc),
+            factor(di / dc),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    // --- empirical validation on the implemented schedules ------------
+    out.push_str(
+        "\nEmpirical check: exact worst case of our implementations vs. the Table 1\n\
+         formula evaluated at each protocol's own measured (η, β); slot I = 1 ms.\n\n",
+    );
+    let slot = Tick::from_millis(1);
+    let omega = Tick::from_micros(36);
+    let cfg = AnalysisConfig::with_omega(omega);
+    let mut e = Table::new(&[
+        "protocol",
+        "config",
+        "η meas",
+        "β meas",
+        "L measured",
+        "L formula",
+        "meas/formula",
+        "uncovered",
+    ]);
+
+    type Table1Formula = fn(f64, f64, f64, f64) -> f64;
+    let cases: Vec<(&str, String, nd_core::Schedule, Table1Formula)> = vec![
+        (
+            "diff-codes",
+            "v=73".into(),
+            DiffCode::new(73, vec![0, 1, 12, 20, 26, 30, 33, 35, 57], slot, omega)
+                .unwrap()
+                .schedule()
+                .unwrap(),
+            table1_diffcodes,
+        ),
+        (
+            "searchlight",
+            "t=18".into(),
+            Searchlight::new(18, slot, omega).unwrap().schedule().unwrap(),
+            table1_searchlight,
+        ),
+        (
+            "disco",
+            "p=17,19".into(),
+            Disco::new(17, 19, slot, omega).unwrap().schedule().unwrap(),
+            table1_disco,
+        ),
+        (
+            "u-connect",
+            "p=13".into(),
+            UConnect::new(13, slot, omega).unwrap().schedule().unwrap(),
+            table1_uconnect,
+        ),
+    ];
+    for (name, config, sched, formula) in cases {
+        let dc = sched.duty_cycle();
+        let eta = dc.eta(ALPHA);
+        let cc = one_way_coverage(
+            sched.beacons.as_ref().unwrap(),
+            sched.windows.as_ref().unwrap(),
+            &cfg,
+        )
+        .expect("analyzable");
+        let l_meas = cc.worst_covered.as_secs_f64();
+        let l_formula = formula(ALPHA, OMEGA_S, eta, dc.beta);
+        e.row(vec![
+            name.into(),
+            config,
+            pct(eta),
+            pct(dc.beta),
+            secs(l_meas),
+            secs(l_formula),
+            factor(l_meas / l_formula),
+            pct(cc.undiscovered_probability),
+        ]);
+    }
+    out.push_str(&e.render());
+
+    // U-Connect's guarantee is *mutual*: its (p+1)/2-slot hyperslot covers
+    // only ~half the beacon-train offsets one-way; the other half is
+    // covered by the reverse direction (the same complementary-halves trick
+    // as Appendix C). Check that either-way discovery is near-complete.
+    let uc = UConnect::new(13, slot, omega).unwrap().schedule().unwrap();
+    let (frac, worst) =
+        nd_protocols::correlated::oneway_coverage_fraction(&uc, slot / 4 + Tick(1));
+    out.push_str(&format!(
+        "\nU-Connect either-way phase sweep (p = 13): {} of phases covered{}\n",
+        pct(frac),
+        match worst {
+            Some(w) => format!(
+                ", worst {} ({} slots; published bound p² = 169)",
+                crate::table::secs(w.as_secs_f64()),
+                w.as_nanos() / slot.as_nanos()
+            ),
+            None => String::new(),
+        }
+    ));
+    out.push_str(
+        "\nReading: the ordering of the paper's Table 1 holds — diff-codes sit at\n\
+         the constrained fundamental bound, Searchlight at 2x, Disco at 8x,\n\
+         U-Connect in between. Measured/formula ratios carry the\n\
+         packets-per-slot convention: our diff-code/Searchlight schedules send\n\
+         two beacons per active slot (the formulas assume one, so measured β is\n\
+         2x and the ratio lands near 2), while Disco's published constant 8\n\
+         already accounts for two. U-Connect's one-way coverage is ~61 % by\n\
+         design — its hyperslot guarantees *mutual* discovery via complementary\n\
+         halves, which the phase sweep above confirms. 'uncovered' is the\n\
+         Figure 5 slot-boundary effect of the strict reception model; it\n\
+         vanishes as I/ω grows.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ordering_holds_on_formula_grid() {
+        let (eta, beta) = (0.05, 0.01);
+        let dc = table1_diffcodes(ALPHA, OMEGA_S, eta, beta);
+        assert!(table1_searchlight(ALPHA, OMEGA_S, eta, beta) > dc);
+        assert!(table1_disco(ALPHA, OMEGA_S, eta, beta) > table1_searchlight(ALPHA, OMEGA_S, eta, beta));
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = run();
+        assert!(r.contains("Table 1"));
+        assert!(r.contains("diff-codes"));
+        assert!(r.contains("u-connect"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Tiny plain-text table formatter for experiment output.
+
+use std::fmt::Write as _;
+
+/// A right-aligned plain-text table with a header row.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "{:>w$}", c, w = widths[i]);
+                if i + 1 < ncols {
+                    let _ = write!(out, "  ");
+                }
+            }
+            let _ = writeln!(out);
+        };
+        line(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Format seconds with an adaptive unit.
+pub fn secs(s: f64) -> String {
+    if !s.is_finite() {
+        "inf".into()
+    } else if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+/// Format a ratio/factor.
+pub fn factor(f: f64) -> String {
+    if !f.is_finite() {
+        "inf".into()
+    } else {
+        format!("{f:.3}x")
+    }
+}
+
+/// Format a probability as a percentage.
+pub fn pct(p: f64) -> String {
+    format!("{:.3}%", p * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "23".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name") && lines[0].contains("value"));
+        assert!(lines[1].starts_with('-'));
+        // right alignment: the "1" sits at the end of its column
+        assert!(lines[2].ends_with('1'));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn arity_checked() {
+        Table::new(&["a", "b"]).row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn unit_formats() {
+        assert_eq!(secs(2.5), "2.500s");
+        assert_eq!(secs(0.0576), "57.600ms");
+        assert_eq!(secs(36e-6), "36.0us");
+        assert_eq!(secs(f64::INFINITY), "inf");
+        assert_eq!(factor(2.0), "2.000x");
+        assert_eq!(pct(0.072), "7.200%");
+    }
+}

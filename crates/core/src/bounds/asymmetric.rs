@@ -1,0 +1,121 @@
+//! The asymmetric bidirectional bound (Theorem 5.7 of the paper) and the
+//! Figure 6 evaluation helpers.
+
+use crate::params::DutyCycle;
+
+/// Theorem 5.7 (Bound for Asymmetric ND), Eq. 14: for two devices with
+/// duty cycles η_E and η_F (each aware of the other's configuration), no
+/// protocol guarantees two-way discovery faster than
+/// `L = 4αω / (η_E · η_F)` seconds.
+pub fn asymmetric_bound(alpha: f64, omega_secs: f64, eta_e: f64, eta_f: f64) -> f64 {
+    assert!(eta_e > 0.0 && eta_f > 0.0 && alpha > 0.0 && omega_secs > 0.0);
+    4.0 * alpha * omega_secs / (eta_e * eta_f)
+}
+
+/// The per-device optimal splits from the proof of Theorem 5.7:
+/// β_X = η_X/(2α), γ_X = η_X/2 on both devices (the balanced-latency
+/// condition L_E = L_F then holds automatically).
+pub fn optimal_asymmetric_splits(eta_e: f64, eta_f: f64, alpha: f64) -> (DutyCycle, DutyCycle) {
+    (
+        DutyCycle::optimal_split(eta_e, alpha),
+        DutyCycle::optimal_split(eta_f, alpha),
+    )
+}
+
+/// Figure 6 evaluation: the product `L · (η_E + η_F)` for a joint budget
+/// `sum = η_E + η_F` split with ratio `ratio = η_E/η_F ≥ 1`.
+///
+/// Exact evaluation of Theorem 5.7 gives
+/// `L·(η_E+η_F) = 4αω · (1+r)² / (r · sum)`; the ratio-dependent factor
+/// `(1+r)²/(4r)` is 1 for symmetric operation and grows slowly (1.125 at
+/// r = 2, 1.8 at r = 5), which is why the paper's Figure 6 sees no visible
+/// cost for moderate asymmetry.
+pub fn product_vs_joint_budget(alpha: f64, omega_secs: f64, sum: f64, ratio: f64) -> f64 {
+    assert!(ratio >= 1.0, "express the ratio as η_E/η_F ≥ 1");
+    let eta_f = sum / (1.0 + ratio);
+    let eta_e = sum - eta_f;
+    asymmetric_bound(alpha, omega_secs, eta_e, eta_f) * sum
+}
+
+/// The asymmetry penalty factor `(1+r)²/(4r)`: the exact multiplicative
+/// cost of running a duty-cycle ratio `r` instead of symmetric operation at
+/// the same joint budget.
+pub fn asymmetry_penalty(ratio: f64) -> f64 {
+    assert!(ratio >= 1.0);
+    (1.0 + ratio).powi(2) / (4.0 * ratio)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::beaconing::unidirectional_bound;
+    use crate::bounds::symmetric::symmetric_bound;
+
+    const OMEGA: f64 = 36e-6;
+
+    #[test]
+    fn reduces_to_symmetric_when_equal() {
+        let l_asym = asymmetric_bound(1.0, OMEGA, 0.05, 0.05);
+        let l_sym = symmetric_bound(1.0, OMEGA, 0.05);
+        assert!((l_asym - l_sym).abs() < 1e-12);
+    }
+
+    #[test]
+    fn splits_balance_the_two_directions() {
+        let (eta_e, eta_f, alpha) = (0.08, 0.02, 1.0);
+        let (dc_e, dc_f) = optimal_asymmetric_splits(eta_e, eta_f, alpha);
+        // L_F = ω/(γ_F β_E), L_E = ω/(γ_E β_F) — Eq. 15
+        let l_f = unidirectional_bound(OMEGA, dc_e.beta, dc_f.gamma);
+        let l_e = unidirectional_bound(OMEGA, dc_f.beta, dc_e.gamma);
+        assert!((l_f - l_e).abs() < 1e-9, "optimal protocols have L_E = L_F");
+        let bound = asymmetric_bound(alpha, OMEGA, eta_e, eta_f);
+        assert!((l_f - bound).abs() < 1e-9);
+    }
+
+    #[test]
+    fn splits_are_jointly_optimal() {
+        // any other balanced split (β_E = c·η_E, β_F = c·η_F, cf. proof)
+        // yields a larger max(L_E, L_F)
+        let (eta_e, eta_f, alpha) = (0.06, 0.03, 1.0);
+        let best = asymmetric_bound(alpha, OMEGA, eta_e, eta_f);
+        for c in [0.1, 0.3, 0.7, 0.9] {
+            let beta_e = c * eta_e / alpha;
+            let beta_f = c * eta_f / alpha;
+            let gamma_e = eta_e - alpha * beta_e;
+            let gamma_f = eta_f - alpha * beta_f;
+            let l = unidirectional_bound(OMEGA, beta_e, gamma_f)
+                .max(unidirectional_bound(OMEGA, beta_f, gamma_e));
+            if (c - 0.5).abs() < 1e-9 {
+                assert!((l - best).abs() < 1e-9);
+            } else {
+                assert!(l > best);
+            }
+        }
+    }
+
+    #[test]
+    fn figure6_product_depends_mostly_on_sum() {
+        // symmetric: product = 16αω/sum
+        let sum = 0.1;
+        let p1 = product_vs_joint_budget(1.0, OMEGA, sum, 1.0);
+        assert!((p1 - 16.0 * OMEGA / sum).abs() < 1e-12);
+        // ratio 2 costs only 12.5 % more — visually indistinguishable on a
+        // log plot (the paper's "no cost for asymmetry" claim)
+        let p2 = product_vs_joint_budget(1.0, OMEGA, sum, 2.0);
+        assert!((p2 / p1 - 1.125).abs() < 1e-9);
+        // the product scales as 1/sum for every ratio
+        for r in [1.0, 2.0, 5.0, 10.0] {
+            let a = product_vs_joint_budget(1.0, OMEGA, 0.05, r);
+            let b = product_vs_joint_budget(1.0, OMEGA, 0.10, r);
+            assert!((a / b - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn penalty_factor_values() {
+        assert!((asymmetry_penalty(1.0) - 1.0).abs() < 1e-12);
+        assert!((asymmetry_penalty(2.0) - 1.125).abs() < 1e-12);
+        assert!((asymmetry_penalty(5.0) - 1.8).abs() < 1e-12);
+        assert!((asymmetry_penalty(10.0) - 3.025).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,97 @@
+//! Bounds for unidirectional beaconing (Section 5.1 of the paper).
+//!
+//! Device E runs only a beacon sequence with transmission duty-cycle β,
+//! device F runs only a reception-window sequence with reception duty-cycle
+//! γ; we bound the worst-case time until F discovers E.
+
+use crate::time::Tick;
+
+/// Theorem 5.1 (Coverage Bound), Eq. 6: the lowest worst-case latency of a
+/// tuple `(B∞, C∞)` in seconds,
+/// `L = ⌈T_C / Σd⌉ · ω / β`.
+///
+/// This is the pre-optimization form that still contains the reception
+/// sequence's shape; optimizing the shape via Theorem 5.3 yields
+/// [`unidirectional_bound`].
+pub fn coverage_bound(period: Tick, sum_d: Tick, omega_secs: f64, beta: f64) -> f64 {
+    assert!(beta > 0.0, "beta must be positive");
+    let m = period.div_ceil(sum_d) as f64;
+    m * omega_secs / beta
+}
+
+/// Theorem 5.3 (Overlap Theorem), Eq. 7: the reception periods that admit
+/// optimal latency/duty-cycle relations are exactly the integer multiples
+/// `T_C = k · Σd`. Returns that period for a given `k`.
+pub fn optimal_reception_period(sum_d: Tick, k: u64) -> Tick {
+    assert!(k >= 1, "k must be at least 1");
+    sum_d * k
+}
+
+/// Theorem 5.4 (Fundamental Bound for Unidirectional Beaconing), Eq. 9:
+/// `L = ω / (β_E · γ_F)` seconds.
+///
+/// No pair of sequences with these duty cycles can guarantee a lower
+/// worst-case latency for F discovering E.
+pub fn unidirectional_bound(omega_secs: f64, beta_e: f64, gamma_f: f64) -> f64 {
+    assert!(beta_e > 0.0 && gamma_f > 0.0, "duty cycles must be positive");
+    omega_secs / (beta_e * gamma_f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_bound_eq6() {
+        // T_C = 100 µs, Σd = 20 µs → M = 5; ω = 36 µs, β = 0.01
+        let l = coverage_bound(
+            Tick::from_micros(100),
+            Tick::from_micros(20),
+            36e-6,
+            0.01,
+        );
+        assert!((l - 5.0 * 36e-6 / 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_bound_ceiling_kicks_in() {
+        // Σd that doesn't divide T_C wastes latency (motivates Thm 5.3)
+        let exact = coverage_bound(Tick(100), Tick(20), 36e-6, 0.01);
+        let ragged = coverage_bound(Tick(101), Tick(20), 36e-6, 0.01);
+        assert!(ragged > exact);
+        assert!((ragged / exact - 6.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_theorem_periods() {
+        assert_eq!(optimal_reception_period(Tick(20), 5), Tick(100));
+        assert_eq!(optimal_reception_period(Tick(7), 1), Tick(7));
+    }
+
+    #[test]
+    fn unidirectional_eq9_matches_coverage_bound_at_optimum() {
+        // With T_C = k·Σd the two forms coincide (Eq. 10):
+        // ⌈T_C/Σd⌉·ω/β = (T_C/Σd)·ω/β = ω/(β·γ) since γ = Σd/T_C.
+        let sum_d = Tick::from_micros(20);
+        let period = optimal_reception_period(sum_d, 5);
+        let gamma = sum_d.as_nanos() as f64 / period.as_nanos() as f64;
+        let via_coverage = coverage_bound(period, sum_d, 36e-6, 0.01);
+        let via_eq9 = unidirectional_bound(36e-6, 0.01, gamma);
+        assert!((via_coverage - via_eq9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unidirectional_scales_inversely_in_both_duty_cycles() {
+        let base = unidirectional_bound(36e-6, 0.01, 0.02);
+        assert!((unidirectional_bound(36e-6, 0.02, 0.02) - base / 2.0).abs() < 1e-9);
+        assert!((unidirectional_bound(36e-6, 0.01, 0.04) - base / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_scale_sanity() {
+        // ω = 36 µs, β = γ = 2.5 % → L = 57.6 ms; well inside the paper's
+        // practical range [0.5 s, 30 s] for smaller duty cycles.
+        let l = unidirectional_bound(36e-6, 0.025, 0.025);
+        assert!((l - 0.0576).abs() < 1e-9);
+    }
+}

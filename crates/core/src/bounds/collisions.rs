@@ -1,0 +1,137 @@
+//! Packet-collision model (Eq. 12 of the paper) and the Figure 7
+//! collision-constrained evaluation.
+//!
+//! When `S` senders each occupy the channel for a fraction β of time, a
+//! beacon transmitted at a random instant collides with probability
+//! `P_c = 1 − e^{−2(S−1)β}` (slotless ALOHA [22]: the vulnerable period is
+//! two packet airtimes). Capping the tolerable `P_c` caps β, which via
+//! Theorem 5.6 inflates the achievable worst-case latency.
+
+use crate::bounds::constrained::constrained_bound;
+
+/// Eq. 12: collision probability of a beacon among `s` senders each with
+/// channel utilization `beta`.
+pub fn collision_probability(s: u32, beta: f64) -> f64 {
+    assert!(s >= 1, "need at least one sender");
+    assert!((0.0..=1.0).contains(&beta));
+    1.0 - (-2.0 * (s as f64 - 1.0) * beta).exp()
+}
+
+/// Inverse of Eq. 12: the largest per-device channel utilization β_m that
+/// keeps the collision probability at or below `pc` among `s` senders.
+/// Returns `f64::INFINITY` for `s = 1` (no one to collide with).
+pub fn max_utilization_for(pc: f64, s: u32) -> f64 {
+    assert!((0.0..1.0).contains(&pc), "pc must be in [0,1)");
+    assert!(s >= 1);
+    if s == 1 {
+        return f64::INFINITY;
+    }
+    -(1.0 - pc).ln() / (2.0 * (s as f64 - 1.0))
+}
+
+/// The duty cycle at which the collision cap starts to bind (the circled
+/// points of Figure 7): η* = 2α·β_m.
+pub fn kink_duty_cycle(alpha: f64, pc: f64, s: u32) -> f64 {
+    2.0 * alpha * max_utilization_for(pc, s)
+}
+
+/// Figure 7 evaluation: the lowest guaranteeable worst-case latency at duty
+/// cycle η when the collision probability among `s` senders must stay below
+/// `pc`. Combines Eq. 12 with Theorem 5.6.
+pub fn collision_constrained_bound(
+    alpha: f64,
+    omega_secs: f64,
+    eta: f64,
+    pc: f64,
+    s: u32,
+) -> f64 {
+    let beta_m = max_utilization_for(pc, s);
+    if beta_m.is_infinite() {
+        crate::bounds::symmetric::symmetric_bound(alpha, omega_secs, eta)
+    } else {
+        constrained_bound(alpha, omega_secs, eta, beta_m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::symmetric::symmetric_bound;
+
+    const OMEGA: f64 = 36e-6;
+
+    #[test]
+    fn eq12_known_values() {
+        // single sender never collides
+        assert_eq!(collision_probability(1, 0.5), 0.0);
+        // zero utilization never collides
+        assert_eq!(collision_probability(10, 0.0), 0.0);
+        // two senders, β = 0.1: 1 − e^{−0.2}
+        let p = collision_probability(2, 0.1);
+        assert!((p - (1.0 - (-0.2f64).exp())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        for s in [2u32, 3, 10, 100] {
+            for pc in [0.001, 0.01, 0.1] {
+                let beta = max_utilization_for(pc, s);
+                let p = collision_probability(s, beta);
+                assert!((p - pc).abs() < 1e-12, "s {s} pc {pc}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_senders_need_lower_utilization() {
+        let pc = 0.01;
+        let mut prev = f64::INFINITY;
+        for s in [2u32, 5, 10, 100, 1000] {
+            let b = max_utilization_for(pc, s);
+            assert!(b < prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn figure7_shape_small_eta_unaffected() {
+        // below the kink the constraint changes nothing
+        let (pc, s) = (0.01, 10);
+        let kink = kink_duty_cycle(1.0, pc, s);
+        let eta = kink * 0.5;
+        assert_eq!(
+            collision_constrained_bound(1.0, OMEGA, eta, pc, s),
+            symmetric_bound(1.0, OMEGA, eta)
+        );
+        // above the kink the bound deteriorates
+        let eta_hi = kink * 4.0;
+        assert!(
+            collision_constrained_bound(1.0, OMEGA, eta_hi, pc, s)
+                > symmetric_bound(1.0, OMEGA, eta_hi)
+        );
+    }
+
+    #[test]
+    fn figure7_deterioration_grows_with_s() {
+        // at a fixed η above all kinks, more interferers → larger bound
+        let (pc, eta) = (0.01, 0.2);
+        let mut prev = 0.0;
+        for s in [10u32, 100, 1000] {
+            let l = collision_constrained_bound(1.0, OMEGA, eta, pc, s);
+            assert!(l > prev);
+            prev = l;
+        }
+        // and the deterioration reaches orders of magnitude (paper: "up to
+        // two orders of magnitude")
+        let unconstrained = symmetric_bound(1.0, OMEGA, eta);
+        assert!(prev / unconstrained > 50.0);
+    }
+
+    #[test]
+    fn single_sender_unconstrained() {
+        assert_eq!(
+            collision_constrained_bound(1.0, OMEGA, 0.3, 0.01, 1),
+            symmetric_bound(1.0, OMEGA, 0.3)
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! The channel-utilization-constrained bound (Theorem 5.6 of the paper).
+
+use crate::bounds::symmetric::symmetric_bound;
+
+/// Theorem 5.6 (Bound for Symmetric ND with Constrained Channel
+/// Utilization), Eq. 13: with the channel utilization capped at `β_m`,
+///
+/// ```text
+/// L = 4αω/η²                 if η ≤ 2αβ_m   (cap not binding)
+/// L = ω/(η·β_m − α·β_m²)     if η > 2αβ_m   (cap binding)
+/// ```
+///
+/// Returns `f64::INFINITY` when the cap leaves no reception budget
+/// (η ≤ α·β_m would force γ ≤ 0 — discovery is impossible).
+pub fn constrained_bound(alpha: f64, omega_secs: f64, eta: f64, beta_m: f64) -> f64 {
+    assert!(eta > 0.0 && alpha > 0.0 && omega_secs > 0.0 && beta_m > 0.0);
+    if eta <= 2.0 * alpha * beta_m {
+        symmetric_bound(alpha, omega_secs, eta)
+    } else {
+        let denom = eta * beta_m - alpha * beta_m * beta_m;
+        if denom <= 0.0 {
+            f64::INFINITY
+        } else {
+            omega_secs / denom
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OMEGA: f64 = 36e-6;
+
+    #[test]
+    fn unconstrained_region_equals_symmetric_bound() {
+        // η = 2 %, cap β_m = 5 % ≥ η/(2α) = 1 % → not binding
+        let l = constrained_bound(1.0, OMEGA, 0.02, 0.05);
+        assert_eq!(l, symmetric_bound(1.0, OMEGA, 0.02));
+    }
+
+    #[test]
+    fn binding_cap_increases_latency() {
+        let eta = 0.05;
+        let unconstrained = symmetric_bound(1.0, OMEGA, eta);
+        // cap below the optimum η/2α = 2.5 %
+        let l = constrained_bound(1.0, OMEGA, eta, 0.01);
+        assert!(l > unconstrained);
+        // Eq. 13 second branch explicitly
+        let expected = OMEGA / (eta * 0.01 - 1.0 * 0.01 * 0.01);
+        assert!((l - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn continuous_at_the_kink() {
+        // at η = 2αβ_m both branches agree
+        let (alpha, beta_m) = (1.5, 0.02);
+        let eta = 2.0 * alpha * beta_m;
+        let lhs = symmetric_bound(alpha, OMEGA, eta);
+        let rhs = OMEGA / (eta * beta_m - alpha * beta_m * beta_m);
+        assert!((lhs - rhs).abs() < 1e-9);
+        assert!((constrained_bound(alpha, OMEGA, eta, beta_m) - lhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn always_feasible() {
+        // In the binding branch η > 2αβ_m, so the denominator
+        // β_m(η − αβ_m) > αβ_m² > 0: Theorem 5.6 is finite everywhere.
+        // (A cap β_m ≥ η/2α simply falls back to the unconstrained branch.)
+        for (eta, beta_m) in [(0.01, 0.001), (0.05, 0.01), (0.5, 0.01), (0.01, 0.01)] {
+            let l = constrained_bound(1.0, OMEGA, eta, beta_m);
+            assert!(l.is_finite() && l > 0.0, "eta {eta} beta_m {beta_m}");
+        }
+    }
+
+    #[test]
+    fn monotone_nonincreasing_in_cap() {
+        let eta = 0.05;
+        let mut prev = f64::INFINITY;
+        for beta_m in [0.005, 0.01, 0.02, 0.025, 0.05] {
+            let l = constrained_bound(1.0, OMEGA, eta, beta_m);
+            assert!(l <= prev + 1e-15, "cap {beta_m} should not increase L");
+            prev = l;
+        }
+        // caps above η/2α change nothing
+        assert_eq!(
+            constrained_bound(1.0, OMEGA, eta, 0.025),
+            constrained_bound(1.0, OMEGA, eta, 0.9)
+        );
+    }
+}

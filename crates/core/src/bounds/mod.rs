@@ -1,0 +1,38 @@
+//! The fundamental bounds of the paper (Sections 5–6, Appendices A–C).
+//!
+//! Every bound is an exact implementation of a numbered theorem or equation,
+//! documented with its source. All latencies are in **seconds** (`f64`):
+//! the bounds are continuous mathematics; converting to the integer tick
+//! grid is the job of the schedule constructors in `nd-protocols`.
+//!
+//! Overview (one module per group of results):
+//!
+//! | Module | Results |
+//! |---|---|
+//! | [`beaconing`] | Theorems 4.3, 5.1, 5.3, 5.4 — unidirectional beaconing |
+//! | [`symmetric`] | Theorem 5.5 — symmetric bidirectional ND |
+//! | [`constrained`] | Theorem 5.6 — channel-utilization-constrained ND |
+//! | [`asymmetric`] | Theorem 5.7 — asymmetric bidirectional ND |
+//! | [`oneway`] | Theorem C.1 — mutual-exclusive one-way ND |
+//! | [`slotted`] | Section 6 — slotted-protocol bounds, Table 1 |
+//! | [`collisions`] | Eq. 12 — ALOHA collision probability, Figure 7 |
+//! | [`redundancy`] | Appendix B — redundant coverage, Eqs. 32–33 |
+//! | [`overheads`] | Appendix A — non-ideal radios, short windows, self-blocking |
+
+pub mod asymmetric;
+pub mod beaconing;
+pub mod collisions;
+pub mod constrained;
+pub mod oneway;
+pub mod overheads;
+pub mod redundancy;
+pub mod slotted;
+pub mod symmetric;
+
+pub use asymmetric::{asymmetric_bound, optimal_asymmetric_splits};
+pub use beaconing::{coverage_bound, optimal_reception_period, unidirectional_bound};
+pub use collisions::{collision_probability, kink_duty_cycle, max_utilization_for};
+pub use constrained::constrained_bound;
+pub use oneway::oneway_bound;
+pub use redundancy::{optimal_redundancy, CollisionExponent, RedundancyPlan};
+pub use symmetric::{optimal_beta, symmetric_bound};

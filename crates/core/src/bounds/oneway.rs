@@ -1,0 +1,67 @@
+//! The mutual-exclusive one-way discovery bound (Appendix C, Theorem C.1 of
+//! the paper).
+//!
+//! When the beacons on each device are scheduled in a fixed temporal
+//! relation ζ to that device's own reception windows, the offsets covered by
+//! E's beacons against F's windows *determine* (Eq. 34) the offsets covered
+//! in the reverse direction. A quadruple of sequences can therefore split
+//! the coverage work: each device only covers half the offsets, halving the
+//! required beacons — and the worst-case latency.
+
+/// Theorem C.1, Eq. 35: the lowest worst-case latency for *one-way*
+/// discovery (either E discovers F or F discovers E, whichever direction
+/// the offset happens to enable) with per-device duty cycle η:
+/// `L = 2αω / η²` seconds — half of the direct symmetric bound
+/// (Theorem 5.5). This is the tightest bound for all pairwise deterministic
+/// ND protocols.
+pub fn oneway_bound(alpha: f64, omega_secs: f64, eta: f64) -> f64 {
+    assert!(eta > 0.0 && alpha > 0.0 && omega_secs > 0.0);
+    2.0 * alpha * omega_secs / (eta * eta)
+}
+
+/// The correlated offset relation of Eq. 34: a beacon sent ζ after a
+/// reception window on its own device observes offset `Φ_F,1` on the peer;
+/// the peer's corresponding beacon then observes
+/// `Φ_E,1 = 2ζ − Φ_F,1 (mod T_C)`.
+pub fn correlated_offset(zeta_secs: f64, phi_f: f64, period_secs: f64) -> f64 {
+    (2.0 * zeta_secs - phi_f).rem_euclid(period_secs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::symmetric::symmetric_bound;
+
+    #[test]
+    fn half_of_symmetric_bound() {
+        for eta in [0.01, 0.02, 0.05, 0.1] {
+            let one = oneway_bound(1.0, 36e-6, eta);
+            let two = symmetric_bound(1.0, 36e-6, eta);
+            assert!((two / one - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn known_value() {
+        // ω = 36 µs, α = 1, η = 1 % → L = 2·36e-6/1e-4 = 0.72 s
+        assert!((oneway_bound(1.0, 36e-6, 0.01) - 0.72).abs() < 1e-9);
+    }
+
+    #[test]
+    fn correlated_offsets_are_an_involution() {
+        // applying Eq. 34 twice returns the original offset
+        let (zeta, period) = (0.3e-3, 2.0e-3);
+        for phi in [0.0, 0.1e-3, 0.9e-3, 1.7e-3] {
+            let phi_e = correlated_offset(zeta, phi, period);
+            let back = correlated_offset(zeta, phi_e, period);
+            assert!((back - phi).abs() < 1e-15, "phi {phi}");
+        }
+    }
+
+    #[test]
+    fn correlated_offset_wraps() {
+        let phi_e = correlated_offset(0.1e-3, 1.9e-3, 2.0e-3);
+        // 2·0.1 − 1.9 = −1.7 → +period = 0.3 ms
+        assert!((phi_e - 0.3e-3).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,245 @@
+//! Relaxations of the ideal-radio assumptions (Appendix A of the paper).
+//!
+//! * A.2 — radios with switching overheads (Eqs. 24–27),
+//! * A.3 — packets must fit entirely inside a window (Eqs. 28–30),
+//! * A.4 — accounting for the airtime of the final, successful beacon,
+//! * A.5 — a device's own transmissions blank its reception windows
+//!   (Eq. 31).
+
+use crate::time::Tick;
+
+/// Eq. 24: effective transmission duty cycle of a non-ideal radio — each
+/// beacon costs `ω + d_oTx` of active time: `β = (ω + d_oTx)/λ̄`.
+pub fn beta_with_overhead(omega: Tick, do_tx: Tick, mean_gap: Tick) -> f64 {
+    (omega + do_tx).as_nanos() as f64 / mean_gap.as_nanos() as f64
+}
+
+/// Eq. 25: effective reception duty cycle of a non-ideal radio — each of
+/// the `n_C` windows costs an extra `d_oRx`:
+/// `γ = (Σd + n_C·d_oRx)/T_C`.
+pub fn gamma_with_overhead(sum_d: Tick, n_windows: u64, do_rx: Tick, period: Tick) -> f64 {
+    (sum_d + do_rx * n_windows).as_nanos() as f64 / period.as_nanos() as f64
+}
+
+/// Eq. 26: the unidirectional bound for a non-ideal radio with `n_C`
+/// reception windows per period:
+/// `L = (1/γ)·(1 + n_C·d_oRx/Σd)·(ω + d_oTx)/β` seconds.
+///
+/// The bound grows with `n_C`, so a single window per period (`n_C = 1`,
+/// Eq. 27) is optimal — implemented by passing `n_windows = 1` and
+/// `sum_d = d₁`.
+pub fn unidirectional_with_overheads(
+    omega: Tick,
+    do_tx: Tick,
+    do_rx: Tick,
+    sum_d: Tick,
+    n_windows: u64,
+    beta: f64,
+    gamma: f64,
+) -> f64 {
+    assert!(beta > 0.0 && gamma > 0.0);
+    let window_penalty =
+        1.0 + (do_rx * n_windows).as_nanos() as f64 / sum_d.as_nanos() as f64;
+    (1.0 / gamma) * window_penalty * (omega + do_tx).as_secs_f64() / beta
+}
+
+/// Eq. 28: the coverage bound when transmissions starting within the last
+/// ω of a window are lost (Appendix A.3): each window contributes only
+/// `d_k − ω` of coverage:
+/// `L = ⌈T_C / Σ(d_k − ω)⌉ · ω/β`. Returns `f64::INFINITY` if no window is
+/// longer than ω.
+pub fn coverage_bound_shortened(
+    period: Tick,
+    window_lengths: &[Tick],
+    omega: Tick,
+    beta: f64,
+) -> f64 {
+    assert!(beta > 0.0);
+    let effective: Tick = window_lengths
+        .iter()
+        .map(|&d| d.saturating_sub(omega))
+        .sum();
+    if effective.is_zero() {
+        return f64::INFINITY;
+    }
+    period.div_ceil(effective) as f64 * omega.as_secs_f64() / beta
+}
+
+/// Eq. 29 (single window, `T_C = k(d₁ − ω)`):
+/// `L(T_C) = T_C·ω / (T_C·β·γ − β·ω)` seconds.
+pub fn shortened_window_bound(period_secs: f64, omega_secs: f64, beta: f64, gamma: f64) -> f64 {
+    let denom = period_secs * beta * gamma - beta * omega_secs;
+    if denom <= 0.0 {
+        f64::INFINITY
+    } else {
+        period_secs * omega_secs / denom
+    }
+}
+
+/// Eq. 30: the `T_C → ∞` limit of [`shortened_window_bound`] recovers the
+/// ideal bound `ω/(βγ)` — the A.3 relaxation does not change the
+/// fundamental bounds.
+pub fn shortened_window_limit(omega_secs: f64, beta: f64, gamma: f64) -> f64 {
+    omega_secs / (beta * gamma)
+}
+
+/// Appendix A.4: accounting for the airtime of the last, successful beacon
+/// adds exactly ω to any of the latency bounds.
+pub fn with_last_beacon(bound_secs: f64, omega_secs: f64) -> f64 {
+    bound_secs + omega_secs
+}
+
+/// Eq. 31: the probability that a discovery fails because the device's own
+/// transmission blanks the reception window that the peer's beacon would
+/// have hit (Appendix A.5, same sequences on both devices):
+/// `P_fail = (d_oTxRx + d_oRxTx + d_a) / (M · Σd)`
+/// where `d_a` is the blanked airtime (one packet, ω, for an ideal
+/// half-duplex radio) and `M` the number of beacons per worst-case period.
+pub fn self_blocking_failure_probability(
+    do_tx_rx: Tick,
+    do_rx_tx: Tick,
+    blanked_airtime: Tick,
+    m_beacons: u64,
+    sum_d: Tick,
+) -> f64 {
+    assert!(m_beacons >= 1);
+    (do_tx_rx + do_rx_tx + blanked_airtime).as_nanos() as f64
+        / (m_beacons as f64 * sum_d.as_nanos() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq24_eq25_reduce_to_ideal() {
+        let omega = Tick::from_micros(36);
+        let gap = Tick::from_millis(3);
+        let ideal = omega.as_nanos() as f64 / gap.as_nanos() as f64;
+        assert!((beta_with_overhead(omega, Tick::ZERO, gap) - ideal).abs() < 1e-15);
+        assert!(beta_with_overhead(omega, Tick::from_micros(100), gap) > ideal);
+
+        let sum_d = Tick::from_millis(1);
+        let period = Tick::from_millis(10);
+        let ideal_g = 0.1;
+        assert!(
+            (gamma_with_overhead(sum_d, 4, Tick::ZERO, period) - ideal_g).abs() < 1e-15
+        );
+        assert!(gamma_with_overhead(sum_d, 4, Tick::from_micros(130), period) > ideal_g);
+    }
+
+    #[test]
+    fn eq26_grows_with_window_count() {
+        // same Σd and duty cycles, more windows → more switching overhead →
+        // larger bound; n_C = 1 is optimal (the paper's conclusion)
+        let omega = Tick::from_micros(36);
+        let do_rx = Tick::from_micros(130);
+        let sum_d = Tick::from_millis(1);
+        let (beta, gamma) = (0.01, 0.1);
+        let mut prev = 0.0;
+        for n in [1u64, 2, 4, 8] {
+            let l = unidirectional_with_overheads(
+                omega,
+                Tick::from_micros(130),
+                do_rx,
+                sum_d,
+                n,
+                beta,
+                gamma,
+            );
+            assert!(l > prev, "n_C = {n}");
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn eq26_reduces_to_eq9_for_ideal_radio() {
+        let omega = Tick::from_micros(36);
+        let (beta, gamma) = (0.01, 0.02);
+        let l = unidirectional_with_overheads(
+            omega,
+            Tick::ZERO,
+            Tick::ZERO,
+            Tick::from_millis(1),
+            3,
+            beta,
+            gamma,
+        );
+        let ideal = crate::bounds::beaconing::unidirectional_bound(
+            omega.as_secs_f64(),
+            beta,
+            gamma,
+        );
+        assert!((l - ideal).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq28_shortening_penalizes_many_windows() {
+        let omega = Tick::from_micros(36);
+        let period = Tick::from_millis(10);
+        let beta = 0.01;
+        // 1 ms of listening as a single window vs. ten 100 µs windows
+        let single = coverage_bound_shortened(period, &[Tick::from_millis(1)], omega, beta);
+        let many = coverage_bound_shortened(
+            period,
+            &[Tick::from_micros(100); 10],
+            omega,
+            beta,
+        );
+        assert!(many > single);
+    }
+
+    #[test]
+    fn eq28_infinite_when_windows_too_short() {
+        let omega = Tick::from_micros(36);
+        let l = coverage_bound_shortened(
+            Tick::from_millis(1),
+            &[Tick::from_micros(20)],
+            omega,
+            0.01,
+        );
+        assert!(l.is_infinite());
+    }
+
+    #[test]
+    fn eq29_converges_to_eq30_limit() {
+        let (omega, beta, gamma) = (36e-6, 0.01, 0.02);
+        let limit = shortened_window_limit(omega, beta, gamma);
+        let mut prev = f64::INFINITY;
+        for period in [0.01, 0.1, 1.0, 10.0, 100.0] {
+            let l = shortened_window_bound(period, omega, beta, gamma);
+            assert!(l >= limit);
+            assert!(l <= prev, "L decreases with T_C");
+            prev = l;
+        }
+        // at T_C = 100 s we are within 0.1 % of the limit
+        assert!((prev / limit - 1.0) < 1e-3);
+    }
+
+    #[test]
+    fn eq31_failure_probability() {
+        // ideal half-duplex radio: only the packet airtime blanks the window
+        let p = self_blocking_failure_probability(
+            Tick::ZERO,
+            Tick::ZERO,
+            Tick::from_micros(36),
+            10,
+            Tick::from_millis(1),
+        );
+        assert!((p - 36e-6 / (10.0 * 1e-3)).abs() < 1e-12);
+        // turnarounds increase it
+        let p2 = self_blocking_failure_probability(
+            Tick::from_micros(150),
+            Tick::from_micros(150),
+            Tick::from_micros(36),
+            10,
+            Tick::from_millis(1),
+        );
+        assert!(p2 > p);
+    }
+
+    #[test]
+    fn last_beacon_additive() {
+        assert_eq!(with_last_beacon(1.0, 36e-6), 1.000036);
+    }
+}

@@ -1,0 +1,239 @@
+//! Slotted-protocol bounds (Section 6 of the paper).
+//!
+//! Slotted protocols couple transmission and reception into active *slots*
+//! of length `I`: in each active slot a device beacons at the slot
+//! boundaries and listens in between. The classic result of Zheng et
+//! al. [17,16] bounds the number of active slots: guaranteeing an
+//! active-slot overlap within `T` slots needs `k ≥ √T` active slots. The
+//! paper converts these slot-domain bounds into *time*-domain bounds by
+//! deriving the minimum feasible slot length, and into the
+//! latency/duty-cycle/channel-utilization metric via Eq. 20.
+
+/// The theoretical minimum slot length (Section 6.1.1): with a hypothetical
+/// full-duplex radio a slot can shrink to one packet airtime, `I = ω`.
+/// Real radios need `I ≫ ω` (Figure 5), which the `fig5` experiment
+/// quantifies.
+pub fn min_slot_length_secs(omega_secs: f64) -> f64 {
+    omega_secs
+}
+
+/// Eq. 17: the duty cycle of a slotted schedule with `k` active slots per
+/// period of `t` slots of length `I` (one beacon per active slot):
+/// `η = k(I + αω)/(t·I)`.
+pub fn eq17_duty_cycle(k: f64, t: f64, slot_secs: f64, alpha: f64, omega_secs: f64) -> f64 {
+    k * (slot_secs + alpha * omega_secs) / (t * slot_secs)
+}
+
+/// Eq. 18: the time-domain latency bound implied by the k ≥ √T result of
+/// [17,16] at the theoretical minimum slot length `I = ω`:
+/// `L ≥ ω(1 + 2α + α²)/η²`. Equals the fundamental bound 4αω/η² only at
+/// α = 1 and exceeds it for every other α.
+pub fn slotted_bound_zheng(alpha: f64, omega_secs: f64, eta: f64) -> f64 {
+    omega_secs * (1.0 + 2.0 * alpha + alpha * alpha) / (eta * eta)
+}
+
+/// Eq. 19: the same conversion for the code-based protocols of [6,7]
+/// (two packets per active slot, one slightly outside the slot):
+/// `L ≥ ω(1/2 + 2α + 2α²)/η²`. Equals the fundamental bound only at
+/// α = 1/2.
+pub fn slotted_bound_code_based(alpha: f64, omega_secs: f64, eta: f64) -> f64 {
+    omega_secs * (0.5 + 2.0 * alpha + 2.0 * alpha * alpha) / (eta * eta)
+}
+
+/// Eq. 20: duty-cycle components of a slotted protocol with `k` active
+/// slots per `t` slots for `I ≫ ω`: `β = kω/(I·t)`, `γ = k/t`.
+pub fn eq20_duty_cycle(k: f64, t: f64, slot_secs: f64, omega_secs: f64) -> (f64, f64) {
+    (k * omega_secs / (slot_secs * t), k / t)
+}
+
+/// Eq. 21: the latency/duty-cycle/channel-utilization bound for slotted
+/// protocols built on k ≥ √T schedules: `L ≥ ω/(ηβ − αβ²)`.
+///
+/// For β ≤ η/(2α) this coincides with the fundamental Theorem 5.6 bound —
+/// slotted protocols *can* be optimal in busy networks; above it they
+/// cannot reach the fundamental bound.
+pub fn slotted_bound_constrained(alpha: f64, omega_secs: f64, eta: f64, beta: f64) -> f64 {
+    let denom = eta * beta - alpha * beta * beta;
+    if denom <= 0.0 {
+        f64::INFINITY
+    } else {
+        omega_secs / denom
+    }
+}
+
+/// Table 1: worst-case latency of **diff-code-based schedules** [17] in the
+/// (L, η, β) metric: `ω/(ηβ − αβ²)` — the only slotted protocol family
+/// reaching the optimum.
+pub fn table1_diffcodes(alpha: f64, omega_secs: f64, eta: f64, beta: f64) -> f64 {
+    slotted_bound_constrained(alpha, omega_secs, eta, beta)
+}
+
+/// Table 1: worst-case latency of **Disco** [3]: `8ω/(ηβ − αβ²)`.
+pub fn table1_disco(alpha: f64, omega_secs: f64, eta: f64, beta: f64) -> f64 {
+    8.0 * slotted_bound_constrained(alpha, omega_secs, eta, beta)
+}
+
+/// Table 1: worst-case latency of **Searchlight-Striped** [5]:
+/// `2ω/(ηβ − αβ²)`.
+pub fn table1_searchlight(alpha: f64, omega_secs: f64, eta: f64, beta: f64) -> f64 {
+    2.0 * slotted_bound_constrained(alpha, omega_secs, eta, beta)
+}
+
+/// Table 1: worst-case latency of **U-Connect** [4]:
+/// `(3ω + √(ω²(8η − 8αβ + 9)))² / (8ωβη − 8ωαβ²)`.
+pub fn table1_uconnect(alpha: f64, omega_secs: f64, eta: f64, beta: f64) -> f64 {
+    let disc = omega_secs * omega_secs * (8.0 * eta - 8.0 * alpha * beta + 9.0);
+    let num = (3.0 * omega_secs + disc.sqrt()).powi(2);
+    let den = 8.0 * omega_secs * beta * eta - 8.0 * omega_secs * alpha * beta * beta;
+    if den <= 0.0 {
+        f64::INFINITY
+    } else {
+        num / den
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Classic slot-domain worst cases (used to validate our protocol
+// implementations in nd-protocols against the literature).
+// ---------------------------------------------------------------------------
+
+/// Disco [3]: two nodes with prime pairs `(p1, p2)` and `(p3, p4)` where at
+/// least one cross pair is distinct discover each other within
+/// `min` of the products of distinct cross primes (slots). For the common
+/// symmetric configuration (both nodes run the same pair) this is `p1·p2`.
+pub fn disco_worst_slots(p1: u64, p2: u64) -> u64 {
+    assert!(p1 != p2, "Disco needs two distinct primes");
+    p1 * p2
+}
+
+/// U-Connect [4] with prime `p`: worst case `p²` slots.
+pub fn uconnect_worst_slots(p: u64) -> u64 {
+    p * p
+}
+
+/// Searchlight [5] with period `t` slots: the probe sweeps ⌈t/2⌉ positions,
+/// so the worst case is `t·⌈t/2⌉` slots.
+pub fn searchlight_worst_slots(t: u64) -> u64 {
+    t * t.div_ceil(2)
+}
+
+/// Difference-set schedule on `v` slots: worst case `v` slots (a rotation
+/// of the set always intersects itself within one period).
+pub fn diffcode_worst_slots(v: u64) -> u64 {
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::symmetric::symmetric_bound;
+
+    const OMEGA: f64 = 36e-6;
+
+    #[test]
+    fn eq18_matches_fundamental_only_at_alpha_1() {
+        let eta = 0.02;
+        let at1 = slotted_bound_zheng(1.0, OMEGA, eta);
+        assert!((at1 - symmetric_bound(1.0, OMEGA, eta)).abs() < 1e-12);
+        for alpha in [0.25, 0.5, 2.0, 4.0] {
+            assert!(
+                slotted_bound_zheng(alpha, OMEGA, eta) > symmetric_bound(alpha, OMEGA, eta),
+                "alpha {alpha}"
+            );
+        }
+    }
+
+    #[test]
+    fn eq19_matches_fundamental_only_at_alpha_half() {
+        let eta = 0.02;
+        let at_half = slotted_bound_code_based(0.5, OMEGA, eta);
+        assert!((at_half - symmetric_bound(0.5, OMEGA, eta)).abs() < 1e-12);
+        for alpha in [0.25, 1.0, 2.0] {
+            assert!(
+                slotted_bound_code_based(alpha, OMEGA, eta) > symmetric_bound(alpha, OMEGA, eta),
+                "alpha {alpha}"
+            );
+        }
+    }
+
+    #[test]
+    fn eq19_lower_in_slots_but_not_in_time() {
+        // the [6,7] bound is lower in slot terms; in time it is ≥ [17,16]'s
+        // only for α ≥ 1/2... verify the paper's statement at α = 1:
+        // Eq.18 gives 4ω/η², Eq.19 gives 4.5ω/η².
+        let eta = 0.02;
+        assert!(slotted_bound_code_based(1.0, OMEGA, eta) > slotted_bound_zheng(1.0, OMEGA, eta));
+    }
+
+    #[test]
+    fn eq17_and_eq20_consistency() {
+        // for I ≫ ω, Eq. 17's η converges to Eq. 20's γ + αβ
+        let (k, t, slot) = (10.0, 100.0, 1.0);
+        let eta17 = eq17_duty_cycle(k, t, slot, 1.0, OMEGA);
+        let (beta, gamma) = eq20_duty_cycle(k, t, slot, OMEGA);
+        assert!((eta17 - (gamma + beta)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table1_ordering_matches_paper() {
+        // at any feasible (η, β): diffcodes < searchlight < disco, and
+        // diffcodes equals the constrained fundamental bound
+        let (eta, beta) = (0.05, 0.01);
+        let dc = table1_diffcodes(1.0, OMEGA, eta, beta);
+        let sl = table1_searchlight(1.0, OMEGA, eta, beta);
+        let di = table1_disco(1.0, OMEGA, eta, beta);
+        let uc = table1_uconnect(1.0, OMEGA, eta, beta);
+        assert!((sl / dc - 2.0).abs() < 1e-9);
+        assert!((di / dc - 8.0).abs() < 1e-9);
+        assert!(uc > dc);
+        assert_eq!(dc, slotted_bound_constrained(1.0, OMEGA, eta, beta));
+    }
+
+    #[test]
+    fn constrained_bound_matches_theorem_5_6_below_kink() {
+        use crate::bounds::constrained::constrained_bound;
+        // β = β_m < η/2α: slotted bound equals the fundamental bound
+        let (eta, beta) = (0.05, 0.02);
+        assert!(
+            (slotted_bound_constrained(1.0, OMEGA, eta, beta)
+                - constrained_bound(1.0, OMEGA, eta, beta))
+            .abs()
+                < 1e-12
+        );
+        // above the kink slotted protocols cannot reach the fundamental bound
+        let beta_hi = 0.04; // > η/2α = 0.025
+        assert!(
+            slotted_bound_constrained(1.0, OMEGA, eta, beta_hi)
+                > constrained_bound(1.0, OMEGA, eta, beta_hi)
+        );
+    }
+
+    #[test]
+    fn uconnect_formula_positive_and_worse_than_optimal() {
+        for (eta, beta) in [(0.02, 0.005), (0.05, 0.01), (0.1, 0.02)] {
+            let uc = table1_uconnect(1.0, OMEGA, eta, beta);
+            let dc = table1_diffcodes(1.0, OMEGA, eta, beta);
+            assert!(uc.is_finite() && uc > dc, "eta {eta} beta {beta}");
+        }
+    }
+
+    #[test]
+    fn slot_domain_worst_cases() {
+        assert_eq!(disco_worst_slots(37, 43), 1591);
+        assert_eq!(uconnect_worst_slots(31), 961);
+        assert_eq!(searchlight_worst_slots(20), 200);
+        assert_eq!(searchlight_worst_slots(21), 231);
+        assert_eq!(diffcode_worst_slots(73), 73);
+    }
+
+    #[test]
+    fn infeasible_beta_is_infinite() {
+        assert!(slotted_bound_constrained(1.0, OMEGA, 0.01, 0.01).is_infinite());
+        assert!(table1_uconnect(1.0, OMEGA, 0.01, 0.02).is_infinite());
+    }
+
+    #[test]
+    fn min_slot_length_is_omega() {
+        assert_eq!(min_slot_length_secs(36e-6), 36e-6);
+    }
+}

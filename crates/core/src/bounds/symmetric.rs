@@ -1,0 +1,74 @@
+//! The symmetric bidirectional bound (Theorem 5.5 of the paper).
+
+/// The latency-optimal transmission duty cycle for a total budget η:
+/// β = η / (2α) (from the proof of Theorem 5.5).
+pub fn optimal_beta(eta: f64, alpha: f64) -> f64 {
+    assert!(eta > 0.0 && alpha > 0.0);
+    eta / (2.0 * alpha)
+}
+
+/// Theorem 5.5 (Symmetric Bound for Bi-Directional ND Protocols), Eq. 11:
+/// for a per-device duty cycle η, no bidirectional ND protocol can
+/// guarantee a worst-case latency below
+/// `L = 4αω / η²` seconds.
+pub fn symmetric_bound(alpha: f64, omega_secs: f64, eta: f64) -> f64 {
+    assert!(eta > 0.0 && alpha > 0.0 && omega_secs > 0.0);
+    4.0 * alpha * omega_secs / (eta * eta)
+}
+
+/// The same bound with the Appendix A.4 correction that accounts for the
+/// airtime of the last, successfully received beacon: `L = 4αω/η² + ω`.
+pub fn symmetric_bound_with_last_beacon(alpha: f64, omega_secs: f64, eta: f64) -> f64 {
+    symmetric_bound(alpha, omega_secs, eta) + omega_secs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::beaconing::unidirectional_bound;
+
+    #[test]
+    fn optimal_split_recovers_bound() {
+        // inserting β = η/2α, γ = η/2 into Eq. 10 gives Eq. 11
+        let (eta, alpha, omega) = (0.05, 1.0, 36e-6);
+        let beta = optimal_beta(eta, alpha);
+        let gamma = eta - alpha * beta;
+        let via_eq10 = unidirectional_bound(omega, beta, gamma);
+        let via_thm55 = symmetric_bound(alpha, omega, eta);
+        assert!((via_eq10 - via_thm55).abs() < 1e-9);
+    }
+
+    #[test]
+    fn beta_is_a_minimum() {
+        // perturbing the split in either direction can only increase L
+        let (eta, alpha, omega) = (0.05, 1.3, 36e-6);
+        let best = symmetric_bound(alpha, omega, eta);
+        for d in [-0.2, -0.1, 0.1, 0.2] {
+            let beta = optimal_beta(eta, alpha) * (1.0 + d);
+            let gamma = eta - alpha * beta;
+            let l = unidirectional_bound(omega, beta, gamma);
+            assert!(l > best, "perturbation {d} should not beat the bound");
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        // ω = 36 µs, α = 1, η = 5 % → L = 4·36e-6/0.0025 = 57.6 ms
+        assert!((symmetric_bound(1.0, 36e-6, 0.05) - 0.0576).abs() < 1e-9);
+        // η = 1 % → 1.44 s (the "practical" regime of the paper)
+        assert!((symmetric_bound(1.0, 36e-6, 0.01) - 1.44).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scales_quadratically_in_eta_linearly_in_alpha() {
+        let l1 = symmetric_bound(1.0, 36e-6, 0.02);
+        assert!((symmetric_bound(1.0, 36e-6, 0.04) - l1 / 4.0).abs() < 1e-12);
+        assert!((symmetric_bound(2.0, 36e-6, 0.02) - l1 * 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn last_beacon_correction_is_additive() {
+        let l = symmetric_bound(1.0, 36e-6, 0.05);
+        assert!((symmetric_bound_with_last_beacon(1.0, 36e-6, 0.05) - (l + 36e-6)).abs() < 1e-15);
+    }
+}

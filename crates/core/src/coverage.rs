@@ -1,0 +1,651 @@
+//! Coverage maps (Section 4 of the paper).
+//!
+//! A coverage map answers, for every possible initial offset
+//! `Φ₁ ∈ [0, T_C)` of the first in-range beacon against the reception
+//! sequence `C∞`: *which* beacon of the sequence `B'` (if any) is the first
+//! to land in a reception window, and after how much time. From it we obtain
+//!
+//! * **determinism** (Definition 4.1) — every offset is covered,
+//! * **redundancy / disjointness** (Definition 4.2) — whether some offset is
+//!   covered by more than one beacon,
+//! * **coverage Λ** (Definition 4.3) and the per-beacon coverage of
+//!   Theorem 4.2,
+//! * the **packet-to-packet latency** `l*(Φ₁)` and its exact worst case and
+//!   distribution over a uniformly random offset.
+
+use crate::interval::{Interval, IntervalSet};
+use crate::schedule::ReceptionWindows;
+use crate::time::Tick;
+
+/// How a beacon transmission interacts with a reception window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum OverlapModel {
+    /// The paper's default simplification (§3.2): a beacon is received iff
+    /// its *start instant* falls inside a reception window; the packet
+    /// airtime is otherwise neglected.
+    #[default]
+    Start,
+    /// Optimistic: *any* overlap of the packet `[s, s+ω)` with a window
+    /// counts as a reception.
+    AnyOverlap,
+    /// Realistic (Appendix A.3): the packet must be contained entirely in
+    /// the window, i.e. transmissions starting within the last ω time units
+    /// of a window are lost.
+    FullPacket,
+}
+
+impl OverlapModel {
+    /// The set of *beacon start offsets within one period* that lead to a
+    /// reception, for the given windows and packet airtime.
+    ///
+    /// This is the set `Ω₁` of Section 4.1 (the un-shifted coverage image).
+    pub fn reception_offsets(self, windows: &ReceptionWindows, omega: Tick) -> IntervalSet {
+        let period = windows.period();
+        let mut parts: Vec<IntervalSet> = Vec::with_capacity(windows.n_windows());
+        for w in windows.windows() {
+            let set = match self {
+                OverlapModel::Start => IntervalSet::single(w.t, w.end()),
+                OverlapModel::AnyOverlap => {
+                    // s + ω > t  and  s < t + d  ⇒  s ∈ [t-ω+1, t+d) on the
+                    // integer grid; build unwrapped then wrap mod period.
+                    let len = w.d + omega - Tick(1);
+                    let start_shift = w.t.as_nanos() as i128 - (omega.as_nanos() as i128 - 1);
+                    IntervalSet::single(Tick::ZERO, len).shift_mod(start_shift, period)
+                }
+                OverlapModel::FullPacket => {
+                    // s ≥ t and s + ω ≤ t + d ⇒ s ∈ [t, t+d-ω] (empty if d < ω)
+                    match (w.d + Tick(1)).checked_sub(omega) {
+                        Some(len) => IntervalSet::single(w.t, w.t + len).intersect(
+                            &IntervalSet::single(Tick::ZERO, period),
+                        ),
+                        None => IntervalSet::empty(),
+                    }
+                }
+            };
+            parts.push(set);
+        }
+        parts
+            .into_iter()
+            .fold(IntervalSet::empty(), |acc, s| acc.union(&s))
+    }
+}
+
+/// One row of a coverage map: the offsets `Ω_i` covered by beacon `i`
+/// together with that beacon's delay `τ_i − τ_1` (which is the
+/// packet-to-packet latency `l*` if this beacon is the first hit).
+#[derive(Clone, Debug)]
+pub struct CoverageEntry {
+    /// Index of the beacon within `B'` (0-based; the paper's `b_{i+1}`).
+    pub beacon: usize,
+    /// Delay of this beacon after the first one: `τ_i − τ_1`.
+    pub delay: Tick,
+    /// The covered initial offsets `Ω_i ⊆ [0, T_C)` (Eq. 3, reduced mod
+    /// `T_C` as justified by Lemma 4.1).
+    pub offsets: IntervalSet,
+}
+
+/// The coverage map of a beacon sequence `B'` against a reception sequence
+/// `C∞` (Section 4.1.1, Figure 3).
+#[derive(Clone, Debug)]
+pub struct CoverageMap {
+    period: Tick,
+    sum_d: Tick,
+    entries: Vec<CoverageEntry>,
+}
+
+impl CoverageMap {
+    /// Build the coverage map for beacons at relative instants
+    /// `rel_times[i] = τ_{i+1} − τ_1` (the first entry must be 0) against
+    /// the periodic reception windows, under the given overlap model.
+    pub fn build(
+        rel_times: &[Tick],
+        windows: &ReceptionWindows,
+        omega: Tick,
+        model: OverlapModel,
+    ) -> Self {
+        assert!(!rel_times.is_empty(), "need at least one beacon");
+        assert!(rel_times[0].is_zero(), "relative times must start at 0");
+        let period = windows.period();
+        let base = model.reception_offsets(windows, omega);
+        let entries = rel_times
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| CoverageEntry {
+                beacon: i,
+                delay: r,
+                // Ω_i = Ω₁ − (τ_i − τ_1)  (mod T_C): Eq. 3
+                offsets: base.shift_mod(-(r.as_nanos() as i128), period),
+            })
+            .collect();
+        CoverageMap {
+            period,
+            sum_d: base.measure(),
+            entries,
+        }
+    }
+
+    /// The reception period `T_C`.
+    pub fn period(&self) -> Tick {
+        self.period
+    }
+
+    /// The rows of the map, in beacon order.
+    pub fn entries(&self) -> &[CoverageEntry] {
+        &self.entries
+    }
+
+    /// Measure covered by a single beacon. Theorem 4.2: this equals `Σ d_k`
+    /// for every beacon (under the `Start` model).
+    pub fn per_beacon_coverage(&self) -> Tick {
+        self.sum_d
+    }
+
+    /// The union of all covered offsets.
+    pub fn covered(&self) -> IntervalSet {
+        self.entries
+            .iter()
+            .fold(IntervalSet::empty(), |acc, e| acc.union(&e.offsets))
+    }
+
+    /// Total coverage Λ counting multiplicity (Definition 4.3).
+    pub fn coverage(&self) -> Tick {
+        self.entries.iter().map(|e| e.offsets.measure()).sum()
+    }
+
+    /// Definition 4.1: every initial offset in `[0, T_C)` is covered.
+    pub fn is_deterministic(&self) -> bool {
+        self.covered().covers(self.period)
+    }
+
+    /// Definition 4.2: no offset is covered by more than one beacon.
+    pub fn is_disjoint(&self) -> bool {
+        self.coverage() == self.covered().measure()
+    }
+
+    /// The offsets not covered by any beacon.
+    pub fn uncovered(&self) -> IntervalSet {
+        self.covered().complement(self.period)
+    }
+
+    /// The exact multiplicity map `Λ*(Φ₁)` (Definition 4.3): how many
+    /// beacons cover each offset, as a piecewise-constant profile of
+    /// contiguous segments tiling `[0, T_C)`.
+    ///
+    /// Appendix B's redundant schedules are verified with this: a Q-fold
+    /// design must show `Λ* ≥ Q` everywhere within its L′ horizon.
+    pub fn multiplicity_profile(&self) -> Vec<(Interval, u32)> {
+        let mut events: Vec<(Tick, i32)> = Vec::new();
+        for e in &self.entries {
+            for iv in e.offsets.intervals() {
+                events.push((iv.start, 1));
+                events.push((iv.end, -1));
+            }
+        }
+        events.sort();
+        let mut out: Vec<(Interval, u32)> = Vec::new();
+        let mut cursor = Tick::ZERO;
+        let mut depth = 0i32;
+        let mut i = 0;
+        while i < events.len() {
+            let pos = events[i].0;
+            if pos > cursor {
+                push_multiplicity(&mut out, Interval::new(cursor, pos), depth as u32);
+                cursor = pos;
+            }
+            while i < events.len() && events[i].0 == pos {
+                depth += events[i].1;
+                i += 1;
+            }
+        }
+        if cursor < self.period {
+            push_multiplicity(&mut out, Interval::new(cursor, self.period), depth as u32);
+        }
+        out
+    }
+
+    /// The minimum multiplicity over `[0, T_C)` — the guaranteed
+    /// redundancy degree `Q` of the sequence (0 if not deterministic).
+    pub fn min_multiplicity(&self) -> u32 {
+        self.multiplicity_profile()
+            .iter()
+            .map(|&(_, m)| m)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Exact first-hit latency `l*(Φ₁)` for a single offset: the delay of
+    /// the earliest beacon that covers `offset`, or `None` if no beacon
+    /// does.
+    pub fn first_hit(&self, offset: Tick) -> Option<Tick> {
+        debug_assert!(offset < self.period);
+        self.entries
+            .iter()
+            .find(|e| e.offsets.contains(offset))
+            .map(|e| e.delay)
+    }
+
+    /// The exact piecewise-constant profile of `l*(Φ₁)` over `[0, T_C)`,
+    /// computed with a sweep line over all interval endpoints.
+    pub fn first_hit_profile(&self) -> FirstHitProfile {
+        // Sweep events: at `pos`, a beacon's coverage with delay `d` starts
+        // (+1) or ends (−1).
+        #[derive(Clone, Copy)]
+        struct Event {
+            pos: Tick,
+            delay: Tick,
+            open: bool,
+        }
+        let mut events: Vec<Event> = Vec::new();
+        for e in &self.entries {
+            for iv in e.offsets.intervals() {
+                events.push(Event {
+                    pos: iv.start,
+                    delay: e.delay,
+                    open: true,
+                });
+                events.push(Event {
+                    pos: iv.end,
+                    delay: e.delay,
+                    open: false,
+                });
+            }
+        }
+        events.sort_by_key(|e| e.pos);
+
+        // Multiset of active delays.
+        use std::collections::BTreeMap;
+        let mut active: BTreeMap<Tick, usize> = BTreeMap::new();
+        let mut segments: Vec<(Interval, Option<Tick>)> = Vec::new();
+        let mut cursor = Tick::ZERO;
+        let mut i = 0;
+        while i < events.len() {
+            let pos = events[i].pos;
+            if pos > cursor {
+                let value = active.keys().next().copied();
+                push_segment(&mut segments, Interval::new(cursor, pos), value);
+                cursor = pos;
+            }
+            while i < events.len() && events[i].pos == pos {
+                let ev = events[i];
+                if ev.open {
+                    *active.entry(ev.delay).or_insert(0) += 1;
+                } else {
+                    match active.get_mut(&ev.delay) {
+                        Some(n) if *n > 1 => *n -= 1,
+                        Some(_) => {
+                            active.remove(&ev.delay);
+                        }
+                        None => unreachable!("close without open"),
+                    }
+                }
+                i += 1;
+            }
+        }
+        if cursor < self.period {
+            let value = active.keys().next().copied();
+            push_segment(&mut segments, Interval::new(cursor, self.period), value);
+        }
+        FirstHitProfile {
+            period: self.period,
+            segments,
+        }
+    }
+
+    /// Render the map as ASCII art in the style of Figure 3b of the paper:
+    /// one row per beacon, `█` where the offset is covered, the final rows
+    /// showing the union and multiplicity.
+    pub fn render_ascii(&self, width: usize) -> String {
+        use std::fmt::Write as _;
+        assert!(width >= 8, "width too small");
+        let scale = |t: Tick| -> usize {
+            ((t.as_nanos() as u128 * width as u128) / self.period.as_nanos() as u128) as usize
+        };
+        let mut out = String::new();
+        for e in &self.entries {
+            let mut row = vec![b' '; width];
+            for iv in e.offsets.intervals() {
+                let a = scale(iv.start);
+                let b = scale(iv.end).max(a + 1).min(width);
+                for c in row.iter_mut().take(b).skip(a) {
+                    *c = b'#';
+                }
+            }
+            let _ = writeln!(
+                out,
+                "O{:<3} |{}| delay {}",
+                e.beacon + 1,
+                String::from_utf8(row).unwrap(),
+                e.delay
+            );
+        }
+        let covered = self.covered();
+        let mut row = vec![b'.'; width];
+        for iv in covered.intervals() {
+            let a = scale(iv.start);
+            let b = scale(iv.end).max(a + 1).min(width);
+            for c in row.iter_mut().take(b).skip(a) {
+                *c = b'#';
+            }
+        }
+        let _ = writeln!(
+            out,
+            "all  |{}| coverage {} / {}{}",
+            String::from_utf8(row).unwrap(),
+            self.coverage(),
+            self.period,
+            if self.is_deterministic() {
+                " (deterministic)"
+            } else {
+                " (NOT deterministic)"
+            }
+        );
+        out
+    }
+}
+
+fn push_multiplicity(segments: &mut Vec<(Interval, u32)>, iv: Interval, depth: u32) {
+    if iv.is_empty() {
+        return;
+    }
+    if let Some((last, d)) = segments.last_mut() {
+        if *d == depth && last.end == iv.start {
+            last.end = iv.end;
+            return;
+        }
+    }
+    segments.push((iv, depth));
+}
+
+fn push_segment(segments: &mut Vec<(Interval, Option<Tick>)>, iv: Interval, value: Option<Tick>) {
+    if iv.is_empty() {
+        return;
+    }
+    if let Some((last, v)) = segments.last_mut() {
+        if *v == value && last.end == iv.start {
+            last.end = iv.end;
+            return;
+        }
+    }
+    segments.push((iv, value));
+}
+
+/// The exact first-hit latency profile `Φ₁ ↦ l*(Φ₁)` as a piecewise-constant
+/// function on `[0, T_C)`.
+#[derive(Clone, Debug)]
+pub struct FirstHitProfile {
+    period: Tick,
+    segments: Vec<(Interval, Option<Tick>)>,
+}
+
+impl FirstHitProfile {
+    /// The constant segments: `(offset interval, l*)`; `None` means the
+    /// offsets in the interval are never discovered.
+    pub fn segments(&self) -> &[(Interval, Option<Tick>)] {
+        &self.segments
+    }
+
+    /// The reception period `T_C` (the profile's domain is `[0, T_C)`).
+    pub fn period(&self) -> Tick {
+        self.period
+    }
+
+    /// Worst-case packet-to-packet latency `l*` over all offsets, or `None`
+    /// if some offset is never covered (non-deterministic sequence).
+    pub fn worst(&self) -> Option<Tick> {
+        let mut worst = Tick::ZERO;
+        for (_, v) in &self.segments {
+            match v {
+                None => return None,
+                Some(d) => worst = worst.max(*d),
+            }
+        }
+        Some(worst)
+    }
+
+    /// Total measure of offsets that are never discovered.
+    pub fn uncovered_measure(&self) -> Tick {
+        self.segments
+            .iter()
+            .filter(|(_, v)| v.is_none())
+            .map(|(iv, _)| iv.measure())
+            .sum()
+    }
+
+    /// The exact distribution of `l*` over a uniformly random offset:
+    /// sorted `(latency, probability)` pairs. Undiscovered mass is excluded
+    /// (check [`FirstHitProfile::uncovered_measure`]).
+    pub fn distribution(&self) -> Vec<(Tick, f64)> {
+        use std::collections::BTreeMap;
+        let mut mass: BTreeMap<Tick, u64> = BTreeMap::new();
+        for (iv, v) in &self.segments {
+            if let Some(d) = v {
+                *mass.entry(*d).or_insert(0) += iv.measure().as_nanos();
+            }
+        }
+        let total = self.period.as_nanos() as f64;
+        mass.into_iter()
+            .map(|(d, m)| (d, m as f64 / total))
+            .collect()
+    }
+
+    /// Mean of `l*` over a uniformly random offset, counting undiscovered
+    /// offsets as `None` (returns `None` if any offset is undiscovered).
+    pub fn mean(&self) -> Option<f64> {
+        if !self.uncovered_measure().is_zero() {
+            return None;
+        }
+        let mut acc = 0.0;
+        for (iv, v) in &self.segments {
+            acc += iv.measure().as_nanos() as f64 * v.unwrap().as_secs_f64();
+        }
+        Some(acc / self.period.as_nanos() as f64)
+    }
+}
+
+/// Theorem 4.3 (Beaconing Theorem): the minimum number of beacons any
+/// deterministic sequence needs against windows with period `T_C` and total
+/// per-period listening time `Σd`.
+pub fn min_beacons(period: Tick, sum_d: Tick) -> u64 {
+    period.div_ceil(sum_d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Window;
+
+    fn windows_xy() -> ReceptionWindows {
+        // Two unit windows X=[0,10), Y=[40,50) per T_C = 100 (ns scale for
+        // test readability).
+        ReceptionWindows::new(
+            vec![
+                Window::new(Tick(0), Tick(10)),
+                Window::new(Tick(40), Tick(10)),
+            ],
+            Tick(100),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn reception_offsets_models() {
+        let c = windows_xy();
+        let omega = Tick(4);
+        let start = OverlapModel::Start.reception_offsets(&c, omega);
+        assert_eq!(start.measure(), Tick(20));
+        assert!(start.contains(Tick(0)) && start.contains(Tick(9)) && !start.contains(Tick(10)));
+
+        let any = OverlapModel::AnyOverlap.reception_offsets(&c, omega);
+        // each window gains ω−1 = 3 ticks on the left: [97..100)∪[0,10) and [37,50)
+        assert_eq!(any.measure(), Tick(26));
+        assert!(any.contains(Tick(97)) && any.contains(Tick(37)));
+
+        let full = OverlapModel::FullPacket.reception_offsets(&c, omega);
+        // start must be ≤ d−ω = 6 → [0,7) and [40,47)
+        assert_eq!(full.measure(), Tick(14));
+        assert!(full.contains(Tick(6)) && !full.contains(Tick(7)));
+    }
+
+    #[test]
+    fn full_packet_empty_when_window_too_short() {
+        let c = ReceptionWindows::single(Tick(0), Tick(3), Tick(100)).unwrap();
+        let set = OverlapModel::FullPacket.reception_offsets(&c, Tick(4));
+        assert!(set.is_empty());
+        // exactly fitting: d == ω → only s = t works
+        let c = ReceptionWindows::single(Tick(5), Tick(4), Tick(100)).unwrap();
+        let set = OverlapModel::FullPacket.reception_offsets(&c, Tick(4));
+        assert_eq!(set.intervals(), &[Interval::new(Tick(5), Tick(6))]);
+    }
+
+    #[test]
+    fn theorem_4_2_coverage_per_beacon_invariant() {
+        // every beacon contributes exactly Σd of coverage regardless of its
+        // delay (shifts preserve measure mod T_C)
+        let c = windows_xy();
+        let map = CoverageMap::build(
+            &[Tick(0), Tick(33), Tick(61), Tick(97), Tick(155)],
+            &c,
+            Tick(4),
+            OverlapModel::Start,
+        );
+        for e in map.entries() {
+            assert_eq!(e.offsets.measure(), Tick(20), "beacon {}", e.beacon);
+        }
+        assert_eq!(map.coverage(), Tick(100));
+    }
+
+    #[test]
+    fn deterministic_tiling_sequence() {
+        // Σd = 20 per T_C = 100 → M = 5 (Thm 4.3). Beacons spaced by
+        // λ = 120 = T_C + Σd/n ... simplest: gaps of 20 shift the two
+        // windows left by 20 each time; 5 beacons tile [0,100) exactly.
+        let c = ReceptionWindows::single(Tick(0), Tick(20), Tick(100)).unwrap();
+        let rel: Vec<Tick> = (0..5).map(|i| Tick(i * 120)).collect(); // λ = 120 ≡ 20 (mod 100)
+        let map = CoverageMap::build(&rel, &c, Tick(4), OverlapModel::Start);
+        assert!(map.is_deterministic());
+        assert!(map.is_disjoint());
+        assert_eq!(min_beacons(c.period(), c.sum_d()), 5);
+        // worst packet-to-packet latency = delay of the last beacon
+        assert_eq!(map.first_hit_profile().worst(), Some(Tick(4 * 120)));
+    }
+
+    #[test]
+    fn non_deterministic_when_gaps_resonate() {
+        // gap = T_C: every beacon covers the same offsets → stuck at Σd
+        let c = ReceptionWindows::single(Tick(0), Tick(20), Tick(100)).unwrap();
+        let rel: Vec<Tick> = (0..10).map(|i| Tick(i * 100)).collect();
+        let map = CoverageMap::build(&rel, &c, Tick(4), OverlapModel::Start);
+        assert!(!map.is_deterministic());
+        assert!(!map.is_disjoint());
+        assert_eq!(map.covered().measure(), Tick(20));
+        assert_eq!(map.uncovered().measure(), Tick(80));
+        assert_eq!(map.first_hit_profile().worst(), None);
+        assert_eq!(map.first_hit_profile().uncovered_measure(), Tick(80));
+    }
+
+    #[test]
+    fn first_hit_prefers_earliest_beacon() {
+        let c = windows_xy();
+        // beacon 0 covers [0,10)∪[40,50); beacon 1 (delay 5) covers
+        // [95,100)∪[0,5) ∪ [35,45)
+        let map = CoverageMap::build(&[Tick(0), Tick(5)], &c, Tick(4), OverlapModel::Start);
+        assert_eq!(map.first_hit(Tick(3)), Some(Tick(0))); // covered by both → earliest
+        assert_eq!(map.first_hit(Tick(97)), Some(Tick(5)));
+        assert_eq!(map.first_hit(Tick(37)), Some(Tick(5)));
+        assert_eq!(map.first_hit(Tick(60)), None);
+        assert!(!map.is_disjoint());
+    }
+
+    #[test]
+    fn profile_matches_pointwise_first_hit() {
+        let c = windows_xy();
+        let map = CoverageMap::build(
+            &[Tick(0), Tick(13), Tick(27), Tick(55), Tick(70), Tick(90)],
+            &c,
+            Tick(4),
+            OverlapModel::Start,
+        );
+        let profile = map.first_hit_profile();
+        // segments tile the whole period
+        let total: Tick = profile.segments().iter().map(|(iv, _)| iv.measure()).sum();
+        assert_eq!(total, Tick(100));
+        // pointwise agreement on a fine grid
+        for phi in 0..100 {
+            let offset = Tick(phi);
+            let seg_val = profile
+                .segments()
+                .iter()
+                .find(|(iv, _)| iv.contains(offset))
+                .unwrap()
+                .1;
+            assert_eq!(seg_val, map.first_hit(offset), "offset {offset}");
+        }
+    }
+
+    #[test]
+    fn distribution_sums_to_coverage_probability() {
+        let c = ReceptionWindows::single(Tick(0), Tick(25), Tick(100)).unwrap();
+        let rel: Vec<Tick> = (0..4).map(|i| Tick(i * 125)).collect(); // tiles in 4 steps
+        let map = CoverageMap::build(&rel, &c, Tick(4), OverlapModel::Start);
+        let profile = map.first_hit_profile();
+        let dist = profile.distribution();
+        let total_p: f64 = dist.iter().map(|(_, p)| p).sum();
+        assert!((total_p - 1.0).abs() < 1e-12);
+        assert_eq!(dist.len(), 4);
+        for (i, (delay, p)) in dist.iter().enumerate() {
+            assert_eq!(*delay, Tick(i as u64 * 125));
+            assert!((p - 0.25).abs() < 1e-12);
+        }
+        let mean = profile.mean().unwrap();
+        assert!((mean - (0.0 + 125.0 + 250.0 + 375.0) * 1e-9 / 4.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn multiplicity_profile_counts_layers() {
+        let c = ReceptionWindows::single(Tick(0), Tick(20), Tick(100)).unwrap();
+        // two interleaved tilings: every offset covered exactly twice
+        let mut rel: Vec<Tick> = (0..5).map(|i| Tick(i * 120)).collect();
+        rel.extend((0..5).map(|i| Tick(600 + i * 120)));
+        let map = CoverageMap::build(&rel, &c, Tick(4), OverlapModel::Start);
+        assert!(map.is_deterministic());
+        assert_eq!(map.min_multiplicity(), 2);
+        let profile = map.multiplicity_profile();
+        let total: Tick = profile.iter().map(|(iv, _)| iv.measure()).sum();
+        assert_eq!(total, Tick(100), "profile tiles the period");
+        assert!(profile.iter().all(|&(_, m)| m == 2));
+    }
+
+    #[test]
+    fn multiplicity_zero_where_uncovered() {
+        let c = ReceptionWindows::single(Tick(0), Tick(20), Tick(100)).unwrap();
+        let map = CoverageMap::build(&[Tick(0)], &c, Tick(4), OverlapModel::Start);
+        assert_eq!(map.min_multiplicity(), 0);
+        let profile = map.multiplicity_profile();
+        let covered: Tick = profile
+            .iter()
+            .filter(|&&(_, m)| m > 0)
+            .map(|(iv, _)| iv.measure())
+            .sum();
+        assert_eq!(covered, Tick(20));
+    }
+
+    #[test]
+    fn min_beacons_theorem_4_3() {
+        assert_eq!(min_beacons(Tick(100), Tick(20)), 5);
+        assert_eq!(min_beacons(Tick(100), Tick(30)), 4); // ⌈100/30⌉
+        assert_eq!(min_beacons(Tick(100), Tick(100)), 1);
+        assert_eq!(min_beacons(Tick(101), Tick(100)), 2);
+    }
+
+    #[test]
+    fn ascii_rendering_smoke() {
+        let c = windows_xy();
+        let map = CoverageMap::build(&[Tick(0), Tick(30)], &c, Tick(4), OverlapModel::Start);
+        let art = map.render_ascii(50);
+        assert!(art.contains("O1"));
+        assert!(art.contains("O2"));
+        assert!(art.contains("NOT deterministic"));
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 3);
+    }
+}

@@ -1,0 +1,57 @@
+//! Error types.
+
+use std::fmt;
+
+/// Errors produced while constructing or analyzing schedules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NdError {
+    /// A schedule violated a structural invariant (unsorted windows,
+    /// overlapping beacons, out-of-period elements, …).
+    InvalidSchedule(String),
+    /// Requested parameters are outside the feasible region of a bound or a
+    /// construction (e.g. a duty cycle above 1, or a channel-utilization cap
+    /// that leaves no reception budget).
+    InfeasibleParameters(String),
+    /// An analysis could not complete (e.g. the horizon was too short to
+    /// prove determinism).
+    AnalysisFailed(String),
+}
+
+impl fmt::Display for NdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NdError::InvalidSchedule(msg) => write!(f, "invalid schedule: {msg}"),
+            NdError::InfeasibleParameters(msg) => write!(f, "infeasible parameters: {msg}"),
+            NdError::AnalysisFailed(msg) => write!(f, "analysis failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            NdError::InvalidSchedule("x".into()).to_string(),
+            "invalid schedule: x"
+        );
+        assert_eq!(
+            NdError::InfeasibleParameters("y".into()).to_string(),
+            "infeasible parameters: y"
+        );
+        assert_eq!(
+            NdError::AnalysisFailed("z".into()).to_string(),
+            "analysis failed: z"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&NdError::InvalidSchedule("x".into()));
+    }
+}

@@ -1,0 +1,461 @@
+//! Half-open time intervals and canonical interval sets.
+//!
+//! The coverage-map machinery of Section 4 of the paper manipulates sets of
+//! offsets `Φ₁ ∈ [0, T_C)`: each beacon contributes the set of initial
+//! offsets for which it lands in a reception window (the sets `Ω_i` of
+//! Eq. 3), and those sets are unions of intervals translated modulo the
+//! reception period. [`IntervalSet`] is the exact, canonical representation
+//! used for all of that: a sorted list of disjoint, non-adjacent, non-empty
+//! half-open intervals.
+
+use crate::time::Tick;
+use std::fmt;
+
+/// A half-open interval `[start, end)` on the tick grid.
+///
+/// Empty intervals (`start >= end`) are never stored inside an
+/// [`IntervalSet`]; free-standing `Interval` values may be empty (and report
+/// so via [`Interval::is_empty`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval {
+    /// Inclusive lower endpoint.
+    pub start: Tick,
+    /// Exclusive upper endpoint.
+    pub end: Tick,
+}
+
+impl Interval {
+    /// Construct `[start, end)`. `start > end` is allowed and yields an
+    /// empty interval (this keeps saturating-arithmetic call sites simple).
+    #[inline]
+    pub fn new(start: Tick, end: Tick) -> Self {
+        Interval { start, end }
+    }
+
+    /// The interval `[0, 0)`.
+    pub const EMPTY: Interval = Interval {
+        start: Tick::ZERO,
+        end: Tick::ZERO,
+    };
+
+    /// Length of the interval (zero if empty).
+    #[inline]
+    pub fn measure(&self) -> Tick {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// `true` iff the interval contains no point.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// `true` iff `t ∈ [start, end)`.
+    #[inline]
+    pub fn contains(&self, t: Tick) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// Intersection with another interval (possibly empty).
+    #[inline]
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        Interval {
+            start: self.start.max(other.start),
+            end: self.end.min(other.end),
+        }
+    }
+
+    /// `true` iff the two intervals share at least one point.
+    #[inline]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        !self.intersect(other).is_empty()
+    }
+
+    /// Translate right by `delta` (panics on overflow).
+    #[inline]
+    pub fn shifted(&self, delta: Tick) -> Interval {
+        Interval {
+            start: self.start + delta,
+            end: self.end + delta,
+        }
+    }
+}
+
+impl fmt::Debug for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+/// A canonical set of ticks: sorted, disjoint, non-adjacent, non-empty
+/// half-open intervals.
+///
+/// All operations preserve canonical form. Measures, unions, intersections
+/// and complements are exact integer computations.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct IntervalSet {
+    ivs: Vec<Interval>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        IntervalSet { ivs: Vec::new() }
+    }
+
+    /// Build from an arbitrary collection of intervals (normalizes: drops
+    /// empties, sorts, merges overlapping/adjacent).
+    pub fn from_intervals<I: IntoIterator<Item = Interval>>(intervals: I) -> Self {
+        let mut ivs: Vec<Interval> = intervals.into_iter().filter(|iv| !iv.is_empty()).collect();
+        ivs.sort_by_key(|iv| (iv.start, iv.end));
+        let mut out: Vec<Interval> = Vec::with_capacity(ivs.len());
+        for iv in ivs {
+            match out.last_mut() {
+                // touching or overlapping: coalesce
+                Some(last) if iv.start <= last.end => last.end = last.end.max(iv.end),
+                _ => out.push(iv),
+            }
+        }
+        IntervalSet { ivs: out }
+    }
+
+    /// A set holding a single interval (empty set if the interval is empty).
+    pub fn single(start: Tick, end: Tick) -> Self {
+        Self::from_intervals([Interval::new(start, end)])
+    }
+
+    /// The canonical intervals, sorted and disjoint.
+    #[inline]
+    pub fn intervals(&self) -> &[Interval] {
+        &self.ivs
+    }
+
+    /// `true` iff the set contains no point.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ivs.is_empty()
+    }
+
+    /// Number of maximal intervals.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ivs.len()
+    }
+
+    /// Total measure (sum of interval lengths).
+    pub fn measure(&self) -> Tick {
+        self.ivs.iter().map(|iv| iv.measure()).sum()
+    }
+
+    /// `true` iff `t` is a member.
+    pub fn contains(&self, t: Tick) -> bool {
+        // binary search on start
+        match self.ivs.binary_search_by(|iv| iv.start.cmp(&t)) {
+            Ok(_) => true, // t is the start of some interval
+            Err(0) => false,
+            Err(i) => self.ivs[i - 1].contains(t),
+        }
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        // merge two sorted lists then normalize in one pass
+        let mut merged: Vec<Interval> = Vec::with_capacity(self.ivs.len() + other.ivs.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.ivs.len() && j < other.ivs.len() {
+            if self.ivs[i].start <= other.ivs[j].start {
+                merged.push(self.ivs[i]);
+                i += 1;
+            } else {
+                merged.push(other.ivs[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&self.ivs[i..]);
+        merged.extend_from_slice(&other.ivs[j..]);
+        let mut out: Vec<Interval> = Vec::with_capacity(merged.len());
+        for iv in merged {
+            match out.last_mut() {
+                Some(last) if iv.start <= last.end => last.end = last.end.max(iv.end),
+                _ => out.push(iv),
+            }
+        }
+        IntervalSet { ivs: out }
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.ivs.len() && j < other.ivs.len() {
+            let a = &self.ivs[i];
+            let b = &other.ivs[j];
+            let cut = a.intersect(b);
+            if !cut.is_empty() {
+                out.push(cut);
+            }
+            if a.end <= b.end {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        IntervalSet { ivs: out }
+    }
+
+    /// Set difference `self \ other`.
+    pub fn subtract(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = Vec::new();
+        let mut j = 0;
+        for a in &self.ivs {
+            let mut cur = *a;
+            // skip intervals of `other` entirely before `cur`
+            while j < other.ivs.len() && other.ivs[j].end <= cur.start {
+                j += 1;
+            }
+            let mut k = j;
+            while k < other.ivs.len() && other.ivs[k].start < cur.end {
+                let b = other.ivs[k];
+                if b.start > cur.start {
+                    out.push(Interval::new(cur.start, b.start.min(cur.end)));
+                }
+                if b.end >= cur.end {
+                    cur = Interval::EMPTY;
+                    break;
+                }
+                cur = Interval::new(b.end.max(cur.start), cur.end);
+                k += 1;
+            }
+            if !cur.is_empty() {
+                out.push(cur);
+            }
+        }
+        IntervalSet { ivs: out }
+    }
+
+    /// Complement within the universe `[0, period)`.
+    pub fn complement(&self, period: Tick) -> IntervalSet {
+        IntervalSet::single(Tick::ZERO, period).subtract(self)
+    }
+
+    /// `true` iff the set covers all of `[0, period)`.
+    pub fn covers(&self, period: Tick) -> bool {
+        self.ivs.len() == 1 && self.ivs[0].start == Tick::ZERO && self.ivs[0].end >= period
+    }
+
+    /// Translate the whole set right by `delta` ticks (no wrap-around).
+    pub fn shifted(&self, delta: Tick) -> IntervalSet {
+        IntervalSet {
+            ivs: self.ivs.iter().map(|iv| iv.shifted(delta)).collect(),
+        }
+    }
+
+    /// Translate by a *signed* number of ticks **modulo `period`**, assuming
+    /// the set lies inside `[0, period)`, and re-normalize.
+    ///
+    /// This implements the translation step of Eq. 3: shifting the covered
+    /// offsets left by Σλ wraps around the period boundary (what shifts out
+    /// of `[0, T_C)` on one side re-enters on the other; cf. the proof of
+    /// Theorem 4.2).
+    pub fn shift_mod(&self, delta: i128, period: Tick) -> IntervalSet {
+        assert!(!period.is_zero(), "zero period");
+        let p = period.0 as i128;
+        let d = delta.rem_euclid(p) as u64; // effective right-shift in [0, p)
+        if d == 0 {
+            return self.clone();
+        }
+        let mut parts = Vec::with_capacity(self.ivs.len() + 1);
+        for iv in &self.ivs {
+            debug_assert!(iv.end.0 <= period.0, "interval outside [0, period)");
+            let s = iv.start.0 + d;
+            let e = iv.end.0 + d;
+            if e <= period.0 {
+                parts.push(Interval::new(Tick(s), Tick(e)));
+            } else if s >= period.0 {
+                parts.push(Interval::new(Tick(s - period.0), Tick(e - period.0)));
+            } else {
+                // straddles the wrap point: split
+                parts.push(Interval::new(Tick(s), period));
+                parts.push(Interval::new(Tick::ZERO, Tick(e - period.0)));
+            }
+        }
+        IntervalSet::from_intervals(parts)
+    }
+
+    /// The maximal uncovered gaps within `[0, period)`.
+    pub fn gaps(&self, period: Tick) -> IntervalSet {
+        self.complement(period)
+    }
+
+    /// All endpoint ticks (starts and ends) of the canonical intervals.
+    ///
+    /// These are the breakpoints at which coverage membership can change —
+    /// the exact-analysis engine evaluates latency only at these points.
+    pub fn breakpoints(&self) -> impl Iterator<Item = Tick> + '_ {
+        self.ivs.iter().flat_map(|iv| [iv.start, iv.end])
+    }
+}
+
+impl fmt::Debug for IntervalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.ivs.iter()).finish()
+    }
+}
+
+impl FromIterator<Interval> for IntervalSet {
+    fn from_iter<I: IntoIterator<Item = Interval>>(iter: I) -> Self {
+        IntervalSet::from_intervals(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(a: u64, b: u64) -> Interval {
+        Interval::new(Tick(a), Tick(b))
+    }
+
+    fn set(ivs: &[(u64, u64)]) -> IntervalSet {
+        IntervalSet::from_intervals(ivs.iter().map(|&(a, b)| iv(a, b)))
+    }
+
+    #[test]
+    fn interval_basics() {
+        let a = iv(2, 5);
+        assert_eq!(a.measure(), Tick(3));
+        assert!(a.contains(Tick(2)));
+        assert!(a.contains(Tick(4)));
+        assert!(!a.contains(Tick(5)));
+        assert!(!a.contains(Tick(1)));
+        assert!(iv(3, 3).is_empty());
+        assert!(iv(5, 2).is_empty());
+        assert_eq!(iv(5, 2).measure(), Tick::ZERO);
+    }
+
+    #[test]
+    fn interval_intersect_overlap() {
+        assert_eq!(iv(0, 5).intersect(&iv(3, 8)), iv(3, 5));
+        assert!(iv(0, 5).overlaps(&iv(4, 6)));
+        assert!(!iv(0, 5).overlaps(&iv(5, 6))); // half-open: touching ≠ overlapping
+        assert!(iv(0, 5).intersect(&iv(6, 8)).is_empty());
+    }
+
+    #[test]
+    fn normalization_merges_overlapping_and_adjacent() {
+        let s = set(&[(5, 8), (0, 3), (3, 5), (10, 12), (11, 15)]);
+        assert_eq!(s.intervals(), &[iv(0, 8), iv(10, 15)]);
+        assert_eq!(s.measure(), Tick(13));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn normalization_drops_empties() {
+        let s = set(&[(3, 3), (7, 2)]);
+        assert!(s.is_empty());
+        assert_eq!(s.measure(), Tick::ZERO);
+    }
+
+    #[test]
+    fn union_is_commutative_and_canonical() {
+        let a = set(&[(0, 4), (10, 14)]);
+        let b = set(&[(4, 10), (20, 22)]);
+        let u1 = a.union(&b);
+        let u2 = b.union(&a);
+        assert_eq!(u1, u2);
+        assert_eq!(u1.intervals(), &[iv(0, 14), iv(20, 22)]);
+    }
+
+    #[test]
+    fn intersect_sets() {
+        let a = set(&[(0, 10), (20, 30)]);
+        let b = set(&[(5, 25)]);
+        assert_eq!(a.intersect(&b).intervals(), &[iv(5, 10), iv(20, 25)]);
+        assert!(a.intersect(&set(&[(10, 20)])).is_empty());
+    }
+
+    #[test]
+    fn subtract_sets() {
+        let a = set(&[(0, 10)]);
+        assert_eq!(a.subtract(&set(&[(3, 5)])).intervals(), &[iv(0, 3), iv(5, 10)]);
+        assert_eq!(a.subtract(&set(&[(0, 10)])).intervals(), &[] as &[Interval]);
+        assert_eq!(
+            a.subtract(&set(&[(2, 4), (6, 8)])).intervals(),
+            &[iv(0, 2), iv(4, 6), iv(8, 10)]
+        );
+        // subtrahend outside
+        assert_eq!(a.subtract(&set(&[(20, 30)])), a);
+        // subtrahend clipping both ends
+        assert_eq!(
+            set(&[(5, 15)]).subtract(&set(&[(0, 7), (12, 20)])).intervals(),
+            &[iv(7, 12)]
+        );
+    }
+
+    #[test]
+    fn complement_and_covers() {
+        let a = set(&[(0, 3), (5, 10)]);
+        assert_eq!(a.complement(Tick(12)).intervals(), &[iv(3, 5), iv(10, 12)]);
+        assert!(!a.covers(Tick(12)));
+        assert!(set(&[(0, 12)]).covers(Tick(12)));
+        assert!(set(&[(0, 15)]).covers(Tick(12)));
+        assert!(!set(&[(1, 12)]).covers(Tick(12)));
+        assert!(IntervalSet::empty().complement(Tick(5)).covers(Tick(5)));
+    }
+
+    #[test]
+    fn shift_mod_wraps_and_preserves_measure() {
+        // [8,10) shifted right by 3 in period 10 wraps to [0,1) ∪ [1..? ...]
+        let s = set(&[(8, 10)]);
+        let shifted = s.shift_mod(3, Tick(10));
+        assert_eq!(shifted.intervals(), &[iv(1, 3)]);
+
+        // straddling case
+        let s = set(&[(7, 9)]);
+        let shifted = s.shift_mod(2, Tick(10));
+        assert_eq!(shifted.intervals(), &[iv(0, 1), iv(9, 10)]);
+        assert_eq!(shifted.measure(), s.measure());
+    }
+
+    #[test]
+    fn shift_mod_negative_delta() {
+        let s = set(&[(0, 2)]);
+        let shifted = s.shift_mod(-3, Tick(10));
+        assert_eq!(shifted.intervals(), &[iv(7, 9)]);
+        // shifting by a full period is the identity
+        assert_eq!(s.shift_mod(10, Tick(10)), s);
+        assert_eq!(s.shift_mod(-20, Tick(10)), s);
+    }
+
+    #[test]
+    fn shift_mod_identity_on_zero() {
+        let s = set(&[(2, 4), (6, 9)]);
+        assert_eq!(s.shift_mod(0, Tick(10)), s);
+    }
+
+    #[test]
+    fn contains_membership() {
+        let s = set(&[(2, 4), (6, 9)]);
+        assert!(!s.contains(Tick(0)));
+        assert!(s.contains(Tick(2)));
+        assert!(s.contains(Tick(3)));
+        assert!(!s.contains(Tick(4)));
+        assert!(!s.contains(Tick(5)));
+        assert!(s.contains(Tick(6)));
+        assert!(s.contains(Tick(8)));
+        assert!(!s.contains(Tick(9)));
+    }
+
+    #[test]
+    fn breakpoints_enumerate_endpoints() {
+        let s = set(&[(2, 4), (6, 9)]);
+        let bp: Vec<Tick> = s.breakpoints().collect();
+        assert_eq!(bp, vec![Tick(2), Tick(4), Tick(6), Tick(9)]);
+    }
+
+    #[test]
+    fn gaps_are_complement() {
+        let s = set(&[(0, 3), (7, 10)]);
+        assert_eq!(s.gaps(Tick(10)).intervals(), &[iv(3, 7)]);
+    }
+}

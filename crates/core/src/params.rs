@@ -1,0 +1,193 @@
+//! Radio and energy parameters (Definition 3.5 and Appendix A.2 of the
+//! paper).
+
+use crate::time::Tick;
+
+/// Physical parameters of a radio.
+///
+/// The paper's bounds need only the packet airtime ω and the TX/RX power
+/// ratio α = P_tx / P_rx (Definition 3.5). The switching overheads are the
+/// non-ideal-radio extensions of Appendix A.2/A.5 and default to zero
+/// (ideal radio).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RadioParams {
+    /// Packet (beacon) airtime ω.
+    pub omega: Tick,
+    /// TX/RX power ratio α = P_tx / P_rx.
+    pub alpha: f64,
+    /// Effective extra active time to go sleep → TX → sleep (`d_oTx`, A.2).
+    pub do_tx: Tick,
+    /// Effective extra active time to go sleep → RX → sleep (`d_oRx`, A.2).
+    pub do_rx: Tick,
+    /// Turnaround time TX → RX (`d_oTxRx`, A.5).
+    pub do_tx_rx: Tick,
+    /// Turnaround time RX → TX (`d_oRxTx`, A.5).
+    pub do_rx_tx: Tick,
+}
+
+impl RadioParams {
+    /// An ideal radio (zero switching overheads) with the given airtime and
+    /// power ratio. This is the model under which all Section 5 bounds hold
+    /// exactly.
+    pub fn ideal(omega: Tick, alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive");
+        assert!(!omega.is_zero(), "packet airtime must be positive");
+        RadioParams {
+            omega,
+            alpha,
+            do_tx: Tick::ZERO,
+            do_rx: Tick::ZERO,
+            do_tx_rx: Tick::ZERO,
+            do_rx_tx: Tick::ZERO,
+        }
+    }
+
+    /// The paper's running example: ω = 36 µs (a BLE advertising packet on
+    /// an ideal radio) with α = 1 (cf. Appendix A.4 and B).
+    pub fn paper_default() -> Self {
+        Self::ideal(Tick::from_micros(36), 1.0)
+    }
+
+    /// A BLE-flavoured non-ideal radio: 36 µs packets, α = 1, and 150 µs
+    /// turnarounds with 130 µs wake-up overheads (typical nRF-class values;
+    /// used by the Appendix A.2/A.5 experiments).
+    pub fn ble_like() -> Self {
+        RadioParams {
+            omega: Tick::from_micros(36),
+            alpha: 1.0,
+            do_tx: Tick::from_micros(130),
+            do_rx: Tick::from_micros(130),
+            do_tx_rx: Tick::from_micros(150),
+            do_rx_tx: Tick::from_micros(150),
+        }
+    }
+
+    /// `true` iff all switching overheads are zero.
+    pub fn is_ideal(&self) -> bool {
+        self.do_tx.is_zero()
+            && self.do_rx.is_zero()
+            && self.do_tx_rx.is_zero()
+            && self.do_rx_tx.is_zero()
+    }
+
+    /// Packet airtime in fractional seconds (convenience for the f64 bound
+    /// formulas).
+    pub fn omega_secs(&self) -> f64 {
+        self.omega.as_secs_f64()
+    }
+}
+
+/// A transmission/reception duty-cycle pair (Definition 3.5).
+///
+/// * `beta` (β) — fraction of time spent transmitting; this equals the
+///   channel utilization.
+/// * `gamma` (γ) — fraction of time spent receiving.
+///
+/// The total duty cycle is the weighted sum η = γ + α·β.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DutyCycle {
+    /// Transmission duty cycle β (= channel utilization).
+    pub beta: f64,
+    /// Reception duty cycle γ.
+    pub gamma: f64,
+}
+
+impl DutyCycle {
+    /// Construct from β and γ. Panics on out-of-range values.
+    pub fn new(beta: f64, gamma: f64) -> Self {
+        assert!((0.0..=1.0).contains(&beta), "beta out of [0,1]: {beta}");
+        assert!((0.0..=1.0).contains(&gamma), "gamma out of [0,1]: {gamma}");
+        DutyCycle { beta, gamma }
+    }
+
+    /// Total duty cycle η = γ + α·β (Definition 3.5).
+    pub fn eta(&self, alpha: f64) -> f64 {
+        self.gamma + alpha * self.beta
+    }
+
+    /// The latency-optimal split of a total budget η between transmission
+    /// and reception: β = η/(2α), γ = η/2 (proof of Theorem 5.5).
+    pub fn optimal_split(eta: f64, alpha: f64) -> Self {
+        assert!(eta > 0.0 && eta <= 1.0, "eta out of (0,1]: {eta}");
+        assert!(alpha > 0.0, "alpha must be positive");
+        DutyCycle {
+            beta: eta / (2.0 * alpha),
+            gamma: eta / 2.0,
+        }
+    }
+
+    /// Split a budget η given a fixed channel-utilization cap β_m
+    /// (Theorem 5.6): spend β = min(η/2α, β_m) on transmission and the rest
+    /// on reception.
+    pub fn constrained_split(eta: f64, alpha: f64, beta_max: f64) -> Self {
+        let beta = (eta / (2.0 * alpha)).min(beta_max);
+        let gamma = eta - alpha * beta;
+        DutyCycle { beta, gamma }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_radio() {
+        let r = RadioParams::ideal(Tick::from_micros(36), 1.0);
+        assert!(r.is_ideal());
+        assert_eq!(r.omega_secs(), 36e-6);
+    }
+
+    #[test]
+    fn paper_default_matches_appendix() {
+        let r = RadioParams::paper_default();
+        assert_eq!(r.omega, Tick::from_micros(36));
+        assert_eq!(r.alpha, 1.0);
+        assert!(r.is_ideal());
+    }
+
+    #[test]
+    fn ble_like_is_not_ideal() {
+        assert!(!RadioParams::ble_like().is_ideal());
+    }
+
+    #[test]
+    fn eta_weighted_sum() {
+        let dc = DutyCycle::new(0.02, 0.03);
+        assert_eq!(dc.eta(1.0), 0.05);
+        assert!((dc.eta(2.0) - 0.07).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimal_split_halves_budget_at_alpha_1() {
+        let dc = DutyCycle::optimal_split(0.05, 1.0);
+        assert!((dc.beta - 0.025).abs() < 1e-12);
+        assert!((dc.gamma - 0.025).abs() < 1e-12);
+        assert!((dc.eta(1.0) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimal_split_respects_alpha() {
+        // α = 2: transmission is twice as expensive, so β = η/4
+        let dc = DutyCycle::optimal_split(0.08, 2.0);
+        assert!((dc.beta - 0.02).abs() < 1e-12);
+        assert!((dc.gamma - 0.04).abs() < 1e-12);
+        assert!((dc.eta(2.0) - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constrained_split_caps_beta() {
+        // unconstrained optimum would be β = 0.025
+        let dc = DutyCycle::constrained_split(0.05, 1.0, 0.01);
+        assert!((dc.beta - 0.01).abs() < 1e-12);
+        assert!((dc.gamma - 0.04).abs() < 1e-12);
+        // cap not binding
+        let dc = DutyCycle::constrained_split(0.05, 1.0, 0.5);
+        assert!((dc.beta - 0.025).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_nonpositive_alpha() {
+        let _ = RadioParams::ideal(Tick::from_micros(1), 0.0);
+    }
+}

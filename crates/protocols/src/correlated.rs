@@ -1,0 +1,256 @@
+//! Mutual-exclusive one-way discovery (Appendix C of the paper).
+//!
+//! Both devices run the *same* schedule: one reception window of length
+//! `d₁` at the start of each period `T_C = k·d₁` (k even), and `k/2`
+//! beacons at the **odd multiples** of `d₁`, i.e. in a fixed temporal
+//! relation ζ = d₁ to the device's own window. The correlation (Eq. 34)
+//! makes the two directions complementary:
+//!
+//! * if the phase between the devices falls in an *even* `d₁`-block, a
+//!   beacon of E lands in F's window (F discovers E);
+//! * if it falls in an *odd* block, a beacon of F lands in E's window
+//!   (E discovers F).
+//!
+//! Every phase is covered by one direction, with half the beacons per
+//! device that direct symmetric discovery would need — achieving
+//! Theorem C.1's bound `L = 2αω/η²`, the tightest bound for pairwise
+//! deterministic ND. As a bonus, beacons (odd blocks) never overlap the
+//! device's own window (block 0), so the Appendix A.5 self-blocking issue
+//! vanishes entirely.
+
+use nd_core::bounds;
+use nd_core::error::NdError;
+use nd_core::schedule::{BeaconSeq, ReceptionWindows, Schedule};
+use nd_core::time::Tick;
+
+use crate::optimal::OptimalProtocol;
+
+/// Build the Appendix C one-way-optimal schedule for a per-device budget
+/// η. Both devices run the returned schedule; their random phase decides
+/// which direction discovers first.
+pub fn correlated_oneway(
+    omega: Tick,
+    alpha: f64,
+    eta: f64,
+) -> Result<OptimalProtocol, NdError> {
+    if !(0.0 < eta && eta < 1.0) {
+        return Err(NdError::InfeasibleParameters(format!("eta out of range: {eta}")));
+    }
+    // balance 1/k = αω/(2d₁) = η/2  →  k = 2/η (even), d₁ = αω/η
+    let mut k = (2.0 / eta).round().max(2.0) as u64;
+    if k % 2 == 1 {
+        k += 1;
+    }
+    let d1 = Tick(((alpha * omega.as_nanos() as f64) / eta).round() as u64).max(Tick(1));
+    if d1 * 2 < omega + Tick(1) {
+        return Err(NdError::InfeasibleParameters(format!(
+            "eta {eta} too large: beacon gap 2·d₁ = {} below airtime {omega}",
+            d1 * 2
+        )));
+    }
+    let period = d1 * k;
+    // beacons at (2i+1)·d₁ for i = 0..k/2
+    let times: Vec<Tick> = (0..k / 2).map(|i| d1 * (2 * i + 1)).collect();
+    let beacons = BeaconSeq::new(times, period, omega)?;
+    // The paper's windows are *closed* intervals [t, t+d] (Section 4.1);
+    // on the half-open integer grid that is one tick longer than d₁. The
+    // extra tick is what joins the two coverage combs at the block
+    // boundaries: F covers the closed blocks [2i·d₁, (2i+1)·d₁] and E the
+    // closed blocks [(2i+1)·d₁, (2i+2)·d₁], overlapping exactly at the
+    // multiples of d₁.
+    let windows = ReceptionWindows::single(Tick::ZERO, d1 + Tick(1), period)?;
+    let schedule = Schedule::full(beacons, windows);
+    let achieved = schedule.duty_cycle();
+    Ok(OptimalProtocol {
+        schedule,
+        // worst case: the full period (wait for the matching odd/even block
+        // to come around) — equals 2αω/η² at the balanced parameters
+        predicted_latency: period,
+        achieved,
+    })
+}
+
+/// Exact check that the quadruple of sequences achieves one-way
+/// determinism: for every integer phase φ of device F against device E,
+/// *either* an E-beacon start falls into an F-window *or* vice versa,
+/// within one period. Returns the worst-case one-way latency over all
+/// phases (None if some phase is never covered).
+///
+/// This is a direct executable rendering of the coverage argument in
+/// Figure 11; the `appc` experiment uses it to machine-check Theorem C.1's
+/// achievability.
+pub fn verify_oneway_determinism(schedule: &Schedule, step: Tick) -> Option<Tick> {
+    let b = schedule.beacons.as_ref()?;
+    let c = schedule.windows.as_ref()?;
+    let period = c.period();
+    assert_eq!(b.period(), period, "construction uses T_B = T_C");
+    let mut worst = Tick::ZERO;
+    let mut phi = Tick::ZERO;
+    while phi < period {
+        // E at phase 0, F at phase φ: E's beacons at t_e, F's windows at
+        // [φ + w, φ + w + d); and symmetrically.
+        let mut first: Option<Tick> = None;
+        // search up to two periods of global time for the first hit
+        'outer: for cycle in 0..2u64 {
+            for &tb in b.times() {
+                let t_e = tb + period * cycle; // E beacon (global)
+                let t_f = tb + phi + period * cycle; // F beacon (global)
+                // E beacon into F window? F windows at [φ, φ+d) + m·period
+                if in_window(t_e, phi, c, period) {
+                    first = Some(t_e);
+                    break 'outer;
+                }
+                if in_window(t_f, Tick::ZERO, c, period) {
+                    first = Some(t_f);
+                    break 'outer;
+                }
+            }
+        }
+        match first {
+            Some(t) => worst = worst.max(t),
+            None => return None,
+        }
+        phi += step;
+    }
+    Some(worst)
+}
+
+/// Like [`verify_oneway_determinism`], but reports the *fraction* of
+/// probed phases that achieve either-way discovery and the worst latency
+/// among the covered ones — for protocols (like U-Connect or boundary-
+/// afflicted slotted schedules) whose either-way coverage is high but not
+/// total under the strict reception model.
+pub fn oneway_coverage_fraction(schedule: &Schedule, step: Tick) -> (f64, Option<Tick>) {
+    let Some(b) = schedule.beacons.as_ref() else {
+        return (0.0, None);
+    };
+    let Some(c) = schedule.windows.as_ref() else {
+        return (0.0, None);
+    };
+    let period = c.period();
+    assert_eq!(b.period(), period, "requires T_B = T_C");
+    let mut covered = 0u64;
+    let mut probed = 0u64;
+    let mut worst = Tick::ZERO;
+    let mut phi = Tick::ZERO;
+    while phi < period {
+        probed += 1;
+        let mut first: Option<Tick> = None;
+        'outer: for cycle in 0..2u64 {
+            for &tb in b.times() {
+                let t_e = tb + period * cycle;
+                let t_f = tb + phi + period * cycle;
+                if in_window(t_e, phi, c, period) {
+                    first = Some(t_e);
+                    break 'outer;
+                }
+                if in_window(t_f, Tick::ZERO, c, period) {
+                    first = Some(t_f);
+                    break 'outer;
+                }
+            }
+        }
+        if let Some(t) = first {
+            covered += 1;
+            worst = worst.max(t);
+        }
+        phi += step;
+    }
+    (
+        covered as f64 / probed as f64,
+        if covered > 0 { Some(worst) } else { None },
+    )
+}
+
+fn in_window(t: Tick, base_phase: Tick, c: &ReceptionWindows, period: Tick) -> bool {
+    // window pattern starts at base_phase
+    let rel = (t + period * 4 - base_phase).rem_euclid(period);
+    c.windows().iter().any(|w| w.interval().contains(rel))
+}
+
+/// The theoretical latency bound this construction targets
+/// (Theorem C.1): `2αω/η²` seconds.
+pub fn oneway_target(omega: Tick, alpha: f64, eta: f64) -> f64 {
+    bounds::oneway_bound(alpha, omega.as_secs_f64(), eta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OMEGA: Tick = Tick(36_000); // 36 µs
+
+    #[test]
+    fn construction_achieves_theorem_c1() {
+        for eta in [0.01, 0.02, 0.05] {
+            let opt = correlated_oneway(OMEGA, 1.0, eta).unwrap();
+            let bound = oneway_target(OMEGA, 1.0, eta);
+            let pred = opt.predicted_latency.as_secs_f64();
+            assert!(
+                (pred - bound).abs() / bound < 0.02,
+                "eta {eta}: pred {pred} bound {bound}"
+            );
+            let achieved = opt.achieved.eta(1.0);
+            assert!((achieved - eta).abs() / eta < 0.02, "budget respected");
+        }
+    }
+
+    #[test]
+    fn half_the_beacons_per_discovery() {
+        // Appendix C: "the number of beacons that need to be sent per
+        // device for guaranteeing one-way discovery can be halved". The
+        // per-second beacon *rate* is the same (β = η/2α in both designs);
+        // what halves is the latency, and with it the number of beacons
+        // sent per (guaranteed) discovery.
+        let oneway = correlated_oneway(OMEGA, 1.0, 0.05).unwrap();
+        let direct = crate::optimal::symmetric(
+            crate::optimal::OptimalParams::paper_default(),
+            0.05,
+        )
+        .unwrap();
+        let per_l = |b: &nd_core::BeaconSeq, l: Tick| {
+            b.n_beacons() as f64 * l.as_secs_f64() / b.period().as_secs_f64()
+        };
+        let m1 = per_l(
+            oneway.schedule.beacons.as_ref().unwrap(),
+            oneway.predicted_latency,
+        );
+        let m2 = per_l(
+            direct.schedule.beacons.as_ref().unwrap(),
+            direct.predicted_latency,
+        );
+        assert!((m2 / m1 - 2.0).abs() < 0.1, "m1 {m1} m2 {m2}");
+        // and the latency itself halves at equal budget
+        let ratio = direct.predicted_latency.as_secs_f64()
+            / oneway.predicted_latency.as_secs_f64();
+        assert!((ratio - 2.0).abs() < 0.1, "latency ratio {ratio}");
+    }
+
+    #[test]
+    fn beacons_barely_touch_own_window() {
+        // the first beacon (at d₁) touches the closed window [0, d₁] in
+        // exactly one tick — the paper's measure-zero boundary point; all
+        // other beacons are clear of the window
+        let opt = correlated_oneway(OMEGA, 1.0, 0.02).unwrap();
+        let f = opt.schedule.self_blocking_fraction(Tick::ZERO);
+        assert!(f < 1e-5, "self-blocking fraction {f}");
+    }
+
+    #[test]
+    fn every_phase_is_covered_one_way() {
+        let opt = correlated_oneway(OMEGA, 1.0, 0.05).unwrap();
+        let d1 = opt.schedule.windows.as_ref().unwrap().sum_d();
+        // probe at d₁/7 steps — fine enough to hit every block
+        let worst = verify_oneway_determinism(&opt.schedule, d1 / 7).expect("deterministic");
+        assert!(worst <= opt.predicted_latency + d1 * 2);
+    }
+
+    #[test]
+    fn too_large_eta_rejected() {
+        // with a small α the window d₁ = αω/η shrinks below ω/2 and the
+        // beacon gap 2·d₁ cannot fit a packet
+        assert!(correlated_oneway(OMEGA, 0.25, 0.9).is_err());
+        assert!(correlated_oneway(OMEGA, 1.0, 1.5).is_err());
+        assert!(correlated_oneway(OMEGA, 1.0, 0.0).is_err());
+    }
+}

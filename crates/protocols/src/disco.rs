@@ -1,0 +1,161 @@
+//! Disco (Dutta & Culler, SenSys 2008 — reference [3] of the paper).
+//!
+//! Each node picks a pair of distinct primes `(p₁, p₂)`; slot counter `c`
+//! makes a slot active whenever `c ≡ 0 (mod p₁)` or `c ≡ 0 (mod p₂)`. If
+//! two nodes use prime pairs with at least one coprime cross pair, the
+//! Chinese Remainder Theorem guarantees overlapping active slots within
+//! `p_i·p_j` slots. The slot-domain duty cycle is `1/p₁ + 1/p₂` (minus the
+//! double-counted slot 0).
+
+use crate::slotted::{is_prime, next_prime, prev_prime, BeaconPlacement, SlottedSchedule};
+use nd_core::error::NdError;
+use nd_core::schedule::Schedule;
+use nd_core::time::Tick;
+
+/// A Disco node configuration.
+#[derive(Clone, Debug)]
+pub struct Disco {
+    /// First prime.
+    pub p1: u64,
+    /// Second prime (distinct from `p1`).
+    pub p2: u64,
+    /// Slot length `I`.
+    pub slot: Tick,
+    /// Packet airtime ω.
+    pub omega: Tick,
+}
+
+impl Disco {
+    /// Validate and build a node configuration.
+    pub fn new(p1: u64, p2: u64, slot: Tick, omega: Tick) -> Result<Self, NdError> {
+        if !is_prime(p1) || !is_prime(p2) {
+            return Err(NdError::InvalidSchedule(format!(
+                "Disco needs primes, got ({p1}, {p2})"
+            )));
+        }
+        if p1 == p2 {
+            return Err(NdError::InvalidSchedule(
+                "Disco needs two distinct primes".into(),
+            ));
+        }
+        Ok(Disco { p1, p2, slot, omega })
+    }
+
+    /// A balanced prime pair for a target slot-domain duty cycle
+    /// (`1/p₁ + 1/p₂ ≈ dc` with `p₁ ≈ p₂ ≈ 2/dc`), following the
+    /// balanced-pair recommendation evaluated in the Disco paper.
+    pub fn balanced_for_duty_cycle(dc: f64, slot: Tick, omega: Tick) -> Result<Self, NdError> {
+        if !(0.0 < dc && dc < 1.0) {
+            return Err(NdError::InvalidSchedule(format!("duty cycle out of range: {dc}")));
+        }
+        let target = (2.0 / dc).round().max(3.0) as u64;
+        let p1 = prev_prime(target.max(3));
+        let mut p2 = next_prime(target + 1);
+        if p2 == p1 {
+            p2 = next_prime(p1 + 1);
+        }
+        Self::new(p1, p2, slot, omega)
+    }
+
+    /// The slot-domain worst case against a peer running primes
+    /// `(q1, q2)`: the smallest coprime cross product (Disco's CRT
+    /// argument). `None` if no cross pair is coprime (identical pairs on
+    /// both sides still work because p₁ ⊥ p₂ within one node's own pair —
+    /// the cross pairs (p₁, q₂) and (p₂, q₁) are then coprime).
+    pub fn worst_case_slots_with(&self, q1: u64, q2: u64) -> Option<u64> {
+        let mut best: Option<u64> = None;
+        for &(a, b) in &[
+            (self.p1, q1),
+            (self.p1, q2),
+            (self.p2, q1),
+            (self.p2, q2),
+        ] {
+            if a != b {
+                // distinct primes are coprime
+                let prod = a * b;
+                best = Some(best.map_or(prod, |cur| cur.min(prod)));
+            }
+        }
+        best
+    }
+
+    /// Slot-domain duty cycle: `(p₁ + p₂ − 1)/(p₁·p₂)` (slot 0 is shared).
+    pub fn slot_duty_cycle(&self) -> f64 {
+        (self.p1 + self.p2 - 1) as f64 / (self.p1 * self.p2) as f64
+    }
+
+    /// The underlying slotted schedule (period `p₁·p₂` slots, beacons at
+    /// the start and end of each active slot).
+    pub fn slotted(&self) -> Result<SlottedSchedule, NdError> {
+        let period = self.p1 * self.p2;
+        let active: Vec<u64> = (0..period)
+            .filter(|c| c % self.p1 == 0 || c % self.p2 == 0)
+            .collect();
+        SlottedSchedule::new(
+            self.slot,
+            period,
+            active,
+            BeaconPlacement::StartEnd,
+            self.omega,
+        )
+    }
+
+    /// Lower to an exact beacon/window schedule.
+    pub fn schedule(&self) -> Result<Schedule, NdError> {
+        self.slotted()?.to_schedule()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OMEGA: Tick = Tick(36_000);
+    const SLOT: Tick = Tick::from_millis(1);
+
+    #[test]
+    fn validation() {
+        assert!(Disco::new(3, 5, SLOT, OMEGA).is_ok());
+        assert!(Disco::new(4, 5, SLOT, OMEGA).is_err());
+        assert!(Disco::new(5, 5, SLOT, OMEGA).is_err());
+    }
+
+    #[test]
+    fn active_slot_count_is_p1_plus_p2_minus_1() {
+        let d = Disco::new(5, 7, SLOT, OMEGA).unwrap();
+        let s = d.slotted().unwrap();
+        assert_eq!(s.period_slots, 35);
+        assert_eq!(s.active.len(), 5 + 7 - 1);
+        assert!((d.slot_duty_cycle() - 11.0 / 35.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_pair_hits_duty_cycle() {
+        let d = Disco::balanced_for_duty_cycle(0.05, SLOT, OMEGA).unwrap();
+        // target p ≈ 40 → 37 and 41
+        assert_eq!((d.p1, d.p2), (37, 41));
+        assert!((d.slot_duty_cycle() - 0.05).abs() < 0.01);
+    }
+
+    #[test]
+    fn worst_case_cross_products() {
+        let d = Disco::new(37, 43, SLOT, OMEGA).unwrap();
+        // same pair on the peer: min coprime cross product = 37·43
+        assert_eq!(d.worst_case_slots_with(37, 43), Some(37 * 43));
+        // different peer: the smallest coprime cross pair wins
+        assert_eq!(d.worst_case_slots_with(5, 7), Some(5 * 37));
+    }
+
+    #[test]
+    fn schedule_lowering() {
+        let d = Disco::new(3, 5, SLOT, OMEGA).unwrap();
+        let sched = d.schedule().unwrap();
+        // 7 active slots → 14 beacons (no adjacent duplicates here)
+        assert_eq!(sched.beacons.as_ref().unwrap().n_beacons(), 14);
+        assert_eq!(sched.windows.as_ref().unwrap().n_windows(), 7);
+        // slot-domain duty cycle ≈ γ + β·(I/(I−stuff)) sanity: γ < dc_slots
+        let dc = sched.duty_cycle();
+        assert!(dc.gamma < d.slot_duty_cycle());
+        assert!(dc.beta > 0.0);
+    }
+}

@@ -1,0 +1,364 @@
+//! The paper-optimal slotless schedule constructions (Section 5).
+//!
+//! These constructions *achieve* the fundamental bounds, proving their
+//! tightness:
+//!
+//! * the reception side is a single window of length `d₁` per period
+//!   `T_C = k·d₁` (Theorem 5.3 / Eq. 22: optimal reception duty cycles are
+//!   exactly γ = 1/k),
+//! * the beacon side sends with a **uniform** gap λ (Theorem 5.1: every sum
+//!   of M consecutive gaps must equal M·λ̄) chosen as
+//!   `λ = d₁·(a·k + 1)` for an integer `a ≥ 0`, so that consecutive
+//!   coverage images tile `[0, T_C)` seamlessly — every k consecutive
+//!   beacons cover every offset exactly once (disjoint + deterministic).
+//!
+//! The same machinery with per-device parameters yields the asymmetric
+//! (Theorem 5.7) and channel-utilization-constrained (Theorem 5.6)
+//! optima. These constructions are also exactly the "optimal
+//! parametrizations" of periodic-interval (BLE-like) protocols discussed in
+//! [14]/[13]: `T_a = λ`, `T_s = T_C`, `d_s = d₁` with `T_a = a·T_s + d_s`.
+
+use nd_core::bounds;
+use nd_core::error::NdError;
+use nd_core::params::DutyCycle;
+use nd_core::schedule::{BeaconSeq, ReceptionWindows, Schedule};
+use nd_core::time::Tick;
+
+/// A constructed optimal protocol instance: the schedule plus its exact
+/// achieved parameters (which may differ from the requested real-valued
+/// targets by integer rounding).
+#[derive(Clone, Debug)]
+pub struct OptimalProtocol {
+    /// The per-device schedule.
+    pub schedule: Schedule,
+    /// Exact achieved duty cycles.
+    pub achieved: DutyCycle,
+    /// The worst-case one-way latency this construction guarantees
+    /// (`k·λ`, exact in ticks).
+    pub predicted_latency: Tick,
+}
+
+/// Construction parameters shared by all optima.
+#[derive(Clone, Copy, Debug)]
+pub struct OptimalParams {
+    /// Packet airtime ω.
+    pub omega: Tick,
+    /// TX/RX power ratio α.
+    pub alpha: f64,
+    /// The tiling multiplier `a` in `λ = d₁(a·k + 1)`: for the same duty
+    /// cycles, a larger `a` shrinks the window length `d₁` (and the
+    /// reception period `T_C = k·d₁`) relative to the fixed beacon gap
+    /// `λ = ω/β`. `a = 1` is a good default.
+    pub a: u64,
+}
+
+impl OptimalParams {
+    /// Default parameters: the paper's ω = 36 µs, α = 1, a = 1.
+    pub fn paper_default() -> Self {
+        OptimalParams {
+            omega: Tick::from_micros(36),
+            alpha: 1.0,
+            a: 1,
+        }
+    }
+}
+
+/// Build the unidirectional optimum (Theorem 5.4): a beacon train with
+/// transmission duty cycle ≈ `beta` for the sender and a reception sequence
+/// with duty cycle ≈ `gamma` for the receiver, guaranteeing one-way
+/// discovery in `ω/(β·γ)`.
+///
+/// Returns the sender schedule (tx-only), the receiver schedule (rx-only)
+/// and the exact predicted latency.
+pub fn unidirectional(
+    params: OptimalParams,
+    beta: f64,
+    gamma: f64,
+) -> Result<(OptimalProtocol, OptimalProtocol), NdError> {
+    let (beacons, windows, latency) = build_tiling(params, beta, gamma)?;
+    let sender = Schedule::tx_only(beacons);
+    let receiver = Schedule::rx_only(windows);
+    let s_dc = sender.duty_cycle();
+    let r_dc = receiver.duty_cycle();
+    Ok((
+        OptimalProtocol {
+            schedule: sender,
+            achieved: s_dc,
+            predicted_latency: latency,
+        },
+        OptimalProtocol {
+            schedule: receiver,
+            achieved: r_dc,
+            predicted_latency: latency,
+        },
+    ))
+}
+
+/// Build the symmetric bidirectional optimum (Theorem 5.5): every device
+/// runs the same schedule (up to phase); the duty-cycle budget η is split
+/// β = η/(2α), γ = η/2 and the guaranteed two-way latency is `4αω/η²`.
+pub fn symmetric(params: OptimalParams, eta: f64) -> Result<OptimalProtocol, NdError> {
+    let split = DutyCycle::optimal_split(eta, params.alpha);
+    full_duplex_schedule(params, split)
+}
+
+/// Build the channel-utilization-constrained optimum (Theorem 5.6):
+/// β = min(η/2α, β_m), γ = η − αβ; the guaranteed two-way latency follows
+/// Eq. 13.
+pub fn constrained(
+    params: OptimalParams,
+    eta: f64,
+    beta_max: f64,
+) -> Result<OptimalProtocol, NdError> {
+    let split = DutyCycle::constrained_split(eta, params.alpha, beta_max);
+    if split.gamma <= 0.0 {
+        return Err(NdError::InfeasibleParameters(format!(
+            "eta {eta} with cap {beta_max} leaves no reception budget"
+        )));
+    }
+    full_duplex_schedule(params, split)
+}
+
+/// Build the asymmetric bidirectional optimum (Theorem 5.7) for two devices
+/// with budgets `eta_e` and `eta_f`: each device transmits with
+/// β_X = η_X/(2α) and listens with γ_X = η_X/2; both one-way latencies are
+/// balanced at `4αω/(η_E·η_F)`.
+///
+/// Returns `(schedule_e, schedule_f)`.
+pub fn asymmetric(
+    params: OptimalParams,
+    eta_e: f64,
+    eta_f: f64,
+) -> Result<(OptimalProtocol, OptimalProtocol), NdError> {
+    let (dc_e, dc_f) = bounds::optimal_asymmetric_splits(eta_e, eta_f, params.alpha);
+    // E's beacons must tile F's windows and vice versa
+    let (beacons_e, windows_f, l_f) = build_tiling(params, dc_e.beta, dc_f.gamma)?;
+    let (beacons_f, windows_e, l_e) = build_tiling(params, dc_f.beta, dc_e.gamma)?;
+    let sched_e = Schedule::full(beacons_e, windows_e);
+    let sched_f = Schedule::full(beacons_f, windows_f);
+    let (a_e, a_f) = (sched_e.duty_cycle(), sched_f.duty_cycle());
+    Ok((
+        OptimalProtocol {
+            schedule: sched_e,
+            achieved: a_e,
+            predicted_latency: l_f.max(l_e),
+        },
+        OptimalProtocol {
+            schedule: sched_f,
+            achieved: a_f,
+            predicted_latency: l_f.max(l_e),
+        },
+    ))
+}
+
+/// A symmetric device schedule from an explicit (β, γ) split.
+fn full_duplex_schedule(
+    params: OptimalParams,
+    split: DutyCycle,
+) -> Result<OptimalProtocol, NdError> {
+    let (beacons, windows, latency) = build_tiling(params, split.beta, split.gamma)?;
+    let schedule = Schedule::full(beacons, windows);
+    let achieved = schedule.duty_cycle();
+    Ok(OptimalProtocol {
+        schedule,
+        achieved,
+        predicted_latency: latency,
+    })
+}
+
+/// The core tiling construction: integer-exact `(B, C)` with
+/// `γ = 1/k`, `λ = d₁(a·k + 1)`, `T_C = k·d₁`, `T_B = k·λ`.
+///
+/// `beta`/`gamma` are real-valued targets; the returned sequences achieve
+/// `γ = 1/k` exactly (k = round(1/γ)) and β within one-nanosecond rounding
+/// of the target.
+pub(crate) fn build_tiling(
+    params: OptimalParams,
+    beta: f64,
+    gamma: f64,
+) -> Result<(BeaconSeq, ReceptionWindows, Tick), NdError> {
+    if !(0.0 < beta && beta < 1.0 && 0.0 < gamma && gamma < 1.0) {
+        return Err(NdError::InfeasibleParameters(format!(
+            "duty cycles out of range: beta {beta}, gamma {gamma}"
+        )));
+    }
+    // Theorem 5.3 / Eq. 22: optimal reception duty cycles are 1/k
+    let k = (1.0 / gamma).round().max(1.0) as u64;
+    // target mean gap λ = ω/β; quantize via d₁ = λ/(a·k + 1)
+    let multiplier = params.a * k + 1;
+    let lambda_target = params.omega.as_nanos() as f64 / beta;
+    let d1 = Tick(((lambda_target / multiplier as f64).round() as u64).max(1));
+    let lambda = d1 * multiplier;
+    if lambda < params.omega {
+        return Err(NdError::InfeasibleParameters(format!(
+            "beacon gap {lambda} shorter than airtime {} (beta {beta} too large for a={})",
+            params.omega, params.a
+        )));
+    }
+    let period_c = d1 * k;
+    let period_b = lambda * k;
+    // beacons at phase d₁/2 to stagger against the window at the period
+    // start (cosmetic; any phase tiles)
+    let beacons = BeaconSeq::uniform(k, period_b, params.omega, d1 / 2)?;
+    let windows = ReceptionWindows::single(Tick::ZERO, d1, period_c)?;
+    // worst case: up to λ wait for the first in-range beacon, then up to
+    // (k−1)·λ until the covering beacon: exactly k·λ (Theorem 5.1)
+    let latency = lambda * k;
+    Ok((beacons, windows, latency))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nd_core::coverage::{CoverageMap, OverlapModel};
+
+    fn params() -> OptimalParams {
+        OptimalParams::paper_default()
+    }
+
+    #[test]
+    fn unidirectional_duty_cycles_near_targets() {
+        let (tx, rx) = unidirectional(params(), 0.01, 0.02).unwrap();
+        assert!((tx.achieved.beta - 0.01).abs() / 0.01 < 0.01, "beta within 1 %");
+        assert!((rx.achieved.gamma - 0.02).abs() < 1e-12, "gamma exact (1/k)");
+        // predicted latency matches the bound ω/(βγ) with achieved values
+        let bound = bounds::unidirectional_bound(
+            params().omega.as_secs_f64(),
+            tx.achieved.beta,
+            rx.achieved.gamma,
+        );
+        let pred = tx.predicted_latency.as_secs_f64();
+        assert!((pred - bound).abs() / bound < 1e-9);
+    }
+
+    #[test]
+    fn unidirectional_is_deterministic_and_disjoint() {
+        let (tx, rx) = unidirectional(params(), 0.01, 0.02).unwrap();
+        let b = tx.schedule.beacons.as_ref().unwrap();
+        let c = rx.schedule.windows.as_ref().unwrap();
+        let k = c.period().div_ceil(c.sum_d());
+        let rel = b.relative_instants(k as usize);
+        let map = CoverageMap::build(&rel, c, params().omega, OverlapModel::Start);
+        assert!(map.is_deterministic(), "k beacons must cover all offsets");
+        assert!(map.is_disjoint(), "optimal coverage is disjoint");
+    }
+
+    #[test]
+    fn symmetric_achieves_theorem_5_5() {
+        for eta in [0.01, 0.02, 0.05, 0.1] {
+            let opt = symmetric(params(), eta).unwrap();
+            let bound = bounds::symmetric_bound(1.0, params().omega.as_secs_f64(), eta);
+            let pred = opt.predicted_latency.as_secs_f64();
+            // integer rounding keeps us within 2 % of the ideal bound
+            assert!(
+                (pred - bound).abs() / bound < 0.02,
+                "eta {eta}: pred {pred}, bound {bound}"
+            );
+            // and the achieved duty cycle stays within 2 % of the budget
+            let achieved_eta = opt.achieved.eta(1.0);
+            assert!((achieved_eta - eta).abs() / eta < 0.02);
+        }
+    }
+
+    #[test]
+    fn symmetric_coverage_is_optimal() {
+        let opt = symmetric(params(), 0.05).unwrap();
+        let b = opt.schedule.beacons.as_ref().unwrap();
+        let c = opt.schedule.windows.as_ref().unwrap();
+        let k = c.period().div_ceil(c.sum_d()) as usize;
+        let map = CoverageMap::build(
+            &b.relative_instants(k),
+            c,
+            params().omega,
+            OverlapModel::Start,
+        );
+        assert!(map.is_deterministic());
+        assert!(map.is_disjoint());
+        // exactly M beacons: optimal per Theorem 4.3
+        assert_eq!(k as u64, nd_core::coverage::min_beacons(c.period(), c.sum_d()));
+    }
+
+    #[test]
+    fn constrained_caps_beta() {
+        let opt = constrained(params(), 0.05, 0.01).unwrap();
+        assert!(opt.achieved.beta <= 0.0101);
+        assert!((opt.achieved.gamma - (0.05 - 0.01)).abs() < 1e-12);
+        // latency matches Theorem 5.6's binding branch
+        let bound = bounds::constrained_bound(1.0, params().omega.as_secs_f64(), 0.05, 0.01);
+        let pred = opt.predicted_latency.as_secs_f64();
+        assert!((pred - bound).abs() / bound < 0.02, "pred {pred} vs bound {bound}");
+    }
+
+    #[test]
+    fn constrained_uncapped_equals_symmetric() {
+        let a = constrained(params(), 0.05, 0.5).unwrap();
+        let b = symmetric(params(), 0.05).unwrap();
+        assert_eq!(a.predicted_latency, b.predicted_latency);
+    }
+
+    #[test]
+    fn asymmetric_balances_directions() {
+        let (e, f) = asymmetric(params(), 0.08, 0.02).unwrap();
+        let bound = bounds::asymmetric_bound(1.0, params().omega.as_secs_f64(), 0.08, 0.02);
+        let pred = e.predicted_latency.as_secs_f64();
+        assert!((pred - bound).abs() / bound < 0.02, "pred {pred} vs bound {bound}");
+        assert_eq!(e.predicted_latency, f.predicted_latency);
+        // both directions deterministic
+        let be = e.schedule.beacons.as_ref().unwrap();
+        let cf = f.schedule.windows.as_ref().unwrap();
+        let k = cf.period().div_ceil(cf.sum_d()) as usize;
+        let map = CoverageMap::build(
+            &be.relative_instants(k),
+            cf,
+            params().omega,
+            OverlapModel::Start,
+        );
+        assert!(map.is_deterministic(), "E→F direction");
+        let bf = f.schedule.beacons.as_ref().unwrap();
+        let ce = e.schedule.windows.as_ref().unwrap();
+        let k2 = ce.period().div_ceil(ce.sum_d()) as usize;
+        let map2 = CoverageMap::build(
+            &bf.relative_instants(k2),
+            ce,
+            params().omega,
+            OverlapModel::Start,
+        );
+        assert!(map2.is_deterministic(), "F→E direction");
+    }
+
+    #[test]
+    fn asymmetric_reduces_to_symmetric() {
+        let (e, _f) = asymmetric(params(), 0.05, 0.05).unwrap();
+        let s = symmetric(params(), 0.05).unwrap();
+        assert_eq!(e.predicted_latency, s.predicted_latency);
+    }
+
+    #[test]
+    fn infeasible_beta_rejected() {
+        // β so large that the quantized gap rounds below the airtime
+        let tiny = OptimalParams {
+            omega: Tick(10),
+            alpha: 1.0,
+            a: 1,
+        };
+        assert!(unidirectional(tiny, 0.99, 0.5).is_err());
+        // out-of-range duty cycles rejected
+        assert!(unidirectional(params(), 0.0, 0.5).is_err());
+        assert!(unidirectional(params(), 0.5, 1.5).is_err());
+        assert!(constrained(params(), 0.02, 0.05).is_ok());
+    }
+
+    #[test]
+    fn larger_a_gives_longer_periods_same_duty_cycle() {
+        let mut p1 = params();
+        p1.a = 1;
+        let mut p4 = params();
+        p4.a = 4;
+        let o1 = symmetric(p1, 0.05).unwrap();
+        let o4 = symmetric(p4, 0.05).unwrap();
+        let c1 = o1.schedule.windows.as_ref().unwrap().period();
+        let c4 = o4.schedule.windows.as_ref().unwrap().period();
+        assert!(c4 < c1, "larger a → shorter window/period for the same λ");
+        assert!((o1.achieved.eta(1.0) - o4.achieved.eta(1.0)).abs() < 1e-3);
+    }
+}

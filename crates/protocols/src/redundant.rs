@@ -1,0 +1,160 @@
+//! Collision-robust redundant schedules (Appendix B of the paper).
+//!
+//! For `S > 2` devices, the deterministic worst case `L` is only met with
+//! some probability; Appendix B derives the optimal redundancy degree `Q`
+//! (every offset covered `Q` times) and channel utilization β for a target
+//! failure rate `P_f`. A uniform-gap tiling sequence already provides this
+//! redundancy structure: each group of `k` consecutive beacons covers every
+//! offset exactly once, so `Q` consecutive groups cover every offset `Q`
+//! times within `L′ = Q·k·λ` — Eq. 33.
+//!
+//! The catch (stated by the paper) is *correlation*: with strictly
+//! repetitive sequences, a beacon that collides tends to collide again in
+//! the next group. Combine the schedule with
+//! [`crate::jitter::Jittered`] to approximate the independent-collision
+//! assumption behind Eq. 32 — the `appb` experiment measures how close
+//! that gets.
+
+use crate::optimal::{build_tiling, OptimalParams};
+use nd_core::bounds::redundancy::{optimal_redundancy, CollisionExponent, RedundancyPlan};
+use nd_core::error::NdError;
+use nd_core::schedule::Schedule;
+use nd_core::time::Tick;
+
+/// A redundancy-planned protocol instance.
+#[derive(Clone, Debug)]
+pub struct RedundantProtocol {
+    /// The per-device schedule (β from the plan, γ = η − αβ).
+    pub schedule: Schedule,
+    /// The solved Appendix B plan (Q, β, γ, L′, …).
+    pub plan: RedundancyPlan,
+    /// The exact latency within which every offset is covered `Q` times
+    /// (`Q·k·λ` in ticks; the integer-rounded version of the plan's
+    /// `l_prime`).
+    pub predicted_l_prime: Tick,
+}
+
+impl RedundantProtocol {
+    /// Machine-check the Q-fold coverage property: within the `L′` horizon
+    /// (`Q·k` beacons), every offset must be covered at least `Q` times
+    /// (Definition 4.3's Λ* ≥ Q). Returns the verified minimum
+    /// multiplicity.
+    pub fn verify_multiplicity(&self) -> u32 {
+        use nd_core::coverage::{CoverageMap, OverlapModel};
+        let b = self.schedule.beacons.as_ref().expect("transmits");
+        let c = self.schedule.windows.as_ref().expect("listens");
+        let k = c.period().div_ceil(c.sum_d()) as usize;
+        let n = k * self.plan.q as usize;
+        let map = CoverageMap::build(&b.relative_instants(n), c, b.omega(), OverlapModel::Start);
+        map.min_multiplicity()
+    }
+}
+
+/// Build the Appendix B optimum for a budget η, failure-rate target `pf`
+/// and `s` simultaneously discovering devices.
+pub fn redundant_symmetric(
+    params: OptimalParams,
+    eta: f64,
+    pf: f64,
+    s: u32,
+    exponent: CollisionExponent,
+) -> Result<RedundantProtocol, NdError> {
+    let plan = optimal_redundancy(
+        eta,
+        params.alpha,
+        params.omega.as_secs_f64(),
+        pf,
+        s,
+        exponent,
+        16,
+    )
+    .ok_or_else(|| {
+        NdError::InfeasibleParameters(format!(
+            "no feasible redundancy degree for eta {eta}, pf {pf}, s {s}"
+        ))
+    })?;
+    let (beacons, windows, one_cover_latency) = build_tiling(params, plan.beta, plan.gamma)?;
+    let predicted_l_prime = one_cover_latency * plan.q as u64;
+    Ok(RedundantProtocol {
+        schedule: Schedule::full(beacons, windows),
+        plan,
+        predicted_l_prime,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> OptimalParams {
+        OptimalParams::paper_default()
+    }
+
+    #[test]
+    fn paper_example_lowered_to_schedule() {
+        // ω = 36 µs, α = 1, η = 5 %, P_f = 0.05 %, S = 3 → Q = 3
+        let r = redundant_symmetric(
+            params(),
+            0.05,
+            0.0005,
+            3,
+            CollisionExponent::SMinusOne,
+        )
+        .unwrap();
+        assert_eq!(r.plan.q, 3);
+        // schedule's β matches the plan within rounding
+        let dc = r.schedule.duty_cycle();
+        assert!((dc.beta - r.plan.beta).abs() / r.plan.beta < 0.01);
+        assert!((dc.gamma - r.plan.gamma).abs() / r.plan.gamma < 0.01);
+        // integer L′ tracks the analytical one
+        let ratio = r.predicted_l_prime.as_secs_f64() / r.plan.l_prime;
+        assert!((ratio - 1.0).abs() < 0.02, "ratio {ratio}");
+    }
+
+    #[test]
+    fn lprime_is_q_times_single_cover() {
+        let r = redundant_symmetric(
+            params(),
+            0.05,
+            0.0005,
+            3,
+            CollisionExponent::SMinusOne,
+        )
+        .unwrap();
+        // pair worst case (single cover) = L′/Q
+        let single = r.predicted_l_prime / r.plan.q as u64;
+        let pair = r.plan.pair_worst_case;
+        assert!((single.as_secs_f64() - pair).abs() / pair < 0.02);
+    }
+
+    #[test]
+    fn q_fold_coverage_verified() {
+        // Definition 4.3 machine check: the Q = 3 plan covers every offset
+        // at least 3 times within L′
+        let r = redundant_symmetric(
+            params(),
+            0.05,
+            0.0005,
+            3,
+            CollisionExponent::SMinusOne,
+        )
+        .unwrap();
+        assert_eq!(r.verify_multiplicity(), r.plan.q);
+    }
+
+    #[test]
+    fn infeasible_budget_rejected() {
+        // A *large* failure-rate target is the infeasible direction: Eq. 32
+        // at P_f = 0.5 among 50 devices needs a per-beacon collision rate
+        // so high that the implied β exceeds the whole η = 0.1 % budget for
+        // every redundancy degree Q.
+        assert!(redundant_symmetric(
+            params(),
+            0.001,
+            0.5,
+            50,
+            CollisionExponent::SMinusOne
+        )
+        .is_err());
+    }
+}

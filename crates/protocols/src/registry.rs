@@ -1,0 +1,131 @@
+//! A small registry to build every protocol at a comparable configuration
+//! — used by the `classify`/`table1` experiments and the
+//! protocol-shootout example.
+
+use crate::{
+    codebased::CodeBased, diffcodes::DiffCode, disco::Disco, optimal::OptimalParams,
+    searchlight::Searchlight, uconnect::UConnect,
+};
+use nd_core::error::NdError;
+use nd_core::schedule::Schedule;
+use nd_core::time::Tick;
+
+/// The deterministic protocols the paper classifies, plus our optimal
+/// construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// The paper-optimal slotless tiling (Theorem 5.5).
+    OptimalSlotless,
+    /// Disco [3] with balanced primes.
+    Disco,
+    /// U-Connect [4].
+    UConnect,
+    /// Searchlight [5] (sequential probe).
+    Searchlight,
+    /// Diff-codes [17, 16].
+    DiffCodes,
+    /// Code-based [6, 7] (two packets per slot).
+    CodeBased,
+}
+
+impl ProtocolKind {
+    /// All kinds, in Table-1 order with the optimum first.
+    pub fn all() -> &'static [ProtocolKind] {
+        &[
+            ProtocolKind::OptimalSlotless,
+            ProtocolKind::DiffCodes,
+            ProtocolKind::Searchlight,
+            ProtocolKind::Disco,
+            ProtocolKind::UConnect,
+            ProtocolKind::CodeBased,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolKind::OptimalSlotless => "optimal-slotless",
+            ProtocolKind::Disco => "disco",
+            ProtocolKind::UConnect => "u-connect",
+            ProtocolKind::Searchlight => "searchlight",
+            ProtocolKind::DiffCodes => "diff-codes",
+            ProtocolKind::CodeBased => "code-based",
+        }
+    }
+
+    /// Build this protocol's per-device schedule aiming at a *total* duty
+    /// cycle η (α = 1). Slotted protocols take their natural slot-domain
+    /// parametrization with the given slot length; the slotless optimum
+    /// splits β = γ = η/2.
+    pub fn schedule_for_eta(
+        &self,
+        eta: f64,
+        slot: Tick,
+        omega: Tick,
+    ) -> Result<Schedule, NdError> {
+        match self {
+            ProtocolKind::OptimalSlotless => Ok(crate::optimal::symmetric(
+                OptimalParams { omega, alpha: 1.0, a: 1 },
+                eta,
+            )?
+            .schedule),
+            ProtocolKind::Disco => Disco::balanced_for_duty_cycle(eta, slot, omega)?.schedule(),
+            ProtocolKind::UConnect => UConnect::for_duty_cycle(eta, slot, omega)?.schedule(),
+            ProtocolKind::Searchlight => {
+                Searchlight::for_duty_cycle(eta, slot, omega)?.schedule()
+            }
+            ProtocolKind::DiffCodes => {
+                DiffCode::best_known_for_duty_cycle(eta, slot, omega)?.schedule()
+            }
+            ProtocolKind::CodeBased => {
+                CodeBased::best_known_for_duty_cycle(eta, slot, omega)?.schedule()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_builds() {
+        let slot = Tick::from_millis(1);
+        let omega = Tick::from_micros(36);
+        for kind in ProtocolKind::all() {
+            let sched = kind
+                .schedule_for_eta(0.1, slot, omega)
+                .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+            assert!(sched.beacons.is_some(), "{}", kind.name());
+            assert!(sched.windows.is_some(), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = ProtocolKind::all().iter().map(|k| k.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), ProtocolKind::all().len());
+    }
+
+    #[test]
+    fn slotted_duty_cycles_in_slot_domain_near_target() {
+        let slot = Tick::from_millis(1);
+        let omega = Tick::from_micros(36);
+        for kind in [
+            ProtocolKind::Disco,
+            ProtocolKind::UConnect,
+            ProtocolKind::Searchlight,
+        ] {
+            let sched = kind.schedule_for_eta(0.1, slot, omega).unwrap();
+            // γ ≈ slot-domain duty cycle for I ≫ ω
+            let gamma = sched.windows.as_ref().unwrap().gamma();
+            assert!(
+                (gamma - 0.1).abs() < 0.03,
+                "{}: gamma {gamma}",
+                kind.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! Generic slotted-schedule builder.
+//!
+//! Most published ND protocols (Disco, Searchlight, U-Connect,
+//! diff-code/quorum schedules) subdivide time into slots of length `I` and
+//! mark some slots *active*: the device beacons at the slot boundaries and
+//! listens in between (Section 2 of the paper). This module turns a set of
+//! active slot indices into an exact `nd-core` [`Schedule`], with the
+//! beacon placement variants the paper discusses:
+//!
+//! * [`BeaconPlacement::StartEnd`] — one beacon at the start and one at the
+//!   end of each active slot (Disco/Searchlight-style; two packets per
+//!   slot);
+//! * [`BeaconPlacement::StartOnly`] — a single beacon at the slot start
+//!   (the one-packet-per-slot accounting of Eq. 17);
+//! * [`BeaconPlacement::PreAndEnd`] — one beacon *just before* the slot
+//!   plus one at the end (the code-based protocols of [6,7], which send one
+//!   packet slightly outside the slot boundary).
+
+use nd_core::error::NdError;
+use nd_core::interval::{Interval, IntervalSet};
+use nd_core::schedule::{BeaconSeq, ReceptionWindows, Schedule, Window};
+use nd_core::time::Tick;
+
+/// Where beacons sit within an active slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BeaconPlacement {
+    /// Beacons at slot start and slot end; listen in between.
+    #[default]
+    StartEnd,
+    /// Single beacon at slot start; listen for the rest of the slot.
+    StartOnly,
+    /// Beacons just before the slot start and at the slot end; listen for
+    /// the whole slot body ([6,7]).
+    PreAndEnd,
+}
+
+/// A slotted protocol schedule: `period_slots` slots of length `slot`, of
+/// which `active` (sorted, distinct indices) are active.
+#[derive(Clone, Debug)]
+pub struct SlottedSchedule {
+    /// Slot length `I`.
+    pub slot: Tick,
+    /// Slots per period (`T` in the slotted-bounds notation).
+    pub period_slots: u64,
+    /// Active slot indices, sorted and distinct, all `< period_slots`.
+    pub active: Vec<u64>,
+    /// Beacon placement within active slots.
+    pub placement: BeaconPlacement,
+    /// Packet airtime ω.
+    pub omega: Tick,
+}
+
+impl SlottedSchedule {
+    /// Validate and build.
+    pub fn new(
+        slot: Tick,
+        period_slots: u64,
+        active: Vec<u64>,
+        placement: BeaconPlacement,
+        omega: Tick,
+    ) -> Result<Self, NdError> {
+        if period_slots == 0 || active.is_empty() {
+            return Err(NdError::InvalidSchedule(
+                "need at least one slot and one active slot".into(),
+            ));
+        }
+        let min_slot = match placement {
+            BeaconPlacement::StartEnd => omega * 2 + Tick(1),
+            BeaconPlacement::StartOnly => omega + Tick(1),
+            BeaconPlacement::PreAndEnd => omega * 2 + Tick(1),
+        };
+        if slot < min_slot {
+            return Err(NdError::InvalidSchedule(format!(
+                "slot length {slot} below the minimum {min_slot} for {placement:?}"
+            )));
+        }
+        let mut prev: Option<u64> = None;
+        for &i in &active {
+            if i >= period_slots {
+                return Err(NdError::InvalidSchedule(format!(
+                    "active slot {i} outside the period of {period_slots} slots"
+                )));
+            }
+            if prev.is_some_and(|p| p >= i) {
+                return Err(NdError::InvalidSchedule(
+                    "active slots must be sorted and distinct".into(),
+                ));
+            }
+            prev = Some(i);
+        }
+        Ok(SlottedSchedule {
+            slot,
+            period_slots,
+            active,
+            placement,
+            omega,
+        })
+    }
+
+    /// Slot-domain duty cycle `k/T`.
+    pub fn slot_duty_cycle(&self) -> f64 {
+        self.active.len() as f64 / self.period_slots as f64
+    }
+
+    /// The schedule period in time, `T·I`.
+    pub fn period(&self) -> Tick {
+        self.slot * self.period_slots
+    }
+
+    /// Lower the schedule to exact beacon/window sequences.
+    pub fn to_schedule(&self) -> Result<Schedule, NdError> {
+        let period = self.period();
+        let mut beacon_times: Vec<Tick> = Vec::new();
+        let mut window_parts: Vec<Interval> = Vec::new();
+        for &i in &self.active {
+            let start = self.slot * i;
+            let end = self.slot * (i + 1);
+            match self.placement {
+                BeaconPlacement::StartEnd => {
+                    beacon_times.push(start);
+                    beacon_times.push(end - self.omega);
+                    window_parts.push(Interval::new(start + self.omega, end - self.omega));
+                }
+                BeaconPlacement::StartOnly => {
+                    beacon_times.push(start);
+                    window_parts.push(Interval::new(start + self.omega, end));
+                }
+                BeaconPlacement::PreAndEnd => {
+                    // the pre-slot beacon wraps at the period boundary
+                    let pre = (start + period - self.omega).rem_euclid(period);
+                    beacon_times.push(pre);
+                    beacon_times.push(end - self.omega);
+                    window_parts.push(Interval::new(start, end - self.omega));
+                }
+            }
+        }
+        beacon_times.sort();
+        beacon_times.dedup();
+        let beacons = BeaconSeq::new(beacon_times, period, self.omega)?;
+        let windows: Vec<Window> = IntervalSet::from_intervals(window_parts)
+            .intervals()
+            .iter()
+            .map(|iv| Window::new(iv.start, iv.measure()))
+            .collect();
+        let windows = ReceptionWindows::new(windows, period)?;
+        Ok(Schedule::full(beacons, windows))
+    }
+
+    /// The slot length that yields channel utilization `beta` for this
+    /// schedule shape under the Eq. 20 conversion `β = n_pkt·k·ω/(I·T)`.
+    pub fn slot_for_utilization(
+        k: u64,
+        t: u64,
+        omega: Tick,
+        packets_per_slot: u64,
+        beta: f64,
+    ) -> Tick {
+        assert!(beta > 0.0);
+        let i = (packets_per_slot * k) as f64 * omega.as_nanos() as f64 / (t as f64 * beta);
+        Tick(i.round().max(1.0) as u64)
+    }
+}
+
+/// Simple deterministic primality test (trial division; the primes in ND
+/// protocols are tiny).
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n.is_multiple_of(2) {
+        return n == 2;
+    }
+    let mut d = 3;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+/// The smallest prime ≥ `n`.
+pub fn next_prime(mut n: u64) -> u64 {
+    loop {
+        if is_prime(n) {
+            return n;
+        }
+        n += 1;
+    }
+}
+
+/// The largest prime ≤ `n` (panics below 2).
+pub fn prev_prime(mut n: u64) -> u64 {
+    loop {
+        assert!(n >= 2, "no prime below 2");
+        if is_prime(n) {
+            return n;
+        }
+        n -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OMEGA: Tick = Tick(36_000);
+
+    fn slot_ms(ms: u64) -> Tick {
+        Tick::from_millis(ms)
+    }
+
+    #[test]
+    fn start_end_placement() {
+        let s = SlottedSchedule::new(slot_ms(1), 10, vec![0, 3], BeaconPlacement::StartEnd, OMEGA)
+            .unwrap();
+        let sched = s.to_schedule().unwrap();
+        let b = sched.beacons.as_ref().unwrap();
+        assert_eq!(b.n_beacons(), 4);
+        assert_eq!(b.times()[0], Tick::ZERO);
+        assert_eq!(b.times()[1], slot_ms(1) - OMEGA);
+        let c = sched.windows.as_ref().unwrap();
+        assert_eq!(c.n_windows(), 2);
+        assert_eq!(c.windows()[0].t, OMEGA);
+        assert_eq!(c.windows()[0].d, slot_ms(1) - OMEGA * 2);
+        assert_eq!(s.slot_duty_cycle(), 0.2);
+        assert_eq!(s.period(), slot_ms(10));
+    }
+
+    #[test]
+    fn start_only_placement() {
+        let s =
+            SlottedSchedule::new(slot_ms(1), 5, vec![2], BeaconPlacement::StartOnly, OMEGA)
+                .unwrap();
+        let sched = s.to_schedule().unwrap();
+        assert_eq!(sched.beacons.as_ref().unwrap().n_beacons(), 1);
+        let w = &sched.windows.as_ref().unwrap().windows()[0];
+        assert_eq!(w.t, slot_ms(2) + OMEGA);
+        assert_eq!(w.d, slot_ms(1) - OMEGA);
+    }
+
+    #[test]
+    fn pre_and_end_wraps_at_period() {
+        let s = SlottedSchedule::new(slot_ms(1), 4, vec![0, 2], BeaconPlacement::PreAndEnd, OMEGA)
+            .unwrap();
+        let sched = s.to_schedule().unwrap();
+        let b = sched.beacons.as_ref().unwrap();
+        // slot 0's pre-beacon wraps to period − ω
+        assert!(b.times().contains(&(slot_ms(4) - OMEGA)));
+        // slot 2's pre-beacon at 2 ms − ω
+        assert!(b.times().contains(&(slot_ms(2) - OMEGA)));
+        // windows span the slot bodies
+        let c = sched.windows.as_ref().unwrap();
+        assert_eq!(c.windows()[0].t, Tick::ZERO);
+    }
+
+    #[test]
+    fn consecutive_active_slots_merge_windows() {
+        let s = SlottedSchedule::new(
+            slot_ms(1),
+            10,
+            vec![4, 5],
+            BeaconPlacement::StartOnly,
+            OMEGA,
+        )
+        .unwrap();
+        let sched = s.to_schedule().unwrap();
+        // beacon of slot 5 interrupts, but the two windows stay distinct
+        // intervals because the beacon sits between them... with StartOnly
+        // windows are [4I+ω,5I) and [5I+ω,6I): distinct
+        assert_eq!(sched.windows.as_ref().unwrap().n_windows(), 2);
+        // duplicate beacon times collapse for adjacent StartEnd slots
+        let s2 = SlottedSchedule::new(
+            slot_ms(1),
+            10,
+            vec![4, 5],
+            BeaconPlacement::StartEnd,
+            OMEGA,
+        )
+        .unwrap();
+        let b = s2.to_schedule().unwrap();
+        assert_eq!(b.beacons.as_ref().unwrap().n_beacons(), 4);
+    }
+
+    #[test]
+    fn validation_rejects_bad_inputs() {
+        assert!(SlottedSchedule::new(slot_ms(1), 0, vec![], BeaconPlacement::StartEnd, OMEGA)
+            .is_err());
+        assert!(
+            SlottedSchedule::new(slot_ms(1), 4, vec![5], BeaconPlacement::StartEnd, OMEGA)
+                .is_err(),
+            "active beyond period"
+        );
+        assert!(
+            SlottedSchedule::new(slot_ms(1), 4, vec![2, 1], BeaconPlacement::StartEnd, OMEGA)
+                .is_err(),
+            "unsorted"
+        );
+        // slot too short for two beacons
+        assert!(
+            SlottedSchedule::new(Tick(50_000), 4, vec![0], BeaconPlacement::StartEnd, OMEGA)
+                .is_err()
+        );
+        // but fine for one
+        assert!(
+            SlottedSchedule::new(Tick(50_000), 4, vec![0], BeaconPlacement::StartOnly, OMEGA)
+                .is_ok()
+        );
+    }
+
+    #[test]
+    fn slot_for_utilization_inverts_eq20() {
+        let k = 10u64;
+        let t = 100u64;
+        let beta = 0.004;
+        let slot = SlottedSchedule::slot_for_utilization(k, t, OMEGA, 2, beta);
+        // β = 2kω/(IT)
+        let recovered = 2.0 * k as f64 * OMEGA.as_nanos() as f64
+            / (slot.as_nanos() as f64 * t as f64);
+        assert!((recovered - beta).abs() / beta < 0.01);
+    }
+
+    #[test]
+    fn primes() {
+        assert!(is_prime(2) && is_prime(3) && is_prime(37) && is_prime(97));
+        assert!(!is_prime(0) && !is_prime(1) && !is_prime(91) && !is_prime(100));
+        assert_eq!(next_prime(90), 97);
+        assert_eq!(prev_prime(90), 89);
+        assert_eq!(next_prime(37), 37);
+    }
+}

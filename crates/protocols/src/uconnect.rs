@@ -1,0 +1,160 @@
+//! U-Connect (Kandhalu, Lakshmanan & Rajkumar, IPSN 2010 — reference [4]
+//! of the paper).
+//!
+//! A node with prime `p` transmits a beacon at the start of every `p`-th
+//! slot (and listens for the remainder of that slot), and additionally
+//! listens for `(p+1)/2` consecutive slots once every `p²` slots. Two
+//! nodes with (not necessarily distinct) primes discover each other within
+//! `p²` slots; the slot-domain duty cycle is `(3p+1)/(2p²) ≈ 3/(2p)`.
+
+use crate::slotted::is_prime;
+use nd_core::error::NdError;
+use nd_core::interval::{Interval, IntervalSet};
+use nd_core::schedule::{BeaconSeq, ReceptionWindows, Schedule, Window};
+use nd_core::time::Tick;
+
+/// A U-Connect node configuration.
+#[derive(Clone, Debug)]
+pub struct UConnect {
+    /// The prime `p`.
+    pub p: u64,
+    /// Slot length `I`.
+    pub slot: Tick,
+    /// Packet airtime ω.
+    pub omega: Tick,
+}
+
+impl UConnect {
+    /// Validate and build.
+    pub fn new(p: u64, slot: Tick, omega: Tick) -> Result<Self, NdError> {
+        if !is_prime(p) || p < 3 {
+            return Err(NdError::InvalidSchedule(format!(
+                "U-Connect needs an odd prime, got {p}"
+            )));
+        }
+        if slot < omega * 2 + Tick(1) {
+            return Err(NdError::InvalidSchedule(format!(
+                "slot {slot} too short for beacon + listening"
+            )));
+        }
+        Ok(UConnect { p, slot, omega })
+    }
+
+    /// The prime achieving a target slot-domain duty cycle
+    /// (`3/(2p) ≈ dc`).
+    pub fn for_duty_cycle(dc: f64, slot: Tick, omega: Tick) -> Result<Self, NdError> {
+        if !(0.0 < dc && dc < 1.0) {
+            return Err(NdError::InvalidSchedule(format!("duty cycle out of range: {dc}")));
+        }
+        let target = (1.5 / dc).round().max(3.0) as u64;
+        let p = crate::slotted::next_prime(target);
+        Self::new(p, slot, omega)
+    }
+
+    /// Slot-domain worst case: `p²` slots.
+    pub fn worst_case_slots(&self) -> u64 {
+        self.p * self.p
+    }
+
+    /// Slot-domain duty cycle `(3p+1)/(2p²)`.
+    pub fn slot_duty_cycle(&self) -> f64 {
+        (3 * self.p + 1) as f64 / (2 * self.p * self.p) as f64
+    }
+
+    /// Lower to an exact schedule with period `p²` slots: beacons at slot
+    /// starts `0, p, 2p, …` (listening for the rest of each beacon slot),
+    /// plus the long hyperslot window covering the `(p+1)/2` slots starting
+    /// at slot 1 (offset so it does not double-count the beacon slot 0,
+    /// keeping the published duty cycle `(3p+1)/(2p²)` exact).
+    pub fn schedule(&self) -> Result<Schedule, NdError> {
+        let period = self.slot * (self.p * self.p);
+        let mut beacons = Vec::new();
+        let mut windows: Vec<Interval> = Vec::new();
+        for j in 0..self.p {
+            let start = self.slot * (j * self.p);
+            beacons.push(start);
+            windows.push(Interval::new(start + self.omega, start + self.slot));
+        }
+        // hyperslot: (p+1)/2 consecutive listening slots from slot 1
+        let hyper_end = self.slot * (1 + self.p.div_ceil(2));
+        windows.push(Interval::new(self.slot, hyper_end));
+        let beacon_seq = BeaconSeq::new(beacons, period, self.omega)?;
+        // merge overlaps (the hyperslot subsumes beacon-slot windows at its
+        // start) and carve out the beacon airtimes inside the hyperslot so
+        // the schedule stays physically realizable on a half-duplex radio
+        let beacon_blank: IntervalSet = IntervalSet::from_intervals(
+            beacon_seq
+                .times()
+                .iter()
+                .map(|&t| Interval::new(t, t + self.omega)),
+        );
+        let merged = IntervalSet::from_intervals(windows).subtract(&beacon_blank);
+        let windows = merged
+            .intervals()
+            .iter()
+            .map(|iv| Window::new(iv.start, iv.measure()))
+            .collect();
+        let windows = ReceptionWindows::new(windows, period)?;
+        Ok(Schedule::full(beacon_seq, windows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OMEGA: Tick = Tick(36_000);
+    const SLOT: Tick = Tick::from_millis(1);
+
+    #[test]
+    fn validation() {
+        assert!(UConnect::new(7, SLOT, OMEGA).is_ok());
+        assert!(UConnect::new(8, SLOT, OMEGA).is_err());
+        assert!(UConnect::new(2, SLOT, OMEGA).is_err());
+        assert!(UConnect::new(7, Tick(40_000), OMEGA).is_err());
+    }
+
+    #[test]
+    fn duty_cycle_formula() {
+        let u = UConnect::new(31, SLOT, OMEGA).unwrap();
+        assert!((u.slot_duty_cycle() - 94.0 / 1922.0).abs() < 1e-12);
+        assert_eq!(u.worst_case_slots(), 961);
+    }
+
+    #[test]
+    fn for_duty_cycle_picks_prime() {
+        let u = UConnect::for_duty_cycle(0.05, SLOT, OMEGA).unwrap();
+        assert_eq!(u.p, 31); // 1.5/0.05 = 30 → next prime 31
+        assert!((u.slot_duty_cycle() - 0.05).abs() < 0.01);
+    }
+
+    #[test]
+    fn schedule_shape() {
+        let u = UConnect::new(5, SLOT, OMEGA).unwrap();
+        let sched = u.schedule().unwrap();
+        let b = sched.beacons.as_ref().unwrap();
+        assert_eq!(b.n_beacons(), 5);
+        assert_eq!(b.period(), SLOT * 25);
+        let c = sched.windows.as_ref().unwrap();
+        // hyperslot covers slots 1..4, plus the 5 beacon-slot windows
+        assert!(c.gamma() > 0.15, "γ ≈ 3/25 + beacon-slot tails");
+        // duty cycles are consistent with the published slot-domain formula
+        // (3p+1)/(2p²) up to the small ω corrections
+        let dc = sched.duty_cycle();
+        let eta = dc.gamma + dc.beta;
+        assert!((eta - u.slot_duty_cycle()).abs() < 0.02, "eta {eta}");
+    }
+
+    #[test]
+    fn hyperslot_blanks_beacons() {
+        let u = UConnect::new(5, SLOT, OMEGA).unwrap();
+        let sched = u.schedule().unwrap();
+        let c = sched.windows.as_ref().unwrap();
+        // no window may contain the beacon instant at t = 0
+        assert!(!c.contains_instant(Tick::ZERO));
+        assert!(c.contains_instant(OMEGA));
+        // hyperslot listening spans slots 1..4 contiguously
+        assert!(c.contains_instant(SLOT * 2));
+        assert!(c.contains_instant(SLOT * 3 - Tick(1)));
+    }
+}

@@ -1,0 +1,185 @@
+//! Simulation configuration: radio model, channel model, fault injection.
+
+use nd_core::coverage::OverlapModel;
+use nd_core::params::RadioParams;
+use nd_core::time::Tick;
+
+/// Global simulation parameters.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Radio parameters shared by all devices (airtime, power ratio,
+    /// switching overheads).
+    pub radio: RadioParams,
+    /// When does a beacon/window overlap count as a reception
+    /// (paper §3.2 default: the beacon's start instant must fall inside the
+    /// window).
+    pub overlap: OverlapModel,
+    /// Hard stop time.
+    pub t_end: Tick,
+    /// RNG seed (the simulator is fully deterministic given the seed).
+    pub seed: u64,
+    /// Half-duplex radios: a device's own transmission (expanded by the
+    /// radio's turnaround times) blanks its reception windows
+    /// (Appendix A.5). Disable to model the hypothetical full-duplex radio
+    /// of Section 6.1.1.
+    pub half_duplex: bool,
+    /// ALOHA collisions: two in-range transmissions overlapping in time
+    /// destroy each other at every receiver (Eq. 12). Disable for
+    /// pair-analysis experiments that assume a collision-free channel.
+    pub collisions: bool,
+    /// Fault injection: i.i.d. probability that an otherwise successful
+    /// reception is dropped (smoltcp-style `--drop-chance`).
+    pub drop_probability: f64,
+    /// Record a full event trace (costs memory; for debugging/rendering).
+    pub trace: bool,
+}
+
+impl SimConfig {
+    /// The paper's baseline model: ideal radio, `Start` overlap semantics,
+    /// half-duplex, collisions on, no random faults.
+    pub fn paper_baseline(t_end: Tick, seed: u64) -> Self {
+        SimConfig {
+            radio: RadioParams::paper_default(),
+            overlap: OverlapModel::Start,
+            t_end,
+            seed,
+            half_duplex: true,
+            collisions: true,
+            drop_probability: 0.0,
+            trace: false,
+        }
+    }
+
+    /// Builder-style radio override.
+    pub fn with_radio(mut self, radio: RadioParams) -> Self {
+        self.radio = radio;
+        self
+    }
+
+    /// Builder-style overlap-model override.
+    pub fn with_overlap(mut self, overlap: OverlapModel) -> Self {
+        self.overlap = overlap;
+        self
+    }
+
+    /// Builder-style fault injection.
+    pub fn with_drop_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        self.drop_probability = p;
+        self
+    }
+}
+
+/// Directed connectivity and per-link loss between devices.
+///
+/// `in_range(tx, rx)` answers whether a transmission by `tx` is audible at
+/// `rx` at all; `link_loss(tx, rx)` is an extra per-link drop probability
+/// (fault injection for asymmetric/marginal links).
+#[derive(Clone, Debug)]
+pub struct Topology {
+    n: usize,
+    audible: Vec<bool>,
+    loss: Vec<f64>,
+}
+
+impl Topology {
+    /// A fully connected, loss-free topology of `n` devices.
+    pub fn full(n: usize) -> Self {
+        Topology {
+            n,
+            audible: vec![true; n * n],
+            loss: vec![0.0; n * n],
+        }
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` if the topology is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    fn idx(&self, tx: usize, rx: usize) -> usize {
+        assert!(tx < self.n && rx < self.n, "device index out of range");
+        tx * self.n + rx
+    }
+
+    /// Set whether `rx` can hear `tx` (directed).
+    pub fn set_link(&mut self, tx: usize, rx: usize, connected: bool) {
+        let i = self.idx(tx, rx);
+        self.audible[i] = connected;
+    }
+
+    /// Set both directions of a link.
+    pub fn set_bidi(&mut self, a: usize, b: usize, connected: bool) {
+        self.set_link(a, b, connected);
+        self.set_link(b, a, connected);
+    }
+
+    /// Whether a transmission by `tx` is audible at `rx`.
+    pub fn in_range(&self, tx: usize, rx: usize) -> bool {
+        tx != rx && self.audible[self.idx(tx, rx)]
+    }
+
+    /// Set the per-link loss probability for packets `tx → rx`.
+    pub fn set_link_loss(&mut self, tx: usize, rx: usize, p: f64) {
+        assert!((0.0..=1.0).contains(&p));
+        let i = self.idx(tx, rx);
+        self.loss[i] = p;
+    }
+
+    /// The per-link loss probability for packets `tx → rx`.
+    pub fn link_loss(&self, tx: usize, rx: usize) -> f64 {
+        self.loss[self.idx(tx, rx)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_defaults() {
+        let cfg = SimConfig::paper_baseline(Tick::from_secs(1), 42);
+        assert!(cfg.half_duplex && cfg.collisions);
+        assert_eq!(cfg.drop_probability, 0.0);
+        assert_eq!(cfg.overlap, OverlapModel::Start);
+        assert!(cfg.radio.is_ideal());
+    }
+
+    #[test]
+    fn builders() {
+        let cfg = SimConfig::paper_baseline(Tick::from_secs(1), 1)
+            .with_drop_probability(0.15)
+            .with_overlap(OverlapModel::FullPacket)
+            .with_radio(RadioParams::ble_like());
+        assert_eq!(cfg.drop_probability, 0.15);
+        assert_eq!(cfg.overlap, OverlapModel::FullPacket);
+        assert!(!cfg.radio.is_ideal());
+    }
+
+    #[test]
+    fn topology_links() {
+        let mut t = Topology::full(3);
+        assert!(t.in_range(0, 1));
+        assert!(!t.in_range(1, 1), "never in range of self");
+        t.set_link(0, 1, false);
+        assert!(!t.in_range(0, 1));
+        assert!(t.in_range(1, 0), "directed");
+        t.set_bidi(1, 2, false);
+        assert!(!t.in_range(1, 2) && !t.in_range(2, 1));
+        t.set_link_loss(2, 0, 0.5);
+        assert_eq!(t.link_loss(2, 0), 0.5);
+        assert_eq!(t.link_loss(0, 2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn topology_bounds_checked() {
+        let t = Topology::full(2);
+        let _ = t.in_range(0, 5);
+    }
+}

@@ -1,0 +1,194 @@
+//! Clock drift: a behaviour wrapper that runs its inner protocol on a
+//! skewed local clock.
+//!
+//! The paper (like most of the ND literature) assumes nominal clocks; real
+//! crystals are off by tens of ppm. Drift matters for two reasons:
+//!
+//! * it breaks the *resonances* that make badly parametrized protocols
+//!   non-deterministic (e.g. `T_a = T_s` couplings, or the slot-boundary
+//!   alignment slivers of Figure 5) — two drifting devices slide past any
+//!   unlucky alignment at a rate of Δppm·10⁻⁶ seconds per second;
+//! * it slowly invalidates announced rendezvous times (mutual-assistance
+//!   protocols must widen their windows accordingly).
+//!
+//! The `drift` experiment quantifies the first effect.
+
+use crate::behavior::{Behavior, Op, Payload};
+use nd_core::time::Tick;
+use rand::RngCore;
+
+/// Runs the wrapped behaviour on a clock that is `ppb` parts-per-billion
+/// fast (positive) or slow (negative) relative to simulation time.
+///
+/// Local instants `t_local` map to simulation instants
+/// `t_sim = t_local · (1 + ppb·10⁻⁹)`, applied with integer arithmetic so
+/// the mapping is exact and monotone.
+pub struct Drifting<B> {
+    inner: B,
+    ppb: i64,
+}
+
+impl<B: Behavior> Drifting<B> {
+    /// Wrap a behaviour with a clock skew in parts per billion
+    /// (1 ppm = 1000 ppb). |ppb| must be below 10⁶ (0.1 %), far beyond any
+    /// real crystal.
+    pub fn new(inner: B, ppb: i64) -> Self {
+        assert!(ppb.unsigned_abs() < 1_000_000, "unphysical drift: {ppb} ppb");
+        Drifting { inner, ppb }
+    }
+
+    /// Convenience: parts per million.
+    pub fn ppm(inner: B, ppm: i64) -> Self {
+        Self::new(inner, ppm * 1000)
+    }
+
+    /// local → simulation time.
+    fn to_sim(&self, t: Tick) -> Tick {
+        let ns = t.as_nanos() as i128;
+        let skew = ns * self.ppb as i128 / 1_000_000_000;
+        Tick((ns + skew) as u64)
+    }
+
+    /// simulation → local time (inverse mapping, rounded up so that
+    /// `to_sim(sim_to_local(t)) >= t` never emits ops in the past).
+    fn sim_to_local(&self, t: Tick) -> Tick {
+        let ns = t.as_nanos() as i128;
+        let denom = 1_000_000_000 + self.ppb as i128;
+        let local = (ns * 1_000_000_000 + denom - 1) / denom;
+        Tick(local as u64)
+    }
+}
+
+impl<B: Behavior> Behavior for Drifting<B> {
+    fn next_ops(&mut self, after: Tick, rng: &mut dyn RngCore) -> Vec<Op> {
+        let local_after = self.sim_to_local(after);
+        let mut ops = self.inner.next_ops(local_after, rng);
+        for op in &mut ops {
+            *op = match *op {
+                Op::Tx { at, payload } => Op::Tx {
+                    at: self.to_sim(at).max(after),
+                    payload,
+                },
+                Op::Rx { at, duration } => Op::Rx {
+                    at: self.to_sim(at).max(after),
+                    // durations stretch with the clock too
+                    duration: self.to_sim(duration).max(Tick(1)),
+                },
+            };
+        }
+        ops
+    }
+
+    fn on_reception(
+        &mut self,
+        at: Tick,
+        from: usize,
+        payload: Payload,
+        rng: &mut dyn RngCore,
+    ) -> Vec<Op> {
+        let local_at = self.sim_to_local(at);
+        let mut ops = self.inner.on_reception(local_at, from, payload, rng);
+        for op in &mut ops {
+            *op = match *op {
+                Op::Tx { at: t, payload } => Op::Tx {
+                    at: self.to_sim(t).max(at),
+                    payload,
+                },
+                Op::Rx { at: t, duration } => Op::Rx {
+                    at: self.to_sim(t).max(at),
+                    duration: self.to_sim(duration).max(Tick(1)),
+                },
+            };
+        }
+        ops
+    }
+
+    fn label(&self) -> String {
+        format!("{}@{:+}ppb", self.inner.label(), self.ppb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::ScheduleBehavior;
+    use nd_core::schedule::{BeaconSeq, Schedule};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn advertiser() -> ScheduleBehavior {
+        ScheduleBehavior::new(Schedule::tx_only(
+            BeaconSeq::uniform(1, Tick::from_millis(1), Tick::from_micros(36), Tick::ZERO)
+                .unwrap(),
+        ))
+    }
+
+    #[test]
+    fn zero_drift_is_identity() {
+        let mut plain = advertiser();
+        let mut drifted = Drifting::new(advertiser(), 0);
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(1);
+        assert_eq!(
+            plain.next_ops(Tick::ZERO, &mut r1),
+            drifted.next_ops(Tick::ZERO, &mut r2)
+        );
+    }
+
+    #[test]
+    fn positive_drift_stretches_sim_intervals() {
+        // +100 ppm: the local second lasts 1.0001 sim-seconds, so the
+        // "every 1 ms" beacons land at sim instants k·(1 ms + 100 ns)
+        let mut drifted = Drifting::ppm(advertiser(), 100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ops = Vec::new();
+        let mut after = Tick::ZERO;
+        while ops.len() < 4 {
+            let batch = drifted.next_ops(after, &mut rng);
+            after = batch.last().unwrap().at() + Tick(1);
+            ops.extend(batch);
+        }
+        // beacon k at k·(1 ms + 100 ns)
+        assert_eq!(ops[1].at(), Tick(1_000_000 + 100));
+        assert_eq!(ops[3].at(), Tick(3 * 1_000_000 + 300));
+    }
+
+    #[test]
+    fn negative_drift_shrinks() {
+        let mut drifted = Drifting::ppm(advertiser(), -100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ops = Vec::new();
+        let mut after = Tick::ZERO;
+        while ops.len() < 3 {
+            let batch = drifted.next_ops(after, &mut rng);
+            after = batch.last().unwrap().at() + Tick(1);
+            ops.extend(batch);
+        }
+        assert_eq!(ops[1].at(), Tick(1_000_000 - 100));
+    }
+
+    #[test]
+    fn mapping_roundtrip_never_goes_backwards() {
+        let d = Drifting::new(advertiser(), 137);
+        for t in [0u64, 1, 999, 1_000_000, 123_456_789, 10_000_000_000] {
+            let t = Tick(t);
+            assert!(d.to_sim(d.sim_to_local(t)) >= t, "{t}");
+        }
+        let d = Drifting::new(advertiser(), -137);
+        for t in [0u64, 1, 999, 1_000_000, 123_456_789] {
+            let t = Tick(t);
+            assert!(d.to_sim(d.sim_to_local(t)) >= t, "{t}");
+        }
+    }
+
+    #[test]
+    fn label_carries_drift() {
+        assert!(Drifting::ppm(advertiser(), 50).label().contains("+50000ppb"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unphysical")]
+    fn rejects_extreme_drift() {
+        let _ = Drifting::new(advertiser(), 2_000_000);
+    }
+}

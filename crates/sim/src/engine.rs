@@ -1,0 +1,756 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine advances a single shared channel and `N` devices through
+//! time. Devices pull their radio operations from [`Behavior`]s; the
+//! channel applies the paper's reception model:
+//!
+//! * **geometry** — a beacon is receivable iff it meets the configured
+//!   [`OverlapModel`] against the receiver's (effective) listening windows,
+//! * **half-duplex blanking** — the receiver's own transmissions, expanded
+//!   by the radio turnaround times, blank its windows (Appendix A.5),
+//! * **collisions** — any two overlapping in-range transmissions destroy
+//!   each other at every receiver (ALOHA, Eq. 12),
+//! * **fault injection** — i.i.d. and per-link drop probabilities.
+//!
+//! Everything is deterministic given the seed. Reception decisions are made
+//! at packet *end* (all needed information exists by then), but discovery
+//! latencies are recorded at packet *start*, matching the paper's
+//! convention of neglecting the final packet's airtime (§3.2, A.4).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use nd_core::coverage::OverlapModel;
+use nd_core::interval::{Interval, IntervalSet};
+use nd_core::time::Tick;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::behavior::{Behavior, Op};
+use crate::config::{SimConfig, Topology};
+use crate::stats::{DeviceStats, DiscoveryMatrix, LossReason, PacketCounters, SimReport};
+use crate::trace::TraceEvent;
+
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    /// Pull due ops from device `.0`'s buffer.
+    OpStart(usize),
+    /// Evaluate transmission record `.0` (packet has just ended).
+    TxEnd(usize),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Event {
+    at: Tick,
+    seq: u64,
+    kind: EventKind,
+}
+
+struct TxRecord {
+    dev: usize,
+    iv: Interval,
+    payload: u64,
+}
+
+struct Device {
+    behavior: Box<dyn Behavior>,
+    /// Upcoming ops, sorted by start time.
+    buffer: VecDeque<Op>,
+    /// The behaviour returned an empty batch → no more proactive ops.
+    proactive_done: bool,
+    /// Scheduled listening windows, in start order (pruned lazily).
+    listen: Vec<Interval>,
+    listen_prune: usize,
+    /// Own transmissions, in start order (pruned lazily).
+    own_tx: Vec<Interval>,
+    own_tx_prune: usize,
+    stats: DeviceStats,
+}
+
+impl Device {
+    fn insert_op(&mut self, op: Op) {
+        // fast path: append
+        if self
+            .buffer
+            .back()
+            .is_none_or(|last| last.at() <= op.at())
+        {
+            self.buffer.push_back(op);
+        } else {
+            let pos = self.buffer.partition_point(|o| o.at() <= op.at());
+            self.buffer.insert(pos, op);
+        }
+    }
+}
+
+/// The discrete-event simulator.
+///
+/// ```
+/// use nd_sim::{Simulator, SimConfig, ScheduleBehavior, Topology};
+/// use nd_core::{BeaconSeq, ReceptionWindows, Schedule, Tick};
+///
+/// // an advertiser beaconing every 100 µs and a scanner listening 50 µs
+/// // out of every 200 µs are guaranteed to meet quickly
+/// let adv = Schedule::tx_only(
+///     BeaconSeq::uniform(1, Tick::from_micros(100), Tick::from_micros(4), Tick::ZERO).unwrap(),
+/// );
+/// let scan = Schedule::rx_only(
+///     ReceptionWindows::single(Tick::ZERO, Tick::from_micros(50), Tick::from_micros(200)).unwrap(),
+/// );
+/// let mut radio = nd_core::RadioParams::paper_default();
+/// radio.omega = Tick::from_micros(4);
+/// let cfg = SimConfig::paper_baseline(Tick::from_millis(10), 1).with_radio(radio);
+/// let mut sim = Simulator::new(cfg, Topology::full(2));
+/// sim.add_device(Box::new(ScheduleBehavior::new(adv)));
+/// sim.add_device(Box::new(ScheduleBehavior::new(scan)));
+/// let report = sim.run();
+/// assert!(report.discovery.one_way(1, 0).is_some());
+/// ```
+pub struct Simulator {
+    cfg: SimConfig,
+    topo: Topology,
+    devices: Vec<Device>,
+    transmissions: Vec<TxRecord>,
+    tx_prune: usize,
+    events: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    now: Tick,
+    discovery: DiscoveryMatrix,
+    packets: PacketCounters,
+    trace: Vec<TraceEvent>,
+    rng: StdRng,
+    /// Optional early-stop predicate evaluated after each reception.
+    stop_when_complete: bool,
+}
+
+impl Simulator {
+    /// Create a simulator; add devices with [`Simulator::add_device`], then
+    /// call [`Simulator::run`].
+    pub fn new(cfg: SimConfig, topo: Topology) -> Self {
+        let n = topo.len();
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Simulator {
+            cfg,
+            topo,
+            devices: Vec::with_capacity(n),
+            transmissions: Vec::new(),
+            tx_prune: 0,
+            events: BinaryHeap::new(),
+            seq: 0,
+            now: Tick::ZERO,
+            discovery: DiscoveryMatrix::new(n),
+            packets: PacketCounters::default(),
+            trace: Vec::new(),
+            rng,
+            stop_when_complete: false,
+        }
+    }
+
+    /// Register the next device (ids are assigned in call order and must
+    /// match the topology size by the time `run` is called).
+    pub fn add_device(&mut self, behavior: Box<dyn Behavior>) -> usize {
+        let id = self.devices.len();
+        let label = behavior.label();
+        self.devices.push(Device {
+            behavior,
+            buffer: VecDeque::new(),
+            proactive_done: false,
+            listen: Vec::new(),
+            listen_prune: 0,
+            own_tx: Vec::new(),
+            own_tx_prune: 0,
+            stats: DeviceStats {
+                label,
+                ..DeviceStats::default()
+            },
+        });
+        id
+    }
+
+    /// Stop as soon as every ordered pair has discovered each other.
+    pub fn stop_when_all_discovered(&mut self, yes: bool) {
+        self.stop_when_complete = yes;
+    }
+
+    fn push_event(&mut self, at: Tick, kind: EventKind) {
+        self.events.push(Reverse(Event {
+            at,
+            seq: self.seq,
+            kind,
+        }));
+        self.seq += 1;
+    }
+
+    /// Refill a device's buffer from its behaviour if empty; schedule an
+    /// OpStart event for the buffer front.
+    fn arm_device(&mut self, dev: usize, after: Tick) {
+        if self.devices[dev].buffer.is_empty() && !self.devices[dev].proactive_done {
+            let ops = self.devices[dev].behavior.next_ops(after, &mut self.rng);
+            if ops.is_empty() {
+                self.devices[dev].proactive_done = true;
+            } else {
+                for op in ops {
+                    debug_assert!(op.at() >= after, "behavior emitted an op in the past");
+                    let op = clamp_op(op, after);
+                    self.devices[dev].insert_op(op);
+                }
+            }
+        }
+        if let Some(front) = self.devices[dev].buffer.front() {
+            let at = front.at();
+            self.push_event(at, EventKind::OpStart(dev));
+        }
+    }
+
+    /// Run to completion and return the report.
+    pub fn run(mut self) -> SimReport {
+        assert_eq!(
+            self.devices.len(),
+            self.topo.len(),
+            "device count must match topology size"
+        );
+        for dev in 0..self.devices.len() {
+            self.arm_device(dev, Tick::ZERO);
+        }
+        while let Some(Reverse(ev)) = self.events.pop() {
+            if ev.at > self.cfg.t_end {
+                break;
+            }
+            self.now = ev.at;
+            match ev.kind {
+                EventKind::OpStart(dev) => self.handle_op_start(dev),
+                EventKind::TxEnd(idx) => self.handle_tx_end(idx),
+            }
+            if self.stop_when_complete && self.discovery.complete() {
+                break;
+            }
+        }
+        let elapsed = self.now.min(self.cfg.t_end);
+        SimReport {
+            elapsed,
+            devices: self.devices.into_iter().map(|d| d.stats).collect(),
+            discovery: self.discovery,
+            packets: self.packets,
+            trace: self.trace,
+        }
+    }
+
+    fn handle_op_start(&mut self, dev: usize) {
+        let omega = self.cfg.radio.omega;
+        while let Some(op) = self.devices[dev].buffer.front().copied() {
+            if op.at() > self.now {
+                break;
+            }
+            self.devices[dev].buffer.pop_front();
+            match op {
+                Op::Tx { at, payload } => {
+                    let iv = Interval::new(at, at + omega);
+                    self.devices[dev].own_tx.push(iv);
+                    self.devices[dev].stats.n_tx += 1;
+                    self.devices[dev].stats.tx_time += omega;
+                    self.packets.sent += 1;
+                    let idx = self.transmissions.len();
+                    self.transmissions.push(TxRecord {
+                        dev,
+                        iv,
+                        payload,
+                    });
+                    self.push_event(iv.end, EventKind::TxEnd(idx));
+                    if self.cfg.trace {
+                        self.trace.push(TraceEvent::TxStart { dev, at });
+                    }
+                }
+                Op::Rx { at, duration } => {
+                    let iv = Interval::new(at, at + duration);
+                    self.devices[dev].listen.push(iv);
+                    self.devices[dev].stats.n_rx_windows += 1;
+                    self.devices[dev].stats.rx_time += duration;
+                    if self.cfg.trace {
+                        self.trace.push(TraceEvent::RxWindow { dev, at, duration });
+                    }
+                }
+            }
+        }
+        self.arm_device(dev, self.now);
+    }
+
+    fn handle_tx_end(&mut self, idx: usize) {
+        let (sender, iv, payload) = {
+            let tx = &self.transmissions[idx];
+            (tx.dev, tx.iv, tx.payload)
+        };
+        self.prune(iv.start);
+
+        // find transmissions overlapping this packet (for collisions)
+        let colliders: Vec<usize> = self.overlapping_tx(idx, iv);
+
+        let mut reactive: Vec<(usize, Vec<Op>)> = Vec::new();
+        for rx in 0..self.devices.len() {
+            if !self.topo.in_range(sender, rx) {
+                continue;
+            }
+            // geometry against the scheduled windows
+            let scheduled = self.listening_cover(rx, iv);
+            if !self.geometry_ok(&scheduled, iv) {
+                continue; // not receivable at all — not counted as a loss
+            }
+            // half-duplex blanking (Appendix A.5)
+            if self.cfg.half_duplex {
+                let effective = self.blanked_cover(rx, &scheduled);
+                if !self.geometry_ok(&effective, iv) {
+                    self.packets.lost_self_blocking += 1;
+                    if self.cfg.trace {
+                        self.trace.push(TraceEvent::Loss {
+                            dev: rx,
+                            from: sender,
+                            at: iv.start,
+                            reason: LossReason::SelfBlocking,
+                        });
+                    }
+                    continue;
+                }
+            }
+            // collisions: any other in-range transmission overlapping the
+            // packet destroys it at this receiver
+            if self.cfg.collisions {
+                let collided = colliders.iter().any(|&q| {
+                    let tx = &self.transmissions[q];
+                    tx.dev != rx && self.topo.in_range(tx.dev, rx)
+                });
+                if collided {
+                    self.packets.lost_collision += 1;
+                    if self.cfg.trace {
+                        self.trace.push(TraceEvent::Loss {
+                            dev: rx,
+                            from: sender,
+                            at: iv.start,
+                            reason: LossReason::Collision,
+                        });
+                    }
+                    continue;
+                }
+            }
+            // fault injection
+            let p_drop = self.cfg.drop_probability + self.topo.link_loss(sender, rx);
+            if p_drop > 0.0 && self.rng.gen::<f64>() < p_drop {
+                self.packets.lost_fault += 1;
+                if self.cfg.trace {
+                    self.trace.push(TraceEvent::Loss {
+                        dev: rx,
+                        from: sender,
+                        at: iv.start,
+                        reason: LossReason::Fault,
+                    });
+                }
+                continue;
+            }
+            // success
+            self.packets.received += 1;
+            self.devices[rx].stats.n_received += 1;
+            self.discovery.record(rx, sender, iv.start);
+            if self.cfg.trace {
+                self.trace.push(TraceEvent::Reception {
+                    dev: rx,
+                    from: sender,
+                    at: iv.start,
+                });
+            }
+            let ops =
+                self.devices[rx]
+                    .behavior
+                    .on_reception(iv.start, sender, payload, &mut self.rng);
+            if !ops.is_empty() {
+                reactive.push((rx, ops));
+            }
+        }
+        for (rx, ops) in reactive {
+            for op in ops {
+                let op = clamp_op(op, self.now);
+                self.devices[rx].insert_op(op);
+            }
+            // re-arm: the new front may be earlier than any pending event
+            if let Some(front) = self.devices[rx].buffer.front() {
+                let at = front.at();
+                self.push_event(at, EventKind::OpStart(rx));
+            }
+        }
+    }
+
+    /// The receiver's scheduled listening intersected with the packet's
+    /// interval.
+    fn listening_cover(&self, rx: usize, packet: Interval) -> IntervalSet {
+        let d = &self.devices[rx];
+        let mut parts = Vec::new();
+        for w in d.listen.iter().skip(d.listen_prune) {
+            if w.start >= packet.end {
+                break;
+            }
+            let cut = w.intersect(&packet);
+            if !cut.is_empty() {
+                parts.push(cut);
+            }
+        }
+        IntervalSet::from_intervals(parts)
+    }
+
+    /// Subtract the receiver's own transmissions (expanded by turnaround
+    /// times) from a listening cover.
+    fn blanked_cover(&self, rx: usize, cover: &IntervalSet) -> IntervalSet {
+        let d = &self.devices[rx];
+        let radio = &self.cfg.radio;
+        let mut blanked = Vec::new();
+        for tx in d.own_tx.iter().skip(d.own_tx_prune) {
+            blanked.push(Interval::new(
+                tx.start.saturating_sub(radio.do_rx_tx),
+                tx.end + radio.do_tx_rx,
+            ));
+        }
+        cover.subtract(&IntervalSet::from_intervals(blanked))
+    }
+
+    /// Apply the configured overlap model to a listening cover.
+    fn geometry_ok(&self, cover: &IntervalSet, packet: Interval) -> bool {
+        match self.cfg.overlap {
+            OverlapModel::Start => cover.contains(packet.start),
+            OverlapModel::AnyOverlap => !cover.is_empty(),
+            OverlapModel::FullPacket => {
+                cover.intervals().len() == 1 && {
+                    let iv = cover.intervals()[0];
+                    iv.start <= packet.start && iv.end >= packet.end
+                }
+            }
+        }
+    }
+
+    /// Transmissions (other than `idx`) overlapping `iv` in time.
+    fn overlapping_tx(&self, idx: usize, iv: Interval) -> Vec<usize> {
+        let mut out = Vec::new();
+        // records are in start order; scan the recent tail
+        for (q, tx) in self
+            .transmissions
+            .iter()
+            .enumerate()
+            .skip(self.tx_prune)
+        {
+            if tx.iv.start >= iv.end {
+                break;
+            }
+            if q != idx && tx.iv.overlaps(&iv) {
+                out.push(q);
+            }
+        }
+        out
+    }
+
+    /// Advance prune pointers: anything ending well before `t` can no
+    /// longer affect any packet decision (packets are ω long and turnaround
+    /// expansion is bounded by the radio parameters).
+    fn prune(&mut self, t: Tick) {
+        let guard = self.cfg.radio.omega
+            + self.cfg.radio.do_rx_tx
+            + self.cfg.radio.do_tx_rx
+            + Tick(1);
+        let horizon = t.saturating_sub(guard * 4);
+        while self.tx_prune < self.transmissions.len()
+            && self.transmissions[self.tx_prune].iv.end < horizon
+        {
+            self.tx_prune += 1;
+        }
+        for d in &mut self.devices {
+            while d.listen_prune < d.listen.len() && d.listen[d.listen_prune].end < horizon {
+                d.listen_prune += 1;
+            }
+            while d.own_tx_prune < d.own_tx.len() && d.own_tx[d.own_tx_prune].end < horizon {
+                d.own_tx_prune += 1;
+            }
+        }
+    }
+}
+
+fn clamp_op(op: Op, at_least: Tick) -> Op {
+    match op {
+        Op::Tx { at, payload } => Op::Tx {
+            at: at.max(at_least),
+            payload,
+        },
+        Op::Rx { at, duration } => Op::Rx {
+            at: at.max(at_least),
+            duration,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::ScheduleBehavior;
+    use nd_core::params::RadioParams;
+    use nd_core::schedule::{BeaconSeq, ReceptionWindows, Schedule};
+
+    fn radio(omega_us: u64) -> RadioParams {
+        RadioParams::ideal(Tick::from_micros(omega_us), 1.0)
+    }
+
+    fn adv(period_us: u64, phase_us: u64) -> Schedule {
+        Schedule::tx_only(
+            BeaconSeq::uniform(
+                1,
+                Tick::from_micros(period_us),
+                Tick::from_micros(4),
+                Tick::from_micros(phase_us),
+            )
+            .unwrap(),
+        )
+    }
+
+    fn scan(window_us: u64, period_us: u64) -> Schedule {
+        Schedule::rx_only(
+            ReceptionWindows::single(
+                Tick::ZERO,
+                Tick::from_micros(window_us),
+                Tick::from_micros(period_us),
+            )
+            .unwrap(),
+        )
+    }
+
+    fn base_cfg(ms: u64) -> SimConfig {
+        SimConfig::paper_baseline(Tick::from_millis(ms), 42).with_radio(radio(4))
+    }
+
+    #[test]
+    fn advertiser_meets_scanner() {
+        let mut sim = Simulator::new(base_cfg(10), Topology::full(2));
+        sim.add_device(Box::new(ScheduleBehavior::new(adv(100, 10))));
+        sim.add_device(Box::new(ScheduleBehavior::new(scan(50, 200))));
+        let report = sim.run();
+        // beacon at 10 µs lands inside the scanner's [0,50) window
+        assert_eq!(report.discovery.one_way(1, 0), Some(Tick::from_micros(10)));
+        // the scanner never transmits, so the advertiser never discovers it
+        assert_eq!(report.discovery.one_way(0, 1), None);
+        assert!(report.packets.sent >= 100);
+        assert!(report.devices[1].stats_label_is("schedule"));
+    }
+
+    impl DeviceStats {
+        fn stats_label_is(&self, l: &str) -> bool {
+            self.label == l
+        }
+    }
+
+    #[test]
+    fn out_of_range_devices_never_discover() {
+        let mut topo = Topology::full(2);
+        topo.set_bidi(0, 1, false);
+        let mut sim = Simulator::new(base_cfg(10), topo);
+        sim.add_device(Box::new(ScheduleBehavior::new(adv(100, 10))));
+        sim.add_device(Box::new(ScheduleBehavior::new(scan(50, 200))));
+        let report = sim.run();
+        assert_eq!(report.discovery.one_way(1, 0), None);
+    }
+
+    #[test]
+    fn beacon_outside_window_not_received() {
+        let mut sim = Simulator::new(base_cfg(1), Topology::full(2));
+        // beacon at 60 µs of every 100; window [0,50) of every 100:
+        // offsets stay fixed → never discovered
+        sim.add_device(Box::new(ScheduleBehavior::new(adv(100, 60))));
+        sim.add_device(Box::new(ScheduleBehavior::new(scan(50, 100))));
+        let report = sim.run();
+        assert_eq!(report.discovery.one_way(1, 0), None);
+    }
+
+    #[test]
+    fn collision_destroys_both_packets() {
+        // two advertisers beacon at the same instants; the scanner hears
+        // nothing with collisions on
+        let mut sim = Simulator::new(base_cfg(1), Topology::full(3));
+        sim.add_device(Box::new(ScheduleBehavior::new(adv(100, 10))));
+        sim.add_device(Box::new(ScheduleBehavior::new(adv(100, 10))));
+        sim.add_device(Box::new(ScheduleBehavior::new(scan(100, 100))));
+        let report = sim.run();
+        assert_eq!(report.discovery.one_way(2, 0), None);
+        assert_eq!(report.discovery.one_way(2, 1), None);
+        assert!(report.packets.lost_collision > 0);
+        assert_eq!(report.packets.received, 0);
+    }
+
+    #[test]
+    fn collisions_can_be_disabled() {
+        let mut cfg = base_cfg(1);
+        cfg.collisions = false;
+        let mut sim = Simulator::new(cfg, Topology::full(3));
+        sim.add_device(Box::new(ScheduleBehavior::new(adv(100, 10))));
+        sim.add_device(Box::new(ScheduleBehavior::new(adv(100, 10))));
+        sim.add_device(Box::new(ScheduleBehavior::new(scan(100, 100))));
+        let report = sim.run();
+        assert!(report.discovery.one_way(2, 0).is_some());
+        assert!(report.discovery.one_way(2, 1).is_some());
+    }
+
+    #[test]
+    fn partial_overlap_collision_only_when_tx_overlap() {
+        // beacons at 10 and 16 µs with ω = 4: no overlap → both received
+        let mut sim = Simulator::new(base_cfg(1), Topology::full(3));
+        sim.add_device(Box::new(ScheduleBehavior::new(adv(100, 10))));
+        sim.add_device(Box::new(ScheduleBehavior::new(adv(100, 16))));
+        sim.add_device(Box::new(ScheduleBehavior::new(scan(100, 100))));
+        let report = sim.run();
+        assert!(report.discovery.one_way(2, 0).is_some());
+        assert!(report.discovery.one_way(2, 1).is_some());
+        assert_eq!(report.packets.lost_collision, 0);
+    }
+
+    #[test]
+    fn half_duplex_blanks_own_window() {
+        // receiver transmits at the same instant the sender's beacon
+        // arrives → blanked (ideal radio: blanked exactly for ω)
+        let mut sim = Simulator::new(base_cfg(1), Topology::full(2));
+        sim.add_device(Box::new(ScheduleBehavior::new(adv(100, 10))));
+        let rx_sched = Schedule::full(
+            BeaconSeq::uniform(
+                1,
+                Tick::from_micros(100),
+                Tick::from_micros(4),
+                Tick::from_micros(10),
+            )
+            .unwrap(),
+            ReceptionWindows::single(Tick::ZERO, Tick::from_micros(50), Tick::from_micros(100))
+                .unwrap(),
+        );
+        sim.add_device(Box::new(ScheduleBehavior::new(rx_sched)));
+        let report = sim.run();
+        // every beacon of dev 0 coincides with dev 1's own beacon: with
+        // collisions on it is also a collision at... no: dev1's tx doesn't
+        // reach itself as a collision — it blanks. dev0 likewise transmits
+        // at 10 so cannot hear dev1 either.
+        assert_eq!(report.discovery.one_way(1, 0), None);
+        assert!(
+            report.packets.lost_self_blocking > 0,
+            "blanking must be attributed"
+        );
+    }
+
+    #[test]
+    fn fault_injection_drops_packets() {
+        let cfg = base_cfg(10).with_drop_probability(1.0);
+        let mut sim = Simulator::new(cfg, Topology::full(2));
+        sim.add_device(Box::new(ScheduleBehavior::new(adv(100, 10))));
+        sim.add_device(Box::new(ScheduleBehavior::new(scan(50, 100))));
+        let report = sim.run();
+        assert_eq!(report.discovery.one_way(1, 0), None);
+        assert!(report.packets.lost_fault > 0);
+        assert_eq!(report.packets.received, 0);
+    }
+
+    #[test]
+    fn per_link_loss_is_directional() {
+        let mut topo = Topology::full(2);
+        topo.set_link_loss(0, 1, 1.0);
+        let mut sim = Simulator::new(base_cfg(10), topo);
+        sim.add_device(Box::new(ScheduleBehavior::new(adv(100, 10))));
+        sim.add_device(Box::new(ScheduleBehavior::new(scan(50, 100))));
+        let report = sim.run();
+        assert_eq!(report.discovery.one_way(1, 0), None);
+    }
+
+    #[test]
+    fn stats_measure_duty_cycles() {
+        let mut sim = Simulator::new(base_cfg(100), Topology::full(2));
+        sim.add_device(Box::new(ScheduleBehavior::new(adv(1000, 0))));
+        sim.add_device(Box::new(ScheduleBehavior::new(scan(100, 1000))));
+        let report = sim.run();
+        let elapsed = report.elapsed;
+        // advertiser: β = 4/1000
+        let beta = report.devices[0].beta(elapsed);
+        assert!((beta - 0.004).abs() < 5e-4, "beta {beta}");
+        // scanner: γ = 100/1000
+        let gamma = report.devices[1].gamma(elapsed);
+        assert!((gamma - 0.1).abs() < 5e-3, "gamma {gamma}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let cfg = SimConfig::paper_baseline(Tick::from_millis(50), seed)
+                .with_radio(radio(4))
+                .with_drop_probability(0.3);
+            let mut sim = Simulator::new(cfg, Topology::full(2));
+            sim.add_device(Box::new(ScheduleBehavior::new(adv(97, 13))));
+            sim.add_device(Box::new(ScheduleBehavior::new(scan(53, 211))));
+            let r = sim.run();
+            (r.discovery.one_way(1, 0), r.packets.received)
+        };
+        assert_eq!(run(7), run(7));
+        // different seeds usually differ in fault rolls
+        let (a, b) = (run(1), run(2));
+        let _ = (a, b); // may coincide; determinism is the property under test
+    }
+
+    #[test]
+    fn early_stop_on_completion() {
+        let mut sim = Simulator::new(base_cfg(1000), Topology::full(2));
+        sim.add_device(Box::new(ScheduleBehavior::new(Schedule::full(
+            BeaconSeq::uniform(1, Tick::from_micros(100), Tick::from_micros(4), Tick::ZERO)
+                .unwrap(),
+            ReceptionWindows::single(
+                Tick::from_micros(50),
+                Tick::from_micros(40),
+                Tick::from_micros(100),
+            )
+            .unwrap(),
+        ))));
+        sim.add_device(Box::new(ScheduleBehavior::new(Schedule::full(
+            BeaconSeq::uniform(
+                1,
+                Tick::from_micros(100),
+                Tick::from_micros(4),
+                Tick::from_micros(60),
+            )
+            .unwrap(),
+            ReceptionWindows::single(Tick::ZERO, Tick::from_micros(40), Tick::from_micros(100))
+                .unwrap(),
+        ))));
+        sim.stop_when_all_discovered(true);
+        let report = sim.run();
+        assert!(report.discovery.complete());
+        assert!(report.elapsed < Tick::from_millis(2), "stopped early");
+    }
+
+    #[test]
+    fn trace_records_events() {
+        let mut cfg = base_cfg(1);
+        cfg.trace = true;
+        let mut sim = Simulator::new(cfg, Topology::full(2));
+        sim.add_device(Box::new(ScheduleBehavior::new(adv(100, 10))));
+        sim.add_device(Box::new(ScheduleBehavior::new(scan(50, 100))));
+        let report = sim.run();
+        assert!(report
+            .trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::TxStart { .. })));
+        assert!(report
+            .trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Reception { .. })));
+    }
+
+    #[test]
+    fn full_packet_model_requires_containment() {
+        // window [0, 6) µs, packet of 4 µs starting at 3 µs: overlaps but
+        // doesn't fit
+        let cfg = base_cfg(1).with_overlap(OverlapModel::FullPacket);
+        let mut sim = Simulator::new(cfg, Topology::full(2));
+        sim.add_device(Box::new(ScheduleBehavior::new(adv(100, 3))));
+        sim.add_device(Box::new(ScheduleBehavior::new(scan(6, 100))));
+        let report = sim.run();
+        assert_eq!(report.discovery.one_way(1, 0), None);
+        // under the Start model the same setup succeeds
+        let cfg = base_cfg(1);
+        let mut sim = Simulator::new(cfg, Topology::full(2));
+        sim.add_device(Box::new(ScheduleBehavior::new(adv(100, 3))));
+        sim.add_device(Box::new(ScheduleBehavior::new(scan(6, 100))));
+        let report = sim.run();
+        assert_eq!(report.discovery.one_way(1, 0), Some(Tick::from_micros(3)));
+    }
+}

@@ -1,0 +1,168 @@
+//! Event tracing and ASCII timeline rendering (Figure 1/3-style).
+
+use crate::stats::LossReason;
+use nd_core::time::Tick;
+
+/// One traced simulator event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Device started transmitting at `at` (airtime ω).
+    TxStart {
+        /// Transmitting device.
+        dev: usize,
+        /// Start instant.
+        at: Tick,
+    },
+    /// Device opened a reception window `[at, at + duration)`.
+    RxWindow {
+        /// Listening device.
+        dev: usize,
+        /// Window start.
+        at: Tick,
+        /// Window length.
+        duration: Tick,
+    },
+    /// `dev` successfully received the beacon `from` sent at `at`.
+    Reception {
+        /// Receiving device.
+        dev: usize,
+        /// Transmitting device.
+        from: usize,
+        /// Beacon start instant.
+        at: Tick,
+    },
+    /// A geometrically receivable beacon was lost.
+    Loss {
+        /// Would-be receiver.
+        dev: usize,
+        /// Transmitter.
+        from: usize,
+        /// Beacon start instant.
+        at: Tick,
+        /// Why it was lost.
+        reason: LossReason,
+    },
+}
+
+impl TraceEvent {
+    /// The instant the event refers to.
+    pub fn at(&self) -> Tick {
+        match *self {
+            TraceEvent::TxStart { at, .. }
+            | TraceEvent::RxWindow { at, .. }
+            | TraceEvent::Reception { at, .. }
+            | TraceEvent::Loss { at, .. } => at,
+        }
+    }
+}
+
+/// Render a per-device ASCII timeline of the window `[from, to)`:
+/// `T` marks transmissions, `=` reception windows, `*` successful
+/// receptions (overrides), `x` losses.
+pub fn render_timeline(
+    events: &[TraceEvent],
+    n_devices: usize,
+    from: Tick,
+    to: Tick,
+    width: usize,
+) -> String {
+    use std::fmt::Write as _;
+    assert!(to > from && width >= 10);
+    let span = (to - from).as_nanos();
+    let col = |t: Tick| -> Option<usize> {
+        if t < from || t >= to {
+            return None;
+        }
+        Some((((t - from).as_nanos() as u128 * width as u128) / span as u128) as usize)
+    };
+    let mut rows = vec![vec![b' '; width]; n_devices];
+    // windows first (lowest priority), then tx, then receptions/losses
+    for ev in events {
+        if let TraceEvent::RxWindow { dev, at, duration } = *ev {
+            let (Some(a), b) = (
+                col(at.max(from)),
+                col((at + duration).min(to - Tick(1))).unwrap_or(width - 1),
+            ) else {
+                continue;
+            };
+            for c in rows[dev].iter_mut().take(b + 1).skip(a) {
+                *c = b'=';
+            }
+        }
+    }
+    for ev in events {
+        if let TraceEvent::TxStart { dev, at } = *ev {
+            if let Some(c) = col(at) {
+                rows[dev][c] = b'T';
+            }
+        }
+    }
+    for ev in events {
+        match *ev {
+            TraceEvent::Reception { dev, at, .. } => {
+                if let Some(c) = col(at) {
+                    rows[dev][c] = b'*';
+                }
+            }
+            TraceEvent::Loss { dev, at, .. } => {
+                if let Some(c) = col(at) {
+                    rows[dev][c] = b'x';
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in rows.into_iter().enumerate() {
+        let _ = writeln!(out, "dev{i:<2} |{}|", String::from_utf8(row).unwrap());
+    }
+    let _ = writeln!(out, "      {from} .. {to}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_timestamps() {
+        let e = TraceEvent::TxStart { dev: 0, at: Tick(5) };
+        assert_eq!(e.at(), Tick(5));
+        let e = TraceEvent::Loss {
+            dev: 1,
+            from: 0,
+            at: Tick(9),
+            reason: LossReason::Collision,
+        };
+        assert_eq!(e.at(), Tick(9));
+    }
+
+    #[test]
+    fn timeline_renders_marks() {
+        let events = vec![
+            TraceEvent::RxWindow {
+                dev: 1,
+                at: Tick(20),
+                duration: Tick(30),
+            },
+            TraceEvent::TxStart { dev: 0, at: Tick(25) },
+            TraceEvent::Reception {
+                dev: 1,
+                from: 0,
+                at: Tick(25),
+            },
+        ];
+        let art = render_timeline(&events, 2, Tick(0), Tick(100), 50);
+        assert!(art.contains('T'));
+        assert!(art.contains('='));
+        assert!(art.contains('*'));
+        assert!(art.lines().count() == 3);
+    }
+
+    #[test]
+    fn timeline_clips_out_of_range() {
+        let events = vec![TraceEvent::TxStart { dev: 0, at: Tick(500) }];
+        let art = render_timeline(&events, 1, Tick(0), Tick(100), 20);
+        assert!(!art.contains('T'));
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests for the simulator: agreement with a from-first-
+//! principles reference computation on randomized advertiser/scanner
+//! configurations, duty-cycle accounting, and drift monotonicity.
+
+use nd_core::schedule::{BeaconSeq, ReceptionWindows, Schedule};
+use nd_core::time::Tick;
+use nd_sim::{Drifting, ScheduleBehavior, SimConfig, Simulator, Topology};
+use proptest::prelude::*;
+
+const OMEGA: Tick = Tick(36_000);
+
+/// Reference: first instant (within `horizon`) at which a beacon of the
+/// advertiser (period `ta`, phase `pa`) starts inside a window of the
+/// scanner (window `ds` at the start of each `ts`, shifted earlier by
+/// `ps`), computed by direct enumeration.
+fn reference_first_hit(
+    ta: Tick,
+    pa: Tick,
+    ts: Tick,
+    ds: Tick,
+    ps: Tick,
+    horizon: Tick,
+) -> Option<Tick> {
+    let mut k = 0u64;
+    loop {
+        // advertiser phase pa means its schedule started at −pa: beacons at
+        // k·ta − pa for k·ta ≥ pa
+        let nominal = ta * k;
+        k += 1;
+        let Some(at) = nominal.checked_sub(pa) else {
+            continue;
+        };
+        if at >= horizon {
+            return None;
+        }
+        // scanner phase ps: windows at [m·ts − ps, m·ts − ps + ds)
+        let pos = (at + ps).rem_euclid(ts);
+        if pos < ds {
+            return Some(at);
+        }
+    }
+}
+
+fn run_sim(ta: Tick, pa: Tick, ts: Tick, ds: Tick, ps: Tick, horizon: Tick) -> Option<Tick> {
+    let mut radio = nd_core::RadioParams::paper_default();
+    radio.omega = OMEGA;
+    let mut cfg = SimConfig::paper_baseline(horizon, 5).with_radio(radio);
+    cfg.collisions = false;
+    cfg.half_duplex = false;
+    let mut sim = Simulator::new(cfg, Topology::full(2));
+    let adv = Schedule::tx_only(BeaconSeq::new(vec![Tick::ZERO], ta, OMEGA).unwrap());
+    let scan = Schedule::rx_only(ReceptionWindows::single(Tick::ZERO, ds, ts).unwrap());
+    sim.add_device(Box::new(ScheduleBehavior::with_phase(adv, pa)));
+    sim.add_device(Box::new(ScheduleBehavior::with_phase(scan, ps)));
+    sim.run().discovery.one_way(1, 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The simulator's first discovery equals the reference enumeration
+    /// for arbitrary PI configurations and phases.
+    #[test]
+    fn simulator_matches_reference(
+        ta_us in 100u64..5000,
+        ts_us in 200u64..8000,
+        ds_us in 40u64..190,
+        pa_us in 0u64..5000,
+        ps_us in 0u64..8000,
+    ) {
+        let ta = Tick::from_micros(ta_us);
+        let ts = Tick::from_micros(ts_us);
+        let ds = Tick::from_micros(ds_us.min(ts_us - 1));
+        let pa = Tick::from_micros(pa_us % ta_us);
+        let ps = Tick::from_micros(ps_us % ts_us);
+        let horizon = Tick::from_millis(300);
+        let expect = reference_first_hit(ta, pa, ts, ds, ps, horizon);
+        let got = run_sim(ta, pa, ts, ds, ps, horizon);
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Measured duty cycles track the configured schedules.
+    #[test]
+    fn measured_duty_cycles(
+        ta_us in 500u64..3000,
+        gamma_pm in 20u64..300,
+    ) {
+        let ta = Tick::from_micros(ta_us);
+        let ts = Tick::from_millis(10);
+        let ds = Tick(ts.as_nanos() * gamma_pm / 1000);
+        let mut radio = nd_core::RadioParams::paper_default();
+        radio.omega = OMEGA;
+        let cfg = SimConfig::paper_baseline(Tick::from_secs(1), 5).with_radio(radio);
+        let mut sim = Simulator::new(cfg, Topology::full(2));
+        let adv = Schedule::tx_only(BeaconSeq::new(vec![Tick::ZERO], ta, OMEGA).unwrap());
+        let scan = Schedule::rx_only(ReceptionWindows::single(Tick::ZERO, ds, ts).unwrap());
+        sim.add_device(Box::new(ScheduleBehavior::new(adv)));
+        sim.add_device(Box::new(ScheduleBehavior::new(scan)));
+        let report = sim.run();
+        let beta = report.devices[0].beta(report.elapsed);
+        let beta_cfg = OMEGA.as_nanos() as f64 / ta.as_nanos() as f64;
+        prop_assert!((beta - beta_cfg).abs() / beta_cfg < 0.02, "beta {beta} vs {beta_cfg}");
+        let gamma = report.devices[1].gamma(report.elapsed);
+        let gamma_cfg = gamma_pm as f64 / 1000.0;
+        prop_assert!((gamma - gamma_cfg).abs() / gamma_cfg < 0.03, "gamma {gamma} vs {gamma_cfg}");
+    }
+
+    /// Drift shifts discoveries but never invents receptions out of
+    /// nothing at zero drift: ±ppb wrappers with ppb = 0 are transparent.
+    #[test]
+    fn zero_drift_transparent(
+        ta_us in 100u64..2000,
+        ps_us in 0u64..3000,
+    ) {
+        let ta = Tick::from_micros(ta_us);
+        let ts = Tick::from_micros(3100);
+        let ds = Tick::from_micros(150);
+        let ps = Tick::from_micros(ps_us % 3100);
+        let horizon = Tick::from_millis(100);
+        let plain = run_sim(ta, Tick::ZERO, ts, ds, ps, horizon);
+
+        let mut radio = nd_core::RadioParams::paper_default();
+        radio.omega = OMEGA;
+        let mut cfg = SimConfig::paper_baseline(horizon, 5).with_radio(radio);
+        cfg.collisions = false;
+        cfg.half_duplex = false;
+        let mut sim = Simulator::new(cfg, Topology::full(2));
+        let adv = Schedule::tx_only(BeaconSeq::new(vec![Tick::ZERO], ta, OMEGA).unwrap());
+        let scan = Schedule::rx_only(ReceptionWindows::single(Tick::ZERO, ds, ts).unwrap());
+        sim.add_device(Box::new(Drifting::new(ScheduleBehavior::new(adv), 0)));
+        sim.add_device(Box::new(Drifting::new(
+            ScheduleBehavior::with_phase(scan, ps),
+            0,
+        )));
+        let drifted = sim.run().discovery.one_way(1, 0);
+        prop_assert_eq!(plain, drifted);
+    }
+}

@@ -1,0 +1,84 @@
+//! A BLE-flavoured fleet: many advertisers, one scanner, real collisions.
+//!
+//! ```text
+//! cargo run --release --example ble_fleet [n_advertisers] [drop_chance_pct]
+//! ```
+//!
+//! The scenario the paper's introduction motivates (billions of BLE
+//! devices): `n` peripherals advertise every 100 ms with the spec's random
+//! 0–10 ms advDelay while a central scans 11.25 ms out of every 1.28 s.
+//! We measure per-device discovery latency, the collision rate (compare
+//! Eq. 12), and the effect of smoltcp-style random packet drops.
+
+use optimal_nd::core::bounds::collision_probability;
+use optimal_nd::core::Tick;
+use optimal_nd::protocols::pi::{BleAdvertiser, PiProtocol};
+use optimal_nd::sim::{ScheduleBehavior, SimConfig, Simulator, Topology};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n_adv: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let drop_pct: f64 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(0.0);
+
+    let ble = PiProtocol::ble_general_discovery();
+    let horizon = Tick::from_secs(60);
+    println!(
+        "BLE fleet: {n_adv} advertisers (T_a = {} + advDelay 0–10 ms), one scanner",
+        ble.ta
+    );
+    println!(
+        "scanner: d_s = {} per T_s = {}; drop chance {drop_pct} %; horizon {horizon}\n",
+        ble.ds, ble.ts
+    );
+
+    let mut cfg = SimConfig::paper_baseline(horizon, 2024);
+    cfg.drop_probability = drop_pct / 100.0;
+    let mut sim = Simulator::new(cfg, Topology::full(n_adv + 1));
+    let scanner_id = 0;
+    sim.add_device(Box::new(
+        ScheduleBehavior::new(ble.scanner().unwrap()).labeled("scanner"),
+    ));
+    for _ in 0..n_adv {
+        sim.add_device(Box::new(BleAdvertiser::new(ble.ta)));
+    }
+    let report = sim.run();
+
+    println!("{:<10} {:>14} {:>12}", "device", "discovered at", "beacons sent");
+    for dev in 1..=n_adv {
+        let t = report.discovery.one_way(scanner_id, dev);
+        println!(
+            "adv{:<7} {:>14} {:>12}",
+            dev,
+            t.map_or("never".to_string(), |t| t.to_string()),
+            report.devices[dev].n_tx
+        );
+    }
+
+    let beta_each = report.devices[1].beta(report.elapsed);
+    let predicted_pc = collision_probability(n_adv as u32, beta_each);
+    println!("\npackets sent:        {}", report.packets.sent);
+    println!("receptions:          {}", report.packets.received);
+    println!("lost to collisions:  {}", report.packets.lost_collision);
+    println!("lost to faults:      {}", report.packets.lost_fault);
+    println!(
+        "collision rate:      {:.3} % among receivable packets; Eq. 12 per-beacon \
+         probability {:.3} % (β = {:.4} %/device)",
+        report.packets.collision_rate() * 100.0,
+        predicted_pc * 100.0,
+        beta_each * 100.0
+    );
+    if report.packets.collision_rate() > 2.0 * predicted_pc {
+        println!(
+            "                     (the measured conditional rate exceeds Eq. 12: two \
+             advertisers whose\n                      phases collide once keep colliding \
+             until advDelay drifts them apart —\n                      the collision \
+             *correlation* the paper's §8 names as the open problem)"
+        );
+    }
+    let discovered = (1..=n_adv)
+        .filter(|&d| report.discovery.one_way(scanner_id, d).is_some())
+        .count();
+    println!("\n{discovered}/{n_adv} advertisers discovered within {horizon}.");
+    println!("Try more advertisers (e.g. 100) to watch collisions bite, or add a");
+    println!("drop percentage to emulate a hostile channel.");
+}

@@ -1,0 +1,80 @@
+//! Quickstart: bounds → optimal schedule → exact analysis → simulation.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks the full pipeline of the reproduction on one page: compute the
+//! Theorem 5.5 bound for a duty-cycle budget, construct the schedule that
+//! achieves it, machine-check the worst case with the exact engine, and
+//! watch a simulated pair discover each other.
+
+use optimal_nd::analysis::{two_way_worst_case, AnalysisConfig};
+use optimal_nd::core::bounds::{optimal_beta, symmetric_bound};
+use optimal_nd::core::Tick;
+use optimal_nd::protocols::optimal::{symmetric, OptimalParams};
+use optimal_nd::sim::{ScheduleBehavior, SimConfig, Simulator, Topology};
+
+fn main() {
+    // --- 1. the question the paper answers ---------------------------
+    // Two devices, each allowed to be active 5 % of the time (η = 0.05),
+    // 36 µs beacons, transmission as expensive as reception (α = 1).
+    // What is the best discovery latency ANY protocol can guarantee?
+    let (eta, alpha, omega) = (0.05, 1.0, Tick::from_micros(36));
+    let bound = symmetric_bound(alpha, omega.as_secs_f64(), eta);
+    println!("duty-cycle budget η = {:.1} %", eta * 100.0);
+    println!("Theorem 5.5 bound:   L = 4αω/η² = {:.3} ms", bound * 1e3);
+    println!(
+        "optimal split:       β = η/2α = {:.3} %, γ = η/2 = {:.3} %",
+        optimal_beta(eta, alpha) * 100.0,
+        eta / 2.0 * 100.0
+    );
+
+    // --- 2. construct the schedule that achieves it -------------------
+    let opt = symmetric(OptimalParams { omega, alpha, a: 1 }, eta).expect("constructible");
+    let b = opt.schedule.beacons.as_ref().unwrap();
+    let c = opt.schedule.windows.as_ref().unwrap();
+    println!(
+        "\nconstruction:        {} beacons every {} (gap λ = {}), window {} per T_C = {}",
+        b.n_beacons(),
+        b.period(),
+        b.mean_gap(),
+        c.sum_d(),
+        c.period()
+    );
+    println!(
+        "achieved duty cycle: η = {:.4} %",
+        opt.achieved.eta(alpha) * 100.0
+    );
+
+    // --- 3. machine-check the worst case ------------------------------
+    let cfg = AnalysisConfig::with_omega(omega);
+    let exact = two_way_worst_case(&opt.schedule, &opt.schedule, &cfg).expect("deterministic");
+    println!(
+        "\nexact engine:        worst-case two-way latency = {} ({:.4}x the bound)",
+        exact,
+        exact.as_secs_f64() / bound
+    );
+
+    // --- 4. simulate a pair -------------------------------------------
+    let mut sim_cfg = SimConfig::paper_baseline(Tick(exact.as_nanos() * 2), 42);
+    sim_cfg.collisions = false; // pair analysis: the paper's A.5 assumption
+    sim_cfg.half_duplex = false;
+    let mut sim = Simulator::new(sim_cfg, Topology::full(2));
+    sim.add_device(Box::new(ScheduleBehavior::new(opt.schedule.clone())));
+    // the peer starts mid-period: a "random" phase
+    sim.add_device(Box::new(ScheduleBehavior::with_phase(
+        opt.schedule.clone(),
+        Tick::from_micros(1234),
+    )));
+    sim.stop_when_all_discovered(true);
+    let report = sim.run();
+    let two_way = report.discovery.two_way(0, 1).expect("discovered");
+    println!(
+        "simulation:          pair discovered mutually after {} (≤ worst case {} ✓)",
+        two_way, exact
+    );
+    assert!(two_way <= exact);
+    println!("\nConclusion: the bound is tight — no protocol can do better, and");
+    println!("this schedule does exactly as well. That is the paper's main result.");
+}

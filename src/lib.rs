@@ -1,0 +1,22 @@
+//! # optimal-nd
+//!
+//! Umbrella crate for the reproduction of *On Optimal Neighbor Discovery*
+//! (Kindt & Chakraborty, SIGCOMM 2019). It re-exports the member crates so
+//! examples and downstream users can depend on a single package:
+//!
+//! * [`core`] (`nd-core`) — time base, schedules, coverage maps and every
+//!   fundamental bound derived in the paper.
+//! * [`sim`] (`nd-sim`) — discrete-event wireless simulator (radio model,
+//!   collision channel, fault injection).
+//! * [`protocols`] (`nd-protocols`) — the paper-optimal schedule
+//!   constructions plus every protocol the paper classifies (Disco,
+//!   U-Connect, Searchlight, difference codes, BLE-like PI, …).
+//! * [`analysis`] (`nd-analysis`) — exact worst-case latency engine and
+//!   Monte-Carlo harnesses.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use nd_analysis as analysis;
+pub use nd_core as core;
+pub use nd_protocols as protocols;
+pub use nd_sim as sim;

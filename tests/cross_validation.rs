@@ -1,0 +1,72 @@
+//! Integration: three independent implementations — coverage-map engine,
+//! naive oracle, event simulator — agree on every probed phase for every
+//! protocol family.
+
+use optimal_nd::analysis::{cross_validate, AnalysisConfig};
+use optimal_nd::core::Tick;
+use optimal_nd::protocols::optimal::{self, OptimalParams};
+use optimal_nd::protocols::{CodeBased, DiffCode, Disco, PiProtocol, Searchlight, UConnect};
+
+fn cfg() -> AnalysisConfig {
+    AnalysisConfig::paper_default()
+}
+
+const SLOT: Tick = Tick::from_millis(1);
+const OMEGA: Tick = Tick(36_000);
+
+#[test]
+fn optimal_unidirectional_consistent() {
+    let (tx, rx) = optimal::unidirectional(OptimalParams::paper_default(), 0.02, 0.05).unwrap();
+    let v = cross_validate(&tx.schedule, &rx.schedule, &cfg(), 41).unwrap();
+    assert!(v.consistent(), "{v:?}");
+}
+
+#[test]
+fn optimal_symmetric_consistent() {
+    let opt = optimal::symmetric(OptimalParams::paper_default(), 0.06).unwrap();
+    let v = cross_validate(&opt.schedule, &opt.schedule, &cfg(), 37).unwrap();
+    assert!(v.consistent(), "{v:?}");
+}
+
+#[test]
+fn disco_consistent() {
+    let sched = Disco::new(5, 7, SLOT, OMEGA).unwrap().schedule().unwrap();
+    let v = cross_validate(&sched, &sched, &cfg(), 29).unwrap();
+    assert!(v.consistent(), "{v:?}");
+}
+
+#[test]
+fn searchlight_consistent() {
+    let sched = Searchlight::new(6, SLOT, OMEGA).unwrap().schedule().unwrap();
+    let v = cross_validate(&sched, &sched, &cfg(), 23).unwrap();
+    assert!(v.consistent(), "{v:?}");
+}
+
+#[test]
+fn uconnect_consistent() {
+    let sched = UConnect::new(5, SLOT, OMEGA).unwrap().schedule().unwrap();
+    let v = cross_validate(&sched, &sched, &cfg(), 23).unwrap();
+    assert!(v.consistent(), "{v:?}");
+}
+
+#[test]
+fn diffcode_and_codebased_consistent() {
+    let dc = DiffCode::new(13, vec![0, 1, 3, 9], SLOT, OMEGA).unwrap();
+    let sched = dc.schedule().unwrap();
+    let v = cross_validate(&sched, &sched, &cfg(), 19).unwrap();
+    assert!(v.consistent(), "diffcode: {v:?}");
+
+    let cb = CodeBased::new(DiffCode::new(13, vec![0, 1, 3, 9], SLOT, OMEGA).unwrap());
+    let sched = cb.schedule().unwrap();
+    let v = cross_validate(&sched, &sched, &cfg(), 19).unwrap();
+    assert!(v.consistent(), "codebased: {v:?}");
+}
+
+#[test]
+fn pi_protocol_consistent() {
+    // an optimal PI parametrization (tiling relation T_a = T_s + d_s)
+    let pi = PiProtocol::optimal(0.06, 1.0, OMEGA, 1).unwrap();
+    let sched = pi.schedule().unwrap();
+    let v = cross_validate(&sched, &sched, &cfg(), 31).unwrap();
+    assert!(v.consistent(), "{v:?}");
+}

@@ -1,0 +1,120 @@
+//! End-to-end property tests: for *random* duty-cycle targets, the whole
+//! pipeline holds — constructions are deterministic and disjoint, the
+//! exact engine matches the closed-form bound, and simulated discoveries
+//! never exceed the analytical worst case.
+
+use optimal_nd::analysis::{
+    naive_first_discovery, one_way_worst_case, two_way_worst_case, AnalysisConfig,
+};
+use optimal_nd::core::bounds;
+use optimal_nd::core::coverage::{min_beacons, CoverageMap, OverlapModel};
+use optimal_nd::core::Tick;
+use optimal_nd::protocols::optimal::{self, OptimalParams};
+use proptest::prelude::*;
+
+const OMEGA_S: f64 = 36e-6;
+
+fn params() -> OptimalParams {
+    OptimalParams::paper_default()
+}
+
+fn cfg() -> AnalysisConfig {
+    AnalysisConfig::paper_default()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 5.4 end-to-end for random (β, γ).
+    #[test]
+    fn unidirectional_pipeline(
+        beta_pm in 2u32..60,   // β ∈ [0.2 %, 6 %]
+        gamma_pm in 5u32..200, // γ ∈ [0.5 %, 20 %]
+    ) {
+        let beta = beta_pm as f64 / 1000.0;
+        let gamma = gamma_pm as f64 / 1000.0;
+        let (tx, rx) = optimal::unidirectional(params(), beta, gamma).unwrap();
+        let b = tx.schedule.beacons.as_ref().unwrap();
+        let c = rx.schedule.windows.as_ref().unwrap();
+
+        // the construction is deterministic and disjoint with exactly M beacons
+        let m = min_beacons(c.period(), c.sum_d());
+        let map = CoverageMap::build(
+            &b.relative_instants(m as usize),
+            c,
+            Tick::from_micros(36),
+            OverlapModel::Start,
+        );
+        prop_assert!(map.is_deterministic());
+        prop_assert!(map.is_disjoint());
+
+        // the exact worst case equals the bound at the achieved duty cycles
+        let wc = one_way_worst_case(b, c, &cfg()).unwrap();
+        let bound = bounds::unidirectional_bound(OMEGA_S, tx.achieved.beta, rx.achieved.gamma);
+        let ratio = wc.latency.as_secs_f64() / bound;
+        prop_assert!((ratio - 1.0).abs() < 1e-6, "ratio {ratio}");
+    }
+
+    /// Theorem 5.5 end-to-end plus oracle agreement for a random phase.
+    #[test]
+    fn symmetric_pipeline(
+        eta_pm in 5u32..150, // η ∈ [0.5 %, 15 %]
+        phase_frac in 0u64..997,
+    ) {
+        let eta = eta_pm as f64 / 1000.0;
+        let opt = optimal::symmetric(params(), eta).unwrap();
+        let exact = two_way_worst_case(&opt.schedule, &opt.schedule, &cfg()).unwrap();
+        // tight at the achieved duty cycles (γ is quantized to 1/k)
+        let exact_bound =
+            bounds::unidirectional_bound(OMEGA_S, opt.achieved.beta, opt.achieved.gamma);
+        let ratio = exact.as_secs_f64() / exact_bound;
+        prop_assert!((ratio - 1.0).abs() < 1e-6, "η {eta}: achieved ratio {ratio}");
+        // and within the quantization error of the requested budget
+        let bound = bounds::symmetric_bound(1.0, OMEGA_S, eta);
+        let ratio = exact.as_secs_f64() / bound;
+        prop_assert!((ratio - 1.0).abs() < 0.08, "η {eta}: requested ratio {ratio}");
+
+        // the oracle discovers within the worst case at an arbitrary phase
+        let b = opt.schedule.beacons.as_ref().unwrap();
+        let c = opt.schedule.windows.as_ref().unwrap();
+        let phase = Tick(c.period().as_nanos() * phase_frac / 997);
+        let t = naive_first_discovery(b, c, phase, Tick(exact.as_nanos() * 2), &cfg());
+        prop_assert!(t.is_some());
+        prop_assert!(t.unwrap() <= exact);
+    }
+
+    /// Theorem 5.7: asymmetric pairs stay within 3 % of the bound.
+    #[test]
+    fn asymmetric_pipeline(
+        e_pm in 10u32..150,
+        f_pm in 10u32..150,
+    ) {
+        let (ee, ff) = (e_pm as f64 / 1000.0, f_pm as f64 / 1000.0);
+        let (e, f) = optimal::asymmetric(params(), ee, ff).unwrap();
+        let exact = two_way_worst_case(&e.schedule, &f.schedule, &cfg()).unwrap();
+        // tight at the achieved duty cycles: the worst direction's exact
+        // latency equals ω/(βγ) of that direction
+        let l_fe = bounds::unidirectional_bound(OMEGA_S, e.achieved.beta, f.achieved.gamma);
+        let l_ef = bounds::unidirectional_bound(OMEGA_S, f.achieved.beta, e.achieved.gamma);
+        let ratio = exact.as_secs_f64() / l_fe.max(l_ef);
+        prop_assert!((ratio - 1.0).abs() < 1e-6, "η ({ee},{ff}): achieved ratio {ratio}");
+        // and within quantization error of the requested budgets
+        let bound = bounds::asymmetric_bound(1.0, OMEGA_S, ee, ff);
+        let ratio = exact.as_secs_f64() / bound;
+        prop_assert!((ratio - 1.0).abs() < 0.08, "η ({ee},{ff}): requested ratio {ratio}");
+    }
+
+    /// Monotonicity: more budget never hurts (bound and construction).
+    #[test]
+    fn latency_monotone_in_budget(eta_pm in 5u32..70) {
+        let eta_lo = eta_pm as f64 / 1000.0;
+        let eta_hi = eta_lo * 2.0;
+        let lo = optimal::symmetric(params(), eta_lo).unwrap();
+        let hi = optimal::symmetric(params(), eta_hi).unwrap();
+        prop_assert!(hi.predicted_latency <= lo.predicted_latency);
+        prop_assert!(
+            bounds::symmetric_bound(1.0, OMEGA_S, eta_hi)
+                <= bounds::symmetric_bound(1.0, OMEGA_S, eta_lo)
+        );
+    }
+}
