@@ -61,16 +61,12 @@ impl LatencyDistribution {
             let gap = gaps[(k + m_b - 1) % m_b];
             let map = expand_map(beacons, windows, k, cfg)?;
             let profile = map.first_hit_profile();
-            let undiscovered = profile.uncovered_measure().as_nanos() as f64
-                / windows.period().as_nanos() as f64;
+            let undiscovered =
+                profile.uncovered_measure().as_nanos() as f64 / windows.period().as_nanos() as f64;
             if undiscovered > 0.0 {
                 any_uncovered = true;
             }
-            if let Some(w) = profile
-                .distribution()
-                .last()
-                .map(|&(d, _)| d)
-            {
+            if let Some(w) = profile.distribution().last().map(|&(d, _)| d) {
                 worst = worst.max(gap + w);
             }
             let weight = if uniform {
@@ -304,8 +300,8 @@ mod tests {
 
     #[test]
     fn partial_distribution_carries_atom() {
-        use nd_protocols::Disco;
         use nd_core::time::Tick;
+        use nd_protocols::Disco;
         let sched = Disco::new(3, 5, Tick::from_millis(1), Tick::from_micros(36))
             .unwrap()
             .schedule()

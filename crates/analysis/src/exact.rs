@@ -226,8 +226,7 @@ fn phase_profile(
     }
     let map = CoverageMap::build(&rel, windows, cfg.omega, cfg.model);
     let profile = map.first_hit_profile();
-    let uncovered = profile.uncovered_measure().as_nanos() as f64
-        / period_c.as_nanos() as f64;
+    let uncovered = profile.uncovered_measure().as_nanos() as f64 / period_c.as_nanos() as f64;
     // mean over covered offsets only
     let mean_covered = if uncovered == 0.0 {
         profile.mean().unwrap_or(f64::NAN)
@@ -247,10 +246,7 @@ fn phase_profile(
     Ok(PhaseProfile {
         worst: profile.worst().or_else(|| {
             // max over covered segments even when some are uncovered
-            profile
-                .distribution()
-                .last()
-                .map(|&(d, _)| d)
+            profile.distribution().last().map(|&(d, _)| d)
         }),
         mean_covered,
         uncovered_fraction: uncovered,
@@ -319,7 +315,9 @@ pub fn naive_first_discovery(
     let period_c = windows.period();
     for inst in beacons.instants_in(Tick::ZERO, horizon) {
         // position of the beacon within the receiver's period
-        let pos = (inst + period_c.scaled(4)).checked_sub(phase)?.rem_euclid(period_c);
+        let pos = (inst + period_c.scaled(4))
+            .checked_sub(phase)?
+            .rem_euclid(period_c);
         if base.contains(pos) {
             return Some(inst);
         }
@@ -339,8 +337,7 @@ mod tests {
     #[test]
     fn uniform_tiling_matches_closed_form() {
         // the optimal construction guarantees k·λ exactly
-        let (tx, rx) = optimal::unidirectional(OptimalParams::paper_default(), 0.01, 0.02)
-            .unwrap();
+        let (tx, rx) = optimal::unidirectional(OptimalParams::paper_default(), 0.01, 0.02).unwrap();
         let b = tx.schedule.beacons.as_ref().unwrap();
         let c = rx.schedule.windows.as_ref().unwrap();
         let wc = one_way_worst_case(b, c, &cfg()).unwrap();
@@ -348,10 +345,7 @@ mod tests {
         // l* is one gap shorter (the arrival wait)
         assert_eq!(wc.packet_to_packet + b.mean_gap(), wc.latency);
         // exactly k beacons needed — Theorem 4.3 with equality
-        assert_eq!(
-            wc.beacons_needed as u64,
-            c.period().div_ceil(c.sum_d())
-        );
+        assert_eq!(wc.beacons_needed as u64, c.period().div_ceil(c.sum_d()));
         // the mean is roughly half the worst case for a uniform tiling
         assert!(wc.mean > 0.3 * wc.latency.as_secs_f64());
         assert!(wc.mean < 0.7 * wc.latency.as_secs_f64());
@@ -376,12 +370,8 @@ mod tests {
             Tick::from_micros(36),
         )
         .unwrap();
-        let c = ReceptionWindows::single(
-            Tick::ZERO,
-            Tick::from_micros(100),
-            Tick::from_millis(1),
-        )
-        .unwrap();
+        let c = ReceptionWindows::single(Tick::ZERO, Tick::from_micros(100), Tick::from_millis(1))
+            .unwrap();
         let mut cfg = cfg();
         cfg.max_beacons = 1000;
         let err = one_way_worst_case(&b, &c, &cfg).unwrap_err();
@@ -390,8 +380,7 @@ mod tests {
 
     #[test]
     fn naive_oracle_agrees_with_profile() {
-        let (tx, rx) = optimal::unidirectional(OptimalParams::paper_default(), 0.01, 0.05)
-            .unwrap();
+        let (tx, rx) = optimal::unidirectional(OptimalParams::paper_default(), 0.01, 0.05).unwrap();
         let b = tx.schedule.beacons.as_ref().unwrap();
         let c = rx.schedule.windows.as_ref().unwrap();
         let wc = one_way_worst_case(b, c, &cfg()).unwrap();
@@ -483,8 +472,8 @@ mod tests {
     #[test]
     fn two_way_requires_full_schedules() {
         use nd_core::schedule::{BeaconSeq, Schedule};
-        let b = BeaconSeq::uniform(1, Tick::from_millis(1), Tick::from_micros(36), Tick::ZERO)
-            .unwrap();
+        let b =
+            BeaconSeq::uniform(1, Tick::from_millis(1), Tick::from_micros(36), Tick::ZERO).unwrap();
         let tx_only = Schedule::tx_only(b);
         assert!(two_way_worst_case(&tx_only, &tx_only, &cfg()).is_err());
     }

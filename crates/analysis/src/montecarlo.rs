@@ -91,7 +91,10 @@ pub fn pair_trials(
         let phase_a = random_phase(sched_a, &mut rng);
         let phase_b = random_phase(sched_b, &mut rng);
         let mut cfg_t = cfg.clone();
-        cfg_t.seed = cfg.seed.wrapping_add(trial as u64).wrapping_mul(0x5851_f42d_4c95_7f2d);
+        cfg_t.seed = cfg
+            .seed
+            .wrapping_add(trial as u64)
+            .wrapping_mul(0x5851_f42d_4c95_7f2d);
         let mut sim = Simulator::new(cfg_t, Topology::full(2));
         sim.add_device(Box::new(ScheduleBehavior::with_phase(
             sched_a.clone(),
@@ -115,10 +118,7 @@ pub fn pair_trials(
 
 /// Run one simulation with `behaviors.len()` devices (arbitrary reactive
 /// behaviours) and return the report.
-pub fn run_group(
-    behaviors: Vec<Box<dyn Behavior>>,
-    cfg: &SimConfig,
-) -> nd_sim::SimReport {
+pub fn run_group(behaviors: Vec<Box<dyn Behavior>>, cfg: &SimConfig) -> nd_sim::SimReport {
     let n = behaviors.len();
     let mut sim = Simulator::new(cfg.clone(), Topology::full(n));
     for b in behaviors {
@@ -261,13 +261,7 @@ mod tests {
         let horizon = Tick(opt.predicted_latency.as_nanos() * 3);
         let mut cfg = sim_cfg(1);
         cfg.t_end = horizon;
-        let lat = pair_trials(
-            &opt.schedule,
-            &opt.schedule,
-            PairMetric::TwoWay,
-            &cfg,
-            25,
-        );
+        let lat = pair_trials(&opt.schedule, &opt.schedule, PairMetric::TwoWay, &cfg, 25);
         let summary = LatencySummary::from_latencies(&lat);
         assert_eq!(summary.failures, 0, "deterministic protocol never fails");
         assert!(
@@ -307,14 +301,7 @@ mod tests {
         cfg.collisions = true;
         cfg.half_duplex = true;
         cfg.t_end = Tick(opt.predicted_latency.as_nanos() * 2);
-        let rate = group_success_rate(
-            &opt.schedule,
-            3,
-            opt.predicted_latency,
-            &cfg,
-            4,
-            None,
-        );
+        let rate = group_success_rate(&opt.schedule, 3, opt.predicted_latency, &cfg, 4, None);
         assert!((0.0..=1.0).contains(&rate));
         assert!(rate > 0.5, "most discoveries succeed, got {rate}");
     }

@@ -119,8 +119,7 @@ mod tests {
 
     #[test]
     fn optimal_construction_cross_validates() {
-        let (tx, rx) =
-            optimal::unidirectional(OptimalParams::paper_default(), 0.02, 0.05).unwrap();
+        let (tx, rx) = optimal::unidirectional(OptimalParams::paper_default(), 0.02, 0.05).unwrap();
         let v = cross_validate(
             &tx.schedule,
             &rx.schedule,
@@ -143,8 +142,13 @@ mod tests {
 
     #[test]
     fn diffcode_cross_validates() {
-        let d = DiffCode::new(7, vec![1, 2, 4], Tick::from_millis(1), Tick::from_micros(36))
-            .unwrap();
+        let d = DiffCode::new(
+            7,
+            vec![1, 2, 4],
+            Tick::from_millis(1),
+            Tick::from_micros(36),
+        )
+        .unwrap();
         let sched = d.schedule().unwrap();
         let v = cross_validate(&sched, &sched, &AnalysisConfig::paper_default(), 29).unwrap();
         assert!(v.consistent(), "{v:?}");

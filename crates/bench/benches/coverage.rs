@@ -10,31 +10,24 @@ use std::hint::black_box;
 fn bench_coverage_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("coverage_map_build");
     for &n_beacons in &[16u64, 64, 256, 1024] {
-        let windows = ReceptionWindows::single(
-            Tick::ZERO,
-            Tick::from_micros(500),
-            Tick::from_millis(10),
-        )
-        .unwrap();
+        let windows =
+            ReceptionWindows::single(Tick::ZERO, Tick::from_micros(500), Tick::from_millis(10))
+                .unwrap();
         // irregular-ish gaps exercising the modular shifts
         let rel: Vec<Tick> = (0..n_beacons)
             .map(|i| Tick::from_micros(i * 10_500 + (i % 7) * 131))
             .collect();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(n_beacons),
-            &rel,
-            |b, rel| {
-                b.iter(|| {
-                    let map = CoverageMap::build(
-                        black_box(rel),
-                        black_box(&windows),
-                        Tick::from_micros(36),
-                        OverlapModel::Start,
-                    );
-                    black_box(map.is_deterministic())
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(n_beacons), &rel, |b, rel| {
+            b.iter(|| {
+                let map = CoverageMap::build(
+                    black_box(rel),
+                    black_box(&windows),
+                    Tick::from_micros(36),
+                    OverlapModel::Start,
+                );
+                black_box(map.is_deterministic())
+            })
+        });
     }
     group.finish();
 }
@@ -42,12 +35,9 @@ fn bench_coverage_build(c: &mut Criterion) {
 fn bench_first_hit_profile(c: &mut Criterion) {
     let mut group = c.benchmark_group("first_hit_profile");
     for &n_beacons in &[64u64, 512] {
-        let windows = ReceptionWindows::single(
-            Tick::ZERO,
-            Tick::from_micros(500),
-            Tick::from_millis(10),
-        )
-        .unwrap();
+        let windows =
+            ReceptionWindows::single(Tick::ZERO, Tick::from_micros(500), Tick::from_millis(10))
+                .unwrap();
         let rel: Vec<Tick> = (0..n_beacons)
             .map(|i| Tick::from_micros(i * 10_500))
             .collect();

@@ -1,0 +1,63 @@
+//! Criterion bench: nd-sweep orchestration throughput (jobs/sec) on a
+//! 24-point exact-analysis grid, single-threaded vs. all cores, plus the
+//! per-sweep fixed overhead (expansion + hashing) on its own.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nd_sweep::{expand, run_sweep, ScenarioSpec, SweepOptions};
+use std::hint::black_box;
+
+const GRID_SPEC: &str = r#"
+name = "bench-grid"
+backend = "exact"
+metric = "one-way"
+percentiles = false
+
+[grid]
+protocol = ["optimal-slotless", "disco", "u-connect", "searchlight"]
+eta = [0.05, 0.10, 0.20]
+slot_us = [500, 1000]
+"#;
+
+fn bench_sweep_throughput(c: &mut Criterion) {
+    let spec = ScenarioSpec::from_toml_str(GRID_SPEC).unwrap();
+    let jobs = expand(&spec).len() as u64;
+    let all_cores = nd_sweep::pool::default_threads();
+
+    let mut group = c.benchmark_group("sweep_jobs");
+    group.throughput(Throughput::Elements(jobs));
+    let mut thread_counts = vec![1];
+    if all_cores > 1 {
+        thread_counts.push(all_cores);
+    }
+    for threads in thread_counts {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                let opts = SweepOptions {
+                    threads: Some(threads),
+                    ..SweepOptions::uncached()
+                };
+                b.iter(|| black_box(run_sweep(&spec, &opts).unwrap().rows.len()))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_expansion_and_hashing(c: &mut Criterion) {
+    let spec = ScenarioSpec::from_toml_str(GRID_SPEC).unwrap();
+    c.bench_function("sweep_expand_and_hash_24", |b| {
+        b.iter(|| {
+            let jobs = expand(&spec);
+            let mut acc = 0u64;
+            for job in &jobs {
+                acc ^= job.seed(&spec);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_sweep_throughput, bench_expansion_and_hashing);
+criterion_main!(benches);

@@ -36,7 +36,11 @@ pub fn run() -> String {
             secs(bound),
             secs(wc.latency.as_secs_f64()),
             factor(wc.latency.as_secs_f64() / bound),
-            if v.consistent() { "ok".into() } else { format!("{} mismatches", v.mismatches) },
+            if v.consistent() {
+                "ok".into()
+            } else {
+                format!("{} mismatches", v.mismatches)
+            },
         ]);
     }
     out.push_str(&t.render());
@@ -79,10 +83,7 @@ pub fn run() -> String {
     out.push_str("\nTheorem 5.5 across TX/RX power ratios (η = 5 %):\n\n");
     let mut t = Table::new(&["α", "β = η/2α", "bound 4αω/η²", "exact L", "ratio"]);
     for alpha in [0.5, 1.0, 2.0, 4.0] {
-        let p = OptimalParams {
-            alpha,
-            ..params()
-        };
+        let p = OptimalParams { alpha, ..params() };
         let opt = optimal::symmetric(p, 0.05).expect("constructible");
         let l = two_way_worst_case(&opt.schedule, &opt.schedule, &cfg).expect("deterministic");
         let bound = symmetric_bound(alpha, OMEGA_S, 0.05);

@@ -56,7 +56,10 @@ pub fn run() -> String {
     let mut out = String::new();
     out.push_str("Appendix A.1 — non-repetitive reception sequences (β = 1 %, γ = 5 %)\n\n");
     let bound = unidirectional_bound(36e-6, BETA, GAMMA);
-    out.push_str(&format!("Eq. 23 bound for every pattern: L = ω/(βγ) = {}\n\n", secs(bound)));
+    out.push_str(&format!(
+        "Eq. 23 bound for every pattern: L = ω/(βγ) = {}\n\n",
+        secs(bound)
+    ));
 
     let (_tx, rx) = optimal::unidirectional(OptimalParams::paper_default(), BETA, GAMMA)
         .expect("constructible");
@@ -65,24 +68,30 @@ pub fn run() -> String {
     let window = opt_windows.sum_d();
 
     let trials = 80;
-    let mut t = Table::new(&["scanner (same γ)", "mean", "p95", "max observed", "failures", "vs bound (mean)"]);
+    let mut t = Table::new(&[
+        "scanner (same γ)",
+        "mean",
+        "p95",
+        "max observed",
+        "failures",
+        "vs bound (mean)",
+    ]);
     let cases: Vec<(&str, LatencySummary)> = vec![
         (
             "repetitive optimal tiling",
             trial(
-                &mut || Box::new(ScheduleBehavior::new(Schedule::rx_only(opt_windows.clone()))),
+                &mut || {
+                    Box::new(ScheduleBehavior::new(Schedule::rx_only(
+                        opt_windows.clone(),
+                    )))
+                },
                 trials,
             ),
         ),
         (
             "sliding (deterministic, non-repetitive)",
             trial(
-                &mut || {
-                    Box::new(
-                        SlidingScanner::new(frame, window, window / 3)
-                            .expect("valid"),
-                    )
-                },
+                &mut || Box::new(SlidingScanner::new(frame, window, window / 3).expect("valid")),
                 trials,
             ),
         ),

@@ -27,8 +27,14 @@ pub fn run() -> String {
     out.push_str("Appendix B — optimal redundancy (ω=36 µs, α=1, η=5 %, P_f=0.05 %, S=3)\n\n");
 
     for (label, exp) in [
-        ("Eq. 12 exponent 2(S-1)β  [matches the paper's example]", CollisionExponent::SMinusOne),
-        ("Appendix-B prose exponent 2(S-2)β", CollisionExponent::SMinusTwo),
+        (
+            "Eq. 12 exponent 2(S-1)β  [matches the paper's example]",
+            CollisionExponent::SMinusOne,
+        ),
+        (
+            "Appendix-B prose exponent 2(S-2)β",
+            CollisionExponent::SMinusTwo,
+        ),
     ] {
         out.push_str(label);
         out.push('\n');
@@ -77,8 +83,8 @@ pub fn run() -> String {
     // --- Monte-Carlo validation --------------------------------------
     out.push_str("Simulation: success rate within L' among S = 3 devices (500 ms runs)\n\n");
     let params = OptimalParams::paper_default();
-    let proto = redundant_symmetric(params, ETA, PF, S, CollisionExponent::SMinusOne)
-        .expect("feasible");
+    let proto =
+        redundant_symmetric(params, ETA, PF, S, CollisionExponent::SMinusOne).expect("feasible");
     let deadline = proto.predicted_l_prime;
     let mut cfg = SimConfig::paper_baseline(Tick(deadline.as_nanos() * 2), 99);
     cfg.collisions = true;

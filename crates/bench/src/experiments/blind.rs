@@ -24,8 +24,7 @@ pub fn run() -> String {
     let assumed_eta_f = 0.04;
     let eta_e = 0.08;
     // E's side of the Theorem 5.7 construction against the assumed peer
-    let (e, _assumed_f) =
-        optimal::asymmetric(params, eta_e, assumed_eta_f).expect("constructible");
+    let (e, _assumed_f) = optimal::asymmetric(params, eta_e, assumed_eta_f).expect("constructible");
     let be = e.schedule.beacons.as_ref().unwrap();
 
     let cfg = AnalysisConfig::paper_default();
@@ -43,8 +42,7 @@ pub fn run() -> String {
         // (η_E, 4 %) schedule
         let (_e2, f) = optimal::asymmetric(params, eta_e, actual).expect("constructible");
         let cf = f.schedule.windows.as_ref().unwrap();
-        let known_bound =
-            unidirectional_bound(36e-6, e.achieved.beta, f.achieved.gamma);
+        let known_bound = unidirectional_bound(36e-6, e.achieved.beta, f.achieved.gamma);
         let cc = one_way_coverage(be, cf, &cfg).expect("analyzable");
         let (worst, penalty) = if cc.undiscovered_probability > 1e-12 {
             ("∞ (resonant)".to_string(), "-".to_string())

@@ -21,9 +21,7 @@ pub fn run() -> String {
     let slot = Tick::from_millis(1);
     let omega = Tick::from_micros(36);
     let cfg = AnalysisConfig::with_omega(omega);
-    let mut t = Table::new(&[
-        "protocol", "mean", "p50", "p95", "p99", "worst", "never",
-    ]);
+    let mut t = Table::new(&["protocol", "mean", "p50", "p95", "p99", "worst", "never"]);
     for kind in ProtocolKind::all() {
         let Ok(sched) = kind.schedule_for_eta(0.10, slot, omega) else {
             continue;

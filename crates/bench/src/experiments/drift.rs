@@ -8,11 +8,42 @@
 //! slip past the ω-wide strip, which can take orders of magnitude longer
 //! than the protocol's nominal worst case. This experiment measures that
 //! rescue time and checks it against the slip-rate prediction ω/(Δppm·1e-6).
+//!
+//! The measurement is a declarative `nd-sweep` scenario: the receiver is
+//! parked mid-strip (fixed phase ω/2) and the drift axis is swept; each
+//! grid point is one deterministic simulation.
 
 use crate::table::{secs, Table};
 use nd_core::time::Tick;
-use nd_protocols::DiffCode;
-use nd_sim::{Drifting, ScheduleBehavior, SimConfig, Simulator, Topology};
+use nd_sweep::{run_sweep, ScenarioSpec, SweepOptions};
+
+/// The drift sweep. The *one-way* undiscovered strip of the StartEnd slot
+/// geometry is φ ∈ [0, ω): a receiver whose schedule leads the sender's by
+/// less than one airtime never hears it (its window opens ω after the slot
+/// start, exactly straddling the sender's boundary beacons). Parking the
+/// receiver mid-strip (`phase_us = 18` = ω/2) makes the drift-free row
+/// fail forever; any real drift slides it out at the slip rate.
+const SPEC: &str = r#"
+name = "drift-strip-rescue"
+backend = "montecarlo"
+metric = "one-way"
+
+[radio]
+omega_us = 36
+
+[grid]
+protocol = ["diff-code:7:1,2,4"]
+slot_us = [1000]
+drift_ppm = [0, 10, 50, 100]
+phase_us = [18]
+
+[sim]
+trials = 1
+seed = 77
+horizon_ms = 20000
+half_duplex = true
+collisions = true
+"#;
 
 /// Generate the report.
 pub fn run() -> String {
@@ -20,15 +51,11 @@ pub fn run() -> String {
     out.push_str("Clock drift vs. the slot-boundary strips (diff-code v=7, I = 1 ms)\n\n");
     let slot = Tick::from_millis(1);
     let omega = Tick::from_micros(36);
-    let d = DiffCode::new(7, vec![1, 2, 4], slot, omega).expect("valid");
-    let sched = d.schedule().expect("valid");
-    // The *one-way* undiscovered strip of the StartEnd slot geometry is
-    // φ ∈ [0, ω): a receiver whose schedule leads the sender's by less
-    // than one airtime never hears it (its window opens ω after the slot
-    // start, exactly straddling the sender's boundary beacons). Park the
-    // receiver mid-strip (φ = ω/2); a +ppm drift slides it out at the
-    // slip rate, so discovery happens after ≈ (ω/2)/slip.
     let depth = omega / 2;
+
+    let spec = ScenarioSpec::from_toml_str(SPEC).expect("valid spec");
+    let sweep = run_sweep(&spec, &SweepOptions::uncached()).expect("sweep runs");
+
     let mut t = Table::new(&[
         "relative drift",
         "one-way discovered?",
@@ -36,22 +63,13 @@ pub fn run() -> String {
         "nominal worst (7 slots)",
         "predicted escape (ω/2)/slip",
     ]);
-    for ppm in [0i64, 10, 50, 100] {
-        let horizon = Tick::from_secs(20);
-        let cfg = SimConfig::paper_baseline(horizon, 77);
-        let mut sim = Simulator::new(cfg, Topology::full(2));
-        sim.add_device(Box::new(Drifting::ppm(
-            ScheduleBehavior::new(sched.clone()),
-            0,
-        )));
-        sim.add_device(Box::new(Drifting::ppm(
-            ScheduleBehavior::with_phase(sched.clone(), depth),
-            ppm,
-        )));
-        sim.stop_when_all_discovered(false);
-        let report = sim.run();
-        // the strip blocks device 1 (the leading receiver) hearing device 0
-        let found = report.discovery.one_way(1, 0);
+    for row in &sweep.rows {
+        let ppm = row
+            .param("drift_ppm")
+            .and_then(|v| v.as_i64())
+            .expect("drift axis");
+        let found = row.metric("failure_rate") == Some(0.0);
+        let latency = row.metric("mean_s").filter(|l| l.is_finite());
         let predicted = if ppm == 0 {
             "never".to_string()
         } else {
@@ -59,8 +77,8 @@ pub fn run() -> String {
         };
         t.row(vec![
             format!("{ppm} ppm"),
-            if found.is_some() { "yes".into() } else { "no".into() },
-            found.map_or("—".into(), |f| secs(f.as_secs_f64())),
+            if found { "yes".into() } else { "no".into() },
+            latency.map_or("—".into(), secs),
             secs(7.0 * slot.as_secs_f64()),
             predicted,
         ]);

@@ -12,9 +12,27 @@
 //!    shrinks like `2ω/I` (two beacons per slot ⇒ two boundary strips).
 
 use crate::table::{pct, Table};
-use nd_analysis::{one_way_coverage, AnalysisConfig};
+#[cfg(test)]
 use nd_core::time::Tick;
-use nd_protocols::DiffCode;
+use nd_sweep::{run_sweep, ScenarioSpec, SweepOptions};
+
+/// The measured column as a declarative `nd-sweep` scenario: one exact
+/// coverage-analysis job per slot length (I/ω ∈ {3, 5, 10, 30, 100} at
+/// ω = 36 µs; the I < 2ω + 1 points cannot host a StartEnd placement and
+/// are reported closed-form only).
+const SPEC: &str = r#"
+name = "fig5-slot-boundary-strips"
+backend = "exact"
+metric = "one-way"
+percentiles = false   # the report only reads undiscovered_prob
+
+[radio]
+omega_us = 36
+
+[grid]
+protocol = ["diff-code:7:1,2,4"]
+slot_us = [108, 180, 360, 1080, 3600]
+"#;
 
 /// Closed form for the single-beacon-per-slot design of [16]: over the
 /// offsets δ ∈ (−I, I) where two active slots overlap, the fraction that
@@ -28,28 +46,41 @@ pub fn receivable_fraction_one_beacon(slot_over_omega: f64) -> f64 {
 }
 
 /// Measured on a full schedule: fraction of offsets a complete diff-code
-/// protocol never discovers (§3.2 strict model).
+/// protocol never discovers (§3.2 strict model) — one single-point sweep
+/// through the `nd-sweep` engine.
+#[cfg(test)]
 fn measured_undiscovered(slot: Tick, omega: Tick) -> f64 {
-    let d = DiffCode::new(7, vec![1, 2, 4], slot, omega).expect("valid set");
-    let sched = d.schedule().expect("valid schedule");
-    let cfg = AnalysisConfig::with_omega(omega);
-    let cc = one_way_coverage(
-        sched.beacons.as_ref().unwrap(),
-        sched.windows.as_ref().unwrap(),
-        &cfg,
-    )
-    .expect("analyzable");
-    cc.undiscovered_probability
+    let spec = ScenarioSpec::from_toml_str(&format!(
+        "backend = \"exact\"\npercentiles = false\n[radio]\nomega_us = {}\n[grid]\n\
+         protocol = [\"diff-code:7:1,2,4\"]\nslot_us = [{}]\n",
+        omega.as_micros_f64(),
+        slot.as_micros_f64(),
+    ))
+    .expect("valid spec");
+    let out = run_sweep(&spec, &SweepOptions::uncached()).expect("sweep runs");
+    out.rows[0]
+        .metric("undiscovered_prob")
+        .expect("analyzable schedule")
 }
 
 /// Generate the report.
 pub fn run() -> String {
-    let omega = Tick::from_micros(36);
     let mut out = String::new();
     out.push_str("Figure 5 — fraction of receivable offsets vs. slot length I/ω\n");
-    out.push_str(
-        "(paper: at I = 2ω only half of the overlapping offsets yield a reception)\n\n",
-    );
+    out.push_str("(paper: at I = 2ω only half of the overlapping offsets yield a reception)\n\n");
+    let spec = ScenarioSpec::from_toml_str(SPEC).expect("valid spec");
+    let sweep = run_sweep(&spec, &SweepOptions::uncached()).expect("sweep runs");
+    // slot_us → measured undiscovered fraction
+    let measured_by_slot: Vec<(f64, f64)> = sweep
+        .rows
+        .iter()
+        .filter_map(|r| {
+            Some((
+                r.param("slot_us")?.as_f64()?,
+                r.metric("undiscovered_prob")?,
+            ))
+        })
+        .collect();
     let mut t = Table::new(&[
         "I/omega",
         "one-beacon design (1 - w/I)",
@@ -58,15 +89,10 @@ pub fn run() -> String {
     ]);
     for ratio in [1.0, 1.5, 2.0, 3.0, 5.0, 10.0, 30.0, 100.0] {
         let closed = receivable_fraction_one_beacon(ratio);
-        let measured = if ratio >= 3.0 {
-            // StartEnd placement needs I ≥ 2ω + 1
-            Some(measured_undiscovered(
-                Tick((omega.as_nanos() as f64 * ratio) as u64),
-                omega,
-            ))
-        } else {
-            None
-        };
+        let measured = measured_by_slot
+            .iter()
+            .find(|(slot_us, _)| (*slot_us - 36.0 * ratio).abs() < 1e-6)
+            .map(|&(_, p)| p);
         t.row(vec![
             format!("{ratio:.1}"),
             pct(closed),

@@ -7,21 +7,49 @@
 //! r = 1, 1.125 at r = 2, 1.8 at r = 5): invisible on the paper's log
 //! scale for moderate asymmetry, and growing slowly beyond it. We print
 //! both the product series and the exact penalty factor.
+//!
+//! The whole grid — joint budget × asymmetry ratio — is one declarative
+//! `nd-sweep` scenario on the closed-form `bounds` backend.
 
 use crate::table::{secs, Table};
-use nd_core::bounds::asymmetric::{asymmetry_penalty, product_vs_joint_budget};
+use nd_sweep::{run_sweep, Row, ScenarioSpec, SweepOptions};
 
-const OMEGA: f64 = 36e-6;
-const ALPHA: f64 = 1.0;
+/// The (η_E+η_F) × ratio grid as a scenario spec. The ratio axis is the
+/// union of what the two report tables need.
+const SPEC: &str = r#"
+name = "fig6-asymmetry-cost"
+backend = "bounds"
+
+[radio]
+omega_us = 36
+alpha = 1.0
+
+[grid]
+eta = [0.01, 0.02, 0.05, 0.10, 0.20]
+ratio = [1.0, 1.5, 2.0, 3.0, 5.0, 10.0, 20.0]
+"#;
+
+fn find(rows: &[Row], eta: f64, ratio: f64) -> &Row {
+    rows.iter()
+        .find(|r| {
+            r.param("eta").and_then(|v| v.as_f64()) == Some(eta)
+                && r.param("ratio").and_then(|v| v.as_f64()) == Some(ratio)
+        })
+        .expect("grid covers the requested point")
+}
 
 /// Generate the report.
 pub fn run() -> String {
+    let spec = ScenarioSpec::from_toml_str(SPEC).expect("valid spec");
+    let sweep = run_sweep(&spec, &SweepOptions::uncached()).expect("sweep runs");
+    let rows = &sweep.rows;
+
     let mut out = String::new();
     out.push_str("Figure 6 — L·(η_E+η_F) vs. joint duty cycle, by asymmetry ratio\n");
     out.push_str("(Theorem 5.7 with ω = 36 µs, α = 1; product in seconds·1)\n\n");
-    let ratios = [1.0, 2.0, 5.0, 10.0];
+    let table_ratios = [1.0, 2.0, 5.0, 10.0];
     let mut headers = vec!["sum η_E+η_F".to_string(), "L (sym)".to_string()];
-    for r in ratios {
+    for r in table_ratios {
         headers.push(format!("r={r:.0}"));
     }
     let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
@@ -30,12 +58,12 @@ pub fn run() -> String {
         let sum = pctsum / 100.0;
         let mut row = vec![format!("{pctsum:.0}%")];
         // symmetric latency itself, for scale
-        let l_sym = product_vs_joint_budget(ALPHA, OMEGA, sum, 1.0) / sum;
+        let l_sym = find(rows, sum, 1.0).metric("bound_s").expect("bounds row");
         row.push(secs(l_sym));
-        for r in ratios {
+        for r in table_ratios {
             row.push(format!(
                 "{:.4}",
-                product_vs_joint_budget(ALPHA, OMEGA, sum, r)
+                find(rows, sum, r).metric("product").expect("bounds row")
             ));
         }
         t.row(row);
@@ -45,7 +73,8 @@ pub fn run() -> String {
     out.push_str("\nExact asymmetry penalty factor (1+r)²/(4r) relative to symmetric:\n\n");
     let mut p = Table::new(&["ratio r = η_E/η_F", "penalty"]);
     for r in [1.0, 1.5, 2.0, 3.0, 5.0, 10.0, 20.0] {
-        p.row(vec![format!("{r:.1}"), format!("{:.3}x", asymmetry_penalty(r))]);
+        let penalty = find(rows, 0.05, r).metric("penalty").expect("bounds row");
+        p.row(vec![format!("{r:.1}"), format!("{penalty:.3}x")]);
     }
     out.push_str(&p.render());
     out.push_str(
@@ -60,12 +89,22 @@ pub fn run() -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nd_core::bounds::asymmetric::product_vs_joint_budget;
 
     #[test]
     fn product_scales_inverse_in_sum() {
-        let a = product_vs_joint_budget(ALPHA, OMEGA, 0.05, 2.0);
-        let b = product_vs_joint_budget(ALPHA, OMEGA, 0.10, 2.0);
+        let a = product_vs_joint_budget(1.0, 36e-6, 0.05, 2.0);
+        let b = product_vs_joint_budget(1.0, 36e-6, 0.10, 2.0);
         assert!((a / b - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_rows_match_direct_evaluation() {
+        let spec = ScenarioSpec::from_toml_str(SPEC).unwrap();
+        let sweep = run_sweep(&spec, &SweepOptions::uncached()).unwrap();
+        let row = find(&sweep.rows, 0.05, 2.0);
+        let direct = product_vs_joint_budget(1.0, 36e-6, 0.05, 2.0);
+        assert!((row.metric("product").unwrap() - direct).abs() < 1e-12);
     }
 
     #[test]

@@ -46,7 +46,10 @@ pub fn run() -> String {
     let mut t = Table::new(&hdr_refs);
     for eta_pct in [0.1f64, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0] {
         let eta = eta_pct / 100.0;
-        let mut row = vec![format!("{eta_pct}%"), secs(symmetric_bound(ALPHA, OMEGA, eta))];
+        let mut row = vec![
+            format!("{eta_pct}%"),
+            secs(symmetric_bound(ALPHA, OMEGA, eta)),
+        ];
         for s in senders {
             row.push(secs(collision_constrained_bound(ALPHA, OMEGA, eta, PC, s)));
         }

@@ -16,8 +16,16 @@ pub fn run() -> String {
     let mut t = Table::new(&["radio", "n_C=1", "n_C=2", "n_C=4", "n_C=8", "n_C=8 / n_C=1"]);
     for (name, do_tx, do_rx) in [
         ("ideal", Tick::ZERO, Tick::ZERO),
-        ("nRF-class (130 µs)", Tick::from_micros(130), Tick::from_micros(130)),
-        ("slow MCU (1 ms)", Tick::from_millis(1), Tick::from_millis(1)),
+        (
+            "nRF-class (130 µs)",
+            Tick::from_micros(130),
+            Tick::from_micros(130),
+        ),
+        (
+            "slow MCU (1 ms)",
+            Tick::from_millis(1),
+            Tick::from_millis(1),
+        ),
     ] {
         let l = |n: u64| unidirectional_with_overheads(omega, do_tx, do_rx, sum_d, n, beta, gamma);
         t.row(vec![
@@ -35,11 +43,8 @@ pub fn run() -> String {
     let mut e = Table::new(&["quantity", "ideal", "with overheads"]);
     let gap = Tick::from_micros(3600); // λ for β = 1 %
     let ideal_beta = omega.as_nanos() as f64 / gap.as_nanos() as f64;
-    let oh_beta = nd_core::bounds::overheads::beta_with_overhead(
-        omega,
-        Tick::from_micros(130),
-        gap,
-    );
+    let oh_beta =
+        nd_core::bounds::overheads::beta_with_overhead(omega, Tick::from_micros(130), gap);
     e.row(vec![
         "β at λ = 3.6 ms".into(),
         format!("{:.4}%", ideal_beta * 100.0),
@@ -47,12 +52,8 @@ pub fn run() -> String {
     ]);
     let period = Tick::from_millis(100);
     let ideal_gamma = sum_d.as_nanos() as f64 / period.as_nanos() as f64;
-    let oh_gamma = nd_core::bounds::overheads::gamma_with_overhead(
-        sum_d,
-        4,
-        Tick::from_micros(130),
-        period,
-    );
+    let oh_gamma =
+        nd_core::bounds::overheads::gamma_with_overhead(sum_d, 4, Tick::from_micros(130), period);
     e.row(vec![
         "γ at Σd = 2 ms / 100 ms, n_C = 4".into(),
         format!("{:.4}%", ideal_gamma * 100.0),

@@ -6,15 +6,44 @@
 //! reception window; a radio cannot receive while transmitting (plus
 //! turnaround times), so the offsets served by that window slice are at
 //! risk: `P_fail = (d_oTxRx + d_oRxTx + d_a)/(M·Σd)`.
+//!
+//! The simulation column is a declarative `nd-sweep` scenario: a
+//! Monte-Carlo sweep over the turnaround axis with the deadline set to the
+//! schedule's predicted (exact two-way worst-case) latency.
 
 use crate::table::{pct, Table};
-use nd_analysis::montecarlo::{pair_trials, LatencySummary, PairMetric};
 use nd_core::bounds::overheads::self_blocking_failure_probability;
 use nd_core::time::Tick;
 use nd_protocols::optimal::{self, OptimalParams};
-use nd_sim::SimConfig;
+use nd_sweep::{run_sweep, ScenarioSpec, SweepOptions};
 
 const ETA: f64 = 0.05;
+
+/// The simulated column: one Monte-Carlo job per turnaround value, with
+/// random phases, half-duplex radios and the horizon/deadline derived from
+/// the schedule's nominal guarantee.
+const SPEC: &str = r#"
+name = "pfail-self-blocking"
+backend = "montecarlo"
+metric = "one-way"
+
+[radio]
+omega_us = 36
+alpha = 1.0
+
+[grid]
+protocol = ["optimal-slotless"]
+eta = [0.05]
+turnaround_us = [0, 300]
+
+[sim]
+trials = 300
+seed = 31
+horizon_predicted_x = 2.0
+deadline = "predicted"
+half_duplex = true
+collisions = true
+"#;
 
 /// Generate the report.
 pub fn run() -> String {
@@ -29,6 +58,9 @@ pub fn run() -> String {
     let sum_d = c.sum_d();
     let omega = b.omega();
 
+    let spec = ScenarioSpec::from_toml_str(SPEC).expect("valid spec");
+    let sweep = run_sweep(&spec, &SweepOptions::uncached()).expect("sweep runs");
+
     let mut t = Table::new(&[
         "turnarounds (TxRx+RxTx)",
         "Eq.31 P_fail",
@@ -37,35 +69,22 @@ pub fn run() -> String {
     ]);
     for (label, turnaround_us) in [("ideal (0)", 0u64), ("BLE-class (300 µs)", 300)] {
         let guard = Tick::from_micros(turnaround_us);
-        let p_formula = self_blocking_failure_probability(
-            guard,
-            Tick::ZERO,
-            omega,
-            m,
-            sum_d,
-        );
-        // simulate: half-duplex on, collisions on, random phases
-        let mut cfg = SimConfig::paper_baseline(Tick(opt.predicted_latency.as_nanos() * 2), 31);
-        cfg.radio.do_tx_rx = guard / 2;
-        cfg.radio.do_rx_tx = guard / 2;
-        let trials = 300;
-        let lat = pair_trials(
-            &opt.schedule,
-            &opt.schedule,
-            PairMetric::OneWay,
-            &cfg,
-            trials,
-        );
-        let over: usize = lat
+        let p_formula = self_blocking_failure_probability(guard, Tick::ZERO, omega, m, sum_d);
+        let row = sweep
+            .rows
             .iter()
-            .filter(|l| l.is_none_or(|t| t > opt.predicted_latency))
-            .count();
-        let s = LatencySummary::from_latencies(&lat);
-        let _ = s;
+            .find(|r| {
+                r.param("turnaround_us").and_then(|v| v.as_f64()) == Some(turnaround_us as f64)
+            })
+            .expect("turnaround point swept");
+        let over = row
+            .metric("over_deadline_frac")
+            .expect("deadline configured");
+        let trials = row.metric("trials").expect("trial count recorded");
         t.row(vec![
             label.into(),
             pct(p_formula),
-            pct(over as f64 / trials as f64),
+            pct(over),
             format!("{trials}"),
         ]);
     }

@@ -31,7 +31,10 @@ pub fn run() -> String {
         ("T_a = T_s + d_s/2".into(), ts + ds / 2),
         ("T_a = T_s + 2·d_s".into(), ts + ds * 2),
         ("T_a = T_s (resonant!)".into(), ts),
-        ("T_a = T_s + d_s + 1 µs".into(), ts + ds + Tick::from_micros(1)),
+        (
+            "T_a = T_s + d_s + 1 µs".into(),
+            ts + ds + Tick::from_micros(1),
+        ),
         ("BLE default 100 ms".into(), Tick::from_millis(100)),
     ];
     let mut t = Table::new(&[
@@ -106,7 +109,10 @@ mod tests {
     #[test]
     fn report_contrasts_optimal_and_resonant() {
         let r = run();
-        assert!(r.contains("1.000x"), "optimal parametrization hits the bound");
+        assert!(
+            r.contains("1.000x"),
+            "optimal parametrization hits the bound"
+        );
         assert!(r.contains("∞ (partial)") || r.contains("resonant"));
     }
 }

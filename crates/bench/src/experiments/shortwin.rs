@@ -29,18 +29,15 @@ pub fn run() -> String {
         let tc = tc_ms / 1e3;
         let d1 = tc * GAMMA;
         let l = shortened_window_bound(tc, OMEGA_S, BETA, GAMMA);
-        t.row(vec![
-            secs(tc),
-            secs(d1),
-            secs(l),
-            factor(l / limit),
-        ]);
+        t.row(vec![secs(tc), secs(d1), secs(l), factor(l / limit)]);
     }
     out.push_str(&t.render());
     out.push_str(&format!("limit ω/(βγ) = {}\n", secs(limit)));
 
     // --- exact-engine validation under FullPacket ----------------------
-    out.push_str("\nExact engine under the FullPacket model (window widened by ω, A.3 compensation):\n\n");
+    out.push_str(
+        "\nExact engine under the FullPacket model (window widened by ω, A.3 compensation):\n\n",
+    );
     let omega = Tick::from_micros(36);
     let mut v = Table::new(&["T_C", "exact L", "vs limit"]);
     for k in [10u64, 50, 200] {

@@ -18,11 +18,20 @@ const ALPHA: f64 = 1.0;
 pub fn run() -> String {
     let mut out = String::new();
     out.push_str("Table 1 — slotted-protocol worst cases d_m(β, η)\n");
-    out.push_str("(ω = 36 µs, α = 1; the fundamental Thm 5.6 bound at β ≤ η/2α equals diff-codes)\n\n");
+    out.push_str(
+        "(ω = 36 µs, α = 1; the fundamental Thm 5.6 bound at β ≤ η/2α equals diff-codes)\n\n",
+    );
 
     // --- the analytical table over an (η, β) grid --------------------
     let mut t = Table::new(&[
-        "η", "β", "diffcodes", "searchlight", "disco", "u-connect", "sl/dc", "disco/dc",
+        "η",
+        "β",
+        "diffcodes",
+        "searchlight",
+        "disco",
+        "u-connect",
+        "sl/dc",
+        "disco/dc",
     ]);
     for (eta, beta) in [
         (0.02, 0.002),
@@ -82,7 +91,10 @@ pub fn run() -> String {
         (
             "searchlight",
             "t=18".into(),
-            Searchlight::new(18, slot, omega).unwrap().schedule().unwrap(),
+            Searchlight::new(18, slot, omega)
+                .unwrap()
+                .schedule()
+                .unwrap(),
             table1_searchlight,
         ),
         (
@@ -127,8 +139,7 @@ pub fn run() -> String {
     // covered by the reverse direction (the same complementary-halves trick
     // as Appendix C). Check that either-way discovery is near-complete.
     let uc = UConnect::new(13, slot, omega).unwrap().schedule().unwrap();
-    let (frac, worst) =
-        nd_protocols::correlated::oneway_coverage_fraction(&uc, slot / 4 + Tick(1));
+    let (frac, worst) = nd_protocols::correlated::oneway_coverage_fraction(&uc, slot / 4 + Tick(1));
     out.push_str(&format!(
         "\nU-Connect either-way phase sweep (p = 13): {} of phases covered{}\n",
         pct(frac),
@@ -166,7 +177,9 @@ mod tests {
         let (eta, beta) = (0.05, 0.01);
         let dc = table1_diffcodes(ALPHA, OMEGA_S, eta, beta);
         assert!(table1_searchlight(ALPHA, OMEGA_S, eta, beta) > dc);
-        assert!(table1_disco(ALPHA, OMEGA_S, eta, beta) > table1_searchlight(ALPHA, OMEGA_S, eta, beta));
+        assert!(
+            table1_disco(ALPHA, OMEGA_S, eta, beta) > table1_searchlight(ALPHA, OMEGA_S, eta, beta)
+        );
     }
 
     #[test]

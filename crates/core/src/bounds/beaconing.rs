@@ -33,7 +33,10 @@ pub fn optimal_reception_period(sum_d: Tick, k: u64) -> Tick {
 /// No pair of sequences with these duty cycles can guarantee a lower
 /// worst-case latency for F discovering E.
 pub fn unidirectional_bound(omega_secs: f64, beta_e: f64, gamma_f: f64) -> f64 {
-    assert!(beta_e > 0.0 && gamma_f > 0.0, "duty cycles must be positive");
+    assert!(
+        beta_e > 0.0 && gamma_f > 0.0,
+        "duty cycles must be positive"
+    );
     omega_secs / (beta_e * gamma_f)
 }
 
@@ -44,12 +47,7 @@ mod tests {
     #[test]
     fn coverage_bound_eq6() {
         // T_C = 100 µs, Σd = 20 µs → M = 5; ω = 36 µs, β = 0.01
-        let l = coverage_bound(
-            Tick::from_micros(100),
-            Tick::from_micros(20),
-            36e-6,
-            0.01,
-        );
+        let l = coverage_bound(Tick::from_micros(100), Tick::from_micros(20), 36e-6, 0.01);
         assert!((l - 5.0 * 36e-6 / 0.01).abs() < 1e-12);
     }
 

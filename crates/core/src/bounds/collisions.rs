@@ -38,13 +38,7 @@ pub fn kink_duty_cycle(alpha: f64, pc: f64, s: u32) -> f64 {
 /// Figure 7 evaluation: the lowest guaranteeable worst-case latency at duty
 /// cycle η when the collision probability among `s` senders must stay below
 /// `pc`. Combines Eq. 12 with Theorem 5.6.
-pub fn collision_constrained_bound(
-    alpha: f64,
-    omega_secs: f64,
-    eta: f64,
-    pc: f64,
-    s: u32,
-) -> f64 {
+pub fn collision_constrained_bound(alpha: f64, omega_secs: f64, eta: f64, pc: f64, s: u32) -> f64 {
     let beta_m = max_utilization_for(pc, s);
     if beta_m.is_infinite() {
         crate::bounds::symmetric::symmetric_bound(alpha, omega_secs, eta)

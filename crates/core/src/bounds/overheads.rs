@@ -38,8 +38,7 @@ pub fn unidirectional_with_overheads(
     gamma: f64,
 ) -> f64 {
     assert!(beta > 0.0 && gamma > 0.0);
-    let window_penalty =
-        1.0 + (do_rx * n_windows).as_nanos() as f64 / sum_d.as_nanos() as f64;
+    let window_penalty = 1.0 + (do_rx * n_windows).as_nanos() as f64 / sum_d.as_nanos() as f64;
     (1.0 / gamma) * window_penalty * (omega + do_tx).as_secs_f64() / beta
 }
 
@@ -122,9 +121,7 @@ mod tests {
         let sum_d = Tick::from_millis(1);
         let period = Tick::from_millis(10);
         let ideal_g = 0.1;
-        assert!(
-            (gamma_with_overhead(sum_d, 4, Tick::ZERO, period) - ideal_g).abs() < 1e-15
-        );
+        assert!((gamma_with_overhead(sum_d, 4, Tick::ZERO, period) - ideal_g).abs() < 1e-15);
         assert!(gamma_with_overhead(sum_d, 4, Tick::from_micros(130), period) > ideal_g);
     }
 
@@ -165,11 +162,8 @@ mod tests {
             beta,
             gamma,
         );
-        let ideal = crate::bounds::beaconing::unidirectional_bound(
-            omega.as_secs_f64(),
-            beta,
-            gamma,
-        );
+        let ideal =
+            crate::bounds::beaconing::unidirectional_bound(omega.as_secs_f64(), beta, gamma);
         assert!((l - ideal).abs() < 1e-12);
     }
 
@@ -180,24 +174,15 @@ mod tests {
         let beta = 0.01;
         // 1 ms of listening as a single window vs. ten 100 µs windows
         let single = coverage_bound_shortened(period, &[Tick::from_millis(1)], omega, beta);
-        let many = coverage_bound_shortened(
-            period,
-            &[Tick::from_micros(100); 10],
-            omega,
-            beta,
-        );
+        let many = coverage_bound_shortened(period, &[Tick::from_micros(100); 10], omega, beta);
         assert!(many > single);
     }
 
     #[test]
     fn eq28_infinite_when_windows_too_short() {
         let omega = Tick::from_micros(36);
-        let l = coverage_bound_shortened(
-            Tick::from_millis(1),
-            &[Tick::from_micros(20)],
-            omega,
-            0.01,
-        );
+        let l =
+            coverage_bound_shortened(Tick::from_millis(1), &[Tick::from_micros(20)], omega, 0.01);
         assert!(l.is_infinite());
     }
 

@@ -79,12 +79,7 @@ pub fn failure_rate_fractional(
 /// redundancy achieves exactly the failure rate `pf` among `s` senders:
 /// `β = −ln(1 − pf^{1/Q}) / (2·(S−eff))`.
 /// Returns `None` when there are no interferers (any β works).
-pub fn beta_for_redundancy(
-    q: u32,
-    pf: f64,
-    s: u32,
-    exponent: CollisionExponent,
-) -> Option<f64> {
+pub fn beta_for_redundancy(q: u32, pf: f64, s: u32, exponent: CollisionExponent) -> Option<f64> {
     assert!(q >= 1);
     assert!((0.0..1.0).contains(&pf) && pf > 0.0, "pf must be in (0,1)");
     let eff = exponent.interferers(s);
@@ -178,8 +173,7 @@ mod tests {
 
     #[test]
     fn paper_example_beta_and_pc() {
-        let plan =
-            plan_for_q(3, ETA, 1.0, OMEGA, PF, S, CollisionExponent::SMinusOne).unwrap();
+        let plan = plan_for_q(3, ETA, 1.0, OMEGA, PF, S, CollisionExponent::SMinusOne).unwrap();
         // paper: "The resulting channel utilization is 2.07 %"
         assert!((plan.beta - 0.0207).abs() < 2e-4, "beta = {}", plan.beta);
         // paper: "L is not reached by Pc = 7.9 % of all discovery attempts"
@@ -192,8 +186,7 @@ mod tests {
         // (≈12 %; see EXPERIMENTS.md — the paper's own numbers use rounded
         // intermediates). The pair worst case computes to ≈0.059 s vs. the
         // paper's 0.05 s.
-        let plan =
-            plan_for_q(3, ETA, 1.0, OMEGA, PF, S, CollisionExponent::SMinusOne).unwrap();
+        let plan = plan_for_q(3, ETA, 1.0, OMEGA, PF, S, CollisionExponent::SMinusOne).unwrap();
         assert!((plan.l_prime - 0.178).abs() < 5e-3, "l' = {}", plan.l_prime);
         assert!((plan.pair_worst_case - 0.059).abs() < 2e-3);
     }
@@ -203,8 +196,7 @@ mod tests {
         // with the 2(S−2) exponent, S = 3 → single interferer and β = 4.1 %:
         // clearly not the published 2.07 % — documents why SMinusOne is the
         // default.
-        let plan =
-            plan_for_q(3, ETA, 1.0, OMEGA, PF, S, CollisionExponent::SMinusTwo).unwrap();
+        let plan = plan_for_q(3, ETA, 1.0, OMEGA, PF, S, CollisionExponent::SMinusTwo).unwrap();
         assert!((plan.beta - 0.0414).abs() < 5e-4);
     }
 
@@ -256,11 +248,9 @@ mod tests {
     fn optimal_q_shifts_with_failure_tolerance() {
         // stricter P_f favours more redundancy
         let strict =
-            optimal_redundancy(ETA, 1.0, OMEGA, 1e-6, S, CollisionExponent::SMinusOne, 12)
-                .unwrap();
+            optimal_redundancy(ETA, 1.0, OMEGA, 1e-6, S, CollisionExponent::SMinusOne, 12).unwrap();
         let loose =
-            optimal_redundancy(ETA, 1.0, OMEGA, 0.05, S, CollisionExponent::SMinusOne, 12)
-                .unwrap();
+            optimal_redundancy(ETA, 1.0, OMEGA, 0.05, S, CollisionExponent::SMinusOne, 12).unwrap();
         assert!(strict.q >= loose.q);
     }
 }

@@ -55,9 +55,8 @@ impl OverlapModel {
                 OverlapModel::FullPacket => {
                     // s ≥ t and s + ω ≤ t + d ⇒ s ∈ [t, t+d-ω] (empty if d < ω)
                     match (w.d + Tick(1)).checked_sub(omega) {
-                        Some(len) => IntervalSet::single(w.t, w.t + len).intersect(
-                            &IntervalSet::single(Tick::ZERO, period),
-                        ),
+                        Some(len) => IntervalSet::single(w.t, w.t + len)
+                            .intersect(&IntervalSet::single(Tick::ZERO, period)),
                         None => IntervalSet::empty(),
                     }
                 }

@@ -377,7 +377,10 @@ mod tests {
     #[test]
     fn subtract_sets() {
         let a = set(&[(0, 10)]);
-        assert_eq!(a.subtract(&set(&[(3, 5)])).intervals(), &[iv(0, 3), iv(5, 10)]);
+        assert_eq!(
+            a.subtract(&set(&[(3, 5)])).intervals(),
+            &[iv(0, 3), iv(5, 10)]
+        );
         assert_eq!(a.subtract(&set(&[(0, 10)])).intervals(), &[] as &[Interval]);
         assert_eq!(
             a.subtract(&set(&[(2, 4), (6, 8)])).intervals(),
@@ -387,7 +390,9 @@ mod tests {
         assert_eq!(a.subtract(&set(&[(20, 30)])), a);
         // subtrahend clipping both ends
         assert_eq!(
-            set(&[(5, 15)]).subtract(&set(&[(0, 7), (12, 20)])).intervals(),
+            set(&[(5, 15)])
+                .subtract(&set(&[(0, 7), (12, 20)]))
+                .intervals(),
             &[iv(7, 12)]
         );
     }

@@ -48,6 +48,7 @@ pub mod error;
 pub mod interval;
 pub mod params;
 pub mod schedule;
+pub mod stable;
 pub mod time;
 
 pub use coverage::{min_beacons, CoverageMap, FirstHitProfile, OverlapModel};
@@ -55,4 +56,5 @@ pub use error::NdError;
 pub use interval::{Interval, IntervalSet};
 pub use params::{DutyCycle, RadioParams};
 pub use schedule::{BeaconSeq, ReceptionWindows, Schedule, Window};
+pub use stable::StableEncode;
 pub use time::Tick;

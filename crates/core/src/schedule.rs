@@ -134,7 +134,9 @@ impl ReceptionWindows {
     /// (i.e. every window start becomes `(t + delta) mod T_C`). Windows that
     /// would straddle the boundary are split into two.
     pub fn rotated(&self, delta: Tick) -> ReceptionWindows {
-        let set = self.interval_set().shift_mod(delta.as_nanos() as i128, self.period);
+        let set = self
+            .interval_set()
+            .shift_mod(delta.as_nanos() as i128, self.period);
         let windows = set
             .intervals()
             .iter()
@@ -202,7 +204,9 @@ impl BeaconSeq {
             return Err(NdError::InvalidSchedule("airtime must be positive".into()));
         }
         if times.is_empty() {
-            return Err(NdError::InvalidSchedule("at least one beacon required".into()));
+            return Err(NdError::InvalidSchedule(
+                "at least one beacon required".into(),
+            ));
         }
         for (i, &t) in times.iter().enumerate() {
             if t >= period {
@@ -227,14 +231,20 @@ impl BeaconSeq {
                 ));
             }
         }
-        Ok(BeaconSeq { times, period, omega })
+        Ok(BeaconSeq {
+            times,
+            period,
+            omega,
+        })
     }
 
     /// A sequence with beacons at a uniform gap λ = `period / count`
     /// starting at `phase`. The period must be divisible by `count`.
     pub fn uniform(count: u64, period: Tick, omega: Tick, phase: Tick) -> Result<Self, NdError> {
         if count == 0 {
-            return Err(NdError::InvalidSchedule("at least one beacon required".into()));
+            return Err(NdError::InvalidSchedule(
+                "at least one beacon required".into(),
+            ));
         }
         if !period.as_nanos().is_multiple_of(count) {
             return Err(NdError::InvalidSchedule(format!(
@@ -425,10 +435,7 @@ impl Schedule {
         let windows = c.instances_in(Tick::ZERO, horizon);
         let mut blocked = Tick::ZERO;
         for tx in b.instants_in(Tick::ZERO, horizon) {
-            let tx_iv = Interval::new(
-                tx.saturating_sub(guard),
-                tx + b.omega() + guard,
-            );
+            let tx_iv = Interval::new(tx.saturating_sub(guard), tx + b.omega() + guard);
             for w in &windows {
                 blocked += w.intersect(&tx_iv).measure();
             }
@@ -478,11 +485,7 @@ mod tests {
     fn window_validation_rejects_bad_inputs() {
         let p = Tick::from_micros(100);
         assert!(ReceptionWindows::new(vec![], p).is_err());
-        assert!(ReceptionWindows::new(
-            vec![Window::new(Tick::ZERO, Tick::ZERO)],
-            p
-        )
-        .is_err());
+        assert!(ReceptionWindows::new(vec![Window::new(Tick::ZERO, Tick::ZERO)], p).is_err());
         // overlap
         assert!(ReceptionWindows::new(
             vec![
@@ -536,8 +539,14 @@ mod tests {
         let ivs = c.instances_in(Tick::from_micros(32), Tick::from_micros(72));
         // [32,40) (clipped), [70,72) (clipped)
         assert_eq!(ivs.len(), 2);
-        assert_eq!(ivs[0], Interval::new(Tick::from_micros(32), Tick::from_micros(40)));
-        assert_eq!(ivs[1], Interval::new(Tick::from_micros(70), Tick::from_micros(72)));
+        assert_eq!(
+            ivs[0],
+            Interval::new(Tick::from_micros(32), Tick::from_micros(40))
+        );
+        assert_eq!(
+            ivs[1],
+            Interval::new(Tick::from_micros(70), Tick::from_micros(72))
+        );
     }
 
     #[test]
@@ -565,7 +574,13 @@ mod tests {
         assert_eq!(b.max_gap(), Tick::from_micros(25));
         assert!((b.beta() - 0.16).abs() < 1e-12);
         // phase rotation keeps count and beta
-        let b2 = BeaconSeq::uniform(4, Tick::from_micros(100), Tick::from_micros(4), Tick::from_micros(7)).unwrap();
+        let b2 = BeaconSeq::uniform(
+            4,
+            Tick::from_micros(100),
+            Tick::from_micros(4),
+            Tick::from_micros(7),
+        )
+        .unwrap();
         assert_eq!(b2.times()[0], Tick::from_micros(7));
         assert!((b2.beta() - b.beta()).abs() < 1e-12);
     }
@@ -577,12 +592,7 @@ mod tests {
 
     #[test]
     fn gaps_sum_to_period() {
-        let b = BeaconSeq::new(
-            vec![Tick(5), Tick(20), Tick(90)],
-            Tick(120),
-            Tick(2),
-        )
-        .unwrap();
+        let b = BeaconSeq::new(vec![Tick(5), Tick(20), Tick(90)], Tick(120), Tick(2)).unwrap();
         let gaps = b.gaps();
         assert_eq!(gaps, vec![Tick(15), Tick(70), Tick(35)]);
         assert_eq!(gaps.into_iter().sum::<Tick>(), b.period());
@@ -601,7 +611,10 @@ mod tests {
             vec![Tick(0), Tick(50), Tick(100), Tick(150)]
         );
         // from mid-stream
-        assert_eq!(b.instants_in(Tick(60), Tick(161)), vec![Tick(60), Tick(110), Tick(160)]);
+        assert_eq!(
+            b.instants_in(Tick(60), Tick(161)),
+            vec![Tick(60), Tick(110), Tick(160)]
+        );
     }
 
     #[test]

@@ -1,0 +1,225 @@
+//! Stable, platform-independent binary encoding of parameter types.
+//!
+//! The `nd-sweep` result cache is *content-addressed*: a job's cache key is
+//! a cryptographic hash of every parameter that influences its result. That
+//! requires an encoding that is stable across runs, platforms and — unlike
+//! `std::hash::Hash` — across compiler versions, and that is defined for
+//! the `f64` fields (α, probabilities) `derive(Hash)` cannot handle.
+//!
+//! [`StableEncode`] is that encoding: each value appends a tag byte and a
+//! fixed-endian payload to a byte buffer. Implementations exist for the
+//! primitive types and for every parameter struct in this crate; `nd-sim`
+//! extends it to `SimConfig`.
+//!
+//! The encoding is *injective per type* (two different values of the same
+//! type encode differently) and tag-separated across types, so a composite
+//! key built by concatenating fields cannot alias a different composite
+//! with the same flattened bytes.
+
+use crate::coverage::OverlapModel;
+use crate::params::{DutyCycle, RadioParams};
+use crate::time::Tick;
+
+/// Append a stable binary encoding of `self` to `out`.
+///
+/// See the module docs for the guarantees. Floats are encoded by their IEEE
+/// bit pattern with `-0.0` normalized to `0.0` and all NaNs collapsed to
+/// the canonical quiet NaN, so logically equal parameter sets hash equally.
+pub trait StableEncode {
+    /// Append the encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// The encoding as a fresh buffer.
+    fn encoded(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+}
+
+// tag bytes: one per encodable type/shape
+const TAG_BOOL: u8 = 0x01;
+const TAG_U64: u8 = 0x02;
+const TAG_I64: u8 = 0x03;
+const TAG_F64: u8 = 0x04;
+const TAG_STR: u8 = 0x05;
+const TAG_SEQ: u8 = 0x06;
+const TAG_NONE: u8 = 0x07;
+const TAG_SOME: u8 = 0x08;
+const TAG_TICK: u8 = 0x10;
+const TAG_RADIO: u8 = 0x11;
+const TAG_DUTY: u8 = 0x12;
+const TAG_OVERLAP: u8 = 0x13;
+
+impl StableEncode for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(TAG_BOOL);
+        out.push(*self as u8);
+    }
+}
+
+impl StableEncode for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(TAG_U64);
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl StableEncode for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+}
+
+impl StableEncode for i64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(TAG_I64);
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl StableEncode for f64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let canon = if self.is_nan() {
+            f64::NAN
+        } else if *self == 0.0 {
+            0.0
+        } else {
+            *self
+        };
+        out.push(TAG_F64);
+        out.extend_from_slice(&canon.to_bits().to_le_bytes());
+    }
+}
+
+impl StableEncode for str {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(TAG_STR);
+        (self.len() as u64).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl StableEncode for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_str().encode(out);
+    }
+}
+
+impl<T: StableEncode> StableEncode for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(TAG_NONE),
+            Some(v) => {
+                out.push(TAG_SOME);
+                v.encode(out);
+            }
+        }
+    }
+}
+
+impl<T: StableEncode> StableEncode for [T] {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(TAG_SEQ);
+        (self.len() as u64).encode(out);
+        for v in self {
+            v.encode(out);
+        }
+    }
+}
+
+impl<T: StableEncode> StableEncode for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_slice().encode(out);
+    }
+}
+
+impl StableEncode for Tick {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(TAG_TICK);
+        out.extend_from_slice(&self.as_nanos().to_le_bytes());
+    }
+}
+
+impl StableEncode for OverlapModel {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(TAG_OVERLAP);
+        out.push(match self {
+            OverlapModel::Start => 0,
+            OverlapModel::AnyOverlap => 1,
+            OverlapModel::FullPacket => 2,
+        });
+    }
+}
+
+impl StableEncode for RadioParams {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(TAG_RADIO);
+        self.omega.encode(out);
+        self.alpha.encode(out);
+        self.do_tx.encode(out);
+        self.do_rx.encode(out);
+        self.do_tx_rx.encode(out);
+        self.do_rx_tx.encode(out);
+    }
+}
+
+impl StableEncode for DutyCycle {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(TAG_DUTY);
+        self.beta.encode(out);
+        self.gamma.encode(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip_injectively() {
+        assert_ne!(1u64.encoded(), 2u64.encoded());
+        assert_ne!(1u64.encoded(), 1i64.encoded(), "tag-separated types");
+        assert_ne!("a".encoded(), "b".encoded());
+        assert_ne!(true.encoded(), false.encoded());
+        assert_ne!(Some(1u64).encoded(), None::<u64>.encoded());
+    }
+
+    #[test]
+    fn floats_are_canonicalized() {
+        assert_eq!((-0.0f64).encoded(), 0.0f64.encoded());
+        assert_eq!(f64::NAN.encoded(), (f64::NAN * 2.0).encoded());
+        assert_ne!(0.1f64.encoded(), 0.2f64.encoded());
+    }
+
+    #[test]
+    fn seq_length_prefix_prevents_aliasing() {
+        let a: Vec<u64> = vec![1, 2];
+        let b: Vec<u64> = vec![1];
+        let c: Vec<u64> = vec![2];
+        let mut bc = Vec::new();
+        b.encode(&mut bc);
+        c.encode(&mut bc);
+        assert_ne!(a.encoded(), bc);
+    }
+
+    #[test]
+    fn param_structs_encode_all_fields() {
+        let base = RadioParams::paper_default();
+        let mut tweaked = base;
+        tweaked.alpha = 2.0;
+        assert_ne!(base.encoded(), tweaked.encoded());
+        let mut t2 = base;
+        t2.do_tx_rx = Tick::from_micros(1);
+        assert_ne!(base.encoded(), t2.encoded());
+
+        let d1 = DutyCycle::new(0.1, 0.2);
+        let d2 = DutyCycle::new(0.2, 0.1);
+        assert_ne!(d1.encoded(), d2.encoded());
+
+        assert_ne!(
+            OverlapModel::Start.encoded(),
+            OverlapModel::FullPacket.encoded()
+        );
+    }
+}

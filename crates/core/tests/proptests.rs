@@ -32,7 +32,11 @@ fn reception_windows(period: u64) -> impl Strategy<Value = ReceptionWindows> {
         let starts: Vec<u64> = starts.into_iter().collect();
         let mut windows = Vec::new();
         for (i, &s) in starts.iter().enumerate() {
-            let next = if i + 1 < starts.len() { starts[i + 1] } else { period };
+            let next = if i + 1 < starts.len() {
+                starts[i + 1]
+            } else {
+                period
+            };
             let max_len = next - s;
             if max_len == 0 {
                 continue;

@@ -64,7 +64,11 @@ impl Behavior for RandomScanner {
         for _ in 0..4 {
             let base = Tick(self.next_frame * self.frame.as_nanos());
             let span = (self.frame - self.window).as_nanos();
-            let offset = if span == 0 { 0 } else { rng.gen_range(0..=span) };
+            let offset = if span == 0 {
+                0
+            } else {
+                rng.gen_range(0..=span)
+            };
             let at = base + Tick(offset);
             if at >= after {
                 out.push(Op::Rx {
@@ -206,7 +210,10 @@ mod tests {
         let b = s2.next_ops(Tick::ZERO, &mut rng);
         assert_eq!(a, b);
         // offsets advance by the stride
-        assert_eq!(s.offset_in_frame(1) - s.offset_in_frame(0), Tick::from_micros(700));
+        assert_eq!(
+            s.offset_in_frame(1) - s.offset_in_frame(0),
+            Tick::from_micros(700)
+        );
     }
 
     #[test]

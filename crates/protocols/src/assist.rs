@@ -80,9 +80,7 @@ impl Behavior for MutualAssist {
             .into_iter()
             .map(|op| match op {
                 Op::Tx { at, .. } => {
-                    let announce = self
-                        .next_window_after(at)
-                        .map_or(0, |w| w.as_nanos());
+                    let announce = self.next_window_after(at).map_or(0, |w| w.as_nanos());
                     Op::Tx {
                         at,
                         payload: announce,
@@ -185,7 +183,12 @@ mod tests {
             .on_reception(Tick::from_millis(42), 3, 0, &mut rng)
             .is_empty());
         assert!(ma
-            .on_reception(Tick::from_millis(42), 3, Tick::from_millis(41).as_nanos(), &mut rng)
+            .on_reception(
+                Tick::from_millis(42),
+                3,
+                Tick::from_millis(41).as_nanos(),
+                &mut rng
+            )
             .is_empty());
     }
 

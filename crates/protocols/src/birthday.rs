@@ -30,10 +30,7 @@ pub struct Birthday {
 impl Birthday {
     /// Validate and build.
     pub fn new(slot: Tick, p_tx: f64, p_rx: f64) -> Result<Self, NdError> {
-        if !(0.0..=1.0).contains(&p_tx)
-            || !(0.0..=1.0).contains(&p_rx)
-            || p_tx + p_rx > 1.0
-        {
+        if !(0.0..=1.0).contains(&p_tx) || !(0.0..=1.0).contains(&p_rx) || p_tx + p_rx > 1.0 {
             return Err(NdError::InfeasibleParameters(format!(
                 "slot probabilities out of range: p_tx {p_tx}, p_rx {p_rx}"
             )));

@@ -36,11 +36,7 @@ impl CodeBased {
     }
 
     /// The known set closest to a target slot-domain duty cycle.
-    pub fn best_known_for_duty_cycle(
-        dc: f64,
-        slot: Tick,
-        omega: Tick,
-    ) -> Result<Self, NdError> {
+    pub fn best_known_for_duty_cycle(dc: f64, slot: Tick, omega: Tick) -> Result<Self, NdError> {
         Ok(CodeBased::new(DiffCode::best_known_for_duty_cycle(
             dc, slot, omega,
         )?))

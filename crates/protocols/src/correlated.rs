@@ -28,13 +28,11 @@ use crate::optimal::OptimalProtocol;
 /// Build the Appendix C one-way-optimal schedule for a per-device budget
 /// η. Both devices run the returned schedule; their random phase decides
 /// which direction discovers first.
-pub fn correlated_oneway(
-    omega: Tick,
-    alpha: f64,
-    eta: f64,
-) -> Result<OptimalProtocol, NdError> {
+pub fn correlated_oneway(omega: Tick, alpha: f64, eta: f64) -> Result<OptimalProtocol, NdError> {
     if !(0.0 < eta && eta < 1.0) {
-        return Err(NdError::InfeasibleParameters(format!("eta out of range: {eta}")));
+        return Err(NdError::InfeasibleParameters(format!(
+            "eta out of range: {eta}"
+        )));
     }
     // balance 1/k = αω/(2d₁) = η/2  →  k = 2/η (even), d₁ = αω/η
     let mut k = (2.0 / eta).round().max(2.0) as u64;
@@ -95,7 +93,7 @@ pub fn verify_oneway_determinism(schedule: &Schedule, step: Tick) -> Option<Tick
             for &tb in b.times() {
                 let t_e = tb + period * cycle; // E beacon (global)
                 let t_f = tb + phi + period * cycle; // F beacon (global)
-                // E beacon into F window? F windows at [φ, φ+d) + m·period
+                                                     // E beacon into F window? F windows at [φ, φ+d) + m·period
                 if in_window(t_e, phi, c, period) {
                     first = Some(t_e);
                     break 'outer;
@@ -203,11 +201,9 @@ mod tests {
         // what halves is the latency, and with it the number of beacons
         // sent per (guaranteed) discovery.
         let oneway = correlated_oneway(OMEGA, 1.0, 0.05).unwrap();
-        let direct = crate::optimal::symmetric(
-            crate::optimal::OptimalParams::paper_default(),
-            0.05,
-        )
-        .unwrap();
+        let direct =
+            crate::optimal::symmetric(crate::optimal::OptimalParams::paper_default(), 0.05)
+                .unwrap();
         let per_l = |b: &nd_core::BeaconSeq, l: Tick| {
             b.n_beacons() as f64 * l.as_secs_f64() / b.period().as_secs_f64()
         };
@@ -221,8 +217,7 @@ mod tests {
         );
         assert!((m2 / m1 - 2.0).abs() < 0.1, "m1 {m1} m2 {m2}");
         // and the latency itself halves at equal budget
-        let ratio = direct.predicted_latency.as_secs_f64()
-            / oneway.predicted_latency.as_secs_f64();
+        let ratio = direct.predicted_latency.as_secs_f64() / oneway.predicted_latency.as_secs_f64();
         assert!((ratio - 2.0).abs() < 0.1, "latency ratio {ratio}");
     }
 

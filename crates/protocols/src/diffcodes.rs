@@ -79,7 +79,11 @@ pub fn find_difference_set(v: u64, k: usize) -> Option<Vec<u64>> {
             for &a in sol.iter() {
                 let d1 = ((c + v - a) % v) as usize;
                 let d2 = ((a + v - c) % v) as usize;
-                if d1 == d2 || diffs[d1] || diffs[d2] || new_diffs.contains(&d1) || new_diffs.contains(&d2)
+                if d1 == d2
+                    || diffs[d1]
+                    || diffs[d2]
+                    || new_diffs.contains(&d1)
+                    || new_diffs.contains(&d2)
                 {
                     ok = false;
                     break;
@@ -133,7 +137,12 @@ impl DiffCode {
         }
         let mut set = set;
         set.sort();
-        Ok(DiffCode { v, set, slot, omega })
+        Ok(DiffCode {
+            v,
+            set,
+            slot,
+            omega,
+        })
     }
 
     /// The known set whose slot-domain duty cycle `k/v` is closest to the

@@ -38,7 +38,12 @@ impl Disco {
                 "Disco needs two distinct primes".into(),
             ));
         }
-        Ok(Disco { p1, p2, slot, omega })
+        Ok(Disco {
+            p1,
+            p2,
+            slot,
+            omega,
+        })
     }
 
     /// A balanced prime pair for a target slot-domain duty cycle
@@ -46,7 +51,9 @@ impl Disco {
     /// balanced-pair recommendation evaluated in the Disco paper.
     pub fn balanced_for_duty_cycle(dc: f64, slot: Tick, omega: Tick) -> Result<Self, NdError> {
         if !(0.0 < dc && dc < 1.0) {
-            return Err(NdError::InvalidSchedule(format!("duty cycle out of range: {dc}")));
+            return Err(NdError::InvalidSchedule(format!(
+                "duty cycle out of range: {dc}"
+            )));
         }
         let target = (2.0 / dc).round().max(3.0) as u64;
         let p1 = prev_prime(target.max(3));
@@ -64,12 +71,7 @@ impl Disco {
     /// the cross pairs (p₁, q₂) and (p₂, q₁) are then coprime).
     pub fn worst_case_slots_with(&self, q1: u64, q2: u64) -> Option<u64> {
         let mut best: Option<u64> = None;
-        for &(a, b) in &[
-            (self.p1, q1),
-            (self.p1, q2),
-            (self.p2, q1),
-            (self.p2, q2),
-        ] {
+        for &(a, b) in &[(self.p1, q1), (self.p1, q2), (self.p2, q1), (self.p2, q2)] {
             if a != b {
                 // distinct primes are coprime
                 let prod = a * b;

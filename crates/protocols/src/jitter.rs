@@ -90,7 +90,9 @@ impl RoundJittered {
     /// Wrap a schedule whose beacon side is one uniform-gap round per
     /// period (the shape produced by the optimal constructions).
     pub fn new(schedule: nd_core::Schedule) -> Self {
-        let beacons = schedule.beacons.expect("round jitter needs a beacon sequence");
+        let beacons = schedule
+            .beacons
+            .expect("round jitter needs a beacon sequence");
         RoundJittered {
             beacons,
             windows: schedule.windows,
@@ -155,13 +157,7 @@ mod tests {
 
     fn advertiser() -> ScheduleBehavior {
         ScheduleBehavior::new(Schedule::tx_only(
-            BeaconSeq::uniform(
-                1,
-                Tick::from_millis(1),
-                Tick::from_micros(36),
-                Tick::ZERO,
-            )
-            .unwrap(),
+            BeaconSeq::uniform(1, Tick::from_millis(1), Tick::from_micros(36), Tick::ZERO).unwrap(),
         ))
     }
 

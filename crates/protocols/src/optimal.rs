@@ -219,8 +219,14 @@ mod tests {
     #[test]
     fn unidirectional_duty_cycles_near_targets() {
         let (tx, rx) = unidirectional(params(), 0.01, 0.02).unwrap();
-        assert!((tx.achieved.beta - 0.01).abs() / 0.01 < 0.01, "beta within 1 %");
-        assert!((rx.achieved.gamma - 0.02).abs() < 1e-12, "gamma exact (1/k)");
+        assert!(
+            (tx.achieved.beta - 0.01).abs() / 0.01 < 0.01,
+            "beta within 1 %"
+        );
+        assert!(
+            (rx.achieved.gamma - 0.02).abs() < 1e-12,
+            "gamma exact (1/k)"
+        );
         // predicted latency matches the bound ω/(βγ) with achieved values
         let bound = bounds::unidirectional_bound(
             params().omega.as_secs_f64(),
@@ -275,7 +281,10 @@ mod tests {
         assert!(map.is_deterministic());
         assert!(map.is_disjoint());
         // exactly M beacons: optimal per Theorem 4.3
-        assert_eq!(k as u64, nd_core::coverage::min_beacons(c.period(), c.sum_d()));
+        assert_eq!(
+            k as u64,
+            nd_core::coverage::min_beacons(c.period(), c.sum_d())
+        );
     }
 
     #[test]
@@ -286,7 +295,10 @@ mod tests {
         // latency matches Theorem 5.6's binding branch
         let bound = bounds::constrained_bound(1.0, params().omega.as_secs_f64(), 0.05, 0.01);
         let pred = opt.predicted_latency.as_secs_f64();
-        assert!((pred - bound).abs() / bound < 0.02, "pred {pred} vs bound {bound}");
+        assert!(
+            (pred - bound).abs() / bound < 0.02,
+            "pred {pred} vs bound {bound}"
+        );
     }
 
     #[test]
@@ -301,7 +313,10 @@ mod tests {
         let (e, f) = asymmetric(params(), 0.08, 0.02).unwrap();
         let bound = bounds::asymmetric_bound(1.0, params().omega.as_secs_f64(), 0.08, 0.02);
         let pred = e.predicted_latency.as_secs_f64();
-        assert!((pred - bound).abs() / bound < 0.02, "pred {pred} vs bound {bound}");
+        assert!(
+            (pred - bound).abs() / bound < 0.02,
+            "pred {pred} vs bound {bound}"
+        );
         assert_eq!(e.predicted_latency, f.predicted_latency);
         // both directions deterministic
         let be = e.schedule.beacons.as_ref().unwrap();

@@ -65,12 +65,7 @@ impl PiProtocol {
     }
 
     /// Build a triple from duty-cycle targets and a chosen scan window.
-    pub fn from_duty_cycles(
-        beta: f64,
-        gamma: f64,
-        ds: Tick,
-        omega: Tick,
-    ) -> Result<Self, NdError> {
+    pub fn from_duty_cycles(beta: f64, gamma: f64, ds: Tick, omega: Tick) -> Result<Self, NdError> {
         if beta <= 0.0 || gamma <= 0.0 || gamma > 1.0 {
             return Err(NdError::InvalidSchedule(format!(
                 "invalid duty cycles beta {beta}, gamma {gamma}"
@@ -85,10 +80,8 @@ impl PiProtocol {
     /// `γ = η/2 = 1/k`, `T_a = a·T_s + d_s` — a thin wrapper over the
     /// Theorem 5.5 tiling construction.
     pub fn optimal(eta: f64, alpha: f64, omega: Tick, a: u64) -> Result<Self, NdError> {
-        let opt = crate::optimal::symmetric(
-            crate::optimal::OptimalParams { omega, alpha, a },
-            eta,
-        )?;
+        let opt =
+            crate::optimal::symmetric(crate::optimal::OptimalParams { omega, alpha, a }, eta)?;
         let b = opt.schedule.beacons.expect("symmetric schedule transmits");
         let c = opt.schedule.windows.expect("symmetric schedule listens");
         Self::new(b.mean_gap(), c.period(), c.sum_d(), omega)
@@ -104,7 +97,9 @@ impl PiProtocol {
     /// A scanner-only schedule (BLE central).
     pub fn scanner(&self) -> Result<Schedule, NdError> {
         Ok(Schedule::rx_only(ReceptionWindows::single(
-            Tick::ZERO, self.ds, self.ts,
+            Tick::ZERO,
+            self.ds,
+            self.ts,
         )?))
     }
 
@@ -224,8 +219,7 @@ mod tests {
 
     #[test]
     fn from_duty_cycles_roundtrips() {
-        let pi =
-            PiProtocol::from_duty_cycles(0.01, 0.05, Tick::from_millis(2), OMEGA).unwrap();
+        let pi = PiProtocol::from_duty_cycles(0.01, 0.05, Tick::from_millis(2), OMEGA).unwrap();
         let dc = pi.duty_cycle();
         assert!((dc.beta - 0.01).abs() / 0.01 < 0.01);
         assert!((dc.gamma - 0.05).abs() / 0.05 < 0.01);

@@ -93,14 +93,8 @@ mod tests {
     #[test]
     fn paper_example_lowered_to_schedule() {
         // ω = 36 µs, α = 1, η = 5 %, P_f = 0.05 %, S = 3 → Q = 3
-        let r = redundant_symmetric(
-            params(),
-            0.05,
-            0.0005,
-            3,
-            CollisionExponent::SMinusOne,
-        )
-        .unwrap();
+        let r =
+            redundant_symmetric(params(), 0.05, 0.0005, 3, CollisionExponent::SMinusOne).unwrap();
         assert_eq!(r.plan.q, 3);
         // schedule's β matches the plan within rounding
         let dc = r.schedule.duty_cycle();
@@ -113,14 +107,8 @@ mod tests {
 
     #[test]
     fn lprime_is_q_times_single_cover() {
-        let r = redundant_symmetric(
-            params(),
-            0.05,
-            0.0005,
-            3,
-            CollisionExponent::SMinusOne,
-        )
-        .unwrap();
+        let r =
+            redundant_symmetric(params(), 0.05, 0.0005, 3, CollisionExponent::SMinusOne).unwrap();
         // pair worst case (single cover) = L′/Q
         let single = r.predicted_l_prime / r.plan.q as u64;
         let pair = r.plan.pair_worst_case;
@@ -131,14 +119,8 @@ mod tests {
     fn q_fold_coverage_verified() {
         // Definition 4.3 machine check: the Q = 3 plan covers every offset
         // at least 3 times within L′
-        let r = redundant_symmetric(
-            params(),
-            0.05,
-            0.0005,
-            3,
-            CollisionExponent::SMinusOne,
-        )
-        .unwrap();
+        let r =
+            redundant_symmetric(params(), 0.05, 0.0005, 3, CollisionExponent::SMinusOne).unwrap();
         assert_eq!(r.verify_multiplicity(), r.plan.q);
     }
 
@@ -148,13 +130,8 @@ mod tests {
         // at P_f = 0.5 among 50 devices needs a per-beacon collision rate
         // so high that the implied β exceeds the whole η = 0.1 % budget for
         // every redundancy degree Q.
-        assert!(redundant_symmetric(
-            params(),
-            0.001,
-            0.5,
-            50,
-            CollisionExponent::SMinusOne
-        )
-        .is_err());
+        assert!(
+            redundant_symmetric(params(), 0.001, 0.5, 50, CollisionExponent::SMinusOne).is_err()
+        );
     }
 }

@@ -41,6 +41,16 @@ impl ProtocolKind {
         ]
     }
 
+    /// Look a protocol up by its display name (the inverse of
+    /// [`ProtocolKind::name`]) — how declarative scenario specs (`nd-sweep`)
+    /// refer to protocols.
+    pub fn from_name(name: &str) -> Option<ProtocolKind> {
+        ProtocolKind::all()
+            .iter()
+            .copied()
+            .find(|k| k.name() == name)
+    }
+
     /// Display name.
     pub fn name(&self) -> &'static str {
         match self {
@@ -57,23 +67,20 @@ impl ProtocolKind {
     /// cycle η (α = 1). Slotted protocols take their natural slot-domain
     /// parametrization with the given slot length; the slotless optimum
     /// splits β = γ = η/2.
-    pub fn schedule_for_eta(
-        &self,
-        eta: f64,
-        slot: Tick,
-        omega: Tick,
-    ) -> Result<Schedule, NdError> {
+    pub fn schedule_for_eta(&self, eta: f64, slot: Tick, omega: Tick) -> Result<Schedule, NdError> {
         match self {
             ProtocolKind::OptimalSlotless => Ok(crate::optimal::symmetric(
-                OptimalParams { omega, alpha: 1.0, a: 1 },
+                OptimalParams {
+                    omega,
+                    alpha: 1.0,
+                    a: 1,
+                },
                 eta,
             )?
             .schedule),
             ProtocolKind::Disco => Disco::balanced_for_duty_cycle(eta, slot, omega)?.schedule(),
             ProtocolKind::UConnect => UConnect::for_duty_cycle(eta, slot, omega)?.schedule(),
-            ProtocolKind::Searchlight => {
-                Searchlight::for_duty_cycle(eta, slot, omega)?.schedule()
-            }
+            ProtocolKind::Searchlight => Searchlight::for_duty_cycle(eta, slot, omega)?.schedule(),
             ProtocolKind::DiffCodes => {
                 DiffCode::best_known_for_duty_cycle(eta, slot, omega)?.schedule()
             }
@@ -102,6 +109,14 @@ mod tests {
     }
 
     #[test]
+    fn from_name_roundtrips() {
+        for kind in ProtocolKind::all() {
+            assert_eq!(ProtocolKind::from_name(kind.name()), Some(*kind));
+        }
+        assert_eq!(ProtocolKind::from_name("no-such-protocol"), None);
+    }
+
+    #[test]
     fn names_are_unique() {
         let mut names: Vec<&str> = ProtocolKind::all().iter().map(|k| k.name()).collect();
         names.sort();
@@ -121,11 +136,7 @@ mod tests {
             let sched = kind.schedule_for_eta(0.1, slot, omega).unwrap();
             // γ ≈ slot-domain duty cycle for I ≫ ω
             let gamma = sched.windows.as_ref().unwrap().gamma();
-            assert!(
-                (gamma - 0.1).abs() < 0.03,
-                "{}: gamma {gamma}",
-                kind.name()
-            );
+            assert!((gamma - 0.1).abs() < 0.03, "{}: gamma {gamma}", kind.name());
         }
     }
 }

@@ -58,7 +58,9 @@ impl Searchlight {
     /// The period for a target slot-domain duty cycle (`2/t ≈ dc`).
     pub fn for_duty_cycle(dc: f64, slot: Tick, omega: Tick) -> Result<Self, NdError> {
         if !(0.0 < dc && dc < 1.0) {
-            return Err(NdError::InvalidSchedule(format!("duty cycle out of range: {dc}")));
+            return Err(NdError::InvalidSchedule(format!(
+                "duty cycle out of range: {dc}"
+            )));
         }
         let t = (2.0 / dc).round().max(2.0) as u64;
         Self::new(t, slot, omega)

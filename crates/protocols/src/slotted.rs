@@ -230,9 +230,8 @@ mod tests {
 
     #[test]
     fn start_only_placement() {
-        let s =
-            SlottedSchedule::new(slot_ms(1), 5, vec![2], BeaconPlacement::StartOnly, OMEGA)
-                .unwrap();
+        let s = SlottedSchedule::new(slot_ms(1), 5, vec![2], BeaconPlacement::StartOnly, OMEGA)
+            .unwrap();
         let sched = s.to_schedule().unwrap();
         assert_eq!(sched.beacons.as_ref().unwrap().n_beacons(), 1);
         let w = &sched.windows.as_ref().unwrap().windows()[0];
@@ -271,25 +270,19 @@ mod tests {
         // windows are [4I+ω,5I) and [5I+ω,6I): distinct
         assert_eq!(sched.windows.as_ref().unwrap().n_windows(), 2);
         // duplicate beacon times collapse for adjacent StartEnd slots
-        let s2 = SlottedSchedule::new(
-            slot_ms(1),
-            10,
-            vec![4, 5],
-            BeaconPlacement::StartEnd,
-            OMEGA,
-        )
-        .unwrap();
+        let s2 = SlottedSchedule::new(slot_ms(1), 10, vec![4, 5], BeaconPlacement::StartEnd, OMEGA)
+            .unwrap();
         let b = s2.to_schedule().unwrap();
         assert_eq!(b.beacons.as_ref().unwrap().n_beacons(), 4);
     }
 
     #[test]
     fn validation_rejects_bad_inputs() {
-        assert!(SlottedSchedule::new(slot_ms(1), 0, vec![], BeaconPlacement::StartEnd, OMEGA)
-            .is_err());
         assert!(
-            SlottedSchedule::new(slot_ms(1), 4, vec![5], BeaconPlacement::StartEnd, OMEGA)
-                .is_err(),
+            SlottedSchedule::new(slot_ms(1), 0, vec![], BeaconPlacement::StartEnd, OMEGA).is_err()
+        );
+        assert!(
+            SlottedSchedule::new(slot_ms(1), 4, vec![5], BeaconPlacement::StartEnd, OMEGA).is_err(),
             "active beyond period"
         );
         assert!(
@@ -316,8 +309,8 @@ mod tests {
         let beta = 0.004;
         let slot = SlottedSchedule::slot_for_utilization(k, t, OMEGA, 2, beta);
         // β = 2kω/(IT)
-        let recovered = 2.0 * k as f64 * OMEGA.as_nanos() as f64
-            / (slot.as_nanos() as f64 * t as f64);
+        let recovered =
+            2.0 * k as f64 * OMEGA.as_nanos() as f64 / (slot.as_nanos() as f64 * t as f64);
         assert!((recovered - beta).abs() / beta < 0.01);
     }
 

@@ -44,7 +44,9 @@ impl UConnect {
     /// (`3/(2p) ≈ dc`).
     pub fn for_duty_cycle(dc: f64, slot: Tick, omega: Tick) -> Result<Self, NdError> {
         if !(0.0 < dc && dc < 1.0) {
-            return Err(NdError::InvalidSchedule(format!("duty cycle out of range: {dc}")));
+            return Err(NdError::InvalidSchedule(format!(
+                "duty cycle out of range: {dc}"
+            )));
         }
         let target = (1.5 / dc).round().max(3.0) as u64;
         let p = crate::slotted::next_prime(target);

@@ -311,13 +311,8 @@ mod tests {
 
     #[test]
     fn tx_only_schedule() {
-        let b = BeaconSeq::uniform(
-            1,
-            Tick::from_micros(50),
-            Tick::from_micros(4),
-            Tick::ZERO,
-        )
-        .unwrap();
+        let b =
+            BeaconSeq::uniform(1, Tick::from_micros(50), Tick::from_micros(4), Tick::ZERO).unwrap();
         let mut beh = ScheduleBehavior::new(Schedule::tx_only(b)).labeled("adv");
         let ops = beh.next_ops(Tick::ZERO, &mut rng());
         assert!(ops.iter().all(|op| matches!(op, Op::Tx { .. })));

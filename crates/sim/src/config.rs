@@ -2,6 +2,7 @@
 
 use nd_core::coverage::OverlapModel;
 use nd_core::params::RadioParams;
+use nd_core::stable::StableEncode;
 use nd_core::time::Tick;
 
 /// Global simulation parameters.
@@ -67,6 +68,23 @@ impl SimConfig {
         assert!((0.0..=1.0).contains(&p));
         self.drop_probability = p;
         self
+    }
+}
+
+impl StableEncode for SimConfig {
+    /// Encode every field that influences simulation results, so
+    /// content-addressed caches (nd-sweep) can key on a `SimConfig`.
+    /// `trace` is included too: it does not change results, but keeping the
+    /// encoding total over the struct is cheaper than arguing about it.
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.radio.encode(out);
+        self.overlap.encode(out);
+        self.t_end.encode(out);
+        self.seed.encode(out);
+        self.half_duplex.encode(out);
+        self.collisions.encode(out);
+        self.drop_probability.encode(out);
+        self.trace.encode(out);
     }
 }
 

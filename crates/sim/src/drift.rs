@@ -33,7 +33,10 @@ impl<B: Behavior> Drifting<B> {
     /// (1 ppm = 1000 ppb). |ppb| must be below 10⁶ (0.1 %), far beyond any
     /// real crystal.
     pub fn new(inner: B, ppb: i64) -> Self {
-        assert!(ppb.unsigned_abs() < 1_000_000, "unphysical drift: {ppb} ppb");
+        assert!(
+            ppb.unsigned_abs() < 1_000_000,
+            "unphysical drift: {ppb} ppb"
+        );
         Drifting { inner, ppb }
     }
 
@@ -118,8 +121,7 @@ mod tests {
 
     fn advertiser() -> ScheduleBehavior {
         ScheduleBehavior::new(Schedule::tx_only(
-            BeaconSeq::uniform(1, Tick::from_millis(1), Tick::from_micros(36), Tick::ZERO)
-                .unwrap(),
+            BeaconSeq::uniform(1, Tick::from_millis(1), Tick::from_micros(36), Tick::ZERO).unwrap(),
         ))
     }
 
@@ -183,7 +185,9 @@ mod tests {
 
     #[test]
     fn label_carries_drift() {
-        assert!(Drifting::ppm(advertiser(), 50).label().contains("+50000ppb"));
+        assert!(Drifting::ppm(advertiser(), 50)
+            .label()
+            .contains("+50000ppb"));
     }
 
     #[test]

@@ -70,11 +70,7 @@ struct Device {
 impl Device {
     fn insert_op(&mut self, op: Op) {
         // fast path: append
-        if self
-            .buffer
-            .back()
-            .is_none_or(|last| last.at() <= op.at())
-        {
+        if self.buffer.back().is_none_or(|last| last.at() <= op.at()) {
             self.buffer.push_back(op);
         } else {
             let pos = self.buffer.partition_point(|o| o.at() <= op.at());
@@ -250,11 +246,7 @@ impl Simulator {
                     self.devices[dev].stats.tx_time += omega;
                     self.packets.sent += 1;
                     let idx = self.transmissions.len();
-                    self.transmissions.push(TxRecord {
-                        dev,
-                        iv,
-                        payload,
-                    });
+                    self.transmissions.push(TxRecord { dev, iv, payload });
                     self.push_event(iv.end, EventKind::TxEnd(idx));
                     if self.cfg.trace {
                         self.trace.push(TraceEvent::TxStart { dev, at });
@@ -426,12 +418,7 @@ impl Simulator {
     fn overlapping_tx(&self, idx: usize, iv: Interval) -> Vec<usize> {
         let mut out = Vec::new();
         // records are in start order; scan the recent tail
-        for (q, tx) in self
-            .transmissions
-            .iter()
-            .enumerate()
-            .skip(self.tx_prune)
-        {
+        for (q, tx) in self.transmissions.iter().enumerate().skip(self.tx_prune) {
             if tx.iv.start >= iv.end {
                 break;
             }
@@ -446,10 +433,8 @@ impl Simulator {
     /// longer affect any packet decision (packets are ω long and turnaround
     /// expansion is bounded by the radio parameters).
     fn prune(&mut self, t: Tick) {
-        let guard = self.cfg.radio.omega
-            + self.cfg.radio.do_rx_tx
-            + self.cfg.radio.do_tx_rx
-            + Tick(1);
+        let guard =
+            self.cfg.radio.omega + self.cfg.radio.do_rx_tx + self.cfg.radio.do_tx_rx + Tick(1);
         let horizon = t.saturating_sub(guard * 4);
         while self.tx_prune < self.transmissions.len()
             && self.transmissions[self.tx_prune].iv.end < horizon

@@ -31,8 +31,8 @@ pub mod stats;
 pub mod trace;
 
 pub use behavior::{Behavior, IdleBehavior, Op, Payload, ScheduleBehavior};
-pub use drift::Drifting;
 pub use config::{SimConfig, Topology};
+pub use drift::Drifting;
 pub use engine::Simulator;
 pub use stats::{DeviceStats, DiscoveryMatrix, LossReason, PacketCounters, SimReport};
 pub use trace::{render_timeline, TraceEvent};

@@ -43,8 +43,7 @@ impl DeviceStats {
     pub fn eta_with_overheads(&self, elapsed: Tick, radio: &RadioParams) -> f64 {
         let tx = self.tx_time + radio.do_tx * self.n_tx;
         let rx = self.rx_time + radio.do_rx * self.n_rx_windows;
-        (rx.as_nanos() as f64 + radio.alpha * tx.as_nanos() as f64)
-            / elapsed.as_nanos() as f64
+        (rx.as_nanos() as f64 + radio.alpha * tx.as_nanos() as f64) / elapsed.as_nanos() as f64
     }
 
     /// Energy consumed in joules, given the radio's reception power draw
@@ -118,9 +117,7 @@ impl DiscoveryMatrix {
 
     /// `true` once every ordered pair has discovered each other.
     pub fn complete(&self) -> bool {
-        (0..self.n).all(|r| {
-            (0..self.n).all(|s| r == s || self.one_way(r, s).is_some())
-        })
+        (0..self.n).all(|r| (0..self.n).all(|s| r == s || self.one_way(r, s).is_some()))
     }
 
     /// The time the last ordered pair completed, if all did.
@@ -234,7 +231,10 @@ mod tests {
         };
         let elapsed = Tick::from_secs(1);
         let ideal = s.eta(elapsed, 1.0);
-        assert!((s.eta_with_overheads(elapsed, &nd_core::RadioParams::paper_default()) - ideal).abs() < 1e-12);
+        assert!(
+            (s.eta_with_overheads(elapsed, &nd_core::RadioParams::paper_default()) - ideal).abs()
+                < 1e-12
+        );
         assert!(s.eta_with_overheads(elapsed, &nd_core::RadioParams::ble_like()) > ideal);
     }
 

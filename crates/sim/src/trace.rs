@@ -126,7 +126,10 @@ mod tests {
 
     #[test]
     fn event_timestamps() {
-        let e = TraceEvent::TxStart { dev: 0, at: Tick(5) };
+        let e = TraceEvent::TxStart {
+            dev: 0,
+            at: Tick(5),
+        };
         assert_eq!(e.at(), Tick(5));
         let e = TraceEvent::Loss {
             dev: 1,
@@ -145,7 +148,10 @@ mod tests {
                 at: Tick(20),
                 duration: Tick(30),
             },
-            TraceEvent::TxStart { dev: 0, at: Tick(25) },
+            TraceEvent::TxStart {
+                dev: 0,
+                at: Tick(25),
+            },
             TraceEvent::Reception {
                 dev: 1,
                 from: 0,
@@ -161,7 +167,10 @@ mod tests {
 
     #[test]
     fn timeline_clips_out_of_range() {
-        let events = vec![TraceEvent::TxStart { dev: 0, at: Tick(500) }];
+        let events = vec![TraceEvent::TxStart {
+            dev: 0,
+            at: Tick(500),
+        }];
         let art = render_timeline(&events, 1, Tick(0), Tick(100), 20);
         assert!(!art.contains('T'));
     }

@@ -1,0 +1,199 @@
+//! The `nd-sweep` CLI: run declarative scenario sweeps from the shell.
+//!
+//! ```text
+//! nd-sweep run <spec.toml> [--out-dir DIR] [--format csv|json|both]
+//!              [--threads N] [--no-cache] [--cache-dir DIR] [--quiet]
+//! nd-sweep expand <spec.toml>      # list the jobs a spec would run
+//! nd-sweep hash <spec.toml>        # print the spec's content hash
+//! nd-sweep protocols               # list registry protocol names
+//! ```
+
+use nd_sweep::{expand, run_sweep, ScenarioSpec, SweepOptions};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("expand") => cmd_expand(&args[1..]),
+        Some("hash") => cmd_hash(&args[1..]),
+        Some("protocols") => cmd_protocols(),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+nd-sweep — parallel scenario sweeps over neighbor-discovery protocols
+
+USAGE:
+    nd-sweep run <spec.toml|spec.json> [OPTIONS]
+    nd-sweep expand <spec>      list the jobs the spec expands to
+    nd-sweep hash <spec>        print the spec's content hash
+    nd-sweep protocols          list protocol registry names
+
+OPTIONS (run):
+    --out-dir DIR      write <name>.csv/.json here (default: .)
+    --format FMT       csv | json | both (default: both)
+    --threads N        worker threads (default: all cores)
+    --no-cache         skip the content-addressed result cache
+    --cache-dir DIR    cache location (default: $ND_SWEEP_CACHE or
+                       target/nd-sweep-cache)
+    --quiet            suppress the progress summary
+";
+
+fn fail(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("nd-sweep: {msg}");
+    ExitCode::FAILURE
+}
+
+fn load_spec(path: Option<&String>) -> Result<ScenarioSpec, String> {
+    let path = path.ok_or("missing <spec> argument")?;
+    ScenarioSpec::from_file(std::path::Path::new(path)).map_err(|e| e.to_string())
+}
+
+/// The positional (spec-path) argument of a flagless subcommand.
+fn positional(args: &[String]) -> Option<&String> {
+    args.iter().find(|a| !a.starts_with("--"))
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    // single pass: flags consume their values, the remaining positional is
+    // the spec path (so `run --threads 4 spec.toml` parses correctly)
+    let mut opts = SweepOptions::default();
+    let mut out_dir = PathBuf::from(".");
+    let mut format = "both".to_string();
+    let mut quiet = false;
+    let mut spec_path: Option<&String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--no-cache" => opts.use_cache = false,
+            "--quiet" => quiet = true,
+            "--threads" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => opts.threads = Some(n),
+                _ => return fail("--threads needs a positive integer"),
+            },
+            "--out-dir" => match it.next() {
+                Some(d) => out_dir = PathBuf::from(d),
+                None => return fail("--out-dir needs a value"),
+            },
+            "--cache-dir" => match it.next() {
+                Some(d) => opts.cache_dir = Some(PathBuf::from(d)),
+                None => return fail("--cache-dir needs a value"),
+            },
+            "--format" => match it.next().map(String::as_str) {
+                Some(f @ ("csv" | "json" | "both")) => format = f.to_string(),
+                _ => return fail("--format needs csv|json|both"),
+            },
+            other if other.starts_with("--") => return fail(format!("unknown flag `{other}`")),
+            _ if spec_path.is_none() => spec_path = Some(arg),
+            other => return fail(format!("unexpected argument `{other}`")),
+        }
+    }
+    let spec = match load_spec(spec_path) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+
+    let outcome = match run_sweep(&spec, &opts) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+
+    if std::fs::create_dir_all(&out_dir).is_err() {
+        return fail(format!("cannot create {}", out_dir.display()));
+    }
+    let stem = out_dir.join(&outcome.name);
+    if format == "csv" || format == "both" {
+        let path = stem.with_extension("csv");
+        if let Err(e) = std::fs::write(&path, nd_sweep::to_csv(&outcome)) {
+            return fail(format!("writing {}: {e}", path.display()));
+        }
+        if !quiet {
+            println!("wrote {}", path.display());
+        }
+    }
+    if format == "json" || format == "both" {
+        let path = stem.with_extension("json");
+        if let Err(e) = std::fs::write(&path, nd_sweep::to_json(&outcome)) {
+            return fail(format!("writing {}: {e}", path.display()));
+        }
+        if !quiet {
+            println!("wrote {}", path.display());
+        }
+    }
+
+    let failures = outcome.rows.iter().filter(|r| r.error.is_some()).count();
+    if !quiet {
+        println!(
+            "{}: {} jobs ({} cached, {} executed, {} failed) in {:.2?}  [spec {}]",
+            outcome.name,
+            outcome.rows.len(),
+            outcome.cache_hits,
+            outcome.executed,
+            failures,
+            outcome.wall,
+            &outcome.spec_hash[..12],
+        );
+    }
+    if failures == outcome.rows.len() && !outcome.rows.is_empty() {
+        return fail("every job failed — check the spec (see the error column)");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_expand(args: &[String]) -> ExitCode {
+    let spec = match load_spec(positional(args)) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    let jobs = expand(&spec);
+    println!(
+        "{}: backend={} metric={} → {} job(s)",
+        spec.name,
+        spec.backend.name(),
+        spec.metric.name(),
+        jobs.len()
+    );
+    for job in &jobs {
+        let params: Vec<String> = job
+            .params()
+            .iter()
+            .map(|(k, v)| format!("{k}={}", v.to_json()))
+            .collect();
+        println!(
+            "  [{:>4}] {}  {}",
+            job.index,
+            &job.content_hash(&spec)[..12],
+            params.join(" ")
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_hash(args: &[String]) -> ExitCode {
+    match load_spec(positional(args)) {
+        Ok(s) => {
+            println!("{}", s.content_hash());
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(e),
+    }
+}
+
+fn cmd_protocols() -> ExitCode {
+    println!("protocol registry (grid.protocol values):");
+    for kind in nd_protocols::ProtocolKind::all() {
+        println!("  {}", kind.name());
+    }
+    println!("  diff-code:<v>:<m1>,<m2>,…   (explicit difference set)");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,190 @@
+//! Content-addressed result cache.
+//!
+//! Every job's result is stored in one JSON file named by the job's
+//! content hash (see [`crate::grid::Job::canonical_bytes`] for what the
+//! hash covers — resolved parameters, sweep-level settings and the engine
+//! version). Because the address *is* the content key:
+//!
+//! * re-running the same spec is served entirely from cache;
+//! * a sweep whose grid merely overlaps an earlier one reuses the
+//!   overlapping points and computes only the new ones;
+//! * results produced by a different engine version can never be served
+//!   (the version is hashed in), so stale entries die silently.
+//!
+//! Corrupt or unreadable entries are treated as misses — the cache is an
+//! accelerator, never a correctness dependency.
+
+use crate::value::{parse_json, Value};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A cached job result: metric values, or the error the job produced.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CachedResult {
+    /// Metric name → value.
+    pub metrics: BTreeMap<String, f64>,
+    /// The job's error, if it failed (failed jobs are cached too: a job
+    /// that deterministically errors will deterministically error again).
+    pub error: Option<String>,
+}
+
+/// The on-disk cache.
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Open (lazily — the directory is created on first store) a cache
+    /// rooted at `dir`.
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        ResultCache { dir: dir.into() }
+    }
+
+    /// The default cache location: `$ND_SWEEP_CACHE` or
+    /// `target/nd-sweep-cache` under the current directory.
+    pub fn default_dir() -> PathBuf {
+        std::env::var_os("ND_SWEEP_CACHE")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("target/nd-sweep-cache"))
+    }
+
+    /// Where this cache lives.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, hash: &str) -> PathBuf {
+        // shard by the first byte to keep directories small at scale
+        self.dir.join(&hash[..2]).join(format!("{hash}.json"))
+    }
+
+    /// Look a job hash up; `None` on miss or unreadable entry.
+    pub fn load(&self, hash: &str) -> Option<CachedResult> {
+        let text = std::fs::read_to_string(self.path_for(hash)).ok()?;
+        let v = parse_json(&text).ok()?;
+        let table = v.as_table()?;
+        let metrics = table
+            .get("metrics")?
+            .as_table()?
+            .iter()
+            .map(|(k, v)| match v {
+                // NaN metrics (e.g. a mean over zero successes) serialize
+                // as JSON null; map them back
+                Value::Null => Some((k.clone(), f64::NAN)),
+                _ => Some((k.clone(), v.as_f64()?)),
+            })
+            .collect::<Option<BTreeMap<_, _>>>()?;
+        let error = match table.get("error") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(v.as_str()?.to_string()),
+        };
+        Some(CachedResult { metrics, error })
+    }
+
+    /// Store a job result under its hash. Atomic (write + rename), so a
+    /// concurrent reader never sees a torn entry; errors are swallowed —
+    /// an unwritable cache degrades to a slower sweep, not a failed one.
+    pub fn store(&self, hash: &str, result: &CachedResult) {
+        let path = self.path_for(hash);
+        let Some(parent) = path.parent() else { return };
+        if std::fs::create_dir_all(parent).is_err() {
+            return;
+        }
+        let mut table = BTreeMap::new();
+        table.insert(
+            "metrics".to_string(),
+            Value::Table(
+                result
+                    .metrics
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::Float(*v)))
+                    .collect(),
+            ),
+        );
+        table.insert(
+            "error".to_string(),
+            match &result.error {
+                None => Value::Null,
+                Some(e) => Value::Str(e.clone()),
+            },
+        );
+        let body = Value::Table(table).to_json_pretty();
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        let write = std::fs::File::create(&tmp)
+            .and_then(|mut f| f.write_all(body.as_bytes()))
+            .and_then(|()| std::fs::rename(&tmp, &path));
+        if write.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("nd-sweep-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_then_load_roundtrips() {
+        let dir = temp_dir("roundtrip");
+        let cache = ResultCache::at(&dir);
+        let hash = "ab".to_string() + &"0".repeat(62);
+        assert!(cache.load(&hash).is_none());
+
+        let result = CachedResult {
+            metrics: BTreeMap::from([
+                ("worst_s".to_string(), 0.0576),
+                ("undiscovered_prob".to_string(), 0.0),
+            ]),
+            error: None,
+        };
+        cache.store(&hash, &result);
+        assert_eq!(cache.load(&hash), Some(result));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn errors_are_cached_and_corruption_is_a_miss() {
+        let dir = temp_dir("corrupt");
+        let cache = ResultCache::at(&dir);
+        let hash = "cd".to_string() + &"1".repeat(62);
+        let failed = CachedResult {
+            metrics: BTreeMap::new(),
+            error: Some("no such protocol".into()),
+        };
+        cache.store(&hash, &failed);
+        assert_eq!(cache.load(&hash), Some(failed));
+
+        // corrupt the entry: load must degrade to a miss, not a panic
+        let path = dir.join(&hash[..2]).join(format!("{hash}.json"));
+        std::fs::write(&path, "{ not json").unwrap();
+        assert!(cache.load(&hash).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_cache_is_silent() {
+        // a cache rooted inside a file path cannot create directories;
+        // store must not panic
+        let file = std::env::temp_dir().join(format!("nd-sweep-flat-{}", std::process::id()));
+        std::fs::write(&file, "x").unwrap();
+        let cache = ResultCache::at(file.join("sub"));
+        cache.store(
+            &("ef".to_string() + &"2".repeat(62)),
+            &CachedResult {
+                metrics: BTreeMap::new(),
+                error: None,
+            },
+        );
+        let _ = std::fs::remove_file(
+            std::env::temp_dir().join(format!("nd-sweep-flat-{}", std::process::id())),
+        );
+    }
+}

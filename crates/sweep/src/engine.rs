@@ -1,0 +1,545 @@
+//! The sweep engine: expand a spec into jobs, serve what the cache
+//! already knows, execute the rest across all cores, aggregate rows.
+//!
+//! Execution is deterministic end to end: per-job RNG seeds derive from
+//! the job's content hash ([`Job::seed`]), the worker pool writes results
+//! into index-ordered slots, and every backend is itself deterministic
+//! given its seed — so the same spec produces byte-identical exports
+//! whether it ran on 1 thread or 64, fresh or from cache.
+
+use crate::cache::{CachedResult, ResultCache};
+use crate::grid::{expand, Job};
+use crate::pool::{default_threads, run_parallel};
+use crate::spec::{Backend, Deadline, Horizon, Metric, ScenarioSpec};
+use crate::value::Value;
+use nd_analysis::{
+    one_way_coverage, two_way_worst_case, AnalysisConfig, LatencyDistribution, LatencySummary,
+};
+use nd_core::bounds::asymmetric::{asymmetry_penalty, product_vs_joint_budget};
+use nd_core::error::NdError;
+use nd_core::schedule::Schedule;
+use nd_core::time::Tick;
+use nd_protocols::{DiffCode, ProtocolKind};
+use nd_sim::{Drifting, ScheduleBehavior, Simulator, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Options orthogonal to the spec: where to cache, how parallel to run.
+#[derive(Clone, Debug)]
+pub struct SweepOptions {
+    /// Worker threads; `None` = all cores.
+    pub threads: Option<usize>,
+    /// Consult/populate the result cache.
+    pub use_cache: bool,
+    /// Cache location; `None` = [`ResultCache::default_dir`].
+    pub cache_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            threads: None,
+            use_cache: true,
+            cache_dir: None,
+        }
+    }
+}
+
+impl SweepOptions {
+    /// Options for hermetic in-process use (experiments, tests): no disk
+    /// cache.
+    pub fn uncached() -> Self {
+        SweepOptions {
+            use_cache: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// One result row: the job's resolved parameters plus its metrics (or
+/// error).
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Parameter columns in presentation order.
+    pub params: Vec<(&'static str, Value)>,
+    /// Metric name → value (empty if the job failed).
+    pub metrics: BTreeMap<String, f64>,
+    /// The job's failure, if any.
+    pub error: Option<String>,
+    /// Whether this row was served from the cache.
+    pub from_cache: bool,
+}
+
+impl Row {
+    /// Look a metric up by name.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics.get(name).copied()
+    }
+
+    /// Look a parameter up by name.
+    pub fn param(&self, name: &str) -> Option<&Value> {
+        self.params.iter().find(|(k, _)| *k == name).map(|(_, v)| v)
+    }
+}
+
+/// A completed sweep.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// The spec's human-readable name.
+    pub name: String,
+    /// The spec's content hash.
+    pub spec_hash: String,
+    /// One row per job, in grid-expansion order.
+    pub rows: Vec<Row>,
+    /// Jobs actually executed this run.
+    pub executed: usize,
+    /// Jobs served from the cache.
+    pub cache_hits: usize,
+    /// Wall-clock duration of the sweep.
+    pub wall: Duration,
+}
+
+/// Engine-level error (spec or I/O; individual job failures live in rows).
+#[derive(Debug)]
+pub struct SweepError(pub String);
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sweep failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Run a sweep: expand, consult the cache, execute misses in parallel,
+/// store, aggregate.
+pub fn run_sweep(spec: &ScenarioSpec, opts: &SweepOptions) -> Result<SweepOutcome, SweepError> {
+    spec.validate().map_err(|e| SweepError(e.to_string()))?;
+    let start = Instant::now();
+    let jobs = expand(spec);
+    let cache = opts.use_cache.then(|| {
+        ResultCache::at(
+            opts.cache_dir
+                .clone()
+                .unwrap_or_else(ResultCache::default_dir),
+        )
+    });
+
+    // cache pass: split into hits and misses
+    let mut results: Vec<Option<CachedResult>> = Vec::with_capacity(jobs.len());
+    let mut hit_flags: Vec<bool> = Vec::with_capacity(jobs.len());
+    let mut misses: Vec<&Job> = Vec::new();
+    for job in &jobs {
+        let hit = cache.as_ref().and_then(|c| c.load(&job.content_hash(spec)));
+        hit_flags.push(hit.is_some());
+        if hit.is_none() {
+            misses.push(job);
+        }
+        results.push(hit);
+    }
+    let cache_hits = jobs.len() - misses.len();
+
+    // execute the misses across all cores
+    let threads = opts.threads.unwrap_or_else(default_threads);
+    let executed = run_parallel(&misses, threads, |_, job| {
+        let outcome = execute_job(job, spec);
+        let result = match outcome {
+            Ok(metrics) => CachedResult {
+                metrics,
+                error: None,
+            },
+            Err(e) => CachedResult {
+                metrics: BTreeMap::new(),
+                error: Some(e),
+            },
+        };
+        if let Some(c) = &cache {
+            c.store(&job.content_hash(spec), &result);
+        }
+        (job.index, result)
+    });
+    let executed_count = executed.len();
+    for (index, result) in executed {
+        results[index] = Some(result);
+    }
+
+    let rows = jobs
+        .iter()
+        .zip(results)
+        .zip(&hit_flags)
+        .map(|((job, result), &from_cache)| {
+            let result = result.expect("every job resolved");
+            Row {
+                params: job.params(),
+                metrics: result.metrics,
+                error: result.error,
+                from_cache,
+            }
+        })
+        .collect();
+
+    Ok(SweepOutcome {
+        name: spec.name.clone(),
+        spec_hash: spec.content_hash(),
+        rows,
+        executed: executed_count,
+        cache_hits,
+        wall: start.elapsed(),
+    })
+}
+
+/// Execute one job on the spec's backend.
+pub fn execute_job(job: &Job, spec: &ScenarioSpec) -> Result<BTreeMap<String, f64>, String> {
+    match spec.backend {
+        Backend::Bounds => exec_bounds(job, spec),
+        Backend::Exact => exec_exact(job, spec),
+        Backend::MonteCarlo => exec_montecarlo(job, spec),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// protocol construction
+// ---------------------------------------------------------------------------
+
+/// Build the per-device schedule for a job's protocol selector.
+///
+/// Selectors are registry names (`ProtocolKind::from_name`) built for the
+/// job's η/slot, or the parametrized form `diff-code:<v>:<m1>,<m2>,…`
+/// building an explicit difference-set schedule (η is then implied by the
+/// set and the slot length).
+pub fn build_schedule(job: &Job, spec: &ScenarioSpec) -> Result<Schedule, String> {
+    let omega = spec.radio.omega;
+    if let Some(rest) = job.protocol.strip_prefix("diff-code:") {
+        let (v_str, marks_str) = rest
+            .split_once(':')
+            .ok_or_else(|| format!("`{}`: expected diff-code:<v>:<m1>,<m2>,…", job.protocol))?;
+        let v: u64 = v_str
+            .parse()
+            .map_err(|_| format!("`{}`: bad modulus `{v_str}`", job.protocol))?;
+        let marks: Vec<u64> = marks_str
+            .split(',')
+            .map(|m| {
+                m.trim()
+                    .parse()
+                    .map_err(|_| format!("`{}`: bad mark `{m}`", job.protocol))
+            })
+            .collect::<Result<_, _>>()?;
+        let d = DiffCode::new(v, marks, job.slot, omega).map_err(|e| e.to_string())?;
+        return d.schedule().map_err(|e| e.to_string());
+    }
+    let kind = ProtocolKind::from_name(&job.protocol).ok_or_else(|| {
+        let known: Vec<&str> = ProtocolKind::all().iter().map(|k| k.name()).collect();
+        format!(
+            "unknown protocol `{}` (registry: {}; or diff-code:<v>:<marks>)",
+            job.protocol,
+            known.join(", ")
+        )
+    })?;
+    kind.schedule_for_eta(job.eta, job.slot, omega)
+        .map_err(|e: NdError| e.to_string())
+}
+
+fn analysis_config(spec: &ScenarioSpec) -> AnalysisConfig {
+    let mut cfg = AnalysisConfig::with_omega(spec.radio.omega);
+    cfg.model = spec.overlap;
+    cfg
+}
+
+/// The schedule pair's nominal guarantee: the exact worst-case two-way
+/// latency (used for `horizon_predicted_x` and `deadline = "predicted"`).
+fn predicted_worst(sched: &Schedule, spec: &ScenarioSpec) -> Result<Tick, String> {
+    two_way_worst_case(sched, sched, &analysis_config(spec))
+        .map_err(|e| format!("cannot derive predicted latency (needed for horizon/deadline): {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// backends
+// ---------------------------------------------------------------------------
+
+fn exec_bounds(job: &Job, spec: &ScenarioSpec) -> Result<BTreeMap<String, f64>, String> {
+    if job.ratio < 1.0 {
+        return Err(format!("ratio {} must be ≥ 1 (η_E/η_F)", job.ratio));
+    }
+    let omega = spec.radio.omega.as_secs_f64();
+    let alpha = spec.radio.alpha;
+    let sum = job.eta;
+    if !(sum > 0.0 && sum <= 2.0) {
+        return Err(format!("joint budget η_E+η_F = {sum} out of (0, 2]"));
+    }
+    let product = product_vs_joint_budget(alpha, omega, sum, job.ratio);
+    let mut m = BTreeMap::new();
+    m.insert("product".to_string(), product);
+    m.insert("bound_s".to_string(), product / sum);
+    m.insert("penalty".to_string(), asymmetry_penalty(job.ratio));
+    Ok(m)
+}
+
+fn exec_exact(job: &Job, spec: &ScenarioSpec) -> Result<BTreeMap<String, f64>, String> {
+    let sched = build_schedule(job, spec)?;
+    let beacons = sched
+        .beacons
+        .as_ref()
+        .ok_or("protocol never transmits; exact one-way analysis needs beacons")?;
+    let windows = sched
+        .windows
+        .as_ref()
+        .ok_or("protocol never listens; exact one-way analysis needs windows")?;
+    let cfg = analysis_config(spec);
+
+    let cov = one_way_coverage(beacons, windows, &cfg).map_err(|e| e.to_string())?;
+    let mut m = BTreeMap::new();
+    m.insert("worst_s".to_string(), cov.worst_covered.as_secs_f64());
+    m.insert("mean_s".to_string(), cov.mean_covered);
+    m.insert(
+        "packet_to_packet_s".to_string(),
+        cov.packet_to_packet.as_secs_f64(),
+    );
+    m.insert(
+        "undiscovered_prob".to_string(),
+        cov.undiscovered_probability,
+    );
+    m.insert("beacons_needed".to_string(), cov.beacons_needed as f64);
+
+    if spec.percentiles {
+        let dist =
+            LatencyDistribution::build(beacons, windows, &cfg, true).map_err(|e| e.to_string())?;
+        for (name, q) in [("p50_s", 0.50), ("p95_s", 0.95), ("p99_s", 0.99)] {
+            m.insert(name.to_string(), dist.quantile(q));
+        }
+    }
+
+    if spec.metric == Metric::TwoWay {
+        let two = two_way_worst_case(&sched, &sched, &cfg).map_err(|e| e.to_string())?;
+        m.insert("two_way_worst_s".to_string(), two.as_secs_f64());
+    }
+    Ok(m)
+}
+
+fn exec_montecarlo(job: &Job, spec: &ScenarioSpec) -> Result<BTreeMap<String, f64>, String> {
+    let sched = build_schedule(job, spec)?;
+    let job_seed = job.seed(spec);
+
+    // resolve horizon/deadline, which may need the exact predicted worst
+    let predicted = match (spec.sim.horizon, spec.sim.deadline) {
+        (Horizon::PredictedTimes(_), _) | (_, Some(Deadline::Predicted)) => {
+            Some(predicted_worst(&sched, spec)?)
+        }
+        _ => None,
+    };
+    let horizon = match spec.sim.horizon {
+        Horizon::Fixed(t) => t,
+        Horizon::PredictedTimes(x) => {
+            Tick::from_secs_f64(predicted.expect("resolved above").as_secs_f64() * x)
+        }
+    };
+    if horizon.is_zero() {
+        return Err("horizon resolves to zero".into());
+    }
+    let deadline = match spec.sim.deadline {
+        None => None,
+        Some(Deadline::Predicted) => predicted,
+        Some(Deadline::Fixed(t)) => Some(t),
+    };
+
+    let base_cfg = job.base_sim_config(spec);
+    let radio = base_cfg.radio;
+
+    let period = schedule_period(&sched);
+    let mut rng = StdRng::seed_from_u64(job_seed);
+    let mut latencies: Vec<Option<Tick>> = Vec::with_capacity(spec.sim.trials);
+    let mut eta_acc = 0.0;
+    let mut energy_acc = 0.0;
+    let mut collision_acc = 0.0;
+
+    for trial in 0..spec.sim.trials {
+        let mut cfg = base_cfg.clone();
+        cfg.t_end = horizon;
+        cfg.seed = job_seed
+            .wrapping_add(trial as u64)
+            .wrapping_mul(0x5851_f42d_4c95_7f2d);
+        let (phase_a, phase_b) = match job.phase {
+            Some(p) => (Tick::ZERO, p),
+            None => (
+                random_phase(period, &mut rng),
+                random_phase(period, &mut rng),
+            ),
+        };
+        let mut sim = Simulator::new(cfg, Topology::full(2));
+        sim.add_device(Box::new(Drifting::ppm(
+            ScheduleBehavior::with_phase(sched.clone(), phase_a),
+            0,
+        )));
+        sim.add_device(Box::new(Drifting::ppm(
+            ScheduleBehavior::with_phase(sched.clone(), phase_b),
+            job.drift_ppm,
+        )));
+        sim.stop_when_all_discovered(spec.metric == Metric::TwoWay);
+        let report = sim.run();
+        latencies.push(match spec.metric {
+            Metric::OneWay => report.discovery.one_way(1, 0),
+            Metric::EitherWay => report.discovery.either_way(0, 1),
+            Metric::TwoWay => report.discovery.two_way(0, 1),
+        });
+        let elapsed = report.elapsed.max(Tick(1));
+        eta_acc += report.devices[0].eta_with_overheads(elapsed, &radio);
+        energy_acc += report.devices[0].energy_joules(&radio, spec.radio.prx_mw * 1e-3);
+        collision_acc += report.packets.collision_rate();
+    }
+
+    let summary = LatencySummary::from_latencies(&latencies);
+    let trials = spec.sim.trials.max(1) as f64;
+    let mut m = BTreeMap::new();
+    m.insert("trials".to_string(), spec.sim.trials as f64);
+    m.insert("failure_rate".to_string(), summary.failure_rate());
+    m.insert("mean_s".to_string(), summary.mean);
+    m.insert("p50_s".to_string(), summary.p50);
+    m.insert("p95_s".to_string(), summary.p95);
+    m.insert("p99_s".to_string(), summary.p99);
+    m.insert("max_s".to_string(), summary.max);
+    m.insert("measured_eta".to_string(), eta_acc / trials);
+    m.insert("energy_mj".to_string(), energy_acc * 1e3 / trials);
+    m.insert("collision_rate".to_string(), collision_acc / trials);
+    if let Some(d) = deadline {
+        let over = latencies.iter().filter(|l| l.is_none_or(|t| t > d)).count();
+        m.insert(
+            "over_deadline_frac".to_string(),
+            over as f64 / latencies.len().max(1) as f64,
+        );
+        m.insert("deadline_s".to_string(), d.as_secs_f64());
+    }
+    if let Some(p) = predicted {
+        m.insert("predicted_s".to_string(), p.as_secs_f64());
+    }
+    Ok(m)
+}
+
+fn schedule_period(sched: &Schedule) -> Tick {
+    sched
+        .beacons
+        .as_ref()
+        .map(|b| b.period())
+        .into_iter()
+        .chain(sched.windows.as_ref().map(|w| w.period()))
+        .max()
+        .unwrap_or(Tick(1))
+}
+
+fn random_phase(period: Tick, rng: &mut StdRng) -> Tick {
+    Tick(rng.gen_range(0..period.as_nanos().max(1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(toml: &str) -> ScenarioSpec {
+        ScenarioSpec::from_toml_str(toml).unwrap()
+    }
+
+    #[test]
+    fn bounds_backend_matches_closed_forms() {
+        let s = spec("backend = \"bounds\"\n[grid]\neta = [0.05, 0.10]\nratio = [1.0, 2.0]\n");
+        let out = run_sweep(&s, &SweepOptions::uncached()).unwrap();
+        assert_eq!(out.rows.len(), 4);
+        for row in &out.rows {
+            assert!(row.error.is_none());
+            let ratio = row.param("ratio").unwrap().as_f64().unwrap();
+            let penalty = row.metric("penalty").unwrap();
+            assert!((penalty - asymmetry_penalty(ratio)).abs() < 1e-12);
+        }
+        // the headline scaling: the product varies as 1/(η_E+η_F)
+        let p = |eta: f64, ratio: f64| {
+            out.rows
+                .iter()
+                .find(|r| {
+                    r.param("eta").unwrap().as_f64() == Some(eta)
+                        && r.param("ratio").unwrap().as_f64() == Some(ratio)
+                })
+                .unwrap()
+                .metric("product")
+                .unwrap()
+        };
+        assert!((p(0.05, 1.0) / p(0.10, 1.0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_backend_recovers_optimal_bound() {
+        let s = spec(
+            "backend = \"exact\"\nmetric = \"two-way\"\n[grid]\nprotocol = [\"optimal-slotless\"]\neta = [0.05]\n",
+        );
+        let out = run_sweep(&s, &SweepOptions::uncached()).unwrap();
+        assert_eq!(out.rows.len(), 1);
+        let row = &out.rows[0];
+        assert!(row.error.is_none(), "{:?}", row.error);
+        let bound = nd_core::bounds::symmetric_bound(1.0, 36e-6, 0.05);
+        let two = row.metric("two_way_worst_s").unwrap();
+        assert!(
+            (two - bound).abs() / bound < 0.02,
+            "two-way {two} vs bound {bound}"
+        );
+        assert_eq!(row.metric("undiscovered_prob"), Some(0.0));
+        assert!(row.metric("p50_s").unwrap() <= row.metric("p95_s").unwrap());
+    }
+
+    #[test]
+    fn unknown_protocol_is_a_row_error_not_a_crash() {
+        let s = spec("[grid]\nprotocol = [\"warp-drive\"]\n");
+        let out = run_sweep(&s, &SweepOptions::uncached()).unwrap();
+        assert_eq!(out.rows.len(), 1);
+        assert!(out.rows[0].error.as_ref().unwrap().contains("warp-drive"));
+    }
+
+    #[test]
+    fn montecarlo_backend_is_deterministic() {
+        let s = spec(
+            "backend = \"montecarlo\"\nmetric = \"two-way\"\n\
+             [grid]\nprotocol = [\"optimal-slotless\"]\neta = [0.10]\n\
+             [sim]\ntrials = 8\nseed = 5\nhorizon_predicted_x = 3.0\ncollisions = false\nhalf_duplex = false\n",
+        );
+        let a = run_sweep(&s, &SweepOptions::uncached()).unwrap();
+        let b = run_sweep(&s, &SweepOptions::uncached()).unwrap();
+        assert_eq!(a.rows.len(), 1);
+        assert_eq!(
+            a.rows[0].metrics, b.rows[0].metrics,
+            "same spec → same results"
+        );
+        // the deterministic optimal protocol under pair-ideal conditions
+        // never fails within 3x its predicted latency
+        assert_eq!(a.rows[0].metric("failure_rate"), Some(0.0));
+        assert!(
+            a.rows[0].metric("max_s").unwrap() <= a.rows[0].metric("predicted_s").unwrap() * 1.001
+        );
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let s = spec(
+            "backend = \"exact\"\npercentiles = false\n\
+             [grid]\nprotocol = [\"optimal-slotless\", \"disco\", \"searchlight\"]\neta = [0.05, 0.10]\n",
+        );
+        let serial = run_sweep(
+            &s,
+            &SweepOptions {
+                threads: Some(1),
+                ..SweepOptions::uncached()
+            },
+        )
+        .unwrap();
+        let parallel = run_sweep(
+            &s,
+            &SweepOptions {
+                threads: Some(8),
+                ..SweepOptions::uncached()
+            },
+        )
+        .unwrap();
+        assert_eq!(serial.rows.len(), parallel.rows.len());
+        for (a, b) in serial.rows.iter().zip(&parallel.rows) {
+            assert_eq!(a.metrics, b.metrics);
+            assert_eq!(a.params, b.params);
+        }
+    }
+}

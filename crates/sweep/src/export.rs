@@ -1,0 +1,191 @@
+//! Result exporters: CSV and JSON.
+//!
+//! Both formats are deterministic for a given sweep (stable parameter
+//! order, alphabetically sorted metric columns, shortest-roundtrip float
+//! rendering), which makes them diff-friendly and lets the cache-hit
+//! equivalence tests compare exports byte for byte.
+
+use crate::engine::SweepOutcome;
+use crate::value::Value;
+use std::collections::BTreeSet;
+
+/// Render the outcome as CSV: parameter columns (grid order), then metric
+/// columns (sorted union across rows), then `error`.
+pub fn to_csv(outcome: &SweepOutcome) -> String {
+    let param_names: Vec<&str> = outcome
+        .rows
+        .first()
+        .map(|r| r.params.iter().map(|(k, _)| *k).collect())
+        .unwrap_or_default();
+    let metric_names: BTreeSet<&str> = outcome
+        .rows
+        .iter()
+        .flat_map(|r| r.metrics.keys().map(|s| s.as_str()))
+        .collect();
+
+    let mut out = String::new();
+    for (i, name) in param_names
+        .iter()
+        .chain(metric_names.iter())
+        .chain(std::iter::once(&"error"))
+        .enumerate()
+    {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&csv_escape(name));
+    }
+    out.push('\n');
+
+    for row in &outcome.rows {
+        for (i, (_, v)) in row.params.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&csv_value(v));
+        }
+        for name in &metric_names {
+            out.push(',');
+            if let Some(x) = row.metrics.get(*name) {
+                out.push_str(&float_cell(*x));
+            }
+        }
+        out.push(',');
+        if let Some(e) = &row.error {
+            out.push_str(&csv_escape(e));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the outcome as a self-describing JSON document.
+pub fn to_json(outcome: &SweepOutcome) -> String {
+    use std::collections::BTreeMap;
+    let rows: Vec<Value> = outcome
+        .rows
+        .iter()
+        .map(|row| {
+            let mut t = BTreeMap::new();
+            t.insert(
+                "params".to_string(),
+                Value::Table(
+                    row.params
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), v.clone()))
+                        .collect(),
+                ),
+            );
+            t.insert(
+                "metrics".to_string(),
+                Value::Table(
+                    row.metrics
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::Float(*v)))
+                        .collect(),
+                ),
+            );
+            t.insert(
+                "error".to_string(),
+                row.error
+                    .as_ref()
+                    .map(|e| Value::Str(e.clone()))
+                    .unwrap_or(Value::Null),
+            );
+            t.insert("from_cache".to_string(), Value::Bool(row.from_cache));
+            Value::Table(t)
+        })
+        .collect();
+
+    let mut doc = BTreeMap::new();
+    doc.insert("name".to_string(), Value::Str(outcome.name.clone()));
+    doc.insert(
+        "spec_hash".to_string(),
+        Value::Str(outcome.spec_hash.clone()),
+    );
+    doc.insert("rows".to_string(), Value::Array(rows));
+    Value::Table(doc).to_json_pretty()
+}
+
+fn csv_value(v: &Value) -> String {
+    match v {
+        Value::Str(s) => csv_escape(s),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => float_cell(*f),
+        Value::Bool(b) => b.to_string(),
+        Value::Null => String::new(),
+        other => csv_escape(&other.to_json()),
+    }
+}
+
+fn float_cell(f: f64) -> String {
+    if f.is_nan() {
+        "NaN".to_string()
+    } else {
+        format!("{f}")
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run_sweep, SweepOptions};
+    use crate::spec::ScenarioSpec;
+    use crate::value::parse_json;
+
+    fn outcome() -> SweepOutcome {
+        let s = ScenarioSpec::from_toml_str(
+            "name = \"exp\"\nbackend = \"bounds\"\n[grid]\neta = [0.05, 0.1]\nratio = [1.0]\n",
+        )
+        .unwrap();
+        run_sweep(&s, &SweepOptions::uncached()).unwrap()
+    }
+
+    #[test]
+    fn csv_has_header_rows_and_stable_shape() {
+        let out = outcome();
+        let csv = to_csv(&out);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + out.rows.len());
+        assert!(lines[0].starts_with("protocol,eta,"));
+        assert!(lines[0].ends_with(",error"));
+        assert!(lines[0].contains("product"));
+        // byte-identical on re-render
+        assert_eq!(csv, to_csv(&out));
+    }
+
+    #[test]
+    fn empty_sweep_exports_headers_only() {
+        let s = ScenarioSpec::from_toml_str("backend = \"bounds\"\n[grid]\neta = []\n").unwrap();
+        let out = run_sweep(&s, &SweepOptions::uncached()).unwrap();
+        let csv = to_csv(&out);
+        assert_eq!(csv.lines().count(), 1);
+        assert_eq!(csv.trim(), "error");
+    }
+
+    #[test]
+    fn json_export_is_valid_and_complete() {
+        let out = outcome();
+        let doc = parse_json(&to_json(&out)).unwrap();
+        let t = doc.as_table().unwrap();
+        assert_eq!(t["name"].as_str(), Some("exp"));
+        assert_eq!(t["rows"].as_array().unwrap().len(), out.rows.len());
+        let row0 = t["rows"].as_array().unwrap()[0].as_table().unwrap();
+        assert!(row0["metrics"].as_table().unwrap().contains_key("product"));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+}

@@ -1,0 +1,265 @@
+//! Grid expansion: a [`ScenarioSpec`]'s axes, crossed into concrete jobs.
+//!
+//! Each job is one fully resolved evaluation point. Jobs carry their own
+//! *content hash* — a digest of every input that influences the job's
+//! result (resolved parameters, backend, metric, radio, sim settings,
+//! engine version) and **not** of the surrounding grid — so two sweeps
+//! whose grids overlap share cache entries for the overlapping points, and
+//! per-job RNG seeds derived from the hash are reproducible everywhere.
+
+use crate::hash::{sha256_hex, sha256_prefix_u64};
+use crate::spec::{Deadline, Horizon, ScenarioSpec, ENGINE_VERSION};
+use crate::value::Value;
+use nd_core::stable::StableEncode;
+use nd_core::time::Tick;
+
+/// One fully resolved evaluation point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Job {
+    /// Position in the expansion order (row order of the results).
+    pub index: usize,
+    /// Protocol selector string (registry name or parametrized form).
+    pub protocol: String,
+    /// Total duty-cycle target η.
+    pub eta: f64,
+    /// Slot length for slotted protocols.
+    pub slot: Tick,
+    /// Relative drift of device B (ppm).
+    pub drift_ppm: i64,
+    /// I.i.d. reception-drop probability.
+    pub drop_probability: f64,
+    /// Total turnaround overhead (split evenly between TxRx and RxTx).
+    pub turnaround: Tick,
+    /// Fixed phase of device B; `None` = random per trial.
+    pub phase: Option<Tick>,
+    /// Duty-cycle asymmetry ratio (bounds backend).
+    pub ratio: f64,
+}
+
+impl Job {
+    /// The radio this job simulates with: the spec's ideal radio plus the
+    /// job's turnaround overhead, split evenly between TxRx and RxTx (the
+    /// Appendix A.5 convention). Shared by the engine and the content hash
+    /// so the two can never disagree.
+    pub fn resolved_radio(&self, spec: &ScenarioSpec) -> nd_core::params::RadioParams {
+        let mut radio = nd_core::params::RadioParams::ideal(spec.radio.omega, spec.radio.alpha);
+        radio.do_tx_rx = self.turnaround / 2;
+        radio.do_rx_tx = self.turnaround / 2;
+        radio
+    }
+
+    /// The base `SimConfig` this job's trials derive from (per-trial seeds
+    /// are mixed in by the engine; a `PredictedTimes` horizon is resolved
+    /// there too and encoded separately in [`Job::canonical_bytes`]).
+    pub fn base_sim_config(&self, spec: &ScenarioSpec) -> nd_sim::SimConfig {
+        nd_sim::SimConfig {
+            radio: self.resolved_radio(spec),
+            overlap: spec.overlap,
+            t_end: match spec.sim.horizon {
+                Horizon::Fixed(t) => t,
+                Horizon::PredictedTimes(_) => Tick::ZERO,
+            },
+            seed: spec.sim.seed,
+            half_duplex: spec.sim.half_duplex,
+            collisions: spec.sim.collisions,
+            drop_probability: self.drop_probability,
+            trace: false,
+        }
+    }
+
+    /// The job's canonical byte encoding: everything that determines its
+    /// result. Includes the sweep-level settings that apply to every job
+    /// (backend, metric, radio, sim) but not the other grid points. The
+    /// whole resolved `SimConfig` is encoded through its `StableEncode`
+    /// impl, so a result-affecting field added to `SimConfig` enters the
+    /// cache key the moment `base_sim_config` constructs it.
+    pub fn canonical_bytes(&self, spec: &ScenarioSpec) -> Vec<u8> {
+        let mut out = Vec::new();
+        ENGINE_VERSION.encode(&mut out);
+        spec.backend.name().encode(&mut out);
+        spec.metric.name().encode(&mut out);
+        spec.percentiles.encode(&mut out);
+        spec.radio.prx_mw.encode(&mut out);
+        self.base_sim_config(spec).encode(&mut out);
+        spec.sim.trials.encode(&mut out);
+        match spec.sim.horizon {
+            Horizon::Fixed(t) => {
+                "fixed".encode(&mut out);
+                t.encode(&mut out);
+            }
+            Horizon::PredictedTimes(x) => {
+                "predicted".encode(&mut out);
+                x.encode(&mut out);
+            }
+        }
+        match spec.sim.deadline {
+            None => "none".encode(&mut out),
+            Some(Deadline::Predicted) => "predicted".encode(&mut out),
+            Some(Deadline::Fixed(t)) => {
+                "fixed".encode(&mut out);
+                t.encode(&mut out);
+            }
+        }
+        self.protocol.encode(&mut out);
+        self.eta.encode(&mut out);
+        self.slot.encode(&mut out);
+        self.drift_ppm.encode(&mut out);
+        self.drop_probability.encode(&mut out);
+        self.turnaround.encode(&mut out);
+        self.phase.encode(&mut out);
+        self.ratio.encode(&mut out);
+        out
+    }
+
+    /// The job's content hash (cache key), as lowercase hex.
+    pub fn content_hash(&self, spec: &ScenarioSpec) -> String {
+        sha256_hex(&self.canonical_bytes(spec))
+    }
+
+    /// The job's deterministic RNG seed, derived from its content (and so
+    /// identical for the same point across different sweeps).
+    pub fn seed(&self, spec: &ScenarioSpec) -> u64 {
+        let mut bytes = self.canonical_bytes(spec);
+        bytes.extend_from_slice(b"/seed");
+        sha256_prefix_u64(&bytes)
+    }
+
+    /// The job's parameter columns, in stable presentation order.
+    pub fn params(&self) -> Vec<(&'static str, Value)> {
+        vec![
+            ("protocol", Value::Str(self.protocol.clone())),
+            ("eta", Value::Float(self.eta)),
+            ("slot_us", Value::Float(self.slot.as_micros_f64())),
+            ("drift_ppm", Value::Int(self.drift_ppm)),
+            ("drop_probability", Value::Float(self.drop_probability)),
+            (
+                "turnaround_us",
+                Value::Float(self.turnaround.as_micros_f64()),
+            ),
+            (
+                "phase_us",
+                match self.phase {
+                    Some(p) => Value::Float(p.as_micros_f64()),
+                    None => Value::Str("random".into()),
+                },
+            ),
+            ("ratio", Value::Float(self.ratio)),
+        ]
+    }
+}
+
+/// Expand the spec's grid into jobs (cartesian product, row-major with the
+/// protocol axis outermost). An empty axis yields an empty job list.
+pub fn expand(spec: &ScenarioSpec) -> Vec<Job> {
+    let g = &spec.grid;
+    let phases: Vec<Option<Tick>> = match &g.phase {
+        None => vec![None],
+        Some(p) => p.iter().copied().map(Some).collect(),
+    };
+    let mut jobs = Vec::new();
+    let mut index = 0;
+    for protocol in &g.protocol {
+        for &eta in &g.eta {
+            for &slot in &g.slot {
+                for &drift_ppm in &g.drift_ppm {
+                    for &drop_probability in &g.drop_probability {
+                        for &turnaround in &g.turnaround {
+                            for &phase in &phases {
+                                for &ratio in &g.ratio {
+                                    jobs.push(Job {
+                                        index,
+                                        protocol: protocol.clone(),
+                                        eta,
+                                        slot,
+                                        drift_ppm,
+                                        drop_probability,
+                                        turnaround,
+                                        phase,
+                                        ratio,
+                                    });
+                                    index += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ScenarioSpec;
+
+    fn spec(toml: &str) -> ScenarioSpec {
+        ScenarioSpec::from_toml_str(toml).unwrap()
+    }
+
+    #[test]
+    fn cartesian_product_size_and_order() {
+        let s = spec(
+            "backend = \"montecarlo\"\n[grid]\nprotocol = [\"disco\", \"u-connect\"]\n\
+             eta = [0.01, 0.02, 0.05]\ndrift_ppm = [0, 40]\n",
+        );
+        let jobs = expand(&s);
+        assert_eq!(jobs.len(), 2 * 3 * 2);
+        // protocol outermost, drift innermost of the varying axes
+        assert_eq!(jobs[0].protocol, "disco");
+        assert_eq!((jobs[0].eta, jobs[0].drift_ppm), (0.01, 0));
+        assert_eq!((jobs[1].eta, jobs[1].drift_ppm), (0.01, 40));
+        assert_eq!((jobs[2].eta, jobs[2].drift_ppm), (0.02, 0));
+        assert_eq!(jobs[6].protocol, "u-connect");
+        assert!(jobs.iter().enumerate().all(|(i, j)| j.index == i));
+    }
+
+    #[test]
+    fn empty_axis_empty_sweep() {
+        let s = spec("[grid]\neta = []\n");
+        assert!(expand(&s).is_empty());
+    }
+
+    #[test]
+    fn single_point_single_job() {
+        let s = spec("[grid]\nprotocol = [\"disco\"]\neta = [0.05]\n");
+        let jobs = expand(&s);
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].index, 0);
+    }
+
+    #[test]
+    fn job_hash_independent_of_surrounding_grid() {
+        let narrow = spec("[grid]\nprotocol = [\"disco\"]\neta = [0.05]\n");
+        let wide = spec("[grid]\nprotocol = [\"disco\", \"u-connect\"]\neta = [0.01, 0.05]\n");
+        let j_narrow = &expand(&narrow)[0];
+        let j_wide = expand(&wide)
+            .into_iter()
+            .find(|j| j.protocol == "disco" && j.eta == 0.05)
+            .unwrap();
+        assert_eq!(
+            j_narrow.content_hash(&narrow),
+            j_wide.content_hash(&wide),
+            "overlapping grid points share cache entries"
+        );
+        assert_eq!(j_narrow.seed(&narrow), j_wide.seed(&wide));
+    }
+
+    #[test]
+    fn job_hash_sensitive_to_every_sweep_level_knob() {
+        let base = spec("[grid]\nprotocol = [\"disco\"]\neta = [0.05]\n");
+        let job = &expand(&base)[0];
+        let h = job.content_hash(&base);
+
+        let mut m = base.clone();
+        m.sim.seed = 99;
+        assert_ne!(job.content_hash(&m), h);
+        let mut m = base.clone();
+        m.radio.alpha = 2.0;
+        assert_ne!(job.content_hash(&m), h);
+        let mut m = base.clone();
+        m.metric = crate::spec::Metric::TwoWay;
+        assert_ne!(job.content_hash(&m), h);
+    }
+}

@@ -1,0 +1,192 @@
+//! End-to-end tests of the sweep subsystem: determinism, cache-hit
+//! equivalence, overlapping-grid reuse, and the CLI binary.
+
+use nd_sweep::{run_sweep, to_csv, to_json, ScenarioSpec, SweepOptions};
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nd-sweep-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const MC_SPEC: &str = r#"
+name = "it-mc"
+backend = "montecarlo"
+metric = "two-way"
+
+[grid]
+protocol = ["optimal-slotless"]
+eta = [0.05, 0.10]
+drop_probability = [0.0, 0.2]
+
+[sim]
+trials = 6
+seed = 13
+horizon_predicted_x = 4.0
+collisions = false
+half_duplex = false
+"#;
+
+#[test]
+fn same_spec_and_seed_byte_identical_results() {
+    let spec = ScenarioSpec::from_toml_str(MC_SPEC).unwrap();
+    let a = run_sweep(&spec, &SweepOptions::uncached()).unwrap();
+    let b = run_sweep(
+        &spec,
+        &SweepOptions {
+            threads: Some(1),
+            ..SweepOptions::uncached()
+        },
+    )
+    .unwrap();
+    assert_eq!(to_csv(&a), to_csv(&b), "parallel == serial, run to run");
+
+    // a different seed must actually change something (no accidental
+    // constant results)
+    let mut reseeded = spec.clone();
+    reseeded.sim.seed = 14;
+    let c = run_sweep(&reseeded, &SweepOptions::uncached()).unwrap();
+    assert_ne!(to_csv(&a), to_csv(&c), "seed feeds the trials");
+}
+
+#[test]
+fn cached_run_equals_fresh_run() {
+    let cache_dir = temp_dir("cache-equiv");
+    let spec = ScenarioSpec::from_toml_str(MC_SPEC).unwrap();
+    let opts = SweepOptions {
+        cache_dir: Some(cache_dir.clone()),
+        ..SweepOptions::default()
+    };
+
+    let fresh = run_sweep(&spec, &opts).unwrap();
+    assert_eq!(fresh.cache_hits, 0);
+    assert_eq!(fresh.executed, 4);
+    assert!(fresh.rows.iter().all(|r| !r.from_cache));
+
+    let cached = run_sweep(&spec, &opts).unwrap();
+    assert_eq!(cached.cache_hits, 4);
+    assert_eq!(cached.executed, 0);
+    assert!(cached.rows.iter().all(|r| r.from_cache));
+
+    assert_eq!(to_csv(&fresh), to_csv(&cached), "cache is transparent");
+    // JSON differs only in the from_cache flags
+    assert_eq!(
+        to_json(&fresh).replace("\"from_cache\": false", "x"),
+        to_json(&cached).replace("\"from_cache\": true", "x"),
+    );
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn overlapping_grids_reuse_cache_entries() {
+    let cache_dir = temp_dir("overlap");
+    let opts = SweepOptions {
+        cache_dir: Some(cache_dir.clone()),
+        ..SweepOptions::default()
+    };
+    let narrow = ScenarioSpec::from_toml_str(
+        "backend = \"bounds\"\n[grid]\neta = [0.05]\nratio = [1.0, 2.0]\n",
+    )
+    .unwrap();
+    let wide = ScenarioSpec::from_toml_str(
+        "backend = \"bounds\"\n[grid]\neta = [0.05, 0.10]\nratio = [1.0, 2.0]\n",
+    )
+    .unwrap();
+
+    let first = run_sweep(&narrow, &opts).unwrap();
+    assert_eq!(first.executed, 2);
+
+    // the wide grid shares the two already-computed points
+    let second = run_sweep(&wide, &opts).unwrap();
+    assert_eq!(second.rows.len(), 4);
+    assert_eq!(second.cache_hits, 2, "overlap served from cache");
+    assert_eq!(second.executed, 2);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn failed_jobs_are_rows_and_cached() {
+    let cache_dir = temp_dir("failed");
+    let opts = SweepOptions {
+        cache_dir: Some(cache_dir.clone()),
+        ..SweepOptions::default()
+    };
+    let spec = ScenarioSpec::from_toml_str(
+        "[grid]\nprotocol = [\"optimal-slotless\", \"does-not-exist\"]\neta = [0.05]\n",
+    )
+    .unwrap();
+    let first = run_sweep(&spec, &opts).unwrap();
+    assert!(first.rows[0].error.is_none());
+    assert!(first.rows[1].error.is_some());
+    let second = run_sweep(&spec, &opts).unwrap();
+    assert_eq!(second.cache_hits, 2, "errors cached too");
+    assert_eq!(second.rows[1].error, first.rows[1].error);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn cli_run_expand_hash_roundtrip() {
+    let dir = temp_dir("cli");
+    let spec_path = dir.join("spec.toml");
+    std::fs::write(
+        &spec_path,
+        "name = \"cli-demo\"\nbackend = \"bounds\"\n[grid]\neta = [0.05, 0.10]\nratio = [1.0, 2.0]\n",
+    )
+    .unwrap();
+    let bin = env!("CARGO_BIN_EXE_nd-sweep");
+    let cache_dir = dir.join("cache");
+    let out_dir = dir.join("out");
+
+    let run = |extra: &[&str]| {
+        let mut cmd = std::process::Command::new(bin);
+        cmd.arg("run")
+            .arg(&spec_path)
+            .arg("--out-dir")
+            .arg(&out_dir)
+            .arg("--cache-dir")
+            .arg(&cache_dir);
+        for a in extra {
+            cmd.arg(a);
+        }
+        let out = cmd.output().unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+
+    let first = run(&[]);
+    assert!(first.contains("4 jobs (0 cached, 4 executed"), "{first}");
+    let csv = std::fs::read_to_string(out_dir.join("cli-demo.csv")).unwrap();
+    assert_eq!(csv.lines().count(), 5);
+    assert!(out_dir.join("cli-demo.json").exists());
+
+    // repeated invocation is served from cache
+    let second = run(&[]);
+    assert!(second.contains("4 jobs (4 cached, 0 executed"), "{second}");
+    let csv2 = std::fs::read_to_string(out_dir.join("cli-demo.csv")).unwrap();
+    assert_eq!(csv, csv2, "cached invocation produces identical output");
+
+    // expand and hash subcommands
+    let expand = std::process::Command::new(bin)
+        .arg("expand")
+        .arg(&spec_path)
+        .output()
+        .unwrap();
+    assert!(expand.status.success());
+    let expand = String::from_utf8(expand.stdout).unwrap();
+    assert!(expand.contains("4 job(s)"), "{expand}");
+
+    let hash = std::process::Command::new(bin)
+        .arg("hash")
+        .arg(&spec_path)
+        .output()
+        .unwrap();
+    let hash = String::from_utf8(hash.stdout).unwrap();
+    assert_eq!(hash.trim().len(), 64, "sha-256 hex: {hash}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -19,7 +19,11 @@ use optimal_nd::sim::{ScheduleBehavior, SimConfig, Simulator, Topology};
 
 fn main() {
     let omega = Tick::from_micros(36);
-    let params = OptimalParams { omega, alpha: 1.0, a: 1 };
+    let params = OptimalParams {
+        omega,
+        alpha: 1.0,
+        a: 1,
+    };
     let (eta_sensor, eta_gateway) = (0.01, 0.20);
 
     println!("sensor budget   η_E = {:.0} %", eta_sensor * 100.0);
@@ -29,8 +33,8 @@ fn main() {
     let bound = asymmetric_bound(1.0, omega.as_secs_f64(), eta_sensor, eta_gateway);
     let (sensor, gateway) = asymmetric(params, eta_sensor, eta_gateway).expect("constructible");
     let cfg = AnalysisConfig::with_omega(omega);
-    let exact = two_way_worst_case(&sensor.schedule, &gateway.schedule, &cfg)
-        .expect("deterministic");
+    let exact =
+        two_way_worst_case(&sensor.schedule, &gateway.schedule, &cfg).expect("deterministic");
     println!("Theorem 5.7 bound:      {:.2} ms", bound * 1e3);
     println!(
         "constructed worst case: {} ({:.4}x)",

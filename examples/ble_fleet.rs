@@ -43,7 +43,10 @@ fn main() {
     }
     let report = sim.run();
 
-    println!("{:<10} {:>14} {:>12}", "device", "discovered at", "beacons sent");
+    println!(
+        "{:<10} {:>14} {:>12}",
+        "device", "discovered at", "beacons sent"
+    );
     for dev in 1..=n_adv {
         let t = report.discovery.one_way(scanner_id, dev);
         println!(

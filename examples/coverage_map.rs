@@ -44,7 +44,11 @@ fn main() {
     // --- an optimal tiling: every offset covered exactly once ---------
     println!("=== Theorem 5.1/5.3: the optimal tiling (β = 2 %, γ = 10 %) ===\n");
     let (tx, rx) = unidirectional(
-        OptimalParams { omega, alpha: 1.0, a: 1 },
+        OptimalParams {
+            omega,
+            alpha: 1.0,
+            a: 1,
+        },
         0.02,
         0.10,
     )
@@ -52,7 +56,12 @@ fn main() {
     let b = tx.schedule.beacons.as_ref().unwrap();
     let c = rx.schedule.windows.as_ref().unwrap();
     let m = min_beacons(c.period(), c.sum_d());
-    let map = CoverageMap::build(&b.relative_instants(m as usize), c, omega, OverlapModel::Start);
+    let map = CoverageMap::build(
+        &b.relative_instants(m as usize),
+        c,
+        omega,
+        OverlapModel::Start,
+    );
     print!("{}", map.render_ascii(72));
     println!(
         "\nexactly M = ⌈T_C/Σd⌉ = {} beacons tile the period once: optimal\n",
@@ -61,8 +70,8 @@ fn main() {
 
     // --- a resonant (broken) parametrization --------------------------
     println!("=== What goes wrong: beacon gap = T_C (resonance) ===\n");
-    let c_res = ReceptionWindows::single(Tick::ZERO, Tick::from_micros(100), Tick::from_millis(1))
-        .unwrap();
+    let c_res =
+        ReceptionWindows::single(Tick::ZERO, Tick::from_micros(100), Tick::from_millis(1)).unwrap();
     let rel: Vec<Tick> = (0..6).map(Tick::from_millis).collect();
     let map = CoverageMap::build(&rel, &c_res, omega, OverlapModel::Start);
     print!("{}", map.render_ascii(72));

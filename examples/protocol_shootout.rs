@@ -28,7 +28,10 @@ fn main() {
     let omega = Tick::from_micros(36);
     let cfg = AnalysisConfig::with_omega(omega);
 
-    println!("shootout at η ≈ {:.0} % (slot 1 ms, ω = 36 µs, α = 1)\n", eta * 100.0);
+    println!(
+        "shootout at η ≈ {:.0} % (slot 1 ms, ω = 36 µs, α = 1)\n",
+        eta * 100.0
+    );
     println!(
         "{:<18} {:>9} {:>9} {:>14} {:>14} {:>11} {:>10}",
         "protocol", "η meas", "β meas", "worst latency", "mean latency", "vs optimal", "uncovered"

@@ -13,6 +13,8 @@
 //!   U-Connect, Searchlight, difference codes, BLE-like PI, …).
 //! * [`analysis`] (`nd-analysis`) — exact worst-case latency engine and
 //!   Monte-Carlo harnesses.
+//! * [`sweep`] (`nd-sweep`) — declarative, parallel, cached scenario
+//!   sweeps over all of the above (and the `nd-sweep` CLI).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -20,3 +22,4 @@ pub use nd_analysis as analysis;
 pub use nd_core as core;
 pub use nd_protocols as protocols;
 pub use nd_sim as sim;
+pub use nd_sweep as sweep;

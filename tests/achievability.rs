@@ -72,7 +72,10 @@ fn theorem_5_6_constrained_tight() {
         // quantization error
         let req_bound = bounds::constrained_bound(1.0, OMEGA_S, eta, beta_m);
         let req_ratio = exact.as_secs_f64() / req_bound;
-        assert!((req_ratio - 1.0).abs() < 0.05, "η {eta} β_m {beta_m}: {req_ratio}");
+        assert!(
+            (req_ratio - 1.0).abs() < 0.05,
+            "η {eta} β_m {beta_m}: {req_ratio}"
+        );
         // and the cap is respected
         assert!(opt.achieved.beta <= beta_m * 1.01);
     }

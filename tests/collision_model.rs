@@ -21,8 +21,12 @@ fn aloha_collision_rate_matches_eq12() {
     let mut sim = Simulator::new(cfg, Topology::full(s + 1));
     // device 0: always-on listener
     let listener = Schedule::rx_only(
-        optimal_nd::core::ReceptionWindows::single(Tick::ZERO, Tick::from_secs(1), Tick::from_secs(1))
-            .unwrap(),
+        optimal_nd::core::ReceptionWindows::single(
+            Tick::ZERO,
+            Tick::from_secs(1),
+            Tick::from_secs(1),
+        )
+        .unwrap(),
     );
     sim.add_device(Box::new(ScheduleBehavior::new(listener)));
     for i in 0..s {
@@ -54,18 +58,17 @@ fn no_losses_without_collisions() {
     cfg.half_duplex = false;
     let mut sim = Simulator::new(cfg, Topology::full(3));
     let listener = Schedule::rx_only(
-        optimal_nd::core::ReceptionWindows::single(Tick::ZERO, Tick::from_millis(100), Tick::from_millis(100))
-            .unwrap(),
+        optimal_nd::core::ReceptionWindows::single(
+            Tick::ZERO,
+            Tick::from_millis(100),
+            Tick::from_millis(100),
+        )
+        .unwrap(),
     );
     sim.add_device(Box::new(ScheduleBehavior::new(listener)));
     for i in 0..2 {
-        let b = BeaconSeq::uniform(
-            1,
-            Tick::from_millis(1),
-            omega,
-            Tick::from_micros(i * 17),
-        )
-        .unwrap();
+        let b =
+            BeaconSeq::uniform(1, Tick::from_millis(1), omega, Tick::from_micros(i * 17)).unwrap();
         sim.add_device(Box::new(ScheduleBehavior::new(Schedule::tx_only(b))));
     }
     let report = sim.run();
@@ -84,9 +87,7 @@ fn self_blocking_measured_at_predicted_magnitude() {
     let mut blocked_phases = 0;
     let mut total = 0;
     for i in 0..40 {
-        let phase = Tick(
-            opt.schedule.windows.as_ref().unwrap().period().as_nanos() * i / 40,
-        );
+        let phase = Tick(opt.schedule.windows.as_ref().unwrap().period().as_nanos() * i / 40);
         let cfg = SimConfig::paper_baseline(Tick(opt.predicted_latency.as_nanos() * 2), 5);
         let mut sim = Simulator::new(cfg, Topology::full(2));
         sim.add_device(Box::new(ScheduleBehavior::new(opt.schedule.clone())));

@@ -37,7 +37,10 @@ fn disco_consistent() {
 
 #[test]
 fn searchlight_consistent() {
-    let sched = Searchlight::new(6, SLOT, OMEGA).unwrap().schedule().unwrap();
+    let sched = Searchlight::new(6, SLOT, OMEGA)
+        .unwrap()
+        .schedule()
+        .unwrap();
     let v = cross_validate(&sched, &sched, &cfg(), 23).unwrap();
     assert!(v.consistent(), "{v:?}");
 }

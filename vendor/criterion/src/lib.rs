@@ -1,0 +1,260 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! provides the API subset the workspace's benches use — `Criterion`,
+//! `criterion_group!`/`criterion_main!`, `bench_function`,
+//! `benchmark_group` with `throughput`/`bench_with_input`, `BenchmarkId`
+//! and `Throughput` — backed by a simple calibrated wall-clock loop
+//! instead of criterion's statistical machinery.
+//!
+//! Each benchmark is calibrated to run for roughly
+//! [`Criterion::MEASURE_TARGET`] (set `ND_BENCH_MS` to override, e.g.
+//! `ND_BENCH_MS=50 cargo bench` for a smoke run) and reports the mean
+//! time per iteration plus throughput when configured.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Drives one benchmark's timing loop.
+pub struct Bencher {
+    target: Duration,
+    /// (iterations, total elapsed) of the measured run.
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Time `f`, first calibrating an iteration count that fills the
+    /// measurement window, then measuring one batch of that size.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // warm-up + calibration: double the batch until it costs >= 1/8 of
+        // the measurement window
+        let mut batch: u64 = 1;
+        let per_iter = loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt * 8 >= self.target || batch >= 1 << 30 {
+                break dt.div_f64(batch as f64);
+            }
+            batch *= 2;
+        };
+        let iters = (self.target.as_secs_f64() / per_iter.as_secs_f64().max(1e-9))
+            .ceil()
+            .clamp(1.0, 1e9) as u64;
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        self.result = Some((iters, t0.elapsed()));
+    }
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's identifier within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `<name>/<parameter>`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("ND_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(Self::MEASURE_TARGET.as_millis() as u64);
+        Criterion {
+            target: Duration::from_millis(ms.max(1)),
+        }
+    }
+}
+
+impl Criterion {
+    /// Default measurement window per benchmark.
+    pub const MEASURE_TARGET: Duration = Duration::from_millis(300);
+
+    /// Run and report one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            target: self.target,
+            result: None,
+        };
+        f(&mut b);
+        report(name, b.result, None);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and an optional
+/// throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark of the group against `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            target: self.criterion.target,
+            result: None,
+        };
+        f(&mut b, input);
+        report(
+            &format!("{}/{}", self.name, id.id),
+            b.result,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Finish the group (formatting no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, result: Option<(u64, Duration)>, throughput: Option<Throughput>) {
+    match result {
+        None => println!("{name:<44} (no measurement: Bencher::iter never called)"),
+        Some((iters, total)) => {
+            let per = total.as_secs_f64() / iters as f64;
+            let mut line = format!("{name:<44} {:>12}/iter  ({iters} iters)", fmt_time(per));
+            if let Some(tp) = throughput {
+                let (count, unit) = match tp {
+                    Throughput::Elements(n) => (n, "elem"),
+                    Throughput::Bytes(n) => (n, "B"),
+                };
+                line.push_str(&format!("  {:.3e} {unit}/s", count as f64 / per));
+            }
+            println!("{line}");
+        }
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Collect benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Re-export matching upstream's `criterion::black_box`.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        std::env::set_var("ND_BENCH_MS", "1");
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_with_throughput() {
+        std::env::set_var("ND_BENCH_MS", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::new("case", 4), &4u64, |b, &n| b.iter(|| n * 2));
+        group.finish();
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" us"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+    }
+}

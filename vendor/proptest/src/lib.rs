@@ -1,0 +1,322 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! provides the subset of proptest the workspace's property tests use:
+//! the [`proptest!`] macro (with an optional `#![proptest_config(..)]`
+//! header), [`Strategy`] with `prop_map`, range and tuple strategies,
+//! `prop::collection::{vec, btree_set}`, and the `prop_assert*` macros.
+//!
+//! Differences from upstream, deliberate for an offline stand-in:
+//!
+//! * **no shrinking** — a failing case panics with the generated inputs in
+//!   the panic message instead of minimizing them;
+//! * **fixed derived seeds** — each test function draws its cases from a
+//!   deterministic seed derived from the test's name, so failures
+//!   reproduce exactly on re-run;
+//! * `prop_assert!`/`prop_assert_eq!` panic immediately (upstream collects
+//!   them into a `TestCaseResult`).
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::Rng;
+pub use rand::SeedableRng;
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Per-test configuration (`#![proptest_config(ProptestConfig::with_cases(n))]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// FNV-1a over the test name: the per-test base seed. Public because the
+/// [`proptest!`] macro expansion calls it.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A generator of random values of an associated type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u64, u32, usize, i64, i32, i128);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A / 0);
+impl_tuple_strategy!(A / 0, B / 1);
+impl_tuple_strategy!(A / 0, B / 1, C / 2);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+
+/// The `prop::` namespace (`use proptest::prelude::*` brings it in scope).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::*;
+
+        /// A `Vec` whose length is uniform in `len` and whose elements come
+        /// from `element`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        /// See [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let n = rng.gen_range(self.len.clone());
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// A `BTreeSet` with a size uniform in `size` (best effort: gives up
+        /// growing after a bounded number of duplicate draws, like
+        /// upstream's `max_tries`).
+        pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            BTreeSetStrategy { element, size }
+        }
+
+        /// See [`btree_set`].
+        pub struct BTreeSetStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        impl<S> Strategy for BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            type Value = BTreeSet<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+                let target = rng.gen_range(self.size.clone());
+                let mut out = BTreeSet::new();
+                let mut tries = 0;
+                while out.len() < target && tries < target * 20 + 20 {
+                    out.insert(self.element.generate(rng));
+                    tries += 1;
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Assert inside a property; panics (no shrinking) with the message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Skip the current case when an assumption fails.
+///
+/// Expands to an early `return` from the per-case closure, which counts
+/// the case as skipped (upstream retries; this stand-in just moves on).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Define property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))]
+///     #[test]
+///     fn my_property(x in 0u64..100, (a, b) in (0u64..10, 0u64..10)) {
+///         prop_assert!(x < 100 && a < 10 && b < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { (<$crate::ProptestConfig as ::std::default::Default>::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $($args:tt)* ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let base = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases as u64 {
+                    let mut rng = <$crate::__StdRng as $crate::SeedableRng>::seed_from_u64(
+                        base.wrapping_add(case.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+                    );
+                    let case_fn = |rng: &mut $crate::__StdRng| {
+                        $crate::__proptest_bind!(rng, $($args)*);
+                        $body
+                    };
+                    case_fn(&mut rng);
+                }
+            }
+        )*
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $pat:pat in $strat:expr $(, $($rest:tt)*)?) => {
+        let $pat = $crate::Strategy::generate(&($strat), $rng);
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+}
+
+#[doc(hidden)]
+pub use rand::rngs::StdRng as __StdRng;
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(x in 5u64..10, (a, b) in (0u64..4, 1u64..3)) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!(a < 4 && (1..3).contains(&b));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn collections_and_map(v in prop::collection::vec(0u64..100, 0..8),
+                               s in prop::collection::btree_set(0u64..1000, 1..6)) {
+            prop_assert!(v.len() < 8);
+            prop_assert!(!s.is_empty() && s.len() < 6);
+            let doubled = (0u64..50).prop_map(|x| x * 2);
+            let d = Strategy::generate(&doubled, &mut rand::SeedableRng::seed_from_u64(1));
+            prop_assert_eq!(d % 2, 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn assume_skips(x in 0u64..10) {
+            prop_assume!(x != 3);
+            prop_assert!(x != 3);
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable() {
+        assert_eq!(crate::seed_for("abc"), crate::seed_for("abc"));
+        assert_ne!(crate::seed_for("abc"), crate::seed_for("abd"));
+    }
+}
