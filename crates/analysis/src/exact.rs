@@ -9,7 +9,7 @@
 //!    sequence (the coverage-map dimension of Section 4),
 //!
 //! of the time until the first successful beacon/window overlap. It
-//! replaces the recursive computation scheme of [18] (which the paper
+//! replaces the recursive computation scheme of \[18\] (which the paper
 //! cites for PI protocols) with a coverage-map sweep that works for *any*
 //! periodic schedule — slotted, slotless or irregular.
 

@@ -6,7 +6,7 @@
 //! * [`exact`] — the coverage-map sweep: exact (nanosecond-precise)
 //!   worst-case and mean discovery latency for any pair of periodic
 //!   schedules, replacing the recursive scheme of the paper's
-//!   reference [18];
+//!   reference \[18\];
 //! * [`dist`] — exact latency *distributions* (CDF, quantiles, mean), not
 //!   just the worst case;
 //! * [`montecarlo`] — randomized-phase simulation campaigns on top of

@@ -1,0 +1,147 @@
+//! Criterion bench: N-node cohort simulation throughput (complete cohort
+//! runs per second) as the cohort grows, plus a netsim-backend sweep
+//! throughput case.
+//!
+//! Besides the criterion console report, the bench writes a small JSON
+//! summary (`BENCH_netsim.json`, path overridable via `ND_BENCH_JSON`) so
+//! CI can upload machine-readable throughput numbers as an artifact.
+
+use criterion::{BenchmarkId, Criterion, Throughput};
+use nd_core::time::Tick;
+use nd_netsim::{NetSimulator, NodeSpec};
+use nd_sim::{ScheduleBehavior, SimConfig, Topology};
+use nd_sweep::{run_sweep, ScenarioSpec, SweepOptions};
+use std::hint::black_box;
+use std::time::Instant;
+
+const COHORTS: [usize; 3] = [2, 8, 32];
+
+fn cohort_run(n: usize, seed: u64) -> u64 {
+    let sched = nd_protocols::schedule_for_selector(
+        "optimal-slotless",
+        0.10,
+        Tick::from_millis(1),
+        Tick::from_micros(36),
+    )
+    .unwrap();
+    let mut radio = nd_core::RadioParams::paper_default();
+    radio.omega = Tick::from_micros(36);
+    let cfg = SimConfig::paper_baseline(Tick::from_millis(50), seed).with_radio(radio);
+    let mut sim = NetSimulator::new(cfg, Topology::full(n));
+    for i in 0..n {
+        let phase = Tick(((seed ^ (i as u64)).wrapping_mul(0x9e37_79b9_7f4a_7c15)) % 14_400_000);
+        sim.add_node(NodeSpec::always_on(Box::new(ScheduleBehavior::with_phase(
+            sched.clone(),
+            phase,
+        ))));
+    }
+    sim.stop_when_all_discovered(true);
+    let report = sim.run();
+    report.packets.sent + report.packets.received
+}
+
+const NETSIM_SWEEP: &str = r#"
+name = "bench-netsim-sweep"
+backend = "netsim"
+
+[grid]
+protocol = ["optimal-slotless"]
+eta = [0.10]
+nodes = [4, 8]
+collision = [true, false]
+
+[sim]
+trials = 3
+horizon_ms = 50
+"#;
+
+fn bench_cohort_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim_cohort");
+    for n in COHORTS {
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("nodes", n), &n, |b, &n| {
+            b.iter(|| black_box(cohort_run(n, 42)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_netsim_sweep(c: &mut Criterion) {
+    let spec = ScenarioSpec::from_toml_str(NETSIM_SWEEP).unwrap();
+    c.bench_function("netsim_sweep_4_jobs", |b| {
+        b.iter(|| {
+            black_box(
+                run_sweep(&spec, &SweepOptions::uncached())
+                    .unwrap()
+                    .rows
+                    .len(),
+            )
+        })
+    });
+}
+
+/// Hand-measured throughput summary for the CI artifact: cohort runs per
+/// second per cohort size, and netsim-backend sweep jobs per second.
+fn write_summary() {
+    let measure = |mut f: Box<dyn FnMut() -> u64>| -> (u64, f64) {
+        // calibrated single batch, like the vendored criterion harness
+        let mut iters: u64 = 1;
+        let target_ms: u64 = std::env::var("ND_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300);
+        let per_iter = loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt.as_millis() as u64 * 8 >= target_ms || iters >= 1 << 20 {
+                break dt.as_secs_f64() / iters as f64;
+            }
+            iters *= 2;
+        };
+        let n = ((target_ms as f64 / 1e3) / per_iter.max(1e-9))
+            .ceil()
+            .clamp(1.0, 1e7) as u64;
+        let t0 = Instant::now();
+        for _ in 0..n {
+            black_box(f());
+        }
+        (n, n as f64 / t0.elapsed().as_secs_f64())
+    };
+
+    let mut entries = Vec::new();
+    for n in COHORTS {
+        let (iters, per_sec) = measure(Box::new(move || cohort_run(n, 42)));
+        entries.push(format!(
+            "    {{\"bench\": \"netsim_cohort\", \"nodes\": {n}, \"iters\": {iters}, \"runs_per_sec\": {per_sec:.2}}}"
+        ));
+    }
+    let spec = ScenarioSpec::from_toml_str(NETSIM_SWEEP).unwrap();
+    let jobs = nd_sweep::expand(&spec).len();
+    let (iters, sweeps_per_sec) = measure(Box::new(move || {
+        run_sweep(&spec, &SweepOptions::uncached())
+            .unwrap()
+            .rows
+            .len() as u64
+    }));
+    entries.push(format!(
+        "    {{\"bench\": \"netsim_sweep\", \"jobs\": {jobs}, \"iters\": {iters}, \"jobs_per_sec\": {:.2}}}",
+        sweeps_per_sec * jobs as f64
+    ));
+
+    let path = std::env::var("ND_BENCH_JSON").unwrap_or_else(|_| "BENCH_netsim.json".to_string());
+    let body = format!("{{\n  \"results\": [\n{}\n  ]\n}}\n", entries.join(",\n"));
+    match std::fs::write(&path, body) {
+        Ok(()) => println!("wrote throughput summary to {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_cohort_scaling(&mut c);
+    bench_netsim_sweep(&mut c);
+    write_summary();
+}

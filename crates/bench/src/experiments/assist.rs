@@ -1,5 +1,5 @@
 //! Extension: mutual assistance (Griassdi-style, the paper's reference
-//! [13] and the Appendix C closing discussion).
+//! \[13\] and the Appendix C closing discussion).
 //!
 //! Beacons announce the sender's next reception window; the receiver
 //! schedules a reply beacon right inside it, converting one-way into

@@ -1,10 +1,10 @@
 //! Eqs. 18/19 (§6.1.1): the slotted latency/duty-cycle bounds in *time*,
 //! as a function of the TX/RX power ratio α.
 //!
-//! The paper's key observation: the [17,16] slotted bound, converted to
+//! The paper's key observation: the \[17,16\] slotted bound, converted to
 //! time at the theoretical minimum slot length `I = ω` (full-duplex),
 //! reaches the fundamental bound only at α = 1; the code-based bound of
-//! [6,7] — lower in *slots* — reaches it only at α = ½ and is otherwise
+//! \[6,7\] — lower in *slots* — reaches it only at α = ½ and is otherwise
 //! identical or worse in *time*.
 
 use crate::table::{factor, Table};

@@ -6,7 +6,7 @@
 //! function of `I/ω` in two ways:
 //!
 //! 1. **closed form** for a single aligned active-slot pair (one beacon at
-//!    the slot start, [16]-style): receivable fraction `1 − ω/I`;
+//!    the slot start, \[16\]-style): receivable fraction `1 − ω/I`;
 //! 2. **measured** on a complete diff-code schedule with the exact
 //!    coverage engine: the permanently-undiscovered offset fraction
 //!    shrinks like `2ω/I` (two beacons per slot ⇒ two boundary strips).
@@ -34,7 +34,7 @@ protocol = ["diff-code:7:1,2,4"]
 slot_us = [108, 180, 360, 1080, 3600]
 "#;
 
-/// Closed form for the single-beacon-per-slot design of [16]: over the
+/// Closed form for the single-beacon-per-slot design of \[16\]: over the
 /// offsets δ ∈ (−I, I) where two active slots overlap, the fraction that
 /// yields a reception in either direction.
 pub fn receivable_fraction_one_beacon(slot_over_omega: f64) -> f64 {

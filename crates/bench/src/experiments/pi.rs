@@ -1,5 +1,5 @@
 //! Extension: parametrization sensitivity of periodic-interval (BLE-like)
-//! protocols — the problem that motivated the paper's reference [18].
+//! protocols — the problem that motivated the paper's reference \[18\].
 //!
 //! A PI protocol has three free parameters (T_a, T_s, d_s). The paper's
 //! bounds say *some* parametrization reaches the Pareto optimum (our

@@ -3,7 +3,7 @@
 //!
 //! When `S` senders each occupy the channel for a fraction β of time, a
 //! beacon transmitted at a random instant collides with probability
-//! `P_c = 1 − e^{−2(S−1)β}` (slotless ALOHA [22]: the vulnerable period is
+//! `P_c = 1 − e^{−2(S−1)β}` (slotless ALOHA \[22\]: the vulnerable period is
 //! two packet airtimes). Capping the tolerable `P_c` caps β, which via
 //! Theorem 5.6 inflates the achievable worst-case latency.
 

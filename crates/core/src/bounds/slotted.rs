@@ -3,7 +3,7 @@
 //! Slotted protocols couple transmission and reception into active *slots*
 //! of length `I`: in each active slot a device beacons at the slot
 //! boundaries and listens in between. The classic result of Zheng et
-//! al. [17,16] bounds the number of active slots: guaranteeing an
+//! al. \[17,16\] bounds the number of active slots: guaranteeing an
 //! active-slot overlap within `T` slots needs `k ≥ √T` active slots. The
 //! paper converts these slot-domain bounds into *time*-domain bounds by
 //! deriving the minimum feasible slot length, and into the
@@ -25,14 +25,14 @@ pub fn eq17_duty_cycle(k: f64, t: f64, slot_secs: f64, alpha: f64, omega_secs: f
 }
 
 /// Eq. 18: the time-domain latency bound implied by the k ≥ √T result of
-/// [17,16] at the theoretical minimum slot length `I = ω`:
+/// \[17,16\] at the theoretical minimum slot length `I = ω`:
 /// `L ≥ ω(1 + 2α + α²)/η²`. Equals the fundamental bound 4αω/η² only at
 /// α = 1 and exceeds it for every other α.
 pub fn slotted_bound_zheng(alpha: f64, omega_secs: f64, eta: f64) -> f64 {
     omega_secs * (1.0 + 2.0 * alpha + alpha * alpha) / (eta * eta)
 }
 
-/// Eq. 19: the same conversion for the code-based protocols of [6,7]
+/// Eq. 19: the same conversion for the code-based protocols of \[6,7\]
 /// (two packets per active slot, one slightly outside the slot):
 /// `L ≥ ω(1/2 + 2α + 2α²)/η²`. Equals the fundamental bound only at
 /// α = 1/2.
@@ -61,25 +61,25 @@ pub fn slotted_bound_constrained(alpha: f64, omega_secs: f64, eta: f64, beta: f6
     }
 }
 
-/// Table 1: worst-case latency of **diff-code-based schedules** [17] in the
+/// Table 1: worst-case latency of **diff-code-based schedules** \[17\] in the
 /// (L, η, β) metric: `ω/(ηβ − αβ²)` — the only slotted protocol family
 /// reaching the optimum.
 pub fn table1_diffcodes(alpha: f64, omega_secs: f64, eta: f64, beta: f64) -> f64 {
     slotted_bound_constrained(alpha, omega_secs, eta, beta)
 }
 
-/// Table 1: worst-case latency of **Disco** [3]: `8ω/(ηβ − αβ²)`.
+/// Table 1: worst-case latency of **Disco** \[3\]: `8ω/(ηβ − αβ²)`.
 pub fn table1_disco(alpha: f64, omega_secs: f64, eta: f64, beta: f64) -> f64 {
     8.0 * slotted_bound_constrained(alpha, omega_secs, eta, beta)
 }
 
-/// Table 1: worst-case latency of **Searchlight-Striped** [5]:
+/// Table 1: worst-case latency of **Searchlight-Striped** \[5\]:
 /// `2ω/(ηβ − αβ²)`.
 pub fn table1_searchlight(alpha: f64, omega_secs: f64, eta: f64, beta: f64) -> f64 {
     2.0 * slotted_bound_constrained(alpha, omega_secs, eta, beta)
 }
 
-/// Table 1: worst-case latency of **U-Connect** [4]:
+/// Table 1: worst-case latency of **U-Connect** \[4\]:
 /// `(3ω + √(ω²(8η − 8αβ + 9)))² / (8ωβη − 8ωαβ²)`.
 pub fn table1_uconnect(alpha: f64, omega_secs: f64, eta: f64, beta: f64) -> f64 {
     let disc = omega_secs * omega_secs * (8.0 * eta - 8.0 * alpha * beta + 9.0);
@@ -97,7 +97,7 @@ pub fn table1_uconnect(alpha: f64, omega_secs: f64, eta: f64, beta: f64) -> f64 
 // implementations in nd-protocols against the literature).
 // ---------------------------------------------------------------------------
 
-/// Disco [3]: two nodes with prime pairs `(p1, p2)` and `(p3, p4)` where at
+/// Disco \[3\]: two nodes with prime pairs `(p1, p2)` and `(p3, p4)` where at
 /// least one cross pair is distinct discover each other within
 /// `min` of the products of distinct cross primes (slots). For the common
 /// symmetric configuration (both nodes run the same pair) this is `p1·p2`.
@@ -106,12 +106,12 @@ pub fn disco_worst_slots(p1: u64, p2: u64) -> u64 {
     p1 * p2
 }
 
-/// U-Connect [4] with prime `p`: worst case `p²` slots.
+/// U-Connect \[4\] with prime `p`: worst case `p²` slots.
 pub fn uconnect_worst_slots(p: u64) -> u64 {
     p * p
 }
 
-/// Searchlight [5] with period `t` slots: the probe sweeps ⌈t/2⌉ positions,
+/// Searchlight \[5\] with period `t` slots: the probe sweeps ⌈t/2⌉ positions,
 /// so the worst case is `t·⌈t/2⌉` slots.
 pub fn searchlight_worst_slots(t: u64) -> u64 {
     t * t.div_ceil(2)

@@ -1,0 +1,117 @@
+//! Churn plans: who is in the network when.
+//!
+//! A [`ChurnPlan`] assigns every node a join instant and an optional leave
+//! instant before the run starts; the engine turns them into `Join`/`Leave`
+//! events. Plans are data, so a sweep job can derive them deterministically
+//! from its content-hash seed: the same job always simulates the same
+//! arrival pattern.
+
+use nd_core::time::Tick;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Per-node presence windows for one run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChurnPlan {
+    /// Join instant per node.
+    pub joins: Vec<Tick>,
+    /// Leave instant per node (`None` = stays to the end).
+    pub leaves: Vec<Option<Tick>>,
+}
+
+impl ChurnPlan {
+    /// No churn: everyone present from 0 to the end.
+    pub fn stable(n: usize) -> Self {
+        ChurnPlan {
+            joins: vec![Tick::ZERO; n],
+            leaves: vec![None; n],
+        }
+    }
+
+    /// Staggered churn: the last `round(fraction · n)` nodes are
+    /// *churners* — each joins at a random instant in the first third of
+    /// the horizon and leaves at a random instant in the last third. The
+    /// remaining nodes are stable. Every churner therefore co-resides with
+    /// the whole cohort during the middle third, so discovery is possible
+    /// (if the protocol is good enough) for every pair.
+    pub fn staggered(n: usize, fraction: f64, horizon: Tick, rng: &mut StdRng) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "fraction out of [0, 1]");
+        assert!(!horizon.is_zero(), "churn needs a positive horizon");
+        let churners = ((fraction * n as f64).round() as usize).min(n);
+        let third = (horizon.as_nanos() / 3).max(1);
+        let mut plan = ChurnPlan::stable(n);
+        // churners are the highest ids, so node 0 is always stable when
+        // fraction < 1 (a fixed anchor makes results easier to read)
+        for i in (n - churners)..n {
+            plan.joins[i] = Tick(rng.gen_range(0..third));
+            plan.leaves[i] = Some(Tick(2 * third + rng.gen_range(0..third)));
+        }
+        plan
+    }
+
+    /// Number of nodes covered by the plan.
+    pub fn len(&self) -> usize {
+        self.joins.len()
+    }
+
+    /// `true` if the plan covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.joins.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stable_plan_is_trivial() {
+        let p = ChurnPlan::stable(4);
+        assert_eq!(p.len(), 4);
+        assert!(p.joins.iter().all(|j| j.is_zero()));
+        assert!(p.leaves.iter().all(|l| l.is_none()));
+    }
+
+    #[test]
+    fn staggered_plan_windows_are_valid_and_overlap() {
+        let horizon = Tick::from_millis(300);
+        let mut rng = StdRng::seed_from_u64(9);
+        let p = ChurnPlan::staggered(8, 0.5, horizon, &mut rng);
+        assert_eq!(p.len(), 8);
+        // half the cohort is stable, half churns
+        assert_eq!(p.leaves.iter().filter(|l| l.is_some()).count(), 4);
+        let third = horizon.as_nanos() / 3;
+        for i in 4..8 {
+            let join = p.joins[i];
+            let leave = p.leaves[i].unwrap();
+            assert!(join.as_nanos() < third);
+            assert!(leave.as_nanos() >= 2 * third && leave < horizon);
+            assert!(join < leave);
+        }
+    }
+
+    #[test]
+    fn staggered_is_deterministic_per_seed() {
+        let horizon = Tick::from_millis(100);
+        let a = ChurnPlan::staggered(6, 0.5, horizon, &mut StdRng::seed_from_u64(3));
+        let b = ChurnPlan::staggered(6, 0.5, horizon, &mut StdRng::seed_from_u64(3));
+        let c = ChurnPlan::staggered(6, 0.5, horizon, &mut StdRng::seed_from_u64(4));
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seed → different arrivals");
+    }
+
+    #[test]
+    fn full_churn_leaves_no_stable_node() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = ChurnPlan::staggered(3, 1.0, Tick::from_millis(30), &mut rng);
+        assert!(p.leaves.iter().all(|l| l.is_some()));
+    }
+
+    #[test]
+    fn zero_fraction_equals_stable() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = ChurnPlan::staggered(5, 0.0, Tick::from_millis(30), &mut rng);
+        assert_eq!(p, ChurnPlan::stable(5));
+    }
+}

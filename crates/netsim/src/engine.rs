@@ -1,0 +1,631 @@
+//! The N-node discrete-event engine.
+//!
+//! [`NetSimulator`] generalizes the pairwise `nd_sim::Simulator` to a
+//! cohort: every node has a presence window (join/leave churn), its own
+//! RNG stream, and an arbitrary [`nd_sim::Behavior`]; the shared channel
+//! applies
+//! the paper's reception model (overlap geometry, half-duplex blanking,
+//! ALOHA collisions, fault injection). With two always-on nodes and the
+//! same configuration it reproduces the pairwise engine's receptions
+//! exactly — the two-node simulator is the N = 2 special case (the
+//! cross-validation tests pin this down).
+//!
+//! Protocols run on node-local timelines (0 = the node's join instant), so
+//! the same behaviour describes an early bird and a late joiner; clock
+//! drift composes underneath via [`nd_sim::Drifting`].
+
+use crate::event::{EventKind, EventQueue};
+use crate::metrics::CohortReport;
+use crate::node::{Node, NodeSpec};
+use nd_core::interval::{Interval, IntervalSet};
+use nd_core::time::Tick;
+use nd_sim::{DiscoveryMatrix, Op, PacketCounters, SimConfig, Topology};
+use rand::Rng;
+
+/// One transmission on the shared channel.
+struct TxRecord {
+    node: usize,
+    iv: Interval,
+    payload: u64,
+    /// The sender left mid-packet: the truncated airtime still interferes,
+    /// but the packet is corrupt and never delivered.
+    aborted: bool,
+}
+
+/// The multi-node discrete-event simulator.
+///
+/// ```
+/// use nd_netsim::{NetSimulator, NodeSpec};
+/// use nd_sim::{ScheduleBehavior, SimConfig, Topology};
+/// use nd_core::{BeaconSeq, RadioParams, ReceptionWindows, Schedule, Tick};
+///
+/// // three nodes that both beacon and listen discover each other quickly
+/// let sched = Schedule::full(
+///     BeaconSeq::uniform(1, Tick::from_micros(300), Tick::from_micros(4), Tick::ZERO).unwrap(),
+///     ReceptionWindows::single(Tick::from_micros(50), Tick::from_micros(200), Tick::from_micros(300)).unwrap(),
+/// );
+/// let mut radio = RadioParams::paper_default();
+/// radio.omega = Tick::from_micros(4);
+/// let cfg = SimConfig::paper_baseline(Tick::from_millis(20), 7).with_radio(radio);
+/// let mut sim = NetSimulator::new(cfg, Topology::full(3));
+/// for phase_us in [0u64, 70, 170] {
+///     let behavior = ScheduleBehavior::with_phase(sched.clone(), Tick::from_micros(phase_us));
+///     sim.add_node(NodeSpec::always_on(Box::new(behavior)));
+/// }
+/// let report = sim.run();
+/// assert!(report.discovery.complete());
+/// ```
+pub struct NetSimulator {
+    cfg: SimConfig,
+    topo: Topology,
+    nodes: Vec<Node>,
+    transmissions: Vec<TxRecord>,
+    tx_prune: usize,
+    queue: EventQueue,
+    discovery: DiscoveryMatrix,
+    packets: PacketCounters,
+    stop_when_complete: bool,
+}
+
+impl NetSimulator {
+    /// Create a simulator; add nodes with [`NetSimulator::add_node`], then
+    /// call [`NetSimulator::run`]. The config's `seed` roots every node's
+    /// private RNG stream.
+    pub fn new(cfg: SimConfig, topo: Topology) -> Self {
+        let n = topo.len();
+        NetSimulator {
+            cfg,
+            topo,
+            nodes: Vec::with_capacity(n),
+            transmissions: Vec::new(),
+            tx_prune: 0,
+            queue: EventQueue::new(),
+            discovery: DiscoveryMatrix::new(n),
+            packets: PacketCounters::default(),
+            stop_when_complete: false,
+        }
+    }
+
+    /// Register the next node (ids are assigned in call order and must
+    /// match the topology size by the time `run` is called).
+    pub fn add_node(&mut self, spec: NodeSpec) -> usize {
+        let id = self.nodes.len();
+        self.nodes.push(Node::new(spec, id, self.cfg.seed));
+        id
+    }
+
+    /// Stop as soon as every ordered pair has discovered each other (only
+    /// reachable when every node is present and audible; churned runs stop
+    /// at the horizon instead).
+    pub fn stop_when_all_discovered(&mut self, yes: bool) {
+        self.stop_when_complete = yes;
+    }
+
+    /// Run to completion and return the cohort report.
+    pub fn run(mut self) -> CohortReport {
+        assert_eq!(
+            self.nodes.len(),
+            self.topo.len(),
+            "node count must match topology size"
+        );
+        for (i, node) in self.nodes.iter().enumerate() {
+            self.queue.push(node.join, EventKind::Join(i));
+            if let Some(leave) = node.leave {
+                self.queue.push(leave, EventKind::Leave(i));
+            }
+        }
+        while let Some(ev) = self.queue.pop() {
+            if ev.at > self.cfg.t_end {
+                break;
+            }
+            match ev.kind {
+                EventKind::Join(i) => self.handle_join(i),
+                EventKind::Leave(i) => self.handle_leave(i),
+                EventKind::Wake(i) => self.handle_wake(i),
+                EventKind::TxEnd(idx) => self.handle_tx_end(idx),
+            }
+            if self.stop_when_complete && self.discovery.complete() {
+                break;
+            }
+        }
+        let elapsed = self.queue.now().min(self.cfg.t_end);
+        CohortReport {
+            elapsed,
+            discovery: self.discovery,
+            packets: self.packets,
+            stats: self.nodes.iter().map(|n| n.stats.clone()).collect(),
+            joins: self.nodes.iter().map(|n| n.join).collect(),
+            leaves: self.nodes.iter().map(|n| n.leave).collect(),
+        }
+    }
+
+    fn handle_join(&mut self, i: usize) {
+        self.nodes[i].present = true;
+        self.arm(i);
+    }
+
+    /// Refill node `i`'s buffer from its behaviour if empty (translating
+    /// local ops to simulation time) and schedule a wake for the front.
+    fn arm(&mut self, i: usize) {
+        let now = self.queue.now();
+        let node = &mut self.nodes[i];
+        if !node.present {
+            return;
+        }
+        if node.buffer.is_empty() && !node.proactive_done {
+            // the behaviour lives on the node's local timeline: 0 = join
+            let local_after = now.saturating_sub(node.join);
+            let join = node.join;
+            let ops = node.behavior.next_ops(local_after, &mut node.rng);
+            if ops.is_empty() {
+                node.proactive_done = true;
+            } else {
+                for op in ops {
+                    debug_assert!(op.at() >= local_after, "behavior emitted an op in the past");
+                    node.insert_op(shift_op(op, join, now));
+                }
+            }
+        }
+        if let Some(front) = self.nodes[i].buffer.front() {
+            let at = front.at();
+            self.queue.push(at, EventKind::Wake(i));
+        }
+    }
+
+    fn handle_wake(&mut self, i: usize) {
+        let now = self.queue.now();
+        if !self.nodes[i].present {
+            return; // stale wake for a node that has left
+        }
+        let omega = self.cfg.radio.omega;
+        while let Some(op) = self.nodes[i].buffer.front().copied() {
+            if op.at() > now {
+                break;
+            }
+            self.nodes[i].buffer.pop_front();
+            match op {
+                Op::Tx { at, payload } => {
+                    let iv = Interval::new(at, at + omega);
+                    let node = &mut self.nodes[i];
+                    node.own_tx.push(iv);
+                    node.stats.n_tx += 1;
+                    node.stats.tx_time += omega;
+                    self.packets.sent += 1;
+                    let idx = self.transmissions.len();
+                    self.transmissions.push(TxRecord {
+                        node: i,
+                        iv,
+                        payload,
+                        aborted: false,
+                    });
+                    self.queue.push(iv.end, EventKind::TxEnd(idx));
+                }
+                Op::Rx { at, duration } => {
+                    let iv = Interval::new(at, at + duration);
+                    let node = &mut self.nodes[i];
+                    node.listen.push(iv);
+                    node.stats.n_rx_windows += 1;
+                    node.stats.rx_time += duration;
+                }
+            }
+        }
+        self.arm(i);
+    }
+
+    fn handle_leave(&mut self, i: usize) {
+        let now = self.queue.now();
+        let node = &mut self.nodes[i];
+        node.present = false;
+        node.buffer.clear();
+        // truncate listening windows that extend past departure (and give
+        // the unused tail back to the duty-cycle accounting)
+        for w in node.listen.iter_mut().skip(node.listen_prune) {
+            if w.end > now {
+                let cut_start = w.start.max(now);
+                node.stats.rx_time = node.stats.rx_time.saturating_sub(w.end - cut_start);
+                *w = Interval::new(w.start.min(now), now);
+            }
+        }
+        // an in-flight packet is cut short: the truncated airtime still
+        // interferes, but the packet is corrupt
+        for tx in self.transmissions.iter_mut().skip(self.tx_prune) {
+            if tx.node == i && tx.iv.end > now {
+                let cut_start = tx.iv.start.min(now);
+                node.stats.tx_time = node.stats.tx_time.saturating_sub(tx.iv.end - now);
+                tx.iv = Interval::new(cut_start, now);
+                tx.aborted = true;
+            }
+        }
+    }
+
+    fn handle_tx_end(&mut self, idx: usize) {
+        let (sender, iv, payload, aborted) = {
+            let tx = &self.transmissions[idx];
+            (tx.node, tx.iv, tx.payload, tx.aborted)
+        };
+        self.prune(iv.start);
+        if aborted || iv.is_empty() {
+            return; // sender left mid-packet; nothing deliverable
+        }
+
+        // transmissions overlapping this packet (for collisions)
+        let colliders: Vec<usize> = self.overlapping_tx(idx, iv);
+
+        let mut reactive: Vec<(usize, Vec<Op>)> = Vec::new();
+        for rx in 0..self.nodes.len() {
+            if !self.topo.in_range(sender, rx) {
+                continue;
+            }
+            // the receiver must be in the network for the whole packet
+            if !self.nodes[rx].present_during(iv) || !self.nodes[rx].present {
+                continue;
+            }
+            // geometry against the scheduled windows
+            let scheduled = self.listening_cover(rx, iv);
+            if !self.geometry_ok(&scheduled, iv) {
+                continue; // not receivable at all — not counted as a loss
+            }
+            // half-duplex blanking (Appendix A.5)
+            if self.cfg.half_duplex {
+                let effective = self.blanked_cover(rx, &scheduled);
+                if !self.geometry_ok(&effective, iv) {
+                    self.packets.lost_self_blocking += 1;
+                    continue;
+                }
+            }
+            // collisions: any other in-range transmission overlapping the
+            // packet destroys it at this receiver (ALOHA, Eq. 12)
+            if self.cfg.collisions {
+                let collided = colliders.iter().any(|&q| {
+                    let tx = &self.transmissions[q];
+                    tx.node != rx && self.topo.in_range(tx.node, rx)
+                });
+                if collided {
+                    self.packets.lost_collision += 1;
+                    continue;
+                }
+            }
+            // fault injection, rolled on the receiver's private stream
+            let p_drop = self.cfg.drop_probability + self.topo.link_loss(sender, rx);
+            if p_drop > 0.0 && self.nodes[rx].rng.gen::<f64>() < p_drop {
+                self.packets.lost_fault += 1;
+                continue;
+            }
+            // success
+            self.packets.received += 1;
+            self.nodes[rx].stats.n_received += 1;
+            self.discovery.record(rx, sender, iv.start);
+            let node = &mut self.nodes[rx];
+            let local_at = iv.start.saturating_sub(node.join);
+            let ops = node
+                .behavior
+                .on_reception(local_at, sender, payload, &mut node.rng);
+            if !ops.is_empty() {
+                reactive.push((rx, ops));
+            }
+        }
+        let now = self.queue.now();
+        for (rx, ops) in reactive {
+            let join = self.nodes[rx].join;
+            for op in ops {
+                self.nodes[rx].insert_op(shift_op(op, join, now));
+            }
+            // re-arm: the new front may precede any pending wake
+            if let Some(front) = self.nodes[rx].buffer.front() {
+                let at = front.at();
+                self.queue.push(at, EventKind::Wake(rx));
+            }
+        }
+    }
+
+    /// The receiver's scheduled listening intersected with the packet.
+    fn listening_cover(&self, rx: usize, packet: Interval) -> IntervalSet {
+        let node = &self.nodes[rx];
+        let mut parts = Vec::new();
+        for w in node.listen.iter().skip(node.listen_prune) {
+            if w.start >= packet.end {
+                break;
+            }
+            let cut = w.intersect(&packet);
+            if !cut.is_empty() {
+                parts.push(cut);
+            }
+        }
+        IntervalSet::from_intervals(parts)
+    }
+
+    /// Subtract the receiver's own transmissions (expanded by turnaround
+    /// times) from a listening cover.
+    fn blanked_cover(&self, rx: usize, cover: &IntervalSet) -> IntervalSet {
+        let node = &self.nodes[rx];
+        let radio = &self.cfg.radio;
+        let mut blanked = Vec::new();
+        for tx in node.own_tx.iter().skip(node.own_tx_prune) {
+            blanked.push(Interval::new(
+                tx.start.saturating_sub(radio.do_rx_tx),
+                tx.end + radio.do_tx_rx,
+            ));
+        }
+        cover.subtract(&IntervalSet::from_intervals(blanked))
+    }
+
+    /// Apply the configured overlap model to a listening cover.
+    fn geometry_ok(&self, cover: &IntervalSet, packet: Interval) -> bool {
+        match self.cfg.overlap {
+            nd_core::coverage::OverlapModel::Start => cover.contains(packet.start),
+            nd_core::coverage::OverlapModel::AnyOverlap => !cover.is_empty(),
+            nd_core::coverage::OverlapModel::FullPacket => {
+                cover.intervals().len() == 1 && {
+                    let iv = cover.intervals()[0];
+                    iv.start <= packet.start && iv.end >= packet.end
+                }
+            }
+        }
+    }
+
+    /// Transmissions (other than `idx`) overlapping `iv` in time.
+    fn overlapping_tx(&self, idx: usize, iv: Interval) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (q, tx) in self.transmissions.iter().enumerate().skip(self.tx_prune) {
+            if tx.iv.start >= iv.end {
+                break;
+            }
+            if q != idx && tx.iv.overlaps(&iv) {
+                out.push(q);
+            }
+        }
+        out
+    }
+
+    /// Advance prune pointers: anything ending well before `t` can no
+    /// longer affect any packet decision.
+    fn prune(&mut self, t: Tick) {
+        let guard =
+            self.cfg.radio.omega + self.cfg.radio.do_rx_tx + self.cfg.radio.do_tx_rx + Tick(1);
+        let horizon = t.saturating_sub(guard * 4);
+        while self.tx_prune < self.transmissions.len()
+            && self.transmissions[self.tx_prune].iv.end < horizon
+        {
+            self.tx_prune += 1;
+        }
+        for node in &mut self.nodes {
+            while node.listen_prune < node.listen.len()
+                && node.listen[node.listen_prune].end < horizon
+            {
+                node.listen_prune += 1;
+            }
+            while node.own_tx_prune < node.own_tx.len()
+                && node.own_tx[node.own_tx_prune].end < horizon
+            {
+                node.own_tx_prune += 1;
+            }
+        }
+    }
+}
+
+/// Translate a node-local op to simulation time (`+join`), clamped so a
+/// cascade never schedules into the past.
+fn shift_op(op: Op, join: Tick, at_least: Tick) -> Op {
+    match op {
+        Op::Tx { at, payload } => Op::Tx {
+            at: (at + join).max(at_least),
+            payload,
+        },
+        Op::Rx { at, duration } => Op::Rx {
+            at: (at + join).max(at_least),
+            duration,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nd_core::params::RadioParams;
+    use nd_core::schedule::{BeaconSeq, ReceptionWindows, Schedule};
+    use nd_sim::ScheduleBehavior;
+
+    fn radio(omega_us: u64) -> RadioParams {
+        RadioParams::ideal(Tick::from_micros(omega_us), 1.0)
+    }
+
+    fn adv(period_us: u64, phase_us: u64) -> Schedule {
+        Schedule::tx_only(
+            BeaconSeq::uniform(
+                1,
+                Tick::from_micros(period_us),
+                Tick::from_micros(4),
+                Tick::from_micros(phase_us),
+            )
+            .unwrap(),
+        )
+    }
+
+    fn scan(window_us: u64, period_us: u64) -> Schedule {
+        Schedule::rx_only(
+            ReceptionWindows::single(
+                Tick::ZERO,
+                Tick::from_micros(window_us),
+                Tick::from_micros(period_us),
+            )
+            .unwrap(),
+        )
+    }
+
+    fn base_cfg(ms: u64) -> SimConfig {
+        SimConfig::paper_baseline(Tick::from_millis(ms), 42).with_radio(radio(4))
+    }
+
+    fn on(sched: Schedule) -> NodeSpec {
+        NodeSpec::always_on(Box::new(ScheduleBehavior::new(sched)))
+    }
+
+    #[test]
+    fn always_on_pair_matches_pairwise_engine() {
+        // identical setup on both engines → identical receptions
+        let mut net = NetSimulator::new(base_cfg(10), Topology::full(2));
+        net.add_node(on(adv(100, 10)));
+        net.add_node(on(scan(50, 200)));
+        let net_report = net.run();
+
+        let mut pair = nd_sim::Simulator::new(base_cfg(10), Topology::full(2));
+        pair.add_device(Box::new(ScheduleBehavior::new(adv(100, 10))));
+        pair.add_device(Box::new(ScheduleBehavior::new(scan(50, 200))));
+        let pair_report = pair.run();
+
+        assert_eq!(
+            net_report.discovery.one_way(1, 0),
+            pair_report.discovery.one_way(1, 0)
+        );
+        assert_eq!(
+            net_report.discovery.one_way(1, 0),
+            Some(Tick::from_micros(10))
+        );
+        assert_eq!(net_report.packets.sent, pair_report.packets.sent);
+        assert_eq!(net_report.packets.received, pair_report.packets.received);
+    }
+
+    #[test]
+    fn late_joiner_hears_nothing_before_joining() {
+        // scanner joins at 5 ms; the advertiser's beacons before that are
+        // lost, and its schedule (window at local 0) starts at join
+        let mut net = NetSimulator::new(base_cfg(10), Topology::full(2));
+        net.add_node(on(adv(100, 10)));
+        net.add_node(NodeSpec::windowed(
+            Box::new(ScheduleBehavior::new(scan(50, 200))),
+            Tick::from_millis(5),
+            None,
+        ));
+        let report = net.run();
+        let first = report.discovery.one_way(1, 0).unwrap();
+        assert!(
+            first >= Tick::from_millis(5),
+            "heard before joining: {first:?}"
+        );
+        // beacons every 100 µs land in the first local window quickly
+        assert!(first < Tick::from_millis(6));
+    }
+
+    #[test]
+    fn leaver_hears_nothing_after_leaving() {
+        // the scanner leaves at 2 ms, the advertiser only joins at 3 ms:
+        // never co-present, so nothing may be discovered
+        let mut net = NetSimulator::new(base_cfg(10), Topology::full(2));
+        net.add_node(NodeSpec::windowed(
+            Box::new(ScheduleBehavior::new(adv(100, 10))),
+            Tick::from_millis(3),
+            None,
+        ));
+        net.add_node(NodeSpec::windowed(
+            Box::new(ScheduleBehavior::new(scan(200, 200))),
+            Tick::ZERO,
+            Some(Tick::from_millis(2)),
+        ));
+        let report = net.run();
+        assert_eq!(report.discovery.one_way(1, 0), None);
+        assert_eq!(report.copresence(0, 1), None);
+        // and the scanner's listening accounting stops at departure
+        assert!(report.stats[1].rx_time <= Tick::from_millis(2));
+    }
+
+    #[test]
+    fn collisions_destroy_overlapping_beacons() {
+        let mut net = NetSimulator::new(base_cfg(1), Topology::full(3));
+        net.add_node(on(adv(100, 10)));
+        net.add_node(on(adv(100, 10)));
+        net.add_node(on(scan(100, 100)));
+        let report = net.run();
+        assert_eq!(report.discovery.one_way(2, 0), None);
+        assert_eq!(report.discovery.one_way(2, 1), None);
+        assert!(report.packets.lost_collision > 0);
+
+        let mut cfg = base_cfg(1);
+        cfg.collisions = false;
+        let mut net = NetSimulator::new(cfg, Topology::full(3));
+        net.add_node(on(adv(100, 10)));
+        net.add_node(on(adv(100, 10)));
+        net.add_node(on(scan(100, 100)));
+        let report = net.run();
+        assert!(report.discovery.one_way(2, 0).is_some());
+        assert!(report.discovery.one_way(2, 1).is_some());
+    }
+
+    #[test]
+    fn departed_node_no_longer_collides() {
+        // two advertisers collide while both present; after node 1 leaves
+        // at 0.5 ms, node 0's beacons get through
+        let mut net = NetSimulator::new(base_cfg(2), Topology::full(3));
+        net.add_node(on(adv(100, 10)));
+        net.add_node(NodeSpec::windowed(
+            Box::new(ScheduleBehavior::new(adv(100, 10))),
+            Tick::ZERO,
+            Some(Tick::from_micros(500)),
+        ));
+        net.add_node(on(scan(100, 100)));
+        let report = net.run();
+        let first = report.discovery.one_way(2, 0).unwrap();
+        assert!(first >= Tick::from_micros(500), "{first:?}");
+        assert_eq!(report.discovery.one_way(2, 1), None);
+        assert!(report.packets.lost_collision > 0);
+    }
+
+    #[test]
+    fn early_stop_on_cohort_completion() {
+        let sched = |phase_us: u64| {
+            Schedule::full(
+                BeaconSeq::uniform(
+                    1,
+                    Tick::from_micros(300),
+                    Tick::from_micros(4),
+                    Tick::from_micros(phase_us),
+                )
+                .unwrap(),
+                ReceptionWindows::single(
+                    Tick::from_micros(50),
+                    Tick::from_micros(200),
+                    Tick::from_micros(300),
+                )
+                .unwrap(),
+            )
+        };
+        let mut net = NetSimulator::new(base_cfg(1000), Topology::full(3));
+        // beacon offsets inside everyone's [50, 250) µs window, spaced so
+        // they neither collide nor hit the senders' own blanking
+        for phase in [60u64, 120, 180] {
+            net.add_node(on(sched(phase)));
+        }
+        net.stop_when_all_discovered(true);
+        let report = net.run();
+        assert!(report.discovery.complete());
+        assert!(report.elapsed < Tick::from_millis(5), "stopped early");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let build = || {
+            let mut cfg = base_cfg(20);
+            cfg.drop_probability = 0.3;
+            cfg.seed = 99;
+            let mut net = NetSimulator::new(cfg, Topology::full(5));
+            for phase in [3u64, 31, 57, 83] {
+                net.add_node(on(adv(97, phase)));
+            }
+            net.add_node(on(scan(53, 211)));
+            net.run()
+        };
+        let a = build();
+        let b = build();
+        for s in 0..4 {
+            assert_eq!(a.discovery.one_way(4, s), b.discovery.one_way(4, s));
+        }
+        assert_eq!(a.packets.received, b.packets.received);
+        assert_eq!(a.packets.lost_fault, b.packets.lost_fault);
+    }
+
+    #[test]
+    #[should_panic(expected = "node count must match topology")]
+    fn topology_size_is_enforced() {
+        let net = NetSimulator::new(base_cfg(1), Topology::full(2));
+        let _ = net.run();
+    }
+}

@@ -1,0 +1,174 @@
+//! Node state: behaviour, presence window, radio bookkeeping, and the
+//! node's private RNG stream.
+//!
+//! A node's protocol runs on a *local* timeline that starts at 0 the
+//! instant the node joins; the engine shifts local operations by the join
+//! instant, so the same behaviour object describes a node that has been on
+//! since the start and one that churns in an hour late. Clock drift
+//! composes underneath via [`nd_sim::Drifting`], which skews the local
+//! timeline itself.
+
+use nd_core::interval::Interval;
+use nd_core::time::Tick;
+use nd_sim::{Behavior, DeviceStats, Op};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+
+/// A node to be added to the simulation: its protocol plus its presence
+/// window.
+pub struct NodeSpec {
+    /// The protocol driving the node's radio (local timeline: 0 = join).
+    pub behavior: Box<dyn Behavior>,
+    /// When the node joins the network.
+    pub join: Tick,
+    /// When the node leaves again; `None` = stays to the end.
+    pub leave: Option<Tick>,
+}
+
+impl NodeSpec {
+    /// A node present for the whole simulation.
+    pub fn always_on(behavior: Box<dyn Behavior>) -> Self {
+        NodeSpec {
+            behavior,
+            join: Tick::ZERO,
+            leave: None,
+        }
+    }
+
+    /// A node present during `[join, leave)`.
+    pub fn windowed(behavior: Box<dyn Behavior>, join: Tick, leave: Option<Tick>) -> Self {
+        if let Some(l) = leave {
+            assert!(l > join, "leave must come after join");
+        }
+        NodeSpec {
+            behavior,
+            join,
+            leave,
+        }
+    }
+}
+
+/// SplitMix64: the per-node stream derivation. Statistically independent
+/// streams from one 64-bit state, stable forever (this feeds content-hash
+/// derived seeds, so it must never change).
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Live per-node engine state.
+pub(crate) struct Node {
+    pub behavior: Box<dyn Behavior>,
+    pub join: Tick,
+    pub leave: Option<Tick>,
+    /// Currently in the network.
+    pub present: bool,
+    /// The behaviour returned an empty batch → nothing more proactive.
+    pub proactive_done: bool,
+    /// Buffered upcoming ops in *simulation* time, sorted by start.
+    pub buffer: VecDeque<Op>,
+    /// Scheduled listening windows in start order (pruned lazily).
+    pub listen: Vec<Interval>,
+    pub listen_prune: usize,
+    /// Own transmissions in start order (pruned lazily; half-duplex
+    /// blanking).
+    pub own_tx: Vec<Interval>,
+    pub own_tx_prune: usize,
+    pub stats: DeviceStats,
+    /// The node's private RNG stream, derived from the run seed and the
+    /// node id — behaviours and fault rolls for this node never perturb
+    /// any other node's stream.
+    pub rng: StdRng,
+}
+
+impl Node {
+    pub fn new(spec: NodeSpec, id: usize, run_seed: u64) -> Self {
+        let label = spec.behavior.label();
+        Node {
+            behavior: spec.behavior,
+            join: spec.join,
+            leave: spec.leave,
+            present: false,
+            proactive_done: false,
+            buffer: VecDeque::new(),
+            listen: Vec::new(),
+            listen_prune: 0,
+            own_tx: Vec::new(),
+            own_tx_prune: 0,
+            stats: DeviceStats {
+                label,
+                ..DeviceStats::default()
+            },
+            rng: StdRng::seed_from_u64(splitmix64(
+                run_seed ^ (id as u64).wrapping_mul(0xa076_1d64_78bd_642f),
+            )),
+        }
+    }
+
+    /// Whether the node is in the network for the whole of `iv` (it must
+    /// have joined by the start and not leave before the end).
+    pub fn present_during(&self, iv: Interval) -> bool {
+        self.join <= iv.start && self.leave.is_none_or(|l| iv.end <= l)
+    }
+
+    /// Insert an op keeping the buffer sorted by start time.
+    pub fn insert_op(&mut self, op: Op) {
+        if self.buffer.back().is_none_or(|last| last.at() <= op.at()) {
+            self.buffer.push_back(op);
+        } else {
+            let pos = self.buffer.partition_point(|o| o.at() <= op.at());
+            self.buffer.insert(pos, op);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nd_sim::IdleBehavior;
+
+    #[test]
+    fn presence_window() {
+        let spec = NodeSpec::windowed(Box::new(IdleBehavior), Tick(100), Some(Tick(500)));
+        let node = Node::new(spec, 0, 7);
+        assert!(node.present_during(Interval::new(Tick(100), Tick(500))));
+        assert!(!node.present_during(Interval::new(Tick(99), Tick(200))));
+        assert!(!node.present_during(Interval::new(Tick(400), Tick(501))));
+
+        let forever = Node::new(NodeSpec::always_on(Box::new(IdleBehavior)), 1, 7);
+        assert!(forever.present_during(Interval::new(Tick::ZERO, Tick(u64::MAX))));
+    }
+
+    #[test]
+    #[should_panic(expected = "leave must come after join")]
+    fn rejects_inverted_window() {
+        let _ = NodeSpec::windowed(Box::new(IdleBehavior), Tick(10), Some(Tick(10)));
+    }
+
+    #[test]
+    fn node_streams_are_distinct_and_deterministic() {
+        use rand::Rng;
+        let mut a0 = Node::new(NodeSpec::always_on(Box::new(IdleBehavior)), 0, 42).rng;
+        let mut a0_again = Node::new(NodeSpec::always_on(Box::new(IdleBehavior)), 0, 42).rng;
+        let mut a1 = Node::new(NodeSpec::always_on(Box::new(IdleBehavior)), 1, 42).rng;
+        let x: u64 = a0.gen();
+        assert_eq!(x, a0_again.gen::<u64>(), "same (seed, id) → same stream");
+        assert_ne!(x, a1.gen::<u64>(), "different id → different stream");
+    }
+
+    #[test]
+    fn insert_op_keeps_order() {
+        let mut node = Node::new(NodeSpec::always_on(Box::new(IdleBehavior)), 0, 1);
+        for at in [30u64, 10, 20, 25, 5] {
+            node.insert_op(Op::Tx {
+                at: Tick(at),
+                payload: 0,
+            });
+        }
+        let starts: Vec<u64> = node.buffer.iter().map(|o| o.at().as_nanos()).collect();
+        assert_eq!(starts, vec![5, 10, 20, 25, 30]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Cross-validation of the N-node engine.
+//!
+//! 1. **N = 2 is the pairwise engine**: on randomized advertiser/scanner
+//!    configurations (proptest), an always-on two-node cohort must
+//!    reproduce `nd_sim::Simulator`'s discovery instants *exactly* — same
+//!    channel model, same semantics, packet for packet.
+//! 2. **Eq. 12 collision bound**: with S beaconers contending at channel
+//!    utilization β, the measured collision rate must match the paper's
+//!    slotless-ALOHA model `P_c = 1 − e^{−2(S−1)β}` within Monte-Carlo
+//!    tolerance.
+
+use nd_core::schedule::{BeaconSeq, ReceptionWindows, Schedule};
+use nd_core::time::Tick;
+use nd_netsim::{NetSimulator, NodeSpec};
+use nd_sim::{ScheduleBehavior, SimConfig, Simulator, Topology};
+use proptest::prelude::*;
+
+const OMEGA: Tick = Tick(36_000);
+
+fn cfg(horizon: Tick, seed: u64) -> SimConfig {
+    let mut radio = nd_core::RadioParams::paper_default();
+    radio.omega = OMEGA;
+    SimConfig::paper_baseline(horizon, seed).with_radio(radio)
+}
+
+/// Advertiser (beacon period `ta`, phase `pa`) and scanner (window `ds`
+/// per `ts`, phase `ps`), the canonical asymmetric pair.
+fn schedules(ta: Tick, ts: Tick, ds: Tick) -> (Schedule, Schedule) {
+    let adv = Schedule::tx_only(BeaconSeq::new(vec![Tick::ZERO], ta, OMEGA).unwrap());
+    let scan = Schedule::rx_only(ReceptionWindows::single(Tick::ZERO, ds, ts).unwrap());
+    (adv, scan)
+}
+
+fn run_pairwise(
+    ta: Tick,
+    pa: Tick,
+    ts: Tick,
+    ds: Tick,
+    ps: Tick,
+    horizon: Tick,
+) -> (Option<Tick>, u64) {
+    let (adv, scan) = schedules(ta, ts, ds);
+    let mut sim = Simulator::new(cfg(horizon, 5), Topology::full(2));
+    sim.add_device(Box::new(ScheduleBehavior::with_phase(adv, pa)));
+    sim.add_device(Box::new(ScheduleBehavior::with_phase(scan, ps)));
+    let report = sim.run();
+    (report.discovery.one_way(1, 0), report.packets.received)
+}
+
+fn run_netsim(
+    ta: Tick,
+    pa: Tick,
+    ts: Tick,
+    ds: Tick,
+    ps: Tick,
+    horizon: Tick,
+) -> (Option<Tick>, u64) {
+    let (adv, scan) = schedules(ta, ts, ds);
+    let mut sim = NetSimulator::new(cfg(horizon, 5), Topology::full(2));
+    sim.add_node(NodeSpec::always_on(Box::new(ScheduleBehavior::with_phase(
+        adv, pa,
+    ))));
+    sim.add_node(NodeSpec::always_on(Box::new(ScheduleBehavior::with_phase(
+        scan, ps,
+    ))));
+    let report = sim.run();
+    (report.discovery.one_way(1, 0), report.packets.received)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// At N = 2, always-on, zero-collision (only one node transmits, so
+    /// the channel is collision-free): netsim reproduces the pairwise
+    /// engine's first-discovery instant and total reception count exactly.
+    #[test]
+    fn netsim_equals_pairwise_engine_at_n2(
+        ta_us in 100u64..4000,
+        pa_pm in 0u64..1000,
+        ts_us in 200u64..5000,
+        ds_pm in 50u64..900,
+        ps_pm in 0u64..1000,
+    ) {
+        let ta = Tick::from_micros(ta_us);
+        let ts = Tick::from_micros(ts_us);
+        let ds = Tick((ts.as_nanos() * ds_pm / 1000).max(1));
+        let pa = Tick(ta.as_nanos() * pa_pm / 1000);
+        let ps = Tick(ts.as_nanos() * ps_pm / 1000);
+        let horizon = Tick::from_millis(40);
+
+        let pairwise = run_pairwise(ta, pa, ts, ds, ps, horizon);
+        let cohort = run_netsim(ta, pa, ts, ds, ps, horizon);
+        prop_assert_eq!(pairwise, cohort);
+    }
+}
+
+/// Eq. 12 of the paper: S contending beaconers, each with channel
+/// utilization β, lose a fraction `1 − e^{−2(S−1)β}` of their beacons to
+/// collisions. Simulate S senders with near-coprime periods (so beacon
+/// alignments decorrelate) plus one always-listening scanner, and compare
+/// the measured collision rate at the scanner against the bound.
+#[test]
+fn collision_rate_matches_eq12() {
+    // distinct prime-ish periods around 400ω: β ≈ 0.0025 each
+    let periods_us = [3989u64, 4001, 4093, 4211, 4297, 4409];
+    let s = periods_us.len() as u32;
+    let omega = Tick::from_micros(4);
+    let horizon = Tick::from_millis(400);
+
+    let mut received = 0u64;
+    let mut lost_collision = 0u64;
+    for seed in 0..24u64 {
+        let mut radio = nd_core::RadioParams::paper_default();
+        radio.omega = omega;
+        let mut cfg = SimConfig::paper_baseline(horizon, seed).with_radio(radio);
+        cfg.half_duplex = false; // the scanner never transmits anyway
+        let n = periods_us.len() + 1;
+        let mut sim = NetSimulator::new(cfg, Topology::full(n));
+        for (i, &period_us) in periods_us.iter().enumerate() {
+            let period = Tick::from_micros(period_us);
+            let adv = Schedule::tx_only(BeaconSeq::new(vec![Tick::ZERO], period, omega).unwrap());
+            // deterministic per-sender phase, different every run
+            let phase = Tick(
+                (seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (i as u64) << 48)
+                    % period.as_nanos().max(1),
+            );
+            sim.add_node(NodeSpec::always_on(Box::new(ScheduleBehavior::with_phase(
+                adv, phase,
+            ))));
+        }
+        // the scanner: wall-to-wall listening
+        let scan = Schedule::rx_only(
+            ReceptionWindows::single(Tick::ZERO, Tick::from_millis(1), Tick::from_millis(1))
+                .unwrap(),
+        );
+        sim.add_node(NodeSpec::always_on(Box::new(ScheduleBehavior::new(scan))));
+        let report = sim.run();
+        received += report.packets.received;
+        lost_collision += report.packets.lost_collision;
+    }
+
+    let receivable = received + lost_collision;
+    assert!(receivable > 10_000, "need statistics, got {receivable}");
+    let measured = lost_collision as f64 / receivable as f64;
+    let beta = 4.0 / 4166.0; // ω / mean period
+    let predicted = nd_core::bounds::collisions::collision_probability(s, beta);
+    assert!(
+        (measured - predicted).abs() < 0.01,
+        "measured collision rate {measured:.4} vs Eq. 12 prediction {predicted:.4}"
+    );
+}

@@ -1,5 +1,5 @@
 //! Mutual assistance (Griassdi-style, Kindt et al. IPSN 2017 — reference
-//! [13] of the paper; see also Appendix C's closing discussion).
+//! \[13\] of the paper; see also Appendix C's closing discussion).
 //!
 //! Each beacon carries the sender's *next reception-window start time*.
 //! A device that receives such a beacon schedules one extra "reply" beacon

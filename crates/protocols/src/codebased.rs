@@ -1,11 +1,11 @@
-//! Code-based protocols (Meng, Wu & Chen — references [6, 7] of the
+//! Code-based protocols (Meng, Wu & Chen — references \[6, 7\] of the
 //! paper).
 //!
 //! These protocols start from a difference-set schedule and send one
 //! additional packet *slightly outside* the active-slot boundary (just
 //! before the slot start). The extra packet lets an active slot be
 //! discovered by a peer whose own active slot only touches the boundary,
-//! which in slot terms beats the `k ≥ √T` bound of [17, 16] — at the price
+//! which in slot terms beats the `k ≥ √T` bound of \[17, 16\] — at the price
 //! of two packets per active slot. Section 6.1.1 of the paper (Eq. 19)
 //! shows that in *time* terms the improvement disappears: the bound is
 //! `ω(1/2 + 2α + 2α²)/η²`, equal to the fundamental bound only at α = ½.
@@ -21,7 +21,7 @@ use nd_core::error::NdError;
 use nd_core::schedule::Schedule;
 use nd_core::time::Tick;
 
-/// A code-based node configuration: a diff-code with the [6,7] two-packet
+/// A code-based node configuration: a diff-code with the \[6,7\] two-packet
 /// placement.
 #[derive(Clone, Debug)]
 pub struct CodeBased {

@@ -1,12 +1,12 @@
 //! Difference-set ("diff-code") schedules (Zheng, Hou & Sha — references
-//! [17, 16] of the paper).
+//! \[17, 16\] of the paper).
 //!
 //! A cyclic `(v, k, 1)` *perfect difference set* `D ⊆ Z_v` has the property
 //! that every non-zero residue mod `v` arises exactly once as a difference
 //! of two elements of `D`. Making exactly the slots in `D` active
 //! guarantees that any rotation of the schedule intersects itself — two
 //! devices overlap in an active slot within `v` slots, with only
-//! `k ≈ √v` active slots. This meets the `k ≥ √T` bound of [17, 16] with
+//! `k ≈ √v` active slots. This meets the `k ≥ √T` bound of \[17, 16\] with
 //! equality (up to the integer constraint), which is why the paper's
 //! Table 1 lists diff-codes as the only optimal slotted family.
 //!
@@ -164,7 +164,7 @@ impl DiffCode {
         self.set.len() as u64
     }
 
-    /// Slot-domain duty cycle `k/v` (≈ `1/√v`: the [17,16] optimum).
+    /// Slot-domain duty cycle `k/v` (≈ `1/√v`: the \[17,16\] optimum).
     pub fn slot_duty_cycle(&self) -> f64 {
         self.k() as f64 / self.v as f64
     }

@@ -1,4 +1,4 @@
-//! Disco (Dutta & Culler, SenSys 2008 — reference [3] of the paper).
+//! Disco (Dutta & Culler, SenSys 2008 — reference \[3\] of the paper).
 //!
 //! Each node picks a pair of distinct primes `(p₁, p₂)`; slot counter `c`
 //! makes a slot active whenever `c ≡ 0 (mod p₁)` or `c ≡ 0 (mod p₂)`. If

@@ -8,15 +8,15 @@
 //! | [`optimal`] | the paper-optimal slotless tilings (uni/bi-directional, symmetric, asymmetric, channel-constrained) | Theorems 5.4–5.7 |
 //! | [`correlated`] | mutual-exclusive one-way quadruples | Appendix C |
 //! | [`redundant`] | collision-robust Q-fold coverage | Appendix B |
-//! | [`pi`] | periodic-interval (BLE-like) protocols, BLE advDelay | [18, 14, 12, 13, 23] |
+//! | [`pi`] | periodic-interval (BLE-like) protocols, BLE advDelay | \[18, 14, 12, 13, 23\] |
 //! | [`slotted`] | generic slotted-schedule builder | Section 2/6 |
-//! | [`disco`] | Disco prime pairs | [3] |
-//! | [`uconnect`] | U-Connect | [4] |
-//! | [`searchlight`] | Searchlight(-Striped) | [5] |
-//! | [`diffcodes`] | perfect-difference-set schedules | [17, 16] |
-//! | [`codebased`] | code-based two-packet placement | [6, 7] |
+//! | [`disco`] | Disco prime pairs | \[3\] |
+//! | [`uconnect`] | U-Connect | \[4\] |
+//! | [`searchlight`] | Searchlight(-Striped) | \[5\] |
+//! | [`diffcodes`] | perfect-difference-set schedules | \[17, 16\] |
+//! | [`codebased`] | code-based two-packet placement | \[6, 7\] |
 //! | [`birthday`] | probabilistic birthday baseline | §2 context |
-//! | [`assist`] | Griassdi-style mutual assistance | [13] |
+//! | [`assist`] | Griassdi-style mutual assistance | \[13\] |
 //! | [`jitter`] | beacon-jitter decorrelation | §8 future work |
 //!
 //! All constructions lower to exact `nd-core` [`nd_core::Schedule`]s, so
@@ -53,7 +53,7 @@ pub use jitter::{Jittered, RoundJittered};
 pub use optimal::{OptimalParams, OptimalProtocol};
 pub use pi::{BleAdvertiser, PiProtocol};
 pub use redundant::{redundant_symmetric, RedundantProtocol};
-pub use registry::ProtocolKind;
+pub use registry::{schedule_for_selector, ProtocolKind};
 pub use searchlight::Searchlight;
 pub use slotted::{BeaconPlacement, SlottedSchedule};
 pub use uconnect::UConnect;

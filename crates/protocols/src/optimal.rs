@@ -16,7 +16,7 @@
 //! (Theorem 5.7) and channel-utilization-constrained (Theorem 5.6)
 //! optima. These constructions are also exactly the "optimal
 //! parametrizations" of periodic-interval (BLE-like) protocols discussed in
-//! [14]/[13]: `T_a = λ`, `T_s = T_C`, `d_s = d₁` with `T_a = a·T_s + d_s`.
+//! \[14\]/\[13\]: `T_a = λ`, `T_s = T_C`, `d_s = d₁` with `T_a = a·T_s + d_s`.
 
 use nd_core::bounds;
 use nd_core::error::NdError;

@@ -1,11 +1,11 @@
 //! Periodic-interval (PI) protocols — the BLE-like slotless family
-//! (references [18, 14, 12, 13] of the paper).
+//! (references \[18, 14, 12, 13\] of the paper).
 //!
 //! A PI device beacons every `T_a` (advertising interval) and opens a
 //! reception window of `d_s` every `T_s` (scan interval / scan window).
 //! The three parameters are free, which is exactly why the paper's
 //! question — *which parametrizations are optimal?* — was open: the
-//! recursive worst-case analysis of [18] computes the latency of any one
+//! recursive worst-case analysis of \[18\] computes the latency of any one
 //! triple but cannot search the infinite space.
 //!
 //! This module provides arbitrary `(T_a, T_s, d_s)` triples plus
@@ -127,7 +127,7 @@ impl PiProtocol {
 
 /// A BLE peripheral: beacons every `T_a + advDelay` with
 /// `advDelay ~ U[0, 10 ms]` drawn fresh per advertising event (Bluetooth
-/// spec 5.0, vol. 6 B.4.4.2.2 — reference [23] of the paper).
+/// spec 5.0, vol. 6 B.4.4.2.2 — reference \[23\] of the paper).
 ///
 /// The jitter is the "decorrelation mechanism" the paper's conclusion
 /// highlights: it makes successive collisions between two advertisers

@@ -16,15 +16,15 @@ use nd_core::time::Tick;
 pub enum ProtocolKind {
     /// The paper-optimal slotless tiling (Theorem 5.5).
     OptimalSlotless,
-    /// Disco [3] with balanced primes.
+    /// Disco \[3\] with balanced primes.
     Disco,
-    /// U-Connect [4].
+    /// U-Connect \[4\].
     UConnect,
-    /// Searchlight [5] (sequential probe).
+    /// Searchlight \[5\] (sequential probe).
     Searchlight,
-    /// Diff-codes [17, 16].
+    /// Diff-codes \[17, 16\].
     DiffCodes,
-    /// Code-based [6, 7] (two packets per slot).
+    /// Code-based \[6, 7\] (two packets per slot).
     CodeBased,
 }
 
@@ -91,6 +91,49 @@ impl ProtocolKind {
     }
 }
 
+/// Build a per-device schedule from a *selector* string — the form
+/// declarative scenario specs (`nd-sweep`) and the cohort simulator use to
+/// name protocols:
+///
+/// * a registry name ([`ProtocolKind::from_name`], e.g. `"disco"`,
+///   `"optimal-slotless"`), built for the given η and slot length, or
+/// * the parametrized form `diff-code:<v>:<m1>,<m2>,…` building an
+///   explicit difference-set schedule (η is then implied by the set and
+///   the slot length).
+pub fn schedule_for_selector(
+    selector: &str,
+    eta: f64,
+    slot: Tick,
+    omega: Tick,
+) -> Result<Schedule, NdError> {
+    if let Some(rest) = selector.strip_prefix("diff-code:") {
+        let (v_str, marks_str) = rest.split_once(':').ok_or_else(|| {
+            NdError::InvalidSchedule(format!("`{selector}`: expected diff-code:<v>:<m1>,<m2>,…"))
+        })?;
+        let v: u64 = v_str.parse().map_err(|_| {
+            NdError::InvalidSchedule(format!("`{selector}`: bad modulus `{v_str}`"))
+        })?;
+        let marks: Vec<u64> = marks_str
+            .split(',')
+            .map(|m| {
+                m.trim()
+                    .parse()
+                    .map_err(|_| NdError::InvalidSchedule(format!("`{selector}`: bad mark `{m}`")))
+            })
+            .collect::<Result<_, _>>()?;
+        let d = DiffCode::new(v, marks, slot, omega)?;
+        return d.schedule();
+    }
+    let kind = ProtocolKind::from_name(selector).ok_or_else(|| {
+        let known: Vec<&str> = ProtocolKind::all().iter().map(|k| k.name()).collect();
+        NdError::InvalidSchedule(format!(
+            "unknown protocol `{selector}` (registry: {}; or diff-code:<v>:<marks>)",
+            known.join(", ")
+        ))
+    })?;
+    kind.schedule_for_eta(eta, slot, omega)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,6 +157,21 @@ mod tests {
             assert_eq!(ProtocolKind::from_name(kind.name()), Some(*kind));
         }
         assert_eq!(ProtocolKind::from_name("no-such-protocol"), None);
+    }
+
+    #[test]
+    fn selector_builds_registry_names_and_diff_codes() {
+        let slot = Tick::from_millis(1);
+        let omega = Tick::from_micros(36);
+        let by_name = schedule_for_selector("disco", 0.1, slot, omega).unwrap();
+        assert!(by_name.beacons.is_some());
+        let diff = schedule_for_selector("diff-code:7:1,2,4", 0.1, slot, omega).unwrap();
+        assert!(diff.windows.is_some());
+        let err = schedule_for_selector("warp-drive", 0.1, slot, omega).unwrap_err();
+        assert!(err.to_string().contains("warp-drive"));
+        assert!(err.to_string().contains("disco"), "lists the registry");
+        assert!(schedule_for_selector("diff-code:7", 0.1, slot, omega).is_err());
+        assert!(schedule_for_selector("diff-code:7:x", 0.1, slot, omega).is_err());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Searchlight (Bakht, Trower & Kravets, MobiCom 2012 — reference [5] of
+//! Searchlight (Bakht, Trower & Kravets, MobiCom 2012 — reference \[5\] of
 //! the paper).
 //!
 //! Time is divided into periods of `t` slots. Each period contains an

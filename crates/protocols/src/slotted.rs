@@ -13,7 +13,7 @@
 //! * [`BeaconPlacement::StartOnly`] — a single beacon at the slot start
 //!   (the one-packet-per-slot accounting of Eq. 17);
 //! * [`BeaconPlacement::PreAndEnd`] — one beacon *just before* the slot
-//!   plus one at the end (the code-based protocols of [6,7], which send one
+//!   plus one at the end (the code-based protocols of \[6,7\], which send one
 //!   packet slightly outside the slot boundary).
 
 use nd_core::error::NdError;
@@ -30,7 +30,7 @@ pub enum BeaconPlacement {
     /// Single beacon at slot start; listen for the rest of the slot.
     StartOnly,
     /// Beacons just before the slot start and at the slot end; listen for
-    /// the whole slot body ([6,7]).
+    /// the whole slot body (\[6,7\]).
     PreAndEnd,
 }
 

@@ -1,4 +1,4 @@
-//! U-Connect (Kandhalu, Lakshmanan & Rajkumar, IPSN 2010 — reference [4]
+//! U-Connect (Kandhalu, Lakshmanan & Rajkumar, IPSN 2010 — reference \[4\]
 //! of the paper).
 //!
 //! A node with prime `p` transmits a beacon at the start of every `p`-th

@@ -3,7 +3,7 @@
 //! The simulator pulls [`Op`]s (transmissions and reception windows) from
 //! each device's [`Behavior`]. Static protocols (everything in Section 5 of
 //! the paper) are driven by a periodic [`nd_core::Schedule`] via
-//! [`ScheduleBehavior`]; reactive protocols (mutual assistance [13],
+//! [`ScheduleBehavior`]; reactive protocols (mutual assistance \[13\],
 //! BLE-style random advertising delays) implement [`Behavior`] directly and
 //! may react to received packets.
 
@@ -197,6 +197,26 @@ impl Behavior for ScheduleBehavior {
 
     fn label(&self) -> String {
         self.label.clone()
+    }
+}
+
+impl<B: Behavior + ?Sized> Behavior for Box<B> {
+    fn next_ops(&mut self, after: Tick, rng: &mut dyn RngCore) -> Vec<Op> {
+        (**self).next_ops(after, rng)
+    }
+
+    fn on_reception(
+        &mut self,
+        at: Tick,
+        from: usize,
+        payload: Payload,
+        rng: &mut dyn RngCore,
+    ) -> Vec<Op> {
+        (**self).on_reception(at, from, payload, rng)
+    }
+
+    fn label(&self) -> String {
+        (**self).label()
     }
 }
 

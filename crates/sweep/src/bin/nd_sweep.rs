@@ -33,6 +33,10 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 nd-sweep — parallel scenario sweeps over neighbor-discovery protocols
 
+Backends: exact | montecarlo | bounds | netsim (N-node cohorts with
+collisions, churn and per-node drift; grid axes `nodes`, `churn`,
+`collision`). `run` exits non-zero if any job errored.
+
 USAGE:
     nd-sweep run <spec.toml|spec.json> [OPTIONS]
     nd-sweep expand <spec>      list the jobs the spec expands to
@@ -144,8 +148,14 @@ fn cmd_run(args: &[String]) -> ExitCode {
             &outcome.spec_hash[..12],
         );
     }
-    if failures == outcome.rows.len() && !outcome.rows.is_empty() {
-        return fail("every job failed — check the spec (see the error column)");
+    if failures > 0 {
+        // any failed job — executed now or replayed from the cache — makes
+        // the run non-zero, so CI pipelines can't silently ship a sweep
+        // with error rows in it
+        return fail(format!(
+            "{failures} of {} job(s) failed (see the error column)",
+            outcome.rows.len()
+        ));
     }
     ExitCode::SUCCESS
 }

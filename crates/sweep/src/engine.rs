@@ -19,8 +19,8 @@ use nd_core::bounds::asymmetric::{asymmetry_penalty, product_vs_joint_budget};
 use nd_core::error::NdError;
 use nd_core::schedule::Schedule;
 use nd_core::time::Tick;
-use nd_protocols::{DiffCode, ProtocolKind};
-use nd_sim::{Drifting, ScheduleBehavior, Simulator, Topology};
+use nd_netsim::{ChurnPlan, NetSimulator, NodeSpec, PairMetric};
+use nd_sim::{Behavior, Drifting, ScheduleBehavior, Simulator, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
@@ -197,6 +197,7 @@ pub fn execute_job(job: &Job, spec: &ScenarioSpec) -> Result<BTreeMap<String, f6
         Backend::Bounds => exec_bounds(job, spec),
         Backend::Exact => exec_exact(job, spec),
         Backend::MonteCarlo => exec_montecarlo(job, spec),
+        Backend::Netsim => exec_netsim(job, spec),
     }
 }
 
@@ -209,36 +210,11 @@ pub fn execute_job(job: &Job, spec: &ScenarioSpec) -> Result<BTreeMap<String, f6
 /// Selectors are registry names (`ProtocolKind::from_name`) built for the
 /// job's η/slot, or the parametrized form `diff-code:<v>:<m1>,<m2>,…`
 /// building an explicit difference-set schedule (η is then implied by the
-/// set and the slot length).
+/// set and the slot length). Parsing lives in
+/// [`nd_protocols::schedule_for_selector`] so the cohort simulator and any
+/// future frontends share one grammar.
 pub fn build_schedule(job: &Job, spec: &ScenarioSpec) -> Result<Schedule, String> {
-    let omega = spec.radio.omega;
-    if let Some(rest) = job.protocol.strip_prefix("diff-code:") {
-        let (v_str, marks_str) = rest
-            .split_once(':')
-            .ok_or_else(|| format!("`{}`: expected diff-code:<v>:<m1>,<m2>,…", job.protocol))?;
-        let v: u64 = v_str
-            .parse()
-            .map_err(|_| format!("`{}`: bad modulus `{v_str}`", job.protocol))?;
-        let marks: Vec<u64> = marks_str
-            .split(',')
-            .map(|m| {
-                m.trim()
-                    .parse()
-                    .map_err(|_| format!("`{}`: bad mark `{m}`", job.protocol))
-            })
-            .collect::<Result<_, _>>()?;
-        let d = DiffCode::new(v, marks, job.slot, omega).map_err(|e| e.to_string())?;
-        return d.schedule().map_err(|e| e.to_string());
-    }
-    let kind = ProtocolKind::from_name(&job.protocol).ok_or_else(|| {
-        let known: Vec<&str> = ProtocolKind::all().iter().map(|k| k.name()).collect();
-        format!(
-            "unknown protocol `{}` (registry: {}; or diff-code:<v>:<marks>)",
-            job.protocol,
-            known.join(", ")
-        )
-    })?;
-    kind.schedule_for_eta(job.eta, job.slot, omega)
+    nd_protocols::schedule_for_selector(&job.protocol, job.eta, job.slot, spec.radio.omega)
         .map_err(|e: NdError| e.to_string())
 }
 
@@ -318,14 +294,16 @@ fn exec_exact(job: &Job, spec: &ScenarioSpec) -> Result<BTreeMap<String, f64>, S
     Ok(m)
 }
 
-fn exec_montecarlo(job: &Job, spec: &ScenarioSpec) -> Result<BTreeMap<String, f64>, String> {
-    let sched = build_schedule(job, spec)?;
-    let job_seed = job.seed(spec);
-
-    // resolve horizon/deadline, which may need the exact predicted worst
+/// Resolve the trial horizon and optional deadline for a simulation
+/// backend; the `predicted` guarantee is computed only when either needs
+/// it. Returns `(predicted, horizon, deadline)`.
+fn resolve_horizon(
+    sched: &Schedule,
+    spec: &ScenarioSpec,
+) -> Result<(Option<Tick>, Tick, Option<Tick>), String> {
     let predicted = match (spec.sim.horizon, spec.sim.deadline) {
         (Horizon::PredictedTimes(_), _) | (_, Some(Deadline::Predicted)) => {
-            Some(predicted_worst(&sched, spec)?)
+            Some(predicted_worst(sched, spec)?)
         }
         _ => None,
     };
@@ -343,6 +321,13 @@ fn exec_montecarlo(job: &Job, spec: &ScenarioSpec) -> Result<BTreeMap<String, f6
         Some(Deadline::Predicted) => predicted,
         Some(Deadline::Fixed(t)) => Some(t),
     };
+    Ok((predicted, horizon, deadline))
+}
+
+fn exec_montecarlo(job: &Job, spec: &ScenarioSpec) -> Result<BTreeMap<String, f64>, String> {
+    let sched = build_schedule(job, spec)?;
+    let job_seed = job.seed(spec);
+    let (predicted, horizon, deadline) = resolve_horizon(&sched, spec)?;
 
     let base_cfg = job.base_sim_config(spec);
     let radio = base_cfg.radio;
@@ -407,6 +392,130 @@ fn exec_montecarlo(job: &Job, spec: &ScenarioSpec) -> Result<BTreeMap<String, f6
         m.insert(
             "over_deadline_frac".to_string(),
             over as f64 / latencies.len().max(1) as f64,
+        );
+        m.insert("deadline_s".to_string(), d.as_secs_f64());
+    }
+    if let Some(p) = predicted {
+        m.insert("predicted_s".to_string(), p.as_secs_f64());
+    }
+    Ok(m)
+}
+
+/// The netsim backend: N nodes running the job's protocol concurrently on
+/// one collision channel, with staggered join/leave churn and per-node
+/// drift. All randomness (phases, drift draws, churn plans, fault rolls)
+/// derives from the job's content-hash seed, so results are reproducible
+/// across hosts and thread counts.
+fn exec_netsim(job: &Job, spec: &ScenarioSpec) -> Result<BTreeMap<String, f64>, String> {
+    let sched = build_schedule(job, spec)?;
+    let n = job.nodes as usize;
+    if n < 2 {
+        return Err(format!("nodes {n} below 2 (discovery needs a pair)"));
+    }
+    let job_seed = job.seed(spec);
+    let (predicted, horizon, deadline) = resolve_horizon(&sched, spec)?;
+    let base_cfg = job.base_sim_config(spec);
+    let radio = base_cfg.radio;
+    let period = schedule_period(&sched);
+    let metric = match spec.metric {
+        Metric::OneWay => PairMetric::OneWay,
+        Metric::TwoWay => PairMetric::TwoWay,
+        Metric::EitherWay => PairMetric::EitherWay,
+    };
+
+    let mut rng = StdRng::seed_from_u64(job_seed ^ 0xd6e8_feb8_6659_fd93);
+    let mut pair_latencies: Vec<Option<Tick>> = Vec::new();
+    let mut first_contacts: Vec<Option<Tick>> = Vec::new();
+    let mut complete_trials = 0usize;
+    let mut cohort_acc = 0.0;
+    let mut discovered_acc = 0.0;
+    let mut eta_acc = 0.0;
+    let mut collision_acc = 0.0;
+
+    for trial in 0..spec.sim.trials {
+        let mut cfg = base_cfg.clone();
+        cfg.t_end = horizon;
+        cfg.seed = job_seed
+            .wrapping_add(trial as u64)
+            .wrapping_mul(0x5851_f42d_4c95_7f2d);
+        let plan = if job.churn > 0.0 {
+            ChurnPlan::staggered(n, job.churn, horizon, &mut rng)
+        } else {
+            ChurnPlan::stable(n)
+        };
+        let mut sim = NetSimulator::new(cfg, Topology::full(n));
+        for i in 0..n {
+            let phase = random_phase(period, &mut rng);
+            let behavior =
+                ScheduleBehavior::with_phase(sched.clone(), phase).labeled(job.protocol.clone());
+            let behavior: Box<dyn Behavior> = if job.drift_ppm == 0 {
+                Box::new(behavior)
+            } else {
+                // every node drifts independently within ±drift_ppm
+                let span = job.drift_ppm.unsigned_abs() as i64 * 1000;
+                let ppb = rng.gen_range(-span..=span);
+                Box::new(Drifting::new(Box::new(behavior) as Box<dyn Behavior>, ppb))
+            };
+            sim.add_node(NodeSpec::windowed(behavior, plan.joins[i], plan.leaves[i]));
+        }
+        sim.stop_when_all_discovered(true);
+        let report = sim.run();
+        let lats = report.pair_latencies(metric);
+        if lats.is_empty() {
+            discovered_acc += 1.0; // nothing was possible, nothing was missed
+        } else {
+            let done = lats.iter().filter(|l| l.is_some()).count();
+            discovered_acc += done as f64 / lats.len() as f64;
+            if done == lats.len() {
+                complete_trials += 1;
+                cohort_acc += lats
+                    .iter()
+                    .flatten()
+                    .max()
+                    .expect("non-empty")
+                    .as_secs_f64();
+            }
+        }
+        pair_latencies.extend(lats);
+        first_contacts.extend(report.first_contacts());
+        eta_acc += report.mean_eta(&radio);
+        collision_acc += report.packets.collision_rate();
+    }
+
+    let pair = LatencySummary::from_latencies(&pair_latencies);
+    let first = LatencySummary::from_latencies(&first_contacts);
+    let trials = spec.sim.trials.max(1) as f64;
+    let mut m = BTreeMap::new();
+    m.insert("trials".to_string(), spec.sim.trials as f64);
+    m.insert("pair_mean_s".to_string(), pair.mean);
+    m.insert("pair_p50_s".to_string(), pair.p50);
+    m.insert("pair_p95_s".to_string(), pair.p95);
+    m.insert("pair_max_s".to_string(), pair.max);
+    m.insert("pair_discovered_frac".to_string(), discovered_acc / trials);
+    m.insert("first_mean_s".to_string(), first.mean);
+    m.insert("first_p50_s".to_string(), first.p50);
+    m.insert(
+        "cohort_complete_frac".to_string(),
+        complete_trials as f64 / trials,
+    );
+    m.insert(
+        "cohort_worst_s".to_string(),
+        if complete_trials > 0 {
+            cohort_acc / complete_trials as f64
+        } else {
+            f64::NAN
+        },
+    );
+    m.insert("measured_eta".to_string(), eta_acc / trials);
+    m.insert("collision_rate".to_string(), collision_acc / trials);
+    if let Some(d) = deadline {
+        let over = pair_latencies
+            .iter()
+            .filter(|l| l.is_none_or(|t| t > d))
+            .count();
+        m.insert(
+            "over_deadline_frac".to_string(),
+            over as f64 / pair_latencies.len().max(1) as f64,
         );
         m.insert("deadline_s".to_string(), d.as_secs_f64());
     }
@@ -512,6 +621,50 @@ mod tests {
         assert!(
             a.rows[0].metric("max_s").unwrap() <= a.rows[0].metric("predicted_s").unwrap() * 1.001
         );
+    }
+
+    #[test]
+    fn netsim_backend_is_deterministic_and_scales_down_to_a_pair() {
+        let s = spec(
+            "backend = \"netsim\"\n\
+             [grid]\nprotocol = [\"optimal-slotless\"]\neta = [0.10]\nnodes = [2, 4]\n\
+             [sim]\ntrials = 4\nseed = 11\nhorizon_predicted_x = 3.0\n",
+        );
+        let a = run_sweep(&s, &SweepOptions::uncached()).unwrap();
+        let b = run_sweep(&s, &SweepOptions::uncached()).unwrap();
+        assert_eq!(a.rows.len(), 2);
+        for (ra, rb) in a.rows.iter().zip(&b.rows) {
+            assert!(ra.error.is_none(), "{:?}", ra.error);
+            assert_eq!(ra.metrics, rb.metrics, "same spec → same results");
+        }
+        // a collision-free pair of optimal schedules always completes
+        let pair = &a.rows[0];
+        assert_eq!(pair.param("nodes").unwrap().as_i64(), Some(2));
+        assert_eq!(pair.metric("pair_discovered_frac"), Some(1.0));
+        assert_eq!(pair.metric("cohort_complete_frac"), Some(1.0));
+        // pair latencies are bounded by the protocol's nominal guarantee
+        assert!(pair.metric("pair_max_s").unwrap() <= pair.metric("predicted_s").unwrap() * 1.001);
+        // larger cohorts contend: the collision channel starts to bite
+        let quad = &a.rows[1];
+        assert!(quad.metric("collision_rate").unwrap() >= pair.metric("collision_rate").unwrap());
+    }
+
+    #[test]
+    fn netsim_churn_limits_discovery_to_copresence() {
+        let s = spec(
+            "backend = \"netsim\"\n\
+             [grid]\nprotocol = [\"optimal-slotless\"]\neta = [0.10]\nnodes = [4]\nchurn = [0.5]\n\
+             [sim]\ntrials = 4\nseed = 3\nhorizon_predicted_x = 4.0\n",
+        );
+        let out = run_sweep(&s, &SweepOptions::uncached()).unwrap();
+        let row = &out.rows[0];
+        assert!(row.error.is_none(), "{:?}", row.error);
+        // churners co-reside during the middle third; pairs remain
+        // discoverable (mostly) but a late joiner can't have heard anyone
+        // before its join — the metric stays finite and sane
+        let frac = row.metric("pair_discovered_frac").unwrap();
+        assert!((0.0..=1.0).contains(&frac));
+        assert!(row.metric("pair_mean_s").unwrap() >= 0.0);
     }
 
     #[test]

@@ -34,6 +34,13 @@ pub struct Job {
     pub phase: Option<Tick>,
     /// Duty-cycle asymmetry ratio (bounds backend).
     pub ratio: f64,
+    /// Cohort size (netsim backend).
+    pub nodes: u32,
+    /// Churn fraction (netsim backend).
+    pub churn: f64,
+    /// Collision channel on/off (netsim backend; montecarlo uses
+    /// `sim.collisions`).
+    pub collision: bool,
 }
 
 impl Job {
@@ -61,7 +68,13 @@ impl Job {
             },
             seed: spec.sim.seed,
             half_duplex: spec.sim.half_duplex,
-            collisions: spec.sim.collisions,
+            // the netsim backend sweeps the collision channel as a grid
+            // axis; the pairwise backends use the spec-wide switch
+            collisions: if spec.backend == crate::spec::Backend::Netsim {
+                self.collision
+            } else {
+                spec.sim.collisions
+            },
             drop_probability: self.drop_probability,
             trace: false,
         }
@@ -108,6 +121,9 @@ impl Job {
         self.turnaround.encode(&mut out);
         self.phase.encode(&mut out);
         self.ratio.encode(&mut out);
+        (self.nodes as u64).encode(&mut out);
+        self.churn.encode(&mut out);
+        self.collision.encode(&mut out);
         out
     }
 
@@ -130,6 +146,9 @@ impl Job {
             ("protocol", Value::Str(self.protocol.clone())),
             ("eta", Value::Float(self.eta)),
             ("slot_us", Value::Float(self.slot.as_micros_f64())),
+            ("nodes", Value::Int(self.nodes as i64)),
+            ("churn", Value::Float(self.churn)),
+            ("collision", Value::Bool(self.collision)),
             ("drift_ppm", Value::Int(self.drift_ppm)),
             ("drop_probability", Value::Float(self.drop_probability)),
             (
@@ -161,23 +180,32 @@ pub fn expand(spec: &ScenarioSpec) -> Vec<Job> {
     for protocol in &g.protocol {
         for &eta in &g.eta {
             for &slot in &g.slot {
-                for &drift_ppm in &g.drift_ppm {
-                    for &drop_probability in &g.drop_probability {
-                        for &turnaround in &g.turnaround {
-                            for &phase in &phases {
-                                for &ratio in &g.ratio {
-                                    jobs.push(Job {
-                                        index,
-                                        protocol: protocol.clone(),
-                                        eta,
-                                        slot,
-                                        drift_ppm,
-                                        drop_probability,
-                                        turnaround,
-                                        phase,
-                                        ratio,
-                                    });
-                                    index += 1;
+                for &nodes in &g.nodes {
+                    for &churn in &g.churn {
+                        for &collision in &g.collision {
+                            for &drift_ppm in &g.drift_ppm {
+                                for &drop_probability in &g.drop_probability {
+                                    for &turnaround in &g.turnaround {
+                                        for &phase in &phases {
+                                            for &ratio in &g.ratio {
+                                                jobs.push(Job {
+                                                    index,
+                                                    protocol: protocol.clone(),
+                                                    eta,
+                                                    slot,
+                                                    drift_ppm,
+                                                    drop_probability,
+                                                    turnaround,
+                                                    phase,
+                                                    ratio,
+                                                    nodes,
+                                                    churn,
+                                                    collision,
+                                                });
+                                                index += 1;
+                                            }
+                                        }
+                                    }
                                 }
                             }
                         }

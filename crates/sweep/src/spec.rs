@@ -38,7 +38,7 @@ use std::fmt;
 /// Version salt for every content hash: bump the final component whenever
 /// the engine's result semantics change, so stale cache entries can never
 /// be served for new semantics.
-pub const ENGINE_VERSION: &str = concat!("nd-sweep/", env!("CARGO_PKG_VERSION"), "/abi1");
+pub const ENGINE_VERSION: &str = concat!("nd-sweep/", env!("CARGO_PKG_VERSION"), "/abi2");
 
 /// Spec loading/validation error.
 #[derive(Debug)]
@@ -69,6 +69,10 @@ pub enum Backend {
     /// Closed-form fundamental bounds (`nd-core::bounds`): no schedules
     /// are built at all.
     Bounds,
+    /// N-node cohort simulation (`nd-netsim`): contending nodes, packet
+    /// collisions, join/leave churn, per-node drift, cohort discovery
+    /// metrics.
+    Netsim,
 }
 
 impl Backend {
@@ -77,8 +81,9 @@ impl Backend {
             "exact" => Ok(Backend::Exact),
             "montecarlo" => Ok(Backend::MonteCarlo),
             "bounds" => Ok(Backend::Bounds),
+            "netsim" => Ok(Backend::Netsim),
             other => invalid(format!(
-                "unknown backend `{other}` (expected exact|montecarlo|bounds)"
+                "unknown backend `{other}` (expected exact|montecarlo|bounds|netsim)"
             )),
         }
     }
@@ -89,7 +94,14 @@ impl Backend {
             Backend::Exact => "exact",
             Backend::MonteCarlo => "montecarlo",
             Backend::Bounds => "bounds",
+            Backend::Netsim => "netsim",
         }
+    }
+
+    /// Whether this backend runs a stochastic simulator (and so honors the
+    /// drift/fault axes and the `[sim]` table).
+    pub fn is_simulation(&self) -> bool {
+        matches!(self, Backend::MonteCarlo | Backend::Netsim)
     }
 }
 
@@ -173,6 +185,14 @@ pub struct Grid {
     pub phase: Option<Vec<Tick>>,
     /// Duty-cycle asymmetry ratio η_E/η_F (bounds backend only).
     pub ratio: Vec<f64>,
+    /// Cohort sizes (netsim only).
+    pub nodes: Vec<u32>,
+    /// Churn fractions: the share of the cohort that joins late and leaves
+    /// early, staggered over the horizon (netsim only).
+    pub churn: Vec<f64>,
+    /// Collision-channel toggle per grid point (netsim only; the pairwise
+    /// montecarlo backend uses the single `sim.collisions` switch).
+    pub collision: Vec<bool>,
 }
 
 impl Default for Grid {
@@ -186,6 +206,9 @@ impl Default for Grid {
             turnaround: vec![Tick::ZERO],
             phase: None,
             ratio: vec![1.0],
+            nodes: vec![2],
+            churn: vec![0.0],
+            collision: vec![true],
         }
     }
 }
@@ -373,22 +396,47 @@ impl ScenarioSpec {
     /// rejected elsewhere instead of being silently ignored.
     pub fn validate(&self) -> Result<(), SpecError> {
         let g = &self.grid;
-        if self.backend != Backend::MonteCarlo {
+        if !self.backend.is_simulation() {
             if g.drift_ppm != vec![0] {
-                return invalid("drift_ppm axis requires backend = \"montecarlo\"");
+                return invalid("drift_ppm axis requires backend = \"montecarlo\" or \"netsim\"");
             }
             if g.drop_probability != vec![0.0] {
-                return invalid("drop_probability axis requires backend = \"montecarlo\"");
+                return invalid(
+                    "drop_probability axis requires backend = \"montecarlo\" or \"netsim\"",
+                );
             }
             if g.turnaround != vec![Tick::ZERO] {
-                return invalid("turnaround_us axis requires backend = \"montecarlo\"");
+                return invalid(
+                    "turnaround_us axis requires backend = \"montecarlo\" or \"netsim\"",
+                );
             }
-            if g.phase.is_some() {
-                return invalid("phase_us axis requires backend = \"montecarlo\"");
+        }
+        if self.backend != Backend::MonteCarlo && g.phase.is_some() {
+            return invalid("phase_us axis requires backend = \"montecarlo\"");
+        }
+        if self.backend != Backend::Netsim {
+            if g.nodes != vec![2] {
+                return invalid("nodes axis requires backend = \"netsim\"");
+            }
+            if g.churn != vec![0.0] {
+                return invalid("churn axis requires backend = \"netsim\"");
+            }
+            if g.collision != vec![true] {
+                return invalid("collision axis requires backend = \"netsim\"");
             }
         }
         if self.backend != Backend::Bounds && g.ratio != vec![1.0] {
             return invalid("ratio axis requires backend = \"bounds\"");
+        }
+        for &n in &g.nodes {
+            if n < 2 {
+                return invalid(format!("nodes {n} below 2 (discovery needs a pair)"));
+            }
+        }
+        for &c in &g.churn {
+            if !(0.0..=1.0).contains(&c) {
+                return invalid(format!("churn {c} out of [0, 1]"));
+            }
         }
         if self.backend == Backend::Exact && self.metric == Metric::EitherWay {
             return invalid("metric \"either-way\" is not supported by the exact backend");
@@ -446,6 +494,10 @@ impl StableEncode for ScenarioSpec {
         self.grid.turnaround.encode(out);
         self.grid.phase.as_ref().map(|p| p.to_vec()).encode(out);
         self.grid.ratio.encode(out);
+        let nodes: Vec<u64> = self.grid.nodes.iter().map(|&n| n as u64).collect();
+        nodes.encode(out);
+        self.grid.churn.encode(out);
+        self.grid.collision.encode(out);
         self.sim.trials.encode(out);
         self.sim.seed.encode(out);
         self.sim.half_duplex.encode(out);
@@ -550,6 +602,9 @@ fn parse_grid(v: &Value) -> Result<Grid, SpecError> {
             "turnaround_us",
             "phase_us",
             "ratio",
+            "nodes",
+            "churn",
+            "collision",
         ],
         "[grid]",
     )?;
@@ -592,6 +647,33 @@ fn parse_grid(v: &Value) -> Result<Grid, SpecError> {
     }
     if let Some(v) = t.get("ratio") {
         grid.ratio = f64_list(v, "grid.ratio")?;
+    }
+    if let Some(v) = t.get("nodes") {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| SpecError("`grid.nodes` must be an array".into()))?;
+        grid.nodes = arr
+            .iter()
+            .map(|x| match x.as_i64() {
+                Some(n) if (0..=u32::MAX as i64).contains(&n) => Ok(n as u32),
+                _ => invalid("`grid.nodes` entries must be non-negative integers"),
+            })
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(v) = t.get("churn") {
+        grid.churn = f64_list(v, "grid.churn")?;
+    }
+    if let Some(v) = t.get("collision") {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| SpecError("`grid.collision` must be an array".into()))?;
+        grid.collision = arr
+            .iter()
+            .map(|x| {
+                x.as_bool()
+                    .ok_or_else(|| SpecError("`grid.collision` entries must be booleans".into()))
+            })
+            .collect::<Result<_, _>>()?;
     }
     Ok(grid)
 }
@@ -742,6 +824,51 @@ deadline = "predicted"
         let mut axis = a.clone();
         axis.grid.eta.push(0.10);
         assert_ne!(a.content_hash(), axis.content_hash());
+    }
+
+    #[test]
+    fn netsim_axes_parse_and_are_fenced_to_the_backend() {
+        let s = ScenarioSpec::from_toml_str(
+            "backend = \"netsim\"\n[grid]\nnodes = [2, 8]\nchurn = [0.0, 0.3]\ncollision = [true, false]\ndrift_ppm = [0, 50]\n",
+        )
+        .unwrap();
+        assert_eq!(s.backend, Backend::Netsim);
+        assert_eq!(s.grid.nodes, vec![2, 8]);
+        assert_eq!(s.grid.churn, vec![0.0, 0.3]);
+        assert_eq!(s.grid.collision, vec![true, false]);
+
+        // cohort axes on a pairwise backend are errors, not ignored
+        for bad in [
+            "backend = \"exact\"\n[grid]\nnodes = [4]\n",
+            "backend = \"montecarlo\"\n[grid]\nchurn = [0.5]\n",
+            "backend = \"montecarlo\"\n[grid]\ncollision = [false]\n",
+            // and netsim rejects what it cannot honor
+            "backend = \"netsim\"\n[grid]\nphase_us = [10]\n",
+            "backend = \"netsim\"\n[grid]\nnodes = [1]\n",
+            "backend = \"netsim\"\n[grid]\nchurn = [1.5]\n",
+        ] {
+            assert!(ScenarioSpec::from_toml_str(bad).is_err(), "{bad}");
+        }
+        // drift and faults are shared by both simulation backends
+        assert!(ScenarioSpec::from_toml_str(
+            "backend = \"netsim\"\n[grid]\ndrop_probability = [0.1]\n"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn netsim_axes_feed_the_content_hash() {
+        let base =
+            ScenarioSpec::from_toml_str("backend = \"netsim\"\n[grid]\nnodes = [4]\n").unwrap();
+        let mut nodes = base.clone();
+        nodes.grid.nodes = vec![8];
+        assert_ne!(base.content_hash(), nodes.content_hash());
+        let mut churn = base.clone();
+        churn.grid.churn = vec![0.5];
+        assert_ne!(base.content_hash(), churn.content_hash());
+        let mut coll = base.clone();
+        coll.grid.collision = vec![false];
+        assert_ne!(base.content_hash(), coll.content_hash());
     }
 
     #[test]

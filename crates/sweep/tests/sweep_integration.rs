@@ -126,6 +126,129 @@ fn failed_jobs_are_rows_and_cached() {
     let _ = std::fs::remove_dir_all(&cache_dir);
 }
 
+/// The netsim backend at N = 2, zero churn, collisions off must agree
+/// with the pairwise montecarlo backend: both sample the same process
+/// (two optimal schedules at independent uniform phases), so their mean
+/// one-way latencies differ only by Monte-Carlo noise.
+#[test]
+fn netsim_n2_matches_pairwise_montecarlo_within_tolerance() {
+    let shared = "metric = \"one-way\"\n\
+         [grid]\nprotocol = [\"optimal-slotless\"]\neta = [0.10]\n";
+    let sim = "[sim]\ntrials = 60\nseed = 21\nhorizon_predicted_x = 4.0\nhalf_duplex = false\n";
+    let mc = ScenarioSpec::from_toml_str(&format!(
+        "backend = \"montecarlo\"\n{shared}{sim}collisions = false\n"
+    ))
+    .unwrap();
+    let net = ScenarioSpec::from_toml_str(&format!(
+        "backend = \"netsim\"\n{shared}nodes = [2]\ncollision = [false]\n{sim}"
+    ))
+    .unwrap();
+
+    let mc_out = run_sweep(&mc, &SweepOptions::uncached()).unwrap();
+    let net_out = run_sweep(&net, &SweepOptions::uncached()).unwrap();
+    let mc_row = &mc_out.rows[0];
+    let net_row = &net_out.rows[0];
+    assert!(mc_row.error.is_none(), "{:?}", mc_row.error);
+    assert!(net_row.error.is_none(), "{:?}", net_row.error);
+
+    // no failures on either engine within 4× the guarantee
+    assert_eq!(mc_row.metric("failure_rate"), Some(0.0));
+    assert_eq!(net_row.metric("pair_discovered_frac"), Some(1.0));
+
+    // the worst case is bounded by the same guarantee on both engines
+    let predicted = mc_row.metric("predicted_s").unwrap();
+    assert!(mc_row.metric("max_s").unwrap() <= predicted * 1.001);
+    assert!(net_row.metric("pair_max_s").unwrap() <= predicted * 1.001);
+
+    // and the mean latencies agree within Monte-Carlo tolerance: both
+    // means sit near predicted/2 with σ ≈ predicted/√(12·n); 60 + 120
+    // samples put 5σ of the difference well under 0.2 × predicted
+    let mc_mean = mc_row.metric("mean_s").unwrap();
+    let net_mean = net_row.metric("pair_mean_s").unwrap();
+    assert!(
+        (mc_mean - net_mean).abs() < 0.2 * predicted,
+        "montecarlo mean {mc_mean} vs netsim pair mean {net_mean} (predicted {predicted})"
+    );
+}
+
+/// Event ordering inside netsim — and therefore every metric — is
+/// deterministic regardless of how many worker threads execute the sweep.
+#[test]
+fn netsim_results_identical_across_thread_counts() {
+    let spec = ScenarioSpec::from_toml_str(
+        "backend = \"netsim\"\nmetric = \"two-way\"\n\
+         [grid]\nprotocol = [\"optimal-slotless\", \"disco\"]\neta = [0.05, 0.10]\nnodes = [4]\nchurn = [0.0, 0.4]\n\
+         [sim]\ntrials = 3\nseed = 5\nhorizon_ms = 150\n",
+    )
+    .unwrap();
+    let serial = run_sweep(
+        &spec,
+        &SweepOptions {
+            threads: Some(1),
+            ..SweepOptions::uncached()
+        },
+    )
+    .unwrap();
+    let parallel = run_sweep(
+        &spec,
+        &SweepOptions {
+            threads: Some(8),
+            ..SweepOptions::uncached()
+        },
+    )
+    .unwrap();
+    assert_eq!(serial.rows.len(), 8);
+    assert_eq!(to_csv(&serial), to_csv(&parallel), "1 thread == 8 threads");
+}
+
+/// `nd-sweep run` must exit non-zero when *any* job errored — including
+/// on a second invocation where the errors replay from the cache.
+#[test]
+fn cli_exits_nonzero_when_any_job_fails() {
+    let dir = temp_dir("cli-fail");
+    let spec_path = dir.join("spec.toml");
+    std::fs::write(
+        &spec_path,
+        "name = \"partial\"\n[grid]\nprotocol = [\"optimal-slotless\", \"warp-drive\"]\neta = [0.05]\n",
+    )
+    .unwrap();
+    let bin = env!("CARGO_BIN_EXE_nd-sweep");
+    let run = || {
+        std::process::Command::new(bin)
+            .arg("run")
+            .arg(&spec_path)
+            .arg("--out-dir")
+            .arg(dir.join("out"))
+            .arg("--cache-dir")
+            .arg(dir.join("cache"))
+            .output()
+            .unwrap()
+    };
+
+    let first = run();
+    assert!(!first.status.success(), "one of two jobs failed");
+    let stderr = String::from_utf8_lossy(&first.stderr);
+    assert!(stderr.contains("1 of 2 job(s) failed"), "{stderr}");
+    // exports are still written so the error column can be inspected
+    let csv = std::fs::read_to_string(dir.join("out").join("partial.csv")).unwrap();
+    assert!(csv.contains("warp-drive"));
+
+    // cached errors fail the run too
+    let second = run();
+    assert!(!second.status.success(), "cached errors must still fail");
+    let stdout = String::from_utf8_lossy(&second.stdout);
+    assert!(stdout.contains("2 cached"), "{stdout}");
+
+    // an all-green spec still exits zero
+    std::fs::write(
+        &spec_path,
+        "name = \"green\"\n[grid]\nprotocol = [\"optimal-slotless\"]\neta = [0.05]\n",
+    )
+    .unwrap();
+    assert!(run().status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn cli_run_expand_hash_roundtrip() {
     let dir = temp_dir("cli");

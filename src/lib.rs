@@ -8,6 +8,9 @@
 //!   fundamental bound derived in the paper.
 //! * [`sim`] (`nd-sim`) — discrete-event wireless simulator (radio model,
 //!   collision channel, fault injection).
+//! * [`netsim`] (`nd-netsim`) — the N-node cohort simulator on top of the
+//!   same channel model: join/leave churn, per-node drift and RNG
+//!   streams, first/median/full-cohort discovery metrics.
 //! * [`protocols`] (`nd-protocols`) — the paper-optimal schedule
 //!   constructions plus every protocol the paper classifies (Disco,
 //!   U-Connect, Searchlight, difference codes, BLE-like PI, …).
@@ -20,6 +23,7 @@
 
 pub use nd_analysis as analysis;
 pub use nd_core as core;
+pub use nd_netsim as netsim;
 pub use nd_protocols as protocols;
 pub use nd_sim as sim;
 pub use nd_sweep as sweep;

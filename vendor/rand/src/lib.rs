@@ -134,6 +134,17 @@ macro_rules! impl_signed_range {
                 self.start.wrapping_add(bounded_u64(rng, span) as $t)
             }
         }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range in gen_range");
+                let span = end.wrapping_sub(start) as $u as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(bounded_u64(rng, span + 1) as $t)
+            }
+        }
     )*};
 }
 
