@@ -29,6 +29,8 @@ pub mod redundancy;
 pub mod slotted;
 pub mod symmetric;
 
+use crate::error::NdError;
+
 pub use asymmetric::{asymmetric_bound, optimal_asymmetric_splits};
 pub use beaconing::{coverage_bound, optimal_reception_period, unidirectional_bound};
 pub use collisions::{collision_probability, kink_duty_cycle, max_utilization_for};
@@ -36,3 +38,101 @@ pub use constrained::constrained_bound;
 pub use oneway::oneway_bound;
 pub use redundancy::{optimal_redundancy, CollisionExponent, RedundancyPlan};
 pub use symmetric::{optimal_beta, symmetric_bound};
+
+/// The discovery-completion metric a bound refers to (mirrors the sweep
+/// grammar's `metric` values; see [`BoundMetric::from_name`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BoundMetric {
+    /// One fixed direction completes (F discovers E).
+    OneWay,
+    /// Both directions complete (Theorem 5.5 metric).
+    TwoWay,
+    /// Either direction completes (Appendix C metric).
+    EitherWay,
+}
+
+impl BoundMetric {
+    /// Parse the sweep-grammar spelling (`one-way` | `two-way` |
+    /// `either-way`).
+    pub fn from_name(name: &str) -> Option<BoundMetric> {
+        match name {
+            "one-way" => Some(BoundMetric::OneWay),
+            "two-way" => Some(BoundMetric::TwoWay),
+            "either-way" => Some(BoundMetric::EitherWay),
+            _ => None,
+        }
+    }
+}
+
+/// The paper's closed-form optimal worst-case latency (seconds) for
+/// *symmetric* protocols in which each device spends a total duty cycle η,
+/// at the given metric — the reference curve Pareto fronts are measured
+/// against (`nd-opt`).
+///
+/// * two-way: Theorem 5.5, `L = 4αω/η²`;
+/// * one-way: the same value — with a joint per-device budget η the
+///   optimal split β = η/2α, γ = η/2 maximizes β·γ, and Eq. 10 gives
+///   `L = ω/(βγ) = 4αω/η²` (a symmetric device pair cannot do better in
+///   one direction than in both: the limiting resource is the β·γ
+///   product);
+/// * either-way: Theorem C.1, `L = 2αω/η²` (correlated quadruples halve
+///   the covering work).
+///
+/// Errors on non-positive or non-finite parameters instead of panicking,
+/// so sweep/optimizer rows degrade gracefully.
+pub fn optimal_discovery_bound(
+    metric: BoundMetric,
+    alpha: f64,
+    omega_secs: f64,
+    eta: f64,
+) -> Result<f64, NdError> {
+    for (name, v) in [("alpha", alpha), ("omega", omega_secs), ("eta", eta)] {
+        if !(v.is_finite() && v > 0.0) {
+            return Err(NdError::InvalidSchedule(format!(
+                "optimal_discovery_bound: {name} = {v} must be positive and finite"
+            )));
+        }
+    }
+    Ok(match metric {
+        BoundMetric::OneWay | BoundMetric::TwoWay => symmetric_bound(alpha, omega_secs, eta),
+        BoundMetric::EitherWay => oneway_bound(alpha, omega_secs, eta),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_helper_matches_the_underlying_theorems() {
+        let b = |m| optimal_discovery_bound(m, 1.0, 36e-6, 0.05).unwrap();
+        assert_eq!(b(BoundMetric::TwoWay), symmetric_bound(1.0, 36e-6, 0.05));
+        assert_eq!(b(BoundMetric::OneWay), symmetric_bound(1.0, 36e-6, 0.05));
+        assert_eq!(b(BoundMetric::EitherWay), oneway_bound(1.0, 36e-6, 0.05));
+        assert!((b(BoundMetric::TwoWay) - 0.0576).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bound_helper_rejects_bad_parameters() {
+        for (alpha, omega, eta) in [
+            (0.0, 36e-6, 0.05),
+            (1.0, -1.0, 0.05),
+            (1.0, 36e-6, 0.0),
+            (1.0, f64::NAN, 0.05),
+        ] {
+            assert!(optimal_discovery_bound(BoundMetric::TwoWay, alpha, omega, eta).is_err());
+        }
+    }
+
+    #[test]
+    fn metric_names_roundtrip() {
+        for (name, m) in [
+            ("one-way", BoundMetric::OneWay),
+            ("two-way", BoundMetric::TwoWay),
+            ("either-way", BoundMetric::EitherWay),
+        ] {
+            assert_eq!(BoundMetric::from_name(name), Some(m));
+        }
+        assert_eq!(BoundMetric::from_name("sideways"), None);
+    }
+}

@@ -48,6 +48,7 @@ pub mod error;
 pub mod interval;
 pub mod params;
 pub mod schedule;
+pub mod seed;
 pub mod stable;
 pub mod time;
 

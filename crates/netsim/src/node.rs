@@ -49,16 +49,6 @@ impl NodeSpec {
     }
 }
 
-/// SplitMix64: the per-node stream derivation. Statistically independent
-/// streams from one 64-bit state, stable forever (this feeds content-hash
-/// derived seeds, so it must never change).
-pub(crate) fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
-}
-
 /// Live per-node engine state.
 pub(crate) struct Node {
     pub behavior: Box<dyn Behavior>,
@@ -102,9 +92,7 @@ impl Node {
                 label,
                 ..DeviceStats::default()
             },
-            rng: StdRng::seed_from_u64(splitmix64(
-                run_seed ^ (id as u64).wrapping_mul(0xa076_1d64_78bd_642f),
-            )),
+            rng: StdRng::seed_from_u64(nd_core::seed::stream_seed(run_seed, id as u64)),
         }
     }
 

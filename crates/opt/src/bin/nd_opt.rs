@@ -1,0 +1,417 @@
+//! The `nd-opt` CLI: compute Pareto fronts of discovery schedules from
+//! the shell.
+//!
+//! ```text
+//! nd-opt front (--spec <opt.toml> | --protocol NAME [...]) [OPTIONS]
+//! nd-opt best --budget <dc> (--spec … | --protocol …) [OPTIONS]
+//! nd-opt gap (--spec … | --protocol …) [OPTIONS]
+//! ```
+
+use nd_opt::{run_opt, Objective, OptOptions, OptOutcome, OptSpec};
+use nd_sweep::spec::{Backend, Metric};
+use nd_sweep::{ScenarioSpec, ENGINE_VERSION};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("front") => cmd_front(&args[1..]),
+        Some("best") => cmd_best(&args[1..]),
+        Some("gap") => cmd_gap(&args[1..]),
+        Some("--version" | "-V" | "version") => {
+            println!(
+                "nd-opt {} (engine {ENGINE_VERSION})",
+                env!("CARGO_PKG_VERSION")
+            );
+            ExitCode::SUCCESS
+        }
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+nd-opt — Pareto-front optimizer for neighbor-discovery schedules
+
+Per protocol, searches the declarative parameter space (duty cycle, slot
+length) for the non-dominated trade-offs between duty cycle and
+discovery latency, and reports each front point's gap to the paper's
+closed-form optimality bound. Evaluations run in parallel and are cached
+content-addressed (shared with nd-sweep).
+
+USAGE:
+    nd-opt front (--spec <opt.toml|json> | --protocol NAME) [OPTIONS]
+                 compute fronts, write <name>.csv/.json, print a summary
+    nd-opt best --budget <dc> (--spec … | --protocol …) [OPTIONS]
+                 the best configuration within a duty-cycle budget
+    nd-opt gap  (--spec … | --protocol …) [OPTIONS]
+                 per-protocol distance-to-optimality summary
+    nd-opt --version   print version + engine/cache ABI, then exit
+    nd-opt --help      print this help, then exit
+
+SEARCH (ad-hoc with --protocol, or overriding a --spec file):
+    --protocol NAME    registry name or `optimal` (repeatable)
+    --backend B        exact | montecarlo | netsim (default: exact)
+    --metric M         one-way | two-way | either-way (default: two-way)
+    --objective O      worst | p95 | p99 (default: worst)
+    --seeds N          seeding-grid values per axis (default: 6)
+    --rounds N         refinement rounds (default: 2)
+    --max-evals N      per-protocol evaluation budget (default: 256)
+    --nodes N          cohort size (netsim backend only)
+    --eta-min F        restrict the duty-cycle search range from below
+    --eta-max F        restrict the duty-cycle search range from above
+
+OPTIONS:
+    --out-dir DIR      write <name>.csv/.json here (default: ., front only)
+    --format FMT       csv | json | both (default: both)
+    --threads N        worker threads (default: all cores)
+    --no-cache         skip the content-addressed result cache
+    --cache-dir DIR    cache location (default: $ND_SWEEP_CACHE or
+                       target/nd-sweep-cache)
+    --quiet            suppress per-point detail
+
+EXIT STATUS:
+    0 on success; non-zero on an invalid spec, an empty front, or (best)
+    no front point within the budget.
+";
+
+fn fail(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("nd-opt: {msg}");
+    ExitCode::FAILURE
+}
+
+/// Everything both spec sources and all three subcommands share.
+struct Cli {
+    spec: OptSpec,
+    opts: OptOptions,
+    out_dir: PathBuf,
+    format: String,
+    quiet: bool,
+    budget: Option<f64>,
+}
+
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut spec_path: Option<PathBuf> = None;
+    let mut protocols: Vec<String> = Vec::new();
+    let mut backend: Option<Backend> = None;
+    let mut metric: Option<Metric> = None;
+    let mut objective: Option<Objective> = None;
+    let mut seeds: Option<usize> = None;
+    let mut rounds: Option<usize> = None;
+    let mut max_evals: Option<usize> = None;
+    let mut nodes: Option<u32> = None;
+    let mut eta_min: Option<f64> = None;
+    let mut eta_max: Option<f64> = None;
+    let mut opts = OptOptions::default();
+    let mut out_dir = PathBuf::from(".");
+    let mut format = "both".to_string();
+    let mut quiet = false;
+    let mut budget = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{what} needs a value"))
+        };
+        match arg.as_str() {
+            "--spec" => spec_path = Some(PathBuf::from(value("--spec")?)),
+            "--protocol" => protocols.push(value("--protocol")?.to_string()),
+            "--backend" => {
+                backend = Some(match value("--backend")? {
+                    "exact" => Backend::Exact,
+                    "montecarlo" => Backend::MonteCarlo,
+                    "netsim" => Backend::Netsim,
+                    other => return Err(format!("unknown backend `{other}`")),
+                })
+            }
+            "--metric" => {
+                metric = Some(match value("--metric")? {
+                    "one-way" => Metric::OneWay,
+                    "two-way" => Metric::TwoWay,
+                    "either-way" => Metric::EitherWay,
+                    other => return Err(format!("unknown metric `{other}`")),
+                })
+            }
+            "--objective" => {
+                objective =
+                    Some(Objective::parse(value("--objective")?).map_err(|e| e.to_string())?)
+            }
+            "--seeds" => seeds = Some(parse_pos(value("--seeds")?, "--seeds")?),
+            "--rounds" => rounds = Some(parse_pos(value("--rounds")?, "--rounds")?),
+            "--max-evals" => max_evals = Some(parse_pos(value("--max-evals")?, "--max-evals")?),
+            "--nodes" => nodes = Some(parse_pos(value("--nodes")?, "--nodes")? as u32),
+            "--eta-min" => eta_min = Some(parse_unit(value("--eta-min")?, "--eta-min")?),
+            "--eta-max" => eta_max = Some(parse_unit(value("--eta-max")?, "--eta-max")?),
+            "--budget" => {
+                budget = Some(
+                    value("--budget")?
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|b| *b > 0.0 && *b <= 1.0)
+                        .ok_or("--budget needs a duty cycle in (0, 1]")?,
+                )
+            }
+            "--out-dir" => out_dir = PathBuf::from(value("--out-dir")?),
+            "--format" => match value("--format")? {
+                f @ ("csv" | "json" | "both") => format = f.to_string(),
+                _ => return Err("--format needs csv|json|both".into()),
+            },
+            "--threads" => opts.threads = Some(parse_pos(value("--threads")?, "--threads")?),
+            "--no-cache" => opts.use_cache = false,
+            "--cache-dir" => opts.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+            "--quiet" => quiet = true,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+
+    let mut spec = match (spec_path, protocols.is_empty()) {
+        (Some(path), true) => OptSpec::from_file(&path).map_err(|e| e.to_string())?,
+        (None, false) => {
+            let base = ScenarioSpec {
+                backend: backend.unwrap_or(Backend::Exact),
+                metric: metric.unwrap_or(Metric::TwoWay),
+                ..ScenarioSpec::from_toml_str("name = \"adhoc\"").expect("minimal spec parses")
+            };
+            OptSpec::new(base, &protocols, objective.unwrap_or(Objective::Worst))
+                .map_err(|e| e.to_string())?
+        }
+        (Some(_), false) => return Err("--spec and --protocol are mutually exclusive".into()),
+        (None, true) => return Err("need --spec <file> or --protocol NAME".into()),
+    };
+    // every flag overrides its spec-file counterpart, so a spec invocation
+    // and an ad-hoc one behave identically
+    if let Some(b) = backend {
+        spec.base.backend = b;
+    }
+    if let Some(m) = metric {
+        spec.base.metric = m;
+    }
+    if let Some(o) = objective {
+        spec.objective = o;
+    }
+    if let Some(s) = seeds {
+        spec.seeds_per_axis = s;
+    }
+    if let Some(r) = rounds {
+        spec.rounds = r;
+    }
+    if let Some(m) = max_evals {
+        spec.max_evals = m;
+    }
+    if let Some(n) = nodes {
+        spec.nodes = n;
+    }
+    if eta_min.is_some() || eta_max.is_some() {
+        // one-sided restrictions leave the other bound open (the protocol
+        // space's own limits clamp it)
+        spec.eta_range = Some((eta_min.unwrap_or(f64::MIN_POSITIVE), eta_max.unwrap_or(1.0)));
+    }
+    spec.validate().map_err(|e| e.to_string())?;
+
+    Ok(Cli {
+        spec,
+        opts,
+        out_dir,
+        format,
+        quiet,
+        budget,
+    })
+}
+
+fn parse_pos(s: &str, what: &str) -> Result<usize, String> {
+    s.parse::<usize>()
+        .ok()
+        .filter(|n| *n > 0)
+        .ok_or_else(|| format!("{what} needs a positive integer"))
+}
+
+fn parse_unit(s: &str, what: &str) -> Result<f64, String> {
+    s.parse::<f64>()
+        .ok()
+        .filter(|x| *x > 0.0 && *x <= 1.0)
+        .ok_or_else(|| format!("{what} needs a duty cycle in (0, 1]"))
+}
+
+fn run(cli: &Cli) -> Result<OptOutcome, String> {
+    run_opt(&cli.spec, &cli.opts).map_err(|e| e.to_string())
+}
+
+fn summary(outcome: &OptOutcome) {
+    for f in &outcome.fronts {
+        let gaps: Vec<f64> = f.front.iter().map(|p| p.gap_frac).collect();
+        let max_gap = gaps.iter().copied().fold(f64::NAN, f64::max);
+        println!(
+            "  {}: {} front points ({} evaluated, {} executed, {} cached, {} errors), max gap {}",
+            f.protocol,
+            f.front.len(),
+            f.evaluated,
+            f.executed,
+            f.cache_hits,
+            f.errors,
+            percent(max_gap),
+        );
+    }
+    println!(
+        "{}: {} protocols, {} executed, {} cached in {:.2?}  [spec {}, backend {}, objective {} → {}]",
+        outcome.name,
+        outcome.fronts.len(),
+        outcome.executed,
+        outcome.cache_hits,
+        outcome.wall,
+        &outcome.spec_hash[..12],
+        outcome.backend,
+        outcome.objective,
+        outcome.latency_metric,
+    );
+}
+
+fn percent(x: f64) -> String {
+    if x.is_nan() {
+        "n/a".to_string()
+    } else {
+        format!("{:.2}%", x * 100.0)
+    }
+}
+
+fn cmd_front(args: &[String]) -> ExitCode {
+    let cli = match parse_cli(args) {
+        Ok(c) => c,
+        Err(e) => return fail(e),
+    };
+    if cli.budget.is_some() {
+        return fail("--budget only applies to `best`");
+    }
+    let outcome = match run(&cli) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+
+    if std::fs::create_dir_all(&cli.out_dir).is_err() {
+        return fail(format!("cannot create {}", cli.out_dir.display()));
+    }
+    let stem = cli.out_dir.join(&outcome.name);
+    if cli.format == "csv" || cli.format == "both" {
+        let path = stem.with_extension("csv");
+        if let Err(e) = std::fs::write(&path, nd_opt::to_csv(&outcome)) {
+            return fail(format!("writing {}: {e}", path.display()));
+        }
+        if !cli.quiet {
+            println!("wrote {}", path.display());
+        }
+    }
+    if cli.format == "json" || cli.format == "both" {
+        let path = stem.with_extension("json");
+        if let Err(e) = std::fs::write(&path, nd_opt::to_json(&outcome)) {
+            return fail(format!("writing {}: {e}", path.display()));
+        }
+        if !cli.quiet {
+            println!("wrote {}", path.display());
+        }
+    }
+    summary(&outcome);
+    if outcome.fronts.iter().any(|f| f.front.is_empty()) {
+        return fail("at least one protocol produced an empty front");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_best(args: &[String]) -> ExitCode {
+    let cli = match parse_cli(args) {
+        Ok(c) => c,
+        Err(e) => return fail(e),
+    };
+    let Some(budget) = cli.budget else {
+        return fail("best needs --budget <duty cycle>");
+    };
+    let outcome = match run(&cli) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    let mut found = false;
+    for f in &outcome.fronts {
+        // the front is sorted by duty cycle with latency decreasing, so
+        // the best point within budget is the last affordable one
+        match f.front.iter().rev().find(|p| p.duty_cycle <= budget) {
+            Some(p) => {
+                found = true;
+                let slot = p
+                    .slot_us
+                    .map(|s| format!(" slot_us={s}"))
+                    .unwrap_or_default();
+                println!(
+                    "  {}: eta={}{} → duty_cycle={:.6} latency_s={} (bound_s={}, gap {})",
+                    f.protocol,
+                    p.eta,
+                    slot,
+                    p.duty_cycle,
+                    p.latency_s,
+                    p.bound_s,
+                    percent(p.gap_frac),
+                );
+            }
+            None => println!("  {}: no front point within budget {budget}", f.protocol),
+        }
+    }
+    summary(&outcome);
+    if !found {
+        return fail(format!("no configuration fits duty-cycle budget {budget}"));
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_gap(args: &[String]) -> ExitCode {
+    let cli = match parse_cli(args) {
+        Ok(c) => c,
+        Err(e) => return fail(e),
+    };
+    if cli.budget.is_some() {
+        return fail("--budget only applies to `best`");
+    }
+    let outcome = match run(&cli) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    for f in &outcome.fronts {
+        if f.front.is_empty() {
+            println!("  {}: empty front", f.protocol);
+            continue;
+        }
+        let gaps: Vec<f64> = f.front.iter().map(|p| p.gap_frac).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let min = gaps.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = gaps.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "  {}: {} points, gap to optimal bound min {} / mean {} / max {}",
+            f.protocol,
+            f.front.len(),
+            percent(min),
+            percent(mean),
+            percent(max),
+        );
+        if !cli.quiet {
+            for p in &f.front {
+                println!(
+                    "      dc={:.6} latency_s={} bound_s={} gap={}",
+                    p.duty_cycle,
+                    p.latency_s,
+                    p.bound_s,
+                    percent(p.gap_frac)
+                );
+            }
+        }
+    }
+    summary(&outcome);
+    if outcome.fronts.iter().any(|f| f.front.is_empty()) {
+        return fail("at least one protocol produced an empty front");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,375 @@
+//! Candidate evaluation behind one trait, on `nd-sweep`'s machinery.
+//!
+//! Every candidate evaluation *is* an `nd-sweep` job: the candidate's
+//! parameters become a fully resolved [`Job`], executed by the same
+//! backend code paths (`exact` coverage analysis, `montecarlo` pairwise
+//! simulation, `netsim` cohorts) and addressed by the same content hash —
+//! so optimizer evaluations share the on-disk result cache with ordinary
+//! sweeps of the same points, and a re-run of the same search is served
+//! entirely from cache.
+//!
+//! The three evaluators differ only in which backend the embedded spec
+//! selects and which metric key realizes the latency objective; the
+//! [`Evaluator`] trait carries exactly that.
+
+use crate::spec::{Objective, OptSpec};
+use nd_core::time::Tick;
+use nd_sweep::grid::Job;
+use nd_sweep::spec::Backend;
+use nd_sweep::{Metric, ScenarioSpec, SpecError};
+use std::collections::BTreeMap;
+
+/// One fully resolved candidate configuration of a protocol.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Candidate {
+    /// Registry protocol name.
+    pub protocol: String,
+    /// Total duty-cycle target η.
+    pub eta: f64,
+    /// Slot length in µs (slotted protocols only).
+    pub slot_us: Option<f64>,
+}
+
+/// A candidate's evaluation: the two objectives plus the backend's full
+/// metric row.
+#[derive(Clone, Debug)]
+pub struct Evaluation {
+    /// The evaluated candidate.
+    pub candidate: Candidate,
+    /// Nominal total duty cycle η = γ + αβ of the *constructed* schedule
+    /// (which may differ from the requested η by integer rounding) — the
+    /// x-axis of the front, and the budget `best --budget` filters on.
+    pub duty_cycle: f64,
+    /// The latency objective value, seconds.
+    pub latency_s: f64,
+    /// Every metric the backend produced.
+    pub metrics: BTreeMap<String, f64>,
+    /// Whether this evaluation was served from the result cache.
+    pub from_cache: bool,
+}
+
+/// A latency evaluator for candidates of one search.
+///
+/// Implementations are thin façades over a configured scenario spec; the
+/// split between [`Evaluator::run`] (produce the raw metric row,
+/// expensive) and [`Evaluator::interpret`] (extract objectives, cheap)
+/// lets the optimizer serve `run` from the content-addressed cache.
+pub trait Evaluator: Sync {
+    /// The backend name (`exact` | `montecarlo` | `netsim`).
+    fn backend_name(&self) -> &'static str;
+
+    /// The metric key realizing the latency objective.
+    fn latency_metric(&self) -> &'static str;
+
+    /// The candidate's content-addressed cache key (shared with
+    /// `nd-sweep` jobs of the same resolved parameters).
+    fn cache_key(&self, cand: &Candidate) -> String;
+
+    /// Compute the candidate's raw metric row (no cache involved).
+    fn run(&self, cand: &Candidate) -> Result<BTreeMap<String, f64>, String>;
+
+    /// Turn a metric row (fresh or cached) into an [`Evaluation`]:
+    /// extract the objectives and screen out candidates whose result does
+    /// not support a worst-case claim (e.g. trials that failed to
+    /// discover within the horizon).
+    fn interpret(
+        &self,
+        cand: &Candidate,
+        metrics: BTreeMap<String, f64>,
+        from_cache: bool,
+    ) -> Result<Evaluation, String>;
+}
+
+/// The shared implementation: a configured scenario spec plus the
+/// objective's metric key.
+struct Harness {
+    spec: ScenarioSpec,
+    latency_key: &'static str,
+    nodes: u32,
+    /// The failure mass the objective tolerates: a `q`-percentile is
+    /// defined as long as at most `1 − q` of the probability mass never
+    /// discovers; the worst case tolerates none.
+    allowed_failure: f64,
+}
+
+fn allowed_failure(objective: Objective) -> f64 {
+    match objective {
+        Objective::Worst => 0.0,
+        Objective::P95 => 0.05,
+        Objective::P99 => 0.01,
+    }
+}
+
+impl Harness {
+    /// The candidate as a fully resolved sweep job. Axes the optimizer
+    /// does not search take the sweep grammar's defaults (no drift, no
+    /// faults, ideal turnaround, random phases, no churn).
+    fn job(&self, cand: &Candidate) -> Job {
+        Job {
+            index: 0,
+            protocol: cand.protocol.clone(),
+            eta: cand.eta,
+            slot: cand
+                .slot_us
+                .map(|us| Tick::from_secs_f64(us * 1e-6))
+                .unwrap_or_else(|| Tick::from_millis(1)),
+            drift_ppm: 0,
+            drop_probability: 0.0,
+            turnaround: Tick::ZERO,
+            phase: None,
+            ratio: 1.0,
+            nodes: self.nodes,
+            churn: 0.0,
+            // the netsim backend reads the per-job collision flag; wire it
+            // to the spec-wide [sim] switch so one knob governs all three
+            // evaluators
+            collision: self.spec.sim.collisions,
+        }
+    }
+
+    fn run(&self, cand: &Candidate) -> Result<BTreeMap<String, f64>, String> {
+        nd_sweep::engine::execute_job(&self.job(cand), &self.spec)
+    }
+
+    fn interpret(
+        &self,
+        cand: &Candidate,
+        metrics: BTreeMap<String, f64>,
+        from_cache: bool,
+    ) -> Result<Evaluation, String> {
+        // probability mass that never discovers censors the latency
+        // statistic: the worst case is then unknown (≥ horizon), and a
+        // q-percentile conditioned on discovery only stands for the
+        // unconditional one while the failure mass stays within 1 − q
+        let allowed = self.allowed_failure;
+        if let Some(&f) = metrics.get("undiscovered_prob") {
+            if f > allowed + 1e-12 {
+                return Err(format!(
+                    "{f:.4} of offsets are never discovered (objective tolerates {allowed})"
+                ));
+            }
+        }
+        if let Some(&f) = metrics.get("failure_rate") {
+            if f > allowed + 1e-12 {
+                return Err(format!(
+                    "{f:.4} of trials failed to discover within the horizon \
+                     (objective tolerates {allowed})"
+                ));
+            }
+        }
+        if let Some(&f) = metrics.get("pair_discovered_frac") {
+            if f < 1.0 - allowed - 1e-12 {
+                return Err(format!(
+                    "only {f:.4} of node pairs discovered within the horizon \
+                     (objective tolerates {allowed} missing)"
+                ));
+            }
+        }
+        let latency_s = *metrics
+            .get(self.latency_key)
+            .ok_or_else(|| format!("backend produced no `{}` metric", self.latency_key))?;
+        if !(latency_s.is_finite() && latency_s >= 0.0) {
+            return Err(format!(
+                "latency metric `{}` = {latency_s}",
+                self.latency_key
+            ));
+        }
+        let sched = nd_sweep::engine::build_schedule(&self.job(cand), &self.spec)?;
+        Ok(Evaluation {
+            candidate: cand.clone(),
+            duty_cycle: sched.eta(self.spec.radio.alpha),
+            latency_s,
+            metrics,
+            from_cache,
+        })
+    }
+
+    fn cache_key(&self, cand: &Candidate) -> String {
+        self.job(cand).content_hash(&self.spec)
+    }
+}
+
+macro_rules! facade {
+    ($name:ident, $backend:literal) => {
+        impl Evaluator for $name {
+            fn backend_name(&self) -> &'static str {
+                $backend
+            }
+            fn latency_metric(&self) -> &'static str {
+                self.0.latency_key
+            }
+            fn cache_key(&self, cand: &Candidate) -> String {
+                self.0.cache_key(cand)
+            }
+            fn run(&self, cand: &Candidate) -> Result<BTreeMap<String, f64>, String> {
+                self.0.run(cand)
+            }
+            fn interpret(
+                &self,
+                cand: &Candidate,
+                metrics: BTreeMap<String, f64>,
+                from_cache: bool,
+            ) -> Result<Evaluation, String> {
+                self.0.interpret(cand, metrics, from_cache)
+            }
+        }
+    };
+}
+
+/// Exact coverage-map analysis: nanosecond-precise worst case (or exact
+/// distribution percentiles), no sampling error.
+pub struct ExactEvaluator(Harness);
+facade!(ExactEvaluator, "exact");
+
+/// Pairwise Monte-Carlo simulation: the objective over randomized-phase
+/// trials.
+pub struct MonteCarloEvaluator(Harness);
+facade!(MonteCarloEvaluator, "montecarlo");
+
+/// N-node cohort simulation: the objective over all pairs of a contending
+/// cohort.
+pub struct NetsimEvaluator(Harness);
+facade!(NetsimEvaluator, "netsim");
+
+/// Build the evaluator an opt spec asks for. The embedded scenario spec
+/// is the opt spec's base; for the exact backend, percentile computation
+/// is enabled exactly when the objective needs it.
+pub fn evaluator_for(spec: &OptSpec) -> Result<Box<dyn Evaluator>, SpecError> {
+    spec.validate()?;
+    let mut base = spec.base.clone();
+    let objective = spec.objective;
+    Ok(match base.backend {
+        Backend::Exact => {
+            base.percentiles = objective != Objective::Worst;
+            let latency_key = match (objective, base.metric) {
+                (Objective::Worst, Metric::TwoWay) => "two_way_worst_s",
+                (Objective::Worst, _) => "worst_s",
+                (Objective::P95, _) => "p95_s",
+                (Objective::P99, _) => "p99_s",
+            };
+            Box::new(ExactEvaluator(Harness {
+                spec: base,
+                latency_key,
+                nodes: spec.nodes,
+                allowed_failure: allowed_failure(objective),
+            }))
+        }
+        Backend::MonteCarlo => {
+            let latency_key = match objective {
+                Objective::Worst => "max_s",
+                Objective::P95 => "p95_s",
+                Objective::P99 => "p99_s",
+            };
+            Box::new(MonteCarloEvaluator(Harness {
+                spec: base,
+                latency_key,
+                nodes: spec.nodes,
+                allowed_failure: allowed_failure(objective),
+            }))
+        }
+        Backend::Netsim => {
+            let latency_key = match objective {
+                Objective::Worst => "pair_max_s",
+                Objective::P95 => "pair_p95_s",
+                Objective::P99 => unreachable!("rejected by OptSpec::validate"),
+            };
+            Box::new(NetsimEvaluator(Harness {
+                spec: base,
+                latency_key,
+                nodes: spec.nodes,
+                allowed_failure: allowed_failure(objective),
+            }))
+        }
+        Backend::Bounds => unreachable!("rejected by OptSpec::validate"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::OptSpec;
+
+    fn opt_spec(toml: &str) -> OptSpec {
+        OptSpec::from_toml_str(toml).unwrap()
+    }
+
+    fn cand(eta: f64) -> Candidate {
+        Candidate {
+            protocol: "optimal-slotless".into(),
+            eta,
+            slot_us: None,
+        }
+    }
+
+    #[test]
+    fn exact_evaluator_recovers_the_bound_objective() {
+        let spec = opt_spec(
+            "backend = \"exact\"\nmetric = \"two-way\"\n[opt]\nprotocols = [\"optimal\"]\n",
+        );
+        let ev = evaluator_for(&spec).unwrap();
+        assert_eq!(ev.backend_name(), "exact");
+        assert_eq!(ev.latency_metric(), "two_way_worst_s");
+        let c = cand(0.05);
+        let metrics = ev.run(&c).unwrap();
+        let e = ev.interpret(&c, metrics, false).unwrap();
+        let bound = nd_core::bounds::symmetric_bound(1.0, 36e-6, 0.05);
+        assert!(
+            (e.latency_s - bound).abs() / bound < 0.02,
+            "{}",
+            e.latency_s
+        );
+        assert!((e.duty_cycle - 0.05).abs() < 0.003, "{}", e.duty_cycle);
+        assert!(!e.from_cache);
+    }
+
+    #[test]
+    fn cache_keys_match_equivalent_sweep_jobs() {
+        // the optimizer's evaluations and a plain sweep of the same point
+        // must share cache entries: identical content hash
+        let spec = opt_spec(
+            "backend = \"exact\"\nmetric = \"two-way\"\n[opt]\nprotocols = [\"optimal\"]\n",
+        );
+        let ev = evaluator_for(&spec).unwrap();
+        let sweep = nd_sweep::ScenarioSpec::from_toml_str(
+            "backend = \"exact\"\nmetric = \"two-way\"\npercentiles = false\n\
+             [grid]\nprotocol = [\"optimal-slotless\"]\neta = [0.05]\nslot_us = [1000]\n",
+        )
+        .unwrap();
+        let job = &nd_sweep::expand(&sweep)[0];
+        assert_eq!(ev.cache_key(&cand(0.05)), job.content_hash(&sweep));
+    }
+
+    #[test]
+    fn failure_screening_rejects_censored_candidates() {
+        let spec = opt_spec(
+            "backend = \"exact\"\nmetric = \"two-way\"\n[opt]\nprotocols = [\"optimal\"]\n",
+        );
+        let ev = evaluator_for(&spec).unwrap();
+        let c = cand(0.05);
+        let mut metrics = BTreeMap::new();
+        metrics.insert("failure_rate".to_string(), 0.25);
+        metrics.insert("two_way_worst_s".to_string(), 1.0);
+        assert!(ev
+            .interpret(&c, metrics, false)
+            .unwrap_err()
+            .contains("failed"));
+        let mut metrics = BTreeMap::new();
+        metrics.insert("pair_discovered_frac".to_string(), 0.9);
+        assert!(ev
+            .interpret(&c, metrics, false)
+            .unwrap_err()
+            .contains("pairs"));
+    }
+
+    #[test]
+    fn montecarlo_and_netsim_latency_keys() {
+        let mc = opt_spec(
+            "backend = \"montecarlo\"\n[opt]\nprotocols = [\"optimal\"]\nobjective = \"p95\"\n",
+        );
+        assert_eq!(evaluator_for(&mc).unwrap().latency_metric(), "p95_s");
+        let net = opt_spec("backend = \"netsim\"\n[opt]\nprotocols = [\"optimal\"]\n");
+        let ev = evaluator_for(&net).unwrap();
+        assert_eq!(ev.backend_name(), "netsim");
+        assert_eq!(ev.latency_metric(), "pair_max_s");
+    }
+}

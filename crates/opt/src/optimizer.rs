@@ -1,0 +1,494 @@
+//! The search: coarse grid seeding plus adaptive refinement around the
+//! current front.
+//!
+//! Per protocol, the optimizer
+//!
+//! 1. seeds the protocol's declarative [`nd_protocols::ParamSpace`] with
+//!    a coarse grid (`seeds_per_axis` values per parameter, log- or
+//!    linearly spaced as the space declares),
+//! 2. evaluates all feasible candidates in parallel on `nd-sweep`'s
+//!    worker pool, serving repeats from the content-addressed result
+//!    cache,
+//! 3. extracts the Pareto front over (duty cycle, latency) and spends the
+//!    remaining budget on *refinement*: the scale-appropriate midpoint
+//!    between each pair of adjacent front points (plus an extension
+//!    beyond each end of the front), for `rounds` rounds,
+//! 4. reports each front point's gap to the paper's closed-form
+//!    optimality bound at its achieved duty cycle.
+//!
+//! The whole search is deterministic: seeding grids, refinement midpoints
+//! and every backend evaluation are pure functions of the spec, so
+//! re-running a spec replays the identical candidate sequence — and is
+//! served entirely from cache.
+
+use crate::evaluator::{evaluator_for, Candidate, Evaluation, Evaluator};
+use crate::pareto::front_indices;
+use crate::spec::OptSpec;
+use nd_core::bounds::{optimal_discovery_bound, BoundMetric};
+use nd_protocols::{ParamSpace, ProtocolKind};
+use nd_sweep::cache::{CachedResult, ResultCache};
+use nd_sweep::pool::{default_threads, run_parallel};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Options orthogonal to the spec: parallelism and cache placement
+/// (mirrors `nd_sweep::SweepOptions`).
+#[derive(Clone, Debug)]
+pub struct OptOptions {
+    /// Worker threads; `None` = all cores.
+    pub threads: Option<usize>,
+    /// Consult/populate the result cache.
+    pub use_cache: bool,
+    /// Cache location; `None` = [`ResultCache::default_dir`] (shared with
+    /// `nd-sweep`).
+    pub cache_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for OptOptions {
+    fn default() -> Self {
+        OptOptions {
+            threads: None,
+            use_cache: true,
+            cache_dir: None,
+        }
+    }
+}
+
+impl OptOptions {
+    /// Options for hermetic in-process use (tests): no disk cache.
+    pub fn uncached() -> Self {
+        OptOptions {
+            use_cache: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// One point of a computed front.
+#[derive(Clone, Debug)]
+pub struct FrontPoint {
+    /// The requested duty-cycle target η.
+    pub eta: f64,
+    /// The slot length in µs (slotted protocols).
+    pub slot_us: Option<f64>,
+    /// The achieved nominal duty cycle of the constructed schedule.
+    pub duty_cycle: f64,
+    /// The latency objective value, seconds.
+    pub latency_s: f64,
+    /// The closed-form optimal latency at this duty cycle (NaN if the
+    /// bound is undefined here).
+    pub bound_s: f64,
+    /// Relative distance to the bound: `(latency − bound) / bound`.
+    pub gap_frac: f64,
+    /// Every metric the backend produced for this point.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// A per-protocol search result.
+#[derive(Clone, Debug)]
+pub struct FrontResult {
+    /// Registry protocol name.
+    pub protocol: String,
+    /// The front, sorted by duty cycle ascending (latency strictly
+    /// descending).
+    pub front: Vec<FrontPoint>,
+    /// Candidates evaluated (successes + failures, fresh + cached).
+    pub evaluated: usize,
+    /// Fresh backend executions (not served from cache).
+    pub executed: usize,
+    /// Evaluations served from the cache.
+    pub cache_hits: usize,
+    /// Candidates whose evaluation errored (infeasible constructions,
+    /// censored simulation results).
+    pub errors: usize,
+}
+
+/// A completed optimization: one front per protocol.
+#[derive(Debug)]
+pub struct OptOutcome {
+    /// The spec's human-readable name.
+    pub name: String,
+    /// The spec's content hash.
+    pub spec_hash: String,
+    /// The evaluator backend name.
+    pub backend: String,
+    /// The latency objective name.
+    pub objective: String,
+    /// The metric key the objective read.
+    pub latency_metric: String,
+    /// One result per protocol, in spec order.
+    pub fronts: Vec<FrontResult>,
+    /// Total fresh executions across all fronts.
+    pub executed: usize,
+    /// Total cache hits across all fronts.
+    pub cache_hits: usize,
+    /// Wall-clock duration.
+    pub wall: Duration,
+}
+
+/// Optimizer-level error (spec problems; per-candidate failures are
+/// counted, not fatal).
+#[derive(Debug)]
+pub struct OptError(pub String);
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "optimization failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for OptError {}
+
+/// Run the full search a spec describes: one Pareto front per protocol.
+pub fn run_opt(spec: &OptSpec, opts: &OptOptions) -> Result<OptOutcome, OptError> {
+    let start = Instant::now();
+    let evaluator = evaluator_for(spec).map_err(|e| OptError(e.to_string()))?;
+    let cache = opts.use_cache.then(|| {
+        ResultCache::at(
+            opts.cache_dir
+                .clone()
+                .unwrap_or_else(ResultCache::default_dir),
+        )
+    });
+    let threads = opts.threads.unwrap_or_else(default_threads);
+
+    let mut fronts = Vec::with_capacity(spec.protocols.len());
+    for protocol in &spec.protocols {
+        fronts.push(front_for_protocol(
+            protocol,
+            spec,
+            evaluator.as_ref(),
+            cache.as_ref(),
+            threads,
+        )?);
+    }
+
+    Ok(OptOutcome {
+        name: spec.base.name.clone(),
+        spec_hash: spec.content_hash(),
+        backend: evaluator.backend_name().to_string(),
+        objective: spec.objective.name().to_string(),
+        latency_metric: evaluator.latency_metric().to_string(),
+        executed: fronts.iter().map(|f| f.executed).sum(),
+        cache_hits: fronts.iter().map(|f| f.cache_hits).sum(),
+        fronts,
+        wall: start.elapsed(),
+    })
+}
+
+/// Translate a parameter-space point into a concrete candidate. The
+/// optimizer understands the axes the sweep grammar names: `eta`
+/// (mandatory, every space's first parameter) and `slot_us` (slotted
+/// protocols).
+fn candidate_at(protocol: &str, space: &ParamSpace, point: &[f64]) -> Candidate {
+    Candidate {
+        protocol: protocol.to_string(),
+        eta: space.value_of("eta", point).expect("every space has eta"),
+        slot_us: space.value_of("slot_us", point),
+    }
+}
+
+/// The search for one protocol; see the module docs for the algorithm.
+fn front_for_protocol(
+    protocol: &str,
+    spec: &OptSpec,
+    evaluator: &dyn Evaluator,
+    cache: Option<&ResultCache>,
+    threads: usize,
+) -> Result<FrontResult, OptError> {
+    let kind = ProtocolKind::from_name(protocol)
+        .ok_or_else(|| OptError(format!("`{protocol}` is not a registry protocol")))?;
+    let space = kind.param_space();
+    let space = match spec.eta_range {
+        None => space,
+        Some((lo, hi)) => space.restrict("eta", lo, hi).ok_or_else(|| {
+            OptError(format!(
+                "{protocol}: eta range [{lo}, {hi}] does not intersect the protocol's \
+                 declared duty-cycle range"
+            ))
+        })?,
+    };
+    let omega = spec.base.radio.omega;
+
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut points: Vec<Vec<f64>> = Vec::new(); // the evaluated space points
+    let mut evals: Vec<Evaluation> = Vec::new(); // successes, parallel to `points` filtering
+    let mut evaluated = 0usize;
+    let mut executed = 0usize;
+    let mut cache_hits = 0usize;
+    let mut errors = 0usize;
+
+    // round 0: the coarse seeding grid; rounds 1..=rounds: refinement
+    let mut batch: Vec<Vec<f64>> = space
+        .seed_grid(spec.seeds_per_axis)
+        .into_iter()
+        .filter(|p| space.feasible(p, omega))
+        .collect();
+
+    for round in 0..=spec.rounds {
+        // dedupe against everything already evaluated, respect the budget
+        let mut fresh: Vec<(Vec<f64>, Candidate)> = Vec::new();
+        for point in batch.drain(..) {
+            if evaluated + fresh.len() >= spec.max_evals {
+                break;
+            }
+            let cand = candidate_at(protocol, &space, &point);
+            if seen.insert(evaluator.cache_key(&cand)) {
+                fresh.push((point, cand));
+            }
+        }
+        if fresh.is_empty() {
+            break;
+        }
+
+        let results = run_parallel(&fresh, threads, |_, (_, cand)| {
+            evaluate_one(cand, evaluator, cache)
+        });
+        evaluated += fresh.len();
+        for ((point, _), (result, from_cache)) in fresh.into_iter().zip(results) {
+            if from_cache {
+                cache_hits += 1;
+            } else {
+                executed += 1;
+            }
+            match result {
+                Ok(eval) => {
+                    points.push(point);
+                    evals.push(eval);
+                }
+                Err(_) => errors += 1,
+            }
+        }
+
+        if round == spec.rounds || evaluated >= spec.max_evals {
+            break;
+        }
+
+        // refinement: midpoints between adjacent front points, plus an
+        // extension beyond each end of the front toward the range limits
+        let objs: Vec<(f64, f64)> = evals.iter().map(|e| (e.duty_cycle, e.latency_s)).collect();
+        let front = front_indices(&objs);
+        for w in front.windows(2) {
+            batch.push(space.midpoint(&points[w[0]], &points[w[1]]));
+        }
+        if let (Some(&first), Some(&last)) = (front.first(), front.last()) {
+            for (idx, end_of_range) in [(first, false), (last, true)] {
+                let mut limit = points[idx].clone();
+                for (i, p) in space.params.iter().enumerate() {
+                    let (lo, hi) = p.range.limits();
+                    limit[i] = if end_of_range { hi } else { lo };
+                }
+                batch.push(space.midpoint(&points[idx], &limit));
+            }
+        }
+        batch.retain(|p| space.feasible(p, omega));
+    }
+
+    // final front, with gap-to-bound annotations
+    let objs: Vec<(f64, f64)> = evals.iter().map(|e| (e.duty_cycle, e.latency_s)).collect();
+    let bound_metric = BoundMetric::from_name(spec.base.metric.name())
+        .expect("sweep metrics and bound metrics share spellings");
+    let alpha = spec.base.radio.alpha;
+    let omega_secs = omega.as_secs_f64();
+    let front = front_indices(&objs)
+        .into_iter()
+        .map(|i| {
+            let e = &evals[i];
+            let bound_s = optimal_discovery_bound(bound_metric, alpha, omega_secs, e.duty_cycle)
+                .map_or(f64::NAN, |b| b);
+            FrontPoint {
+                eta: e.candidate.eta,
+                slot_us: e.candidate.slot_us,
+                duty_cycle: e.duty_cycle,
+                latency_s: e.latency_s,
+                bound_s,
+                gap_frac: (e.latency_s - bound_s) / bound_s,
+                metrics: e.metrics.clone(),
+            }
+        })
+        .collect();
+
+    Ok(FrontResult {
+        protocol: protocol.to_string(),
+        front,
+        evaluated,
+        executed,
+        cache_hits,
+        errors,
+    })
+}
+
+/// Evaluate one candidate, cache-first. Returns the interpretation result
+/// and whether the raw metric row came from the cache.
+///
+/// Only `run` failures (infeasible constructions, backend errors) are
+/// cached as errors; interpretation failures (censored results) are
+/// re-derived from the cached metric row, so the cache stays
+/// byte-compatible with ordinary `nd-sweep` entries for the same job.
+fn evaluate_one(
+    cand: &Candidate,
+    evaluator: &dyn Evaluator,
+    cache: Option<&ResultCache>,
+) -> (Result<Evaluation, String>, bool) {
+    let key = evaluator.cache_key(cand);
+    if let Some(c) = cache {
+        if let Some(hit) = c.load(&key) {
+            let result = match hit.error {
+                Some(e) => Err(e),
+                None => evaluator.interpret(cand, hit.metrics, true),
+            };
+            return (result, true);
+        }
+    }
+    let raw = evaluator.run(cand);
+    if let Some(c) = cache {
+        let entry = match &raw {
+            Ok(metrics) => CachedResult {
+                metrics: metrics.clone(),
+                error: None,
+            },
+            Err(e) => CachedResult {
+                metrics: BTreeMap::new(),
+                error: Some(e.clone()),
+            },
+        };
+        c.store(&key, &entry);
+    }
+    (
+        raw.and_then(|metrics| evaluator.interpret(cand, metrics, false)),
+        false,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pareto::is_valid_front;
+
+    fn spec(toml: &str) -> OptSpec {
+        OptSpec::from_toml_str(toml).unwrap()
+    }
+
+    #[test]
+    fn optimal_front_tracks_the_bound() {
+        let s = spec(
+            "backend = \"exact\"\nmetric = \"two-way\"\n\
+             [opt]\nprotocols = [\"optimal\"]\nseeds_per_axis = 5\nrounds = 1\n",
+        );
+        let out = run_opt(&s, &OptOptions::uncached()).unwrap();
+        assert_eq!(out.fronts.len(), 1);
+        let f = &out.fronts[0];
+        assert!(
+            f.front.len() >= 5,
+            "seeding + refinement: {}",
+            f.front.len()
+        );
+        let objs: Vec<(f64, f64)> = f
+            .front
+            .iter()
+            .map(|p| (p.duty_cycle, p.latency_s))
+            .collect();
+        assert!(is_valid_front(&objs));
+        for p in &f.front {
+            assert!(
+                p.gap_frac.abs() < 0.05,
+                "η {}: latency {} vs bound {} (gap {})",
+                p.eta,
+                p.latency_s,
+                p.bound_s,
+                p.gap_frac
+            );
+        }
+        assert_eq!(f.evaluated, f.executed, "uncached run executes all");
+        assert_eq!(f.cache_hits, 0);
+    }
+
+    #[test]
+    fn refinement_adds_points_between_front_neighbors() {
+        let base = "backend = \"exact\"\nmetric = \"two-way\"\n\
+                    [opt]\nprotocols = [\"optimal\"]\nseeds_per_axis = 3\n";
+        let no_refine = run_opt(
+            &spec(&format!("{base}rounds = 1\nmax_evals = 3\n")),
+            &OptOptions::uncached(),
+        )
+        .unwrap();
+        let refined = run_opt(
+            &spec(&format!("{base}rounds = 2\n")),
+            &OptOptions::uncached(),
+        )
+        .unwrap();
+        assert!(refined.fronts[0].evaluated > no_refine.fronts[0].evaluated);
+        assert!(refined.fronts[0].front.len() > no_refine.fronts[0].front.len());
+    }
+
+    #[test]
+    fn budget_is_a_hard_cap() {
+        let s = spec(
+            "backend = \"exact\"\nmetric = \"two-way\"\n\
+             [opt]\nprotocols = [\"optimal\"]\nseeds_per_axis = 6\nrounds = 3\nmax_evals = 4\n",
+        );
+        let out = run_opt(&s, &OptOptions::uncached()).unwrap();
+        assert_eq!(out.fronts[0].evaluated, 4);
+    }
+
+    #[test]
+    fn slotted_protocols_search_both_axes() {
+        // a slotted protocol's exact worst case is censored (ω/slot of
+        // the offsets are never covered), so the meaningful objective is
+        // a percentile — and only slots with a small enough uncovered
+        // fraction are admitted
+        let s = spec(
+            "backend = \"exact\"\nmetric = \"one-way\"\n\
+             [radio]\nomega_us = 100\n\
+             [opt]\nprotocols = [\"code-based\"]\nobjective = \"p95\"\n\
+             seeds_per_axis = 3\nrounds = 1\neta_min = 0.02\n",
+        );
+        let out = run_opt(&s, &OptOptions::uncached()).unwrap();
+        let f = &out.fronts[0];
+        assert!(!f.front.is_empty());
+        // the mid slot (~1.4 ms) is feasible but leaves ω/slot ≈ 7% of
+        // the offsets uncovered — censored beyond the 5% a p95 tolerates
+        assert!(f.errors > 0, "short slots are censored beyond 5%");
+        for p in &f.front {
+            let slot = p.slot_us.expect("slotted candidates carry a slot");
+            assert!(slot >= 1999.0, "slot {slot} would censor p95 (ω = 100 µs)");
+            assert!(p.metrics.get("undiscovered_prob").copied().unwrap_or(1.0) <= 0.05 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn worst_objective_censors_slotted_protocols_entirely() {
+        let s = spec(
+            "backend = \"exact\"\nmetric = \"one-way\"\npercentiles = false\n\
+             [opt]\nprotocols = [\"code-based\"]\nseeds_per_axis = 2\nrounds = 1\neta_min = 0.05\n",
+        );
+        let out = run_opt(&s, &OptOptions::uncached()).unwrap();
+        let f = &out.fronts[0];
+        assert!(f.front.is_empty(), "no slotted config covers all offsets");
+        assert_eq!(f.errors, f.evaluated);
+    }
+
+    #[test]
+    fn eta_range_restricts_the_search() {
+        let s = spec(
+            "backend = \"exact\"\nmetric = \"two-way\"\n\
+             [opt]\nprotocols = [\"optimal\"]\nseeds_per_axis = 4\nrounds = 1\n\
+             eta_min = 0.04\neta_max = 0.10\n",
+        );
+        let out = run_opt(&s, &OptOptions::uncached()).unwrap();
+        for p in &out.fronts[0].front {
+            assert!((0.04..=0.10).contains(&p.eta), "eta {}", p.eta);
+        }
+        // a range outside the declared space is an error, not an empty front
+        let bad = spec(
+            "backend = \"exact\"\nmetric = \"two-way\"\n\
+             [opt]\nprotocols = [\"optimal\"]\neta_min = 0.6\neta_max = 0.9\n",
+        );
+        assert!(run_opt(&bad, &OptOptions::uncached())
+            .unwrap_err()
+            .to_string()
+            .contains("does not intersect"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Pareto dominance over (duty cycle, latency) — both minimized.
+//!
+//! A configuration *dominates* another if it is no worse in both
+//! objectives and strictly better in at least one. The *front* is the set
+//! of non-dominated configurations: for every duty-cycle budget it
+//! contains the lowest-latency configuration found, which is exactly the
+//! curve the paper's comparison figures plot against the theoretical
+//! optimum.
+
+/// One objective pair: (duty cycle, latency in seconds), both minimized.
+pub type Objectives = (f64, f64);
+
+/// Whether `a` dominates `b` (minimization in both components: `a` is no
+/// worse in either and strictly better in at least one).
+pub fn dominates(a: Objectives, b: Objectives) -> bool {
+    a.0 <= b.0 && a.1 <= b.1 && (a.0 < b.0 || a.1 < b.1)
+}
+
+/// The indices of the non-dominated points, sorted by duty cycle
+/// ascending (and therefore latency strictly descending).
+///
+/// Duplicates collapse: of several points with identical objectives, the
+/// first by input order survives, so the result is deterministic for a
+/// deterministic input order. Points with non-finite objectives never
+/// make the front.
+pub fn front_indices(points: &[Objectives]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len())
+        .filter(|&i| points[i].0.is_finite() && points[i].1.is_finite())
+        .collect();
+    // sort by duty cycle, then latency, then input order (total order →
+    // deterministic front for identical objective values)
+    order.sort_by(|&a, &b| {
+        points[a]
+            .0
+            .total_cmp(&points[b].0)
+            .then(points[a].1.total_cmp(&points[b].1))
+            .then(a.cmp(&b))
+    });
+    let mut front = Vec::new();
+    let mut best_latency = f64::INFINITY;
+    let mut last_dc = f64::NEG_INFINITY;
+    for i in order {
+        let (dc, lat) = points[i];
+        // same duty cycle: only the first (lowest-latency) survives;
+        // higher duty cycle must strictly improve latency to be on the
+        // front
+        if dc > last_dc && lat < best_latency {
+            front.push(i);
+            best_latency = lat;
+            last_dc = dc;
+        }
+    }
+    front
+}
+
+/// Whether a sequence of objective pairs is a valid front: strictly
+/// increasing duty cycle with strictly decreasing latency (which implies
+/// mutual non-domination).
+pub fn is_valid_front(points: &[Objectives]) -> bool {
+    points
+        .windows(2)
+        .all(|w| w[0].0 < w[1].0 && w[0].1 > w[1].1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_is_strict_somewhere() {
+        assert!(dominates((0.1, 1.0), (0.2, 1.0)));
+        assert!(dominates((0.1, 1.0), (0.1, 2.0)));
+        assert!(dominates((0.1, 1.0), (0.2, 2.0)));
+        assert!(!dominates((0.1, 1.0), (0.1, 1.0)), "equal: no domination");
+        assert!(!dominates((0.1, 2.0), (0.2, 1.0)), "trade-off");
+        assert!(!dominates((0.2, 1.0), (0.1, 2.0)), "trade-off, reversed");
+    }
+
+    #[test]
+    fn front_extracts_the_staircase() {
+        //    dc   lat
+        let pts = [
+            (0.10, 5.0), // on front
+            (0.20, 9.0), // dominated by (0.10, 5.0)
+            (0.20, 3.0), // on front
+            (0.05, 9.0), // on front (cheapest)
+            (0.30, 3.0), // dominated by (0.20, 3.0) (same lat, more dc)
+            (0.40, 1.0), // on front
+        ];
+        let front = front_indices(&pts);
+        assert_eq!(front, vec![3, 0, 2, 5]);
+        let objs: Vec<Objectives> = front.iter().map(|&i| pts[i]).collect();
+        assert!(is_valid_front(&objs));
+    }
+
+    #[test]
+    fn duplicates_collapse_to_first_by_input_order() {
+        let pts = [(0.1, 1.0), (0.1, 1.0), (0.1, 1.0)];
+        assert_eq!(front_indices(&pts), vec![0]);
+    }
+
+    #[test]
+    fn non_finite_points_never_front() {
+        let pts = [(0.1, f64::NAN), (f64::INFINITY, 1.0), (0.2, 2.0)];
+        assert_eq!(front_indices(&pts), vec![2]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(front_indices(&[]).is_empty());
+        assert_eq!(front_indices(&[(0.1, 1.0)]), vec![0]);
+        assert!(is_valid_front(&[]));
+        assert!(is_valid_front(&[(0.1, 1.0)]));
+        assert!(!is_valid_front(&[(0.1, 1.0), (0.1, 0.5)]));
+        assert!(!is_valid_front(&[(0.1, 1.0), (0.2, 1.0)]));
+    }
+}

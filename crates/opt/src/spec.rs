@@ -1,0 +1,454 @@
+//! Declarative optimization specs — the sweep grammar plus an `[opt]`
+//! table.
+//!
+//! An opt spec is a TOML/JSON document in the same grammar as an
+//! `nd-sweep` scenario spec (same `backend`, `metric`, `overlap`,
+//! `[radio]` and `[sim]` tables, parsed by the same strict parser), with
+//! one extra `[opt]` table describing the search instead of a `[grid]`
+//! table describing fixed axes — the optimizer owns the parameter axes,
+//! so a `[grid]` table is rejected:
+//!
+//! ```toml
+//! name = "opt-pareto-ble"
+//! backend = "exact"
+//! metric = "two-way"
+//!
+//! [radio]
+//! omega_us = 36
+//!
+//! [opt]
+//! protocols = ["optimal", "disco", "u-connect"]
+//! objective = "worst"        # worst | p95 | p99
+//! seeds_per_axis = 6         # coarse seeding grid, per parameter
+//! rounds = 2                 # adaptive refinement rounds
+//! max_evals = 256            # hard evaluation budget per protocol
+//! ```
+
+use nd_protocols::ProtocolKind;
+use nd_sweep::value::Value;
+use nd_sweep::{Backend, Metric, ScenarioSpec, SpecError};
+use std::collections::BTreeMap;
+
+/// Which latency statistic the front minimizes (against the duty cycle).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Objective {
+    /// The worst case: exact worst-case latency (exact evaluator) or the
+    /// worst latency observed across trials (simulation evaluators).
+    Worst,
+    /// The 95th percentile of the latency distribution.
+    P95,
+    /// The 99th percentile of the latency distribution.
+    P99,
+}
+
+impl Objective {
+    /// Parse the spec spelling (`worst` | `p95` | `p99`).
+    pub fn parse(s: &str) -> Result<Self, SpecError> {
+        match s {
+            "worst" => Ok(Objective::Worst),
+            "p95" => Ok(Objective::P95),
+            "p99" => Ok(Objective::P99),
+            other => Err(SpecError(format!(
+                "unknown objective `{other}` (expected worst|p95|p99)"
+            ))),
+        }
+    }
+
+    /// The spec spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Objective::Worst => "worst",
+            Objective::P95 => "p95",
+            Objective::P99 => "p99",
+        }
+    }
+}
+
+/// Resolve a protocol selector the optimizer accepts: a registry name, or
+/// the `optimal` shorthand for the paper-optimal slotless construction.
+/// Parametrized selectors (`diff-code:…`) have no parameter space to
+/// search and are rejected.
+pub fn normalize_protocol(name: &str) -> Result<String, SpecError> {
+    let resolved = match name {
+        "optimal" => "optimal-slotless",
+        other => other,
+    };
+    match ProtocolKind::from_name(resolved) {
+        Some(k) => Ok(k.name().to_string()),
+        None => {
+            let known: Vec<&str> = ProtocolKind::all().iter().map(|k| k.name()).collect();
+            Err(SpecError(format!(
+                "unknown protocol `{name}` (registry: {}; or `optimal`)",
+                known.join(", ")
+            )))
+        }
+    }
+}
+
+/// A complete, validated optimization spec.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OptSpec {
+    /// The sweep-grammar base: evaluation backend, discovery metric,
+    /// overlap model, radio and simulation settings. Its `grid` is the
+    /// default one and is not used for candidate generation.
+    pub base: ScenarioSpec,
+    /// The protocols to compute fronts for (registry names, normalized).
+    pub protocols: Vec<String>,
+    /// The latency statistic to minimize.
+    pub objective: Objective,
+    /// Seeding-grid resolution per parameter axis.
+    pub seeds_per_axis: usize,
+    /// Adaptive refinement rounds after the seeding round.
+    pub rounds: usize,
+    /// Hard per-protocol evaluation budget (seeding + refinement).
+    pub max_evals: usize,
+    /// Cohort size for the netsim evaluator.
+    pub nodes: u32,
+    /// Optional restriction of the duty-cycle search range: the
+    /// intersection of every protocol's declared `eta` range with
+    /// `[eta_min, eta_max]`. Bounds the expensive low-η corner, or
+    /// focuses the search on a target budget regime.
+    pub eta_range: Option<(f64, f64)>,
+}
+
+impl OptSpec {
+    /// Build from an already-parsed base spec plus search settings,
+    /// normalizing protocol names and validating.
+    pub fn new(
+        base: ScenarioSpec,
+        protocols: &[String],
+        objective: Objective,
+    ) -> Result<Self, SpecError> {
+        let spec = OptSpec {
+            base,
+            protocols: protocols
+                .iter()
+                .map(|p| normalize_protocol(p))
+                .collect::<Result<_, _>>()?,
+            objective,
+            seeds_per_axis: 6,
+            rounds: 2,
+            max_evals: 256,
+            nodes: 2,
+            eta_range: None,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Parse a TOML opt spec.
+    pub fn from_toml_str(input: &str) -> Result<Self, SpecError> {
+        let v = nd_sweep::value::parse_toml(input).map_err(|e| SpecError(e.to_string()))?;
+        Self::from_value(&v)
+    }
+
+    /// Parse a JSON opt spec.
+    pub fn from_json_str(input: &str) -> Result<Self, SpecError> {
+        let v = nd_sweep::value::parse_json(input).map_err(|e| SpecError(e.to_string()))?;
+        Self::from_value(&v)
+    }
+
+    /// Load from a file, dispatching on the `.json` extension (anything
+    /// else parses as TOML).
+    pub fn from_file(path: &std::path::Path) -> Result<Self, SpecError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| SpecError(format!("cannot read {}: {e}", path.display())))?;
+        if path.extension().is_some_and(|e| e == "json") {
+            Self::from_json_str(&text)
+        } else {
+            Self::from_toml_str(&text)
+        }
+    }
+
+    /// Build from a parsed [`Value`] tree: split off the `[opt]` table,
+    /// delegate everything else to the sweep-spec parser.
+    pub fn from_value(v: &Value) -> Result<Self, SpecError> {
+        let top = v
+            .as_table()
+            .ok_or_else(|| SpecError("opt spec root must be a table".into()))?;
+        if top.contains_key("grid") {
+            return Err(SpecError(
+                "opt specs take no [grid] table — the optimizer owns the parameter axes \
+                 (use [opt] protocols = […] instead)"
+                    .into(),
+            ));
+        }
+        let opt_table = top
+            .get("opt")
+            .ok_or_else(|| SpecError("opt spec needs an [opt] table".into()))?
+            .as_table()
+            .ok_or_else(|| SpecError("`opt` must be a table".into()))?;
+
+        let mut base_table: BTreeMap<String, Value> = top.clone();
+        base_table.remove("opt");
+        let base = ScenarioSpec::from_value(&Value::Table(base_table))?;
+
+        for key in opt_table.keys() {
+            if !matches!(
+                key.as_str(),
+                "protocols"
+                    | "objective"
+                    | "seeds_per_axis"
+                    | "rounds"
+                    | "max_evals"
+                    | "nodes"
+                    | "eta_min"
+                    | "eta_max"
+            ) {
+                return Err(SpecError(format!(
+                    "unknown key `{key}` in [opt] (allowed: protocols, objective, \
+                     seeds_per_axis, rounds, max_evals, nodes, eta_min, eta_max)"
+                )));
+            }
+        }
+
+        let protocols: Vec<String> = match opt_table.get("protocols") {
+            None => return Err(SpecError("[opt] needs `protocols = [...]`".into())),
+            Some(v) => v
+                .as_array()
+                .ok_or_else(|| SpecError("`opt.protocols` must be an array".into()))?
+                .iter()
+                .map(|p| {
+                    p.as_str()
+                        .ok_or_else(|| SpecError("`opt.protocols` entries must be strings".into()))
+                        .and_then(normalize_protocol)
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        let objective = match opt_table.get("objective") {
+            None => Objective::Worst,
+            Some(v) => Objective::parse(
+                v.as_str()
+                    .ok_or_else(|| SpecError("`opt.objective` must be a string".into()))?,
+            )?,
+        };
+        let pos_int = |key: &str, default: usize| -> Result<usize, SpecError> {
+            match opt_table.get(key) {
+                None => Ok(default),
+                Some(v) => match v.as_i64() {
+                    Some(n) if n > 0 => Ok(n as usize),
+                    _ => Err(SpecError(format!("`opt.{key}` must be a positive integer"))),
+                },
+            }
+        };
+
+        let opt_f64 = |key: &str| -> Result<Option<f64>, SpecError> {
+            match opt_table.get(key) {
+                None => Ok(None),
+                Some(v) => v
+                    .as_f64()
+                    .map(Some)
+                    .ok_or_else(|| SpecError(format!("`opt.{key}` must be a number"))),
+            }
+        };
+        let eta_range = match (opt_f64("eta_min")?, opt_f64("eta_max")?) {
+            (None, None) => None,
+            // one-sided restrictions leave the other bound open: the
+            // intersection with the protocol's declared range clamps it
+            (lo, hi) => Some((lo.unwrap_or(f64::MIN_POSITIVE), hi.unwrap_or(1.0))),
+        };
+
+        let spec = OptSpec {
+            base,
+            protocols,
+            objective,
+            seeds_per_axis: pos_int("seeds_per_axis", 6)?,
+            rounds: pos_int("rounds", 2)?,
+            max_evals: pos_int("max_evals", 256)?,
+            nodes: pos_int("nodes", 2)? as u32,
+            eta_range,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Cross-field validation: the evaluator must be able to produce the
+    /// requested objective.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        self.base.validate()?;
+        if self.base.backend == Backend::Bounds {
+            return Err(SpecError(
+                "the bounds backend is the reference curve, not an evaluator \
+                 (use exact, montecarlo or netsim)"
+                    .into(),
+            ));
+        }
+        if self.protocols.is_empty() {
+            return Err(SpecError("opt spec needs at least one protocol".into()));
+        }
+        if self.nodes < 2 {
+            return Err(SpecError(format!(
+                "nodes {} below 2 (discovery needs a pair)",
+                self.nodes
+            )));
+        }
+        if self.nodes != 2 && self.base.backend != Backend::Netsim {
+            return Err(SpecError(
+                "`opt.nodes` requires backend = \"netsim\"".into(),
+            ));
+        }
+        if let Some((lo, hi)) = self.eta_range {
+            if !(lo.is_finite() && hi.is_finite() && lo > 0.0 && lo <= hi && hi <= 1.0) {
+                return Err(SpecError(format!(
+                    "eta_min/eta_max = [{lo}, {hi}] must satisfy 0 < eta_min ≤ eta_max ≤ 1"
+                )));
+            }
+        }
+        match (self.base.backend, self.objective) {
+            (Backend::Exact, Objective::P95 | Objective::P99) => {
+                if self.base.metric != Metric::OneWay {
+                    return Err(SpecError(
+                        "exact percentile objectives need metric = \"one-way\" \
+                         (the exact latency distribution is one-way)"
+                            .into(),
+                    ));
+                }
+                if !self.base.percentiles {
+                    return Err(SpecError(
+                        "objective p95/p99 on the exact backend needs `percentiles = true`".into(),
+                    ));
+                }
+            }
+            (Backend::Netsim, Objective::P99) => {
+                return Err(SpecError(
+                    "the netsim evaluator reports pair_p95_s at most (use p95 or worst)".into(),
+                ));
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// The spec's content hash: the base's semantic fields plus every
+    /// search knob, for provenance lines and export headers. (Evaluation
+    /// cache keys are per-candidate and do not include the search knobs,
+    /// so overlapping searches share entries.)
+    pub fn content_hash(&self) -> String {
+        use nd_core::stable::StableEncode;
+        let mut bytes = Vec::new();
+        self.base.content_hash().encode(&mut bytes);
+        "opt".encode(&mut bytes);
+        self.protocols.encode(&mut bytes);
+        self.objective.name().encode(&mut bytes);
+        self.seeds_per_axis.encode(&mut bytes);
+        self.rounds.encode(&mut bytes);
+        self.max_evals.encode(&mut bytes);
+        (self.nodes as u64).encode(&mut bytes);
+        self.eta_range.map(|(lo, _)| lo).encode(&mut bytes);
+        self.eta_range.map(|(_, hi)| hi).encode(&mut bytes);
+        nd_sweep::hash::sha256_hex(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEMO: &str = r#"
+name = "demo-opt"
+backend = "exact"
+metric = "two-way"
+
+[radio]
+omega_us = 36
+
+[opt]
+protocols = ["optimal", "disco"]
+objective = "worst"
+seeds_per_axis = 4
+rounds = 1
+max_evals = 64
+"#;
+
+    #[test]
+    fn parses_and_normalizes() {
+        let s = OptSpec::from_toml_str(DEMO).unwrap();
+        assert_eq!(s.base.backend, Backend::Exact);
+        assert_eq!(s.base.metric, Metric::TwoWay);
+        assert_eq!(
+            s.protocols,
+            vec!["optimal-slotless".to_string(), "disco".to_string()]
+        );
+        assert_eq!(s.objective, Objective::Worst);
+        assert_eq!((s.seeds_per_axis, s.rounds, s.max_evals), (4, 1, 64));
+    }
+
+    #[test]
+    fn rejects_grids_unknown_keys_and_bad_combos() {
+        for (bad, needle) in [
+            ("backend = \"exact\"\n[grid]\neta = [0.05]\n[opt]\nprotocols = [\"disco\"]\n", "[grid]"),
+            ("backend = \"exact\"\n[opt]\nprotocols = [\"disco\"]\ntypo = 1\n", "unknown key"),
+            ("backend = \"exact\"\n", "[opt] table"),
+            ("backend = \"bounds\"\n[opt]\nprotocols = [\"disco\"]\n", "not an evaluator"),
+            ("backend = \"exact\"\n[opt]\nprotocols = []\n", "at least one protocol"),
+            ("backend = \"exact\"\n[opt]\nprotocols = [\"warp-drive\"]\n", "warp-drive"),
+            (
+                "backend = \"exact\"\nmetric = \"two-way\"\n[opt]\nprotocols = [\"disco\"]\nobjective = \"p95\"\n",
+                "one-way",
+            ),
+            (
+                "backend = \"netsim\"\n[opt]\nprotocols = [\"disco\"]\nobjective = \"p99\"\n",
+                "pair_p95_s",
+            ),
+            ("backend = \"exact\"\n[opt]\nprotocols = [\"disco\"]\nnodes = 4\n", "netsim"),
+            ("backend = \"exact\"\n[opt]\nprotocols = [\"disco\"]\nrounds = 0\n", "positive"),
+        ] {
+            let err = OptSpec::from_toml_str(bad).unwrap_err().to_string();
+            assert!(err.contains(needle), "`{bad}` → `{err}`");
+        }
+    }
+
+    #[test]
+    fn one_sided_eta_restrictions_are_valid() {
+        let hi_only = OptSpec::from_toml_str(
+            "backend = \"exact\"\n[opt]\nprotocols = [\"optimal\"]\neta_max = 0.1\n",
+        )
+        .unwrap();
+        assert_eq!(hi_only.eta_range.map(|(_, hi)| hi), Some(0.1));
+        let lo_only = OptSpec::from_toml_str(
+            "backend = \"exact\"\n[opt]\nprotocols = [\"optimal\"]\neta_min = 0.05\n",
+        )
+        .unwrap();
+        assert_eq!(lo_only.eta_range, Some((0.05, 1.0)));
+        // explicit nonsense still rejected
+        assert!(OptSpec::from_toml_str(
+            "backend = \"exact\"\n[opt]\nprotocols = [\"optimal\"]\neta_min = 0.0\n",
+        )
+        .is_err());
+        assert!(OptSpec::from_toml_str(
+            "backend = \"exact\"\n[opt]\nprotocols = [\"optimal\"]\neta_min = 0.2\neta_max = 0.1\n",
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn netsim_nodes_accepted() {
+        let s = OptSpec::from_toml_str(
+            "backend = \"netsim\"\n[opt]\nprotocols = [\"optimal\"]\nnodes = 4\n",
+        )
+        .unwrap();
+        assert_eq!(s.nodes, 4);
+    }
+
+    #[test]
+    fn content_hash_tracks_search_knobs() {
+        let a = OptSpec::from_toml_str(DEMO).unwrap();
+        let mut b = a.clone();
+        b.rounds = 5;
+        assert_ne!(a.content_hash(), b.content_hash());
+        let mut c = a.clone();
+        c.protocols.pop();
+        assert_ne!(a.content_hash(), c.content_hash());
+        // the name is cosmetic, inherited from the sweep grammar
+        let mut d = a.clone();
+        d.base.name = "renamed".into();
+        assert_eq!(a.content_hash(), d.content_hash());
+    }
+
+    #[test]
+    fn alias_and_rejections_in_normalize() {
+        assert_eq!(normalize_protocol("optimal").unwrap(), "optimal-slotless");
+        assert_eq!(normalize_protocol("disco").unwrap(), "disco");
+        assert!(normalize_protocol("diff-code:7:1,2,4").is_err());
+    }
+}

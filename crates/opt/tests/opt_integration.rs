@@ -1,0 +1,287 @@
+//! End-to-end tests for nd-opt: the acceptance properties (optimal front
+//! within 5% of the closed-form bound; full cache reuse on re-runs) and
+//! the CLI binary.
+
+use nd_opt::{run_opt, OptOptions, OptSpec};
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nd-opt-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+const OPTIMAL_SPEC: &str = "\
+name = \"optimal-front\"
+backend = \"exact\"
+metric = \"two-way\"
+
+[opt]
+protocols = [\"optimal\"]
+seeds_per_axis = 6
+rounds = 2
+";
+
+/// The acceptance criterion: the exact-evaluator front of the optimal
+/// protocol is non-dominated and every point sits within 5% of the
+/// closed-form optimal latency bound at its duty cycle; re-running the
+/// same spec is served entirely from the evaluation cache.
+#[test]
+fn optimal_front_within_5_percent_and_fully_cached_on_rerun() {
+    let dir = temp_dir("accept");
+    let spec = OptSpec::from_toml_str(OPTIMAL_SPEC).unwrap();
+    let opts = OptOptions {
+        cache_dir: Some(dir.join("cache")),
+        ..OptOptions::default()
+    };
+
+    let first = run_opt(&spec, &opts).unwrap();
+    assert_eq!(first.fronts.len(), 1);
+    let f = &first.fronts[0];
+    assert!(!f.front.is_empty(), "non-empty front");
+    let objs: Vec<(f64, f64)> = f
+        .front
+        .iter()
+        .map(|p| (p.duty_cycle, p.latency_s))
+        .collect();
+    assert!(nd_opt::is_valid_front(&objs), "non-dominated, sorted");
+    for p in &f.front {
+        let bound = nd_core::bounds::symmetric_bound(1.0, 36e-6, p.duty_cycle);
+        assert!((p.bound_s - bound).abs() < 1e-12);
+        assert!(
+            (p.latency_s - bound).abs() / bound < 0.05,
+            "η {}: latency {} vs bound {bound}",
+            p.eta,
+            p.latency_s
+        );
+    }
+    assert_eq!(f.cache_hits, 0, "cold cache");
+    assert_eq!(f.executed, f.evaluated);
+
+    // the re-run replays the identical candidate sequence from cache:
+    // zero fresh evaluations, identical exports
+    let second = run_opt(&spec, &opts).unwrap();
+    assert_eq!(second.executed, 0, "0 fresh evaluations on re-run");
+    assert_eq!(second.cache_hits, second.fronts[0].evaluated);
+    assert_eq!(nd_opt::to_csv(&first), nd_opt::to_csv(&second));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Optimizer evaluations and plain nd-sweep jobs of the same resolved
+/// point share one cache: a sweep warmed by the optimizer executes
+/// nothing for the overlapping point.
+#[test]
+fn optimizer_cache_entries_serve_equivalent_sweeps() {
+    let dir = temp_dir("shared");
+    let cache_dir = dir.join("cache");
+    let spec = OptSpec::from_toml_str(
+        "backend = \"exact\"\nmetric = \"two-way\"\n\
+         [opt]\nprotocols = [\"optimal\"]\nseeds_per_axis = 2\nrounds = 1\n\
+         eta_min = 0.05\neta_max = 0.25\n",
+    )
+    .unwrap();
+    let out = run_opt(
+        &spec,
+        &OptOptions {
+            cache_dir: Some(cache_dir.clone()),
+            ..OptOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(out.executed > 0);
+
+    // the seeding grid's endpoints are exactly eta 0.05 and 0.25
+    let sweep = nd_sweep::ScenarioSpec::from_toml_str(
+        "backend = \"exact\"\nmetric = \"two-way\"\npercentiles = false\n\
+         [grid]\nprotocol = [\"optimal-slotless\"]\neta = [0.05, 0.25]\n",
+    )
+    .unwrap();
+    let swept = nd_sweep::run_sweep(
+        &sweep,
+        &nd_sweep::SweepOptions {
+            cache_dir: Some(cache_dir),
+            ..nd_sweep::SweepOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(swept.cache_hits, 2, "warmed by the optimizer");
+    assert_eq!(swept.executed, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_front_best_gap_and_cache_roundtrip() {
+    let dir = temp_dir("cli");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec_path = dir.join("opt.toml");
+    std::fs::write(&spec_path, OPTIMAL_SPEC).unwrap();
+    let cache_dir = dir.join("cache");
+    let out_dir = dir.join("out");
+    let bin = env!("CARGO_BIN_EXE_nd-opt");
+
+    let run = |cmd: &str, extra: &[&str]| {
+        let mut c = std::process::Command::new(bin);
+        c.arg(cmd)
+            .arg("--spec")
+            .arg(&spec_path)
+            .arg("--cache-dir")
+            .arg(&cache_dir);
+        for a in extra {
+            c.arg(a);
+        }
+        let out = c.output().unwrap();
+        (
+            out.status.success(),
+            String::from_utf8_lossy(&out.stdout).to_string(),
+            String::from_utf8_lossy(&out.stderr).to_string(),
+        )
+    };
+
+    let (ok, stdout, stderr) = run("front", &["--out-dir", out_dir.to_str().unwrap()]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("front points"), "{stdout}");
+    assert!(out_dir.join("optimal-front.csv").exists());
+    assert!(out_dir.join("optimal-front.json").exists());
+    let csv1 = std::fs::read_to_string(out_dir.join("optimal-front.csv")).unwrap();
+    assert!(csv1.starts_with("protocol,eta,slot_us,duty_cycle,latency_s,bound_s,gap_frac"));
+
+    // second run: everything from cache, identical bytes
+    let (ok, stdout, _) = run("front", &["--out-dir", out_dir.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("0 executed"), "{stdout}");
+    let csv2 = std::fs::read_to_string(out_dir.join("optimal-front.csv")).unwrap();
+    assert_eq!(csv1, csv2);
+
+    // best within a 5% duty-cycle budget picks a config that respects it
+    let (ok, stdout, stderr) = run("best", &["--budget", "0.05", "--quiet"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("optimal-slotless"), "{stdout}");
+    assert!(stdout.contains("latency_s="), "{stdout}");
+
+    // an impossible budget fails loudly
+    let (ok, _, stderr) = run("best", &["--budget", "0.001"]);
+    assert!(!ok);
+    assert!(stderr.contains("budget"), "{stderr}");
+
+    // gap reports the distance-to-optimality summary
+    let (ok, stdout, _) = run("gap", &["--quiet"]);
+    assert!(ok);
+    assert!(stdout.contains("gap to optimal bound"), "{stdout}");
+
+    // search flags override the spec file (not silently ignored): the
+    // spec says worst/two-way, the flags swap in a p95 one-way search
+    let (ok, stdout, stderr) = run(
+        "front",
+        &[
+            "--objective",
+            "p95",
+            "--metric",
+            "one-way",
+            "--out-dir",
+            out_dir.to_str().unwrap(),
+            "--quiet",
+        ],
+    );
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("objective p95 → p95_s"), "{stdout}");
+
+    // flags that can't apply to the subcommand are rejected, not ignored
+    for cmd in ["front", "gap"] {
+        let (ok, _, stderr) = run(cmd, &["--budget", "0.05"]);
+        assert!(!ok);
+        assert!(stderr.contains("--budget"), "{stderr}");
+    }
+
+    // a one-sided eta restriction is honored (upper bound only)
+    let (ok, _, stderr) = run(
+        "front",
+        &[
+            "--eta-max",
+            "0.05",
+            "--out-dir",
+            out_dir.to_str().unwrap(),
+            "--quiet",
+        ],
+    );
+    assert!(ok, "{stderr}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_version_help_and_bad_args() {
+    let bin = env!("CARGO_BIN_EXE_nd-opt");
+    let out = std::process::Command::new(bin)
+        .arg("--version")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.starts_with(&format!("nd-opt {}", env!("CARGO_PKG_VERSION"))),
+        "{text}"
+    );
+    assert!(text.contains(nd_sweep::ENGINE_VERSION), "{text}");
+
+    let help = std::process::Command::new(bin)
+        .arg("--help")
+        .output()
+        .unwrap();
+    assert!(help.status.success());
+    let help = String::from_utf8(help.stdout).unwrap();
+    for needle in [
+        "front",
+        "best",
+        "gap",
+        "--budget",
+        "--objective",
+        "--eta-min",
+    ] {
+        assert!(help.contains(needle), "help must mention `{needle}`");
+    }
+
+    for bad in [
+        vec!["front"],                          // no spec, no protocol
+        vec!["front", "--protocol", "warp"],    // unknown protocol
+        vec!["best", "--protocol", "optimal"],  // missing --budget
+        vec!["front", "--objective", "median"], // unknown objective
+        vec!["frobnicate"],                     // unknown command
+    ] {
+        let out = std::process::Command::new(bin).args(&bad).output().unwrap();
+        assert!(!out.status.success(), "{bad:?} must fail");
+    }
+}
+
+/// The ad-hoc CLI path (no spec file) matches the acceptance-criterion
+/// invocation: `nd-opt front --protocol optimal`.
+#[test]
+fn cli_adhoc_protocol_front() {
+    let dir = temp_dir("adhoc");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bin = env!("CARGO_BIN_EXE_nd-opt");
+    let out = std::process::Command::new(bin)
+        .args([
+            "front",
+            "--protocol",
+            "optimal",
+            "--seeds",
+            "3",
+            "--rounds",
+            "1",
+            "--no-cache",
+            "--out-dir",
+        ])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("optimal-slotless:"), "{stdout}");
+    assert!(stdout.contains("front points"), "{stdout}");
+    assert!(dir.join("adhoc.csv").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}

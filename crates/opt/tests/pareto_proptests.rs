@@ -1,0 +1,82 @@
+//! Property tests for the Pareto machinery and the front invariants the
+//! issue pins: the reported front is mutually non-dominated, sorted by
+//! duty cycle, and every front point's latency respects the theoretical
+//! bound at its duty cycle.
+
+use nd_opt::{dominates, front_indices, is_valid_front, run_opt, OptOptions, OptSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `front_indices` on arbitrary point clouds: the result is a valid
+    /// front (sorted, mutually non-dominated) and *complete* — every
+    /// input point is either on the front or matched/dominated by a
+    /// front point.
+    #[test]
+    fn front_extraction_invariants(
+        raw in prop::collection::vec((1u64..1000, 1u64..1000), 0..120),
+    ) {
+        let points: Vec<(f64, f64)> = raw
+            .iter()
+            .map(|&(a, b)| (a as f64 / 1000.0, b as f64 / 100.0))
+            .collect();
+        let front = front_indices(&points);
+        let objs: Vec<(f64, f64)> = front.iter().map(|&i| points[i]).collect();
+        prop_assert!(is_valid_front(&objs));
+        for w in objs.windows(2) {
+            prop_assert!(!dominates(w[0], w[1]) && !dominates(w[1], w[0]));
+        }
+        for (i, &p) in points.iter().enumerate() {
+            let covered = front.contains(&i)
+                || objs.iter().any(|&f| dominates(f, p) || f == p);
+            prop_assert!(covered, "point {i} {p:?} neither on nor under the front");
+        }
+    }
+
+    /// The optimizer's reported front for the optimal protocol keeps the
+    /// pinned invariants for arbitrary search configurations: sorted by
+    /// duty cycle, mutually non-dominated, and every point's latency at
+    /// or above the closed-form bound at its duty cycle (up to the ~1%
+    /// tick-quantization slack of the reception-overlap model), while the
+    /// optimal construction stays within 5% overall.
+    #[test]
+    fn optimal_fronts_respect_the_bound(
+        seeds in 2usize..6,
+        rounds in 0usize..3,
+        lo_mil in 6u64..60,
+        span in 2u64..8,
+        two_way in 0u64..2,
+    ) {
+        let eta_lo = lo_mil as f64 / 1000.0;
+        let eta_hi = (eta_lo * span as f64 / 2.0).min(0.25);
+        prop_assume!(eta_lo < eta_hi);
+        let metric = if two_way == 0 { "one-way" } else { "two-way" };
+        let mut spec = OptSpec::from_toml_str(&format!(
+            "backend = \"exact\"\nmetric = \"{metric}\"\npercentiles = false\n\
+             [opt]\nprotocols = [\"optimal\"]\n\
+             eta_min = {eta_lo}\neta_max = {eta_hi}\n",
+        )).unwrap();
+        spec.seeds_per_axis = seeds;
+        spec.rounds = rounds;
+        let out = run_opt(&spec, &OptOptions::uncached()).unwrap();
+        let f = &out.fronts[0];
+        prop_assert!(!f.front.is_empty());
+        let objs: Vec<(f64, f64)> =
+            f.front.iter().map(|p| (p.duty_cycle, p.latency_s)).collect();
+        prop_assert!(is_valid_front(&objs), "sorted + non-dominated: {objs:?}");
+        for p in &f.front {
+            prop_assert!(p.bound_s.is_finite() && p.bound_s > 0.0);
+            prop_assert!(
+                p.latency_s >= p.bound_s * (1.0 - 0.01),
+                "η {}: latency {} below bound {}",
+                p.eta, p.latency_s, p.bound_s
+            );
+            prop_assert!(
+                p.gap_frac < 0.05,
+                "η {}: optimal construction {} above 5% of bound {}",
+                p.eta, p.latency_s, p.bound_s
+            );
+        }
+    }
+}

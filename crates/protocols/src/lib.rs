@@ -40,6 +40,7 @@ pub mod redundant;
 pub mod registry;
 pub mod searchlight;
 pub mod slotted;
+pub mod space;
 pub mod uconnect;
 
 pub use aperiodic::{RandomScanner, SlidingScanner};
@@ -56,4 +57,5 @@ pub use redundant::{redundant_symmetric, RedundantProtocol};
 pub use registry::{schedule_for_selector, ProtocolKind};
 pub use searchlight::Searchlight;
 pub use slotted::{BeaconPlacement, SlottedSchedule};
+pub use space::{Constraint, ParamDef, ParamRange, ParamSpace};
 pub use uconnect::UConnect;

@@ -1,0 +1,425 @@
+//! Declarative parameter spaces — what an optimizer may tune per protocol.
+//!
+//! Every registry protocol exposes a [`ParamSpace`]: typed parameter
+//! ranges (duty-cycle target, slot length, …) plus feasibility
+//! constraints that fence the optimizer into the region where the
+//! construction is defined. The space is *data*, not code, so search
+//! strategies (`nd-opt`), spec validators and documentation all read the
+//! same description. Parameter values travel as plain `f64` vectors in
+//! the order of [`ParamSpace::params`]; named lookup goes through
+//! [`ParamSpace::index_of`].
+//!
+//! Conventions shared with the sweep grammar:
+//! * `eta` — total duty-cycle target η (dimensionless, `(0, 1]`),
+//! * `slot_us` — slot length in microseconds (slotted protocols only).
+
+use nd_core::time::Tick;
+
+/// How a parameter's values are laid out — this drives both seeding
+/// (where an optimizer places its initial grid) and refinement (how a
+/// midpoint between two candidate values is formed).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ParamRange {
+    /// A continuous range seeded and refined on a log scale — for scale
+    /// parameters spanning decades (duty cycles, periods).
+    LogRange {
+        /// Inclusive lower limit (> 0).
+        lo: f64,
+        /// Inclusive upper limit.
+        hi: f64,
+    },
+    /// A continuous range seeded and refined on a linear scale.
+    LinRange {
+        /// Inclusive lower limit.
+        lo: f64,
+        /// Inclusive upper limit.
+        hi: f64,
+    },
+}
+
+impl ParamRange {
+    /// Inclusive limits of the range.
+    pub fn limits(&self) -> (f64, f64) {
+        match *self {
+            ParamRange::LogRange { lo, hi } | ParamRange::LinRange { lo, hi } => (lo, hi),
+        }
+    }
+
+    /// Whether `v` lies inside the range.
+    pub fn contains(&self, v: f64) -> bool {
+        let (lo, hi) = self.limits();
+        v.is_finite() && v >= lo && v <= hi
+    }
+
+    /// `n` seed values spanning the range (log- or linearly spaced,
+    /// endpoints included). `n = 1` yields the geometric/arithmetic
+    /// middle.
+    pub fn seeds(&self, n: usize) -> Vec<f64> {
+        let n = n.max(1);
+        let (lo, hi) = self.limits();
+        if n == 1 {
+            return vec![self.midpoint(lo, hi)];
+        }
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / (n - 1) as f64;
+                let v = match self {
+                    ParamRange::LogRange { .. } => (lo.ln() + t * (hi.ln() - lo.ln())).exp(),
+                    ParamRange::LinRange { .. } => lo + t * (hi - lo),
+                };
+                // exp(ln(x)) can land one ulp outside the range; seeds
+                // must stay feasible by construction
+                v.clamp(lo, hi)
+            })
+            .collect()
+    }
+
+    /// The scale-appropriate midpoint of two values (geometric on log
+    /// ranges, arithmetic on linear ranges), clamped into the range.
+    pub fn midpoint(&self, a: f64, b: f64) -> f64 {
+        let (lo, hi) = self.limits();
+        let m = match self {
+            ParamRange::LogRange { .. } => (a * b).sqrt(),
+            ParamRange::LinRange { .. } => 0.5 * (a + b),
+        };
+        m.clamp(lo, hi)
+    }
+}
+
+/// One tunable parameter: a name (sweep-grammar spelling) and its range.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParamDef {
+    /// Parameter name (`"eta"`, `"slot_us"`).
+    pub name: &'static str,
+    /// Value layout and limits.
+    pub range: ParamRange,
+}
+
+/// A feasibility constraint over a full parameter point — regions where a
+/// construction, while inside every per-parameter range, is still
+/// undefined or degenerate. Constructor errors remain the backstop for
+/// anything not expressible here; these exist so an optimizer can skip
+/// known-infeasible points without paying for the failed construction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Constraint {
+    /// `slot_us` must be at least this multiple of the packet airtime ω —
+    /// a slot must fit its beacon(s) plus a usable listening remainder.
+    MinSlotOmegaRatio(f64),
+    /// `eta · slot_us` must be at least `factor · ω_us`: the active time
+    /// per schedule period must amount to at least one packet airtime,
+    /// otherwise the discretized construction collapses to zero beacons.
+    MinEtaSlotProductOmega(f64),
+}
+
+/// A protocol's full declarative parameter space.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParamSpace {
+    /// The tunable parameters, in canonical order (value vectors use this
+    /// order).
+    pub params: Vec<ParamDef>,
+    /// Feasibility constraints over full points.
+    pub constraints: Vec<Constraint>,
+}
+
+impl ParamSpace {
+    /// The position of a named parameter in value vectors.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.params.iter().position(|p| p.name == name)
+    }
+
+    /// The named component of a point, if the space has that parameter.
+    pub fn value_of(&self, name: &str, point: &[f64]) -> Option<f64> {
+        self.index_of(name).and_then(|i| point.get(i).copied())
+    }
+
+    /// Whether the point is inside every range and satisfies every
+    /// constraint. `omega` is the radio's packet airtime (constraints
+    /// relate slot lengths to it).
+    pub fn feasible(&self, point: &[f64], omega: Tick) -> bool {
+        if point.len() != self.params.len() {
+            return false;
+        }
+        if !self
+            .params
+            .iter()
+            .zip(point)
+            .all(|(p, &v)| p.range.contains(v))
+        {
+            return false;
+        }
+        let omega_us = omega.as_micros_f64();
+        let slot_us = self.value_of("slot_us", point);
+        let eta = self.value_of("eta", point);
+        self.constraints.iter().all(|c| match *c {
+            Constraint::MinSlotOmegaRatio(r) => slot_us.is_none_or(|s| s >= r * omega_us),
+            Constraint::MinEtaSlotProductOmega(f) => match (eta, slot_us) {
+                (Some(e), Some(s)) => e * s >= f * omega_us,
+                _ => true,
+            },
+        })
+    }
+
+    /// The full seeding grid: `per_axis` values per parameter, crossed
+    /// (cartesian product, first parameter outermost), *not* yet filtered
+    /// for feasibility.
+    pub fn seed_grid(&self, per_axis: usize) -> Vec<Vec<f64>> {
+        let axes: Vec<Vec<f64>> = self
+            .params
+            .iter()
+            .map(|p| p.range.seeds(per_axis))
+            .collect();
+        let mut grid: Vec<Vec<f64>> = vec![Vec::new()];
+        for axis in &axes {
+            let mut next = Vec::with_capacity(grid.len() * axis.len());
+            for prefix in &grid {
+                for &v in axis {
+                    let mut point = prefix.clone();
+                    point.push(v);
+                    next.push(point);
+                }
+            }
+            grid = next;
+        }
+        grid
+    }
+
+    /// The component-wise, scale-appropriate midpoint of two points —
+    /// how an optimizer refines the region between two neighboring front
+    /// candidates.
+    pub fn midpoint(&self, a: &[f64], b: &[f64]) -> Vec<f64> {
+        self.params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| p.range.midpoint(a[i], b[i]))
+            .collect()
+    }
+
+    /// The same space with the named parameter's range intersected with
+    /// `[lo, hi]` (the scale is kept). `None` if the intersection is
+    /// empty or the space has no such parameter — a search restricted to
+    /// a region the protocol does not cover is a caller error, not an
+    /// empty result.
+    pub fn restrict(&self, name: &str, lo: f64, hi: f64) -> Option<ParamSpace> {
+        let idx = self.index_of(name)?;
+        let mut out = self.clone();
+        let p = &mut out.params[idx];
+        let (cur_lo, cur_hi) = p.range.limits();
+        let (new_lo, new_hi) = (lo.max(cur_lo), hi.min(cur_hi));
+        // empty (or NaN-poisoned) intersection
+        if new_lo.partial_cmp(&new_hi) != Some(std::cmp::Ordering::Less) && new_lo != new_hi {
+            return None;
+        }
+        p.range = match p.range {
+            ParamRange::LogRange { .. } => ParamRange::LogRange {
+                lo: new_lo,
+                hi: new_hi,
+            },
+            ParamRange::LinRange { .. } => ParamRange::LinRange {
+                lo: new_lo,
+                hi: new_hi,
+            },
+        };
+        Some(out)
+    }
+}
+
+/// The duty-cycle range every space shares: the paper's practical regime
+/// (≈ 0.5 % … 25 %), log-spaced because latency scales as 1/η².
+fn eta_param() -> ParamDef {
+    ParamDef {
+        name: "eta",
+        range: ParamRange::LogRange {
+            lo: 0.005,
+            hi: 0.25,
+        },
+    }
+}
+
+/// The slot-length range slotted protocols expose: 0.25 ms … 8 ms
+/// (BLE-scale up to sensor-network-scale), log-spaced.
+fn slot_param() -> ParamDef {
+    ParamDef {
+        name: "slot_us",
+        range: ParamRange::LogRange {
+            lo: 250.0,
+            hi: 8000.0,
+        },
+    }
+}
+
+impl crate::registry::ProtocolKind {
+    /// The protocol's declarative parameter space: what `nd-opt` (or any
+    /// other search) may tune, and where the construction is defined.
+    ///
+    /// The slotless optimum is parametrized by η alone; every slotted
+    /// protocol adds its slot length. Constraints fence off slots too
+    /// short to hold a beacon and η·slot products that round to zero
+    /// active time.
+    pub fn param_space(&self) -> ParamSpace {
+        use crate::registry::ProtocolKind::*;
+        let slotted = |min_slot_omega: f64| ParamSpace {
+            params: vec![eta_param(), slot_param()],
+            constraints: vec![
+                Constraint::MinSlotOmegaRatio(min_slot_omega),
+                Constraint::MinEtaSlotProductOmega(1.0),
+            ],
+        };
+        match self {
+            OptimalSlotless => ParamSpace {
+                params: vec![eta_param()],
+                constraints: vec![],
+            },
+            // plain slotted constructions: a slot holds one beacon at each
+            // boundary, so ≥ 4ω leaves a usable listening remainder
+            Disco | UConnect | Searchlight => slotted(4.0),
+            // two packets per slot (code-based) and difference codes with
+            // dense marks need more headroom per slot
+            DiffCodes | CodeBased => slotted(8.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ProtocolKind;
+
+    const OMEGA: Tick = Tick::from_micros(36);
+
+    #[test]
+    fn every_registry_protocol_has_a_space_with_eta_first() {
+        for kind in ProtocolKind::all() {
+            let space = kind.param_space();
+            assert!(!space.params.is_empty(), "{}", kind.name());
+            assert_eq!(space.params[0].name, "eta", "{}", kind.name());
+            assert_eq!(space.index_of("eta"), Some(0));
+        }
+    }
+
+    #[test]
+    fn slotted_spaces_expose_a_slot_axis_and_slotless_does_not() {
+        assert_eq!(
+            ProtocolKind::OptimalSlotless
+                .param_space()
+                .index_of("slot_us"),
+            None
+        );
+        for kind in [
+            ProtocolKind::Disco,
+            ProtocolKind::UConnect,
+            ProtocolKind::Searchlight,
+            ProtocolKind::DiffCodes,
+            ProtocolKind::CodeBased,
+        ] {
+            let space = kind.param_space();
+            assert!(space.index_of("slot_us").is_some(), "{}", kind.name());
+            assert!(!space.constraints.is_empty(), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn seeds_span_the_range_and_respect_the_scale() {
+        let r = ParamRange::LogRange { lo: 0.01, hi: 1.0 };
+        let seeds = r.seeds(3);
+        assert_eq!(seeds.len(), 3);
+        assert!((seeds[0] - 0.01).abs() < 1e-12);
+        assert!((seeds[1] - 0.1).abs() < 1e-9, "log middle: {}", seeds[1]);
+        assert!((seeds[2] - 1.0).abs() < 1e-12);
+
+        let r = ParamRange::LinRange { lo: 0.0, hi: 10.0 };
+        assert_eq!(r.seeds(3), vec![0.0, 5.0, 10.0]);
+        assert_eq!(r.seeds(1), vec![5.0]);
+        assert_eq!(
+            (ParamRange::LogRange { lo: 4.0, hi: 9.0 }).seeds(1),
+            vec![6.0]
+        );
+    }
+
+    #[test]
+    fn seed_grid_is_the_cartesian_product() {
+        let space = ProtocolKind::Disco.param_space();
+        let grid = space.seed_grid(3);
+        assert_eq!(grid.len(), 9);
+        assert!(grid.iter().all(|p| p.len() == 2));
+        // first axis outermost
+        assert_eq!(grid[0][0], grid[1][0]);
+        assert_ne!(grid[0][1], grid[1][1]);
+    }
+
+    #[test]
+    fn feasibility_enforces_ranges_and_constraints() {
+        let space = ProtocolKind::Disco.param_space();
+        assert!(space.feasible(&[0.05, 1000.0], OMEGA));
+        // out of range
+        assert!(!space.feasible(&[0.0001, 1000.0], OMEGA));
+        assert!(!space.feasible(&[0.05, 1e6], OMEGA));
+        // wrong arity
+        assert!(!space.feasible(&[0.05], OMEGA));
+        // a 100 µs slot cannot hold 4ω = 144 µs — but only in-range points
+        // exercise the constraint, so test with a large omega instead
+        let big_omega = Tick::from_micros(200);
+        assert!(!space.feasible(&[0.05, 500.0], big_omega), "500 < 4·200");
+        // η·slot below one airtime: 0.005 · 1000 µs = 5 µs < 36 µs
+        assert!(!space.feasible(&[0.005, 1000.0], OMEGA));
+        assert!(space.feasible(&[0.04, 1000.0], OMEGA));
+    }
+
+    #[test]
+    fn midpoints_follow_the_scale() {
+        let space = ProtocolKind::Disco.param_space();
+        let m = space.midpoint(&[0.01, 1000.0], &[0.04, 4000.0]);
+        assert!((m[0] - 0.02).abs() < 1e-12, "geometric: {}", m[0]);
+        assert!((m[1] - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn restrict_intersects_and_rejects_empty() {
+        let space = ProtocolKind::Disco.param_space();
+        let narrowed = space.restrict("eta", 0.02, 0.10).unwrap();
+        assert_eq!(
+            narrowed.params[0].range,
+            ParamRange::LogRange { lo: 0.02, hi: 0.10 }
+        );
+        // scale and other axes untouched
+        assert_eq!(narrowed.params[1], space.params[1]);
+        assert_eq!(narrowed.constraints, space.constraints);
+        // clamped to the space's own limits
+        let clamped = space.restrict("eta", 0.0001, 0.9).unwrap();
+        assert_eq!(clamped.params[0].range, space.params[0].range);
+        // empty intersection and unknown names are errors
+        assert!(space.restrict("eta", 0.5, 0.9).is_none());
+        assert!(space.restrict("warp", 0.1, 0.2).is_none());
+    }
+
+    #[test]
+    fn feasible_seed_points_build_schedules() {
+        // the declared space must be honest: feasible seed points are
+        // accepted by the actual constructors (errors stay a backstop for
+        // exotic interior points, but the seeding grid must mostly work)
+        let slot_idx = |space: &ParamSpace| space.index_of("slot_us");
+        for kind in ProtocolKind::all() {
+            let space = kind.param_space();
+            let mut feasible = 0;
+            let mut built = 0;
+            for point in space.seed_grid(3) {
+                if !space.feasible(&point, OMEGA) {
+                    continue;
+                }
+                feasible += 1;
+                let eta = point[0];
+                let slot = slot_idx(&space)
+                    .map(|i| Tick::from_secs_f64(point[i] * 1e-6))
+                    .unwrap_or(Tick::from_millis(1));
+                if kind.schedule_for_eta(eta, slot, OMEGA).is_ok() {
+                    built += 1;
+                }
+            }
+            assert!(feasible > 0, "{}: empty feasible seed grid", kind.name());
+            assert!(
+                built * 3 >= feasible * 2,
+                "{}: only {built}/{feasible} feasible seeds construct",
+                kind.name()
+            );
+        }
+    }
+}

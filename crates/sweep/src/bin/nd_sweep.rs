@@ -8,7 +8,7 @@
 //! nd-sweep protocols               # list registry protocol names
 //! ```
 
-use nd_sweep::{expand, run_sweep, ScenarioSpec, SweepOptions};
+use nd_sweep::{expand, run_sweep, ScenarioSpec, SweepOptions, ENGINE_VERSION};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -19,6 +19,15 @@ fn main() -> ExitCode {
         Some("expand") => cmd_expand(&args[1..]),
         Some("hash") => cmd_hash(&args[1..]),
         Some("protocols") => cmd_protocols(),
+        Some("--version" | "-V" | "version") => {
+            // one stable provenance line so scripted runs can record which
+            // binary (and which cache ABI) produced their data
+            println!(
+                "nd-sweep {} (engine {ENGINE_VERSION})",
+                env!("CARGO_PKG_VERSION")
+            );
+            ExitCode::SUCCESS
+        }
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -33,15 +42,28 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 nd-sweep — parallel scenario sweeps over neighbor-discovery protocols
 
-Backends: exact | montecarlo | bounds | netsim (N-node cohorts with
-collisions, churn and per-node drift; grid axes `nodes`, `churn`,
-`collision`). `run` exits non-zero if any job errored.
+A sweep is described by a declarative TOML/JSON scenario spec: a protocol
+axis (registry names or `diff-code:<v>:<m1>,<m2>,…`), parameter grids
+(`eta`, `slot_us`, `drift_ppm`, `drop_probability`, `turnaround_us`,
+`phase_us`, `ratio`, `nodes`, `churn`, `collision`) and an evaluation
+backend. Results are cached content-addressed: re-runs and overlapping
+grids are near-free.
+
+Backends:
+    exact        coverage-map analysis — exact worst case, mean,
+                 percentiles, undiscovered probability
+    montecarlo   pairwise simulation — collisions, drift, faults, energy
+    netsim       N-node cohorts — contention, join/leave churn, per-node
+                 drift (grid axes `nodes`, `churn`, `collision`)
+    bounds       closed-form fundamental bounds (no schedules built)
 
 USAGE:
     nd-sweep run <spec.toml|spec.json> [OPTIONS]
     nd-sweep expand <spec>      list the jobs the spec expands to
     nd-sweep hash <spec>        print the spec's content hash
     nd-sweep protocols          list protocol registry names
+    nd-sweep --version          print version + engine/cache ABI, then exit
+    nd-sweep --help             print this help, then exit
 
 OPTIONS (run):
     --out-dir DIR      write <name>.csv/.json here (default: .)
@@ -51,6 +73,11 @@ OPTIONS (run):
     --cache-dir DIR    cache location (default: $ND_SWEEP_CACHE or
                        target/nd-sweep-cache)
     --quiet            suppress the progress summary
+
+EXIT STATUS:
+    0 on success; non-zero if the spec is invalid or *any* job errored
+    (cached error rows included), so pipelines cannot silently ship a
+    sweep with error rows in it.
 ";
 
 fn fail(msg: impl std::fmt::Display) -> ExitCode {

@@ -35,10 +35,13 @@ use nd_core::time::Tick;
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// Version salt for every content hash: bump the final component whenever
-/// the engine's result semantics change, so stale cache entries can never
-/// be served for new semantics.
-pub const ENGINE_VERSION: &str = concat!("nd-sweep/", env!("CARGO_PKG_VERSION"), "/abi2");
+/// Version salt for every content hash: bump the final `abiN` component
+/// whenever the engine's result semantics change (new backend behavior,
+/// changed seed derivation, changed metric definitions), so stale cache
+/// entries can never be served for new semantics. History: abi1 = initial
+/// engine, abi2 = netsim backend + cohort axes, abi3 = per-trial seeds
+/// derived via the audited `nd_core::seed::stream_seed` (SplitMix64).
+pub const ENGINE_VERSION: &str = concat!("nd-sweep/", env!("CARGO_PKG_VERSION"), "/abi3");
 
 /// Spec loading/validation error.
 #[derive(Debug)]

@@ -313,3 +313,47 @@ fn cli_run_expand_hash_roundtrip() {
     assert_eq!(hash.trim().len(), 64, "sha-256 hex: {hash}");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// `--version` prints one stable provenance line (version + engine/cache
+/// ABI) so scripted runs can record which binary produced their data, and
+/// `--help` documents every subcommand including `--version` itself.
+#[test]
+fn cli_version_and_help_record_provenance() {
+    let bin = env!("CARGO_BIN_EXE_nd-sweep");
+    for flag in ["--version", "-V", "version"] {
+        let out = std::process::Command::new(bin).arg(flag).output().unwrap();
+        assert!(out.status.success(), "{flag}");
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert_eq!(text.lines().count(), 1, "one parseable line: {text}");
+        assert!(
+            text.starts_with(&format!("nd-sweep {}", env!("CARGO_PKG_VERSION"))),
+            "{text}"
+        );
+        assert!(
+            text.contains(nd_sweep::ENGINE_VERSION),
+            "engine/cache ABI in provenance: {text}"
+        );
+    }
+
+    let help = std::process::Command::new(bin)
+        .arg("--help")
+        .output()
+        .unwrap();
+    assert!(help.status.success());
+    let help = String::from_utf8(help.stdout).unwrap();
+    for needle in [
+        "run",
+        "expand",
+        "hash",
+        "protocols",
+        "--version",
+        "--cache-dir",
+        "netsim",
+        "EXIT STATUS",
+    ] {
+        assert!(
+            help.contains(needle),
+            "help must mention `{needle}`:\n{help}"
+        );
+    }
+}

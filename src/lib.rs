@@ -18,12 +18,15 @@
 //!   Monte-Carlo harnesses.
 //! * [`sweep`] (`nd-sweep`) — declarative, parallel, cached scenario
 //!   sweeps over all of the above (and the `nd-sweep` CLI).
+//! * [`opt`] (`nd-opt`) — per-protocol Pareto fronts over (duty cycle,
+//!   latency) with gap-to-bound reporting (and the `nd-opt` CLI).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
 pub use nd_analysis as analysis;
 pub use nd_core as core;
 pub use nd_netsim as netsim;
+pub use nd_opt as opt;
 pub use nd_protocols as protocols;
 pub use nd_sim as sim;
 pub use nd_sweep as sweep;
