@@ -46,11 +46,7 @@ fn bench_front(c: &mut Criterion) {
 fn bench_evaluations(c: &mut Criterion) {
     let s = spec();
     let ev = evaluator_for(&s).unwrap();
-    let cand = Candidate {
-        protocol: "optimal-slotless".into(),
-        eta: 0.05,
-        slot_us: None,
-    };
+    let cand = Candidate::symmetric("optimal-slotless", 0.05, None);
     c.bench_function("opt_eval_exact", |b| {
         b.iter(|| black_box(ev.run(&cand).unwrap().len()))
     });
@@ -97,11 +93,7 @@ fn write_summary() {
     }
     let s = spec();
     let ev = evaluator_for(&s).unwrap();
-    let cand = Candidate {
-        protocol: "optimal-slotless".into(),
-        eta: 0.05,
-        slot_us: None,
-    };
+    let cand = Candidate::symmetric("optimal-slotless", 0.05, None);
     let (iters, per_sec) = measure(Box::new(move || ev.run(&cand).unwrap().len() as u64));
     entries.push(format!(
         "    {{\"bench\": \"opt_eval_exact\", \"iters\": {iters}, \"evals_per_sec\": {per_sec:.2}}}"

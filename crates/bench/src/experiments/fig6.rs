@@ -8,40 +8,73 @@
 //! scale for moderate asymmetry, and growing slowly beyond it. We print
 //! both the product series and the exact penalty factor.
 //!
-//! The whole grid — joint budget × asymmetry ratio — is one declarative
-//! `nd-sweep` scenario on the closed-form `bounds` backend.
+//! The whole grid — every (η_E, η_F) pair the report tables need — is one
+//! declarative `nd-sweep` scenario on the closed-form `bounds` backend,
+//! expressed through the role-typed `eta` × `eta_b` axes (η_E on role A,
+//! η_F on role B). The cartesian product covers more pairs than the
+//! tables read; bounds jobs are closed-form, so the surplus is free.
 
 use crate::table::{secs, Table};
 use nd_sweep::{run_sweep, Row, ScenarioSpec, SweepOptions};
 
-/// The (η_E+η_F) × ratio grid as a scenario spec. The ratio axis is the
-/// union of what the two report tables need.
-const SPEC: &str = r#"
-name = "fig6-asymmetry-cost"
-backend = "bounds"
+/// The joint budgets (η_E + η_F) the report tabulates.
+const SUMS: [f64; 5] = [0.01, 0.02, 0.05, 0.10, 0.20];
+/// The asymmetry ratios r = η_E/η_F the report tabulates.
+const RATIOS: [f64; 7] = [1.0, 1.5, 2.0, 3.0, 5.0, 10.0, 20.0];
 
-[radio]
-omega_us = 36
-alpha = 1.0
+/// Split a joint budget at a ratio into the explicit (η_E, η_F) pair —
+/// the same arithmetic `find` uses, so lookups match bit for bit.
+fn split(sum: f64, ratio: f64) -> (f64, f64) {
+    let eta_f = sum / (1.0 + ratio);
+    (sum - eta_f, eta_f)
+}
 
-[grid]
-eta = [0.01, 0.02, 0.05, 0.10, 0.20]
-ratio = [1.0, 1.5, 2.0, 3.0, 5.0, 10.0, 20.0]
-"#;
+/// The (η_E, η_F) grid as a role-typed scenario spec: role A carries η_E
+/// on the `eta` axis, role B carries η_F on the `eta_b` axis.
+fn spec() -> ScenarioSpec {
+    let mut eta_e: Vec<f64> = Vec::new();
+    let mut eta_f: Vec<f64> = Vec::new();
+    for &sum in &SUMS {
+        for &ratio in &RATIOS {
+            let (e, f) = split(sum, ratio);
+            eta_e.push(e);
+            eta_f.push(f);
+        }
+    }
+    for axis in [&mut eta_e, &mut eta_f] {
+        axis.sort_by(f64::total_cmp);
+        axis.dedup();
+    }
+    // shortest-roundtrip float rendering parses back to identical bits
+    let render = |axis: &[f64]| {
+        axis.iter()
+            .map(|v| format!("{v}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let toml = format!(
+        "name = \"fig6-asymmetry-cost\"\nbackend = \"bounds\"\n\n\
+         [radio]\nomega_us = 36\nalpha = 1.0\n\n\
+         [grid]\neta = [{}]\neta_b = [{}]\n",
+        render(&eta_e),
+        render(&eta_f),
+    );
+    ScenarioSpec::from_toml_str(&toml).expect("valid spec")
+}
 
-fn find(rows: &[Row], eta: f64, ratio: f64) -> &Row {
+fn find(rows: &[Row], sum: f64, ratio: f64) -> &Row {
+    let (eta_e, eta_f) = split(sum, ratio);
     rows.iter()
         .find(|r| {
-            r.param("eta").and_then(|v| v.as_f64()) == Some(eta)
-                && r.param("ratio").and_then(|v| v.as_f64()) == Some(ratio)
+            r.param("eta").and_then(|v| v.as_f64()) == Some(eta_e)
+                && r.param("eta_b").and_then(|v| v.as_f64()) == Some(eta_f)
         })
         .expect("grid covers the requested point")
 }
 
 /// Generate the report.
 pub fn run() -> String {
-    let spec = ScenarioSpec::from_toml_str(SPEC).expect("valid spec");
-    let sweep = run_sweep(&spec, &SweepOptions::uncached()).expect("sweep runs");
+    let sweep = run_sweep(&spec(), &SweepOptions::uncached()).expect("sweep runs");
     let rows = &sweep.rows;
 
     let mut out = String::new();
@@ -100,11 +133,25 @@ mod tests {
 
     #[test]
     fn sweep_rows_match_direct_evaluation() {
-        let spec = ScenarioSpec::from_toml_str(SPEC).unwrap();
-        let sweep = run_sweep(&spec, &SweepOptions::uncached()).unwrap();
-        let row = find(&sweep.rows, 0.05, 2.0);
-        let direct = product_vs_joint_budget(1.0, 36e-6, 0.05, 2.0);
-        assert!((row.metric("product").unwrap() - direct).abs() < 1e-12);
+        let sweep = run_sweep(&spec(), &SweepOptions::uncached()).unwrap();
+        for (sum, ratio) in [(0.05, 2.0), (0.10, 1.0), (0.01, 20.0)] {
+            let row = find(&sweep.rows, sum, ratio);
+            assert!(row.error.is_none(), "{:?}", row.error);
+            let direct = product_vs_joint_budget(1.0, 36e-6, sum, ratio);
+            assert!((row.metric("product").unwrap() - direct).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn every_table_pair_is_on_the_grid() {
+        let sweep = run_sweep(&spec(), &SweepOptions::uncached()).unwrap();
+        for &sum in &SUMS {
+            for &ratio in &RATIOS {
+                let row = find(&sweep.rows, sum, ratio);
+                // the explicit pair reports its joint budget back
+                assert!((row.metric("eta_sum").unwrap() - sum).abs() < 1e-12);
+            }
+        }
     }
 
     #[test]

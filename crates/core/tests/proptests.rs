@@ -279,3 +279,43 @@ proptest! {
         prop_assert_eq!(inside, !ivs.is_empty());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Theorem 5.7 (asymmetric bound) invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Equal per-device budgets collapse Theorem 5.7 onto the symmetric
+    /// Theorem 5.5 bound for every (α, ω, η).
+    #[test]
+    fn asymmetric_bound_coincides_with_symmetric_at_equal_budgets(
+        alpha in 0.1f64..8.0,
+        omega_us in 1.0f64..500.0,
+        eta in 0.001f64..0.5,
+    ) {
+        let omega = omega_us * 1e-6;
+        let asym = nd_core::bounds::asymmetric_bound(alpha, omega, eta, eta);
+        let sym = nd_core::bounds::symmetric::symmetric_bound(alpha, omega, eta);
+        prop_assert!((asym - sym).abs() <= 1e-9 * sym.abs(),
+            "asym {asym} vs sym {sym}");
+    }
+
+    /// The proof's per-device optimal splits spend exactly the budget on
+    /// each device (η_X = α·β_X + γ_X) and balance the two directions
+    /// (β_E·γ_F = β_F·γ_E), for random (η_E, η_F) pairs and α.
+    #[test]
+    fn optimal_asymmetric_splits_spend_the_budgets_and_balance(
+        alpha in 0.1f64..8.0,
+        eta_e in 0.001f64..0.5,
+        eta_f in 0.001f64..0.5,
+    ) {
+        let (dc_e, dc_f) = nd_core::bounds::optimal_asymmetric_splits(eta_e, eta_f, alpha);
+        prop_assert!((dc_e.eta(alpha) - eta_e).abs() <= 1e-12 + 1e-9 * eta_e);
+        prop_assert!((dc_f.eta(alpha) - eta_f).abs() <= 1e-12 + 1e-9 * eta_f);
+        // the balanced-latency condition L_E = L_F of the Theorem 5.7 proof
+        let p_ef = dc_e.beta * dc_f.gamma;
+        let p_fe = dc_f.beta * dc_e.gamma;
+        prop_assert!((p_ef - p_fe).abs() <= 1e-9 * p_ef.abs().max(p_fe.abs()),
+            "β_E·γ_F {p_ef} vs β_F·γ_E {p_fe}");
+    }
+}

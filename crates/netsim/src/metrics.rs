@@ -83,6 +83,17 @@ impl CohortReport {
     /// `OneWay` yields up to `n·(n−1)` entries (ordered), the others up to
     /// `n·(n−1)/2` (unordered).
     pub fn pair_latencies(&self, metric: PairMetric) -> Vec<Option<Tick>> {
+        self.pair_latency_entries(metric)
+            .into_iter()
+            .map(|(_, _, lat)| lat)
+            .collect()
+    }
+
+    /// [`CohortReport::pair_latencies`] with the pair identity attached:
+    /// `(a, b, latency)` per eligible pair. Mixed-role cohorts use this
+    /// to split the distribution by pair class (cross-role vs.
+    /// same-role).
+    pub fn pair_latency_entries(&self, metric: PairMetric) -> Vec<(usize, usize, Option<Tick>)> {
         let n = self.len();
         let mut out = Vec::new();
         for a in 0..n {
@@ -118,7 +129,7 @@ impl CohortReport {
                         }
                     }
                 };
-                out.push(lat);
+                out.push((a, b, lat));
             }
         }
         out
@@ -277,6 +288,19 @@ mod tests {
         deaf.discovery = DiscoveryMatrix::new(3);
         deaf.discovery.record(0, 1, Tick(50));
         assert_eq!(deaf.first_contacts()[1], None);
+    }
+
+    #[test]
+    fn pair_entries_carry_identities() {
+        let r = report();
+        let entries = r.pair_latency_entries(PairMetric::TwoWay);
+        assert_eq!(entries.len(), 3);
+        assert!(entries.contains(&(0, 1, Some(Tick(200)))));
+        // latencies-only view is the same data
+        assert_eq!(
+            entries.iter().map(|&(_, _, l)| l).collect::<Vec<_>>(),
+            r.pair_latencies(PairMetric::TwoWay)
+        );
     }
 
     #[test]

@@ -61,11 +61,16 @@ SEARCH (ad-hoc with --protocol, or overriding a --spec file):
     --backend B        exact | montecarlo | netsim (default: exact)
     --metric M         one-way | two-way | either-way (default: two-way)
     --objective O      worst | p95 | p99 (default: worst)
+    --pair             asymmetric search: both roles' (eta, slot) searched
+                       independently, front over the total budget
+                       η_E + η_F, gap vs. the Theorem 5.7 bound
+                       (two-way metric only)
     --seeds N          seeding-grid values per axis (default: 6)
     --rounds N         refinement rounds (default: 2)
     --max-evals N      per-protocol evaluation budget (default: 256)
     --nodes N          cohort size (netsim backend only)
     --eta-min F        restrict the duty-cycle search range from below
+                       (both roles, with --pair)
     --eta-max F        restrict the duty-cycle search range from above
 
 OPTIONS:
@@ -78,8 +83,9 @@ OPTIONS:
     --quiet            suppress per-point detail
 
 EXIT STATUS:
-    0 on success; non-zero on an invalid spec, an empty front, or (best)
-    no front point within the budget.
+    0 on success; non-zero on an invalid spec, an empty front (with a
+    censoring-count diagnostic explaining why nothing survived), or
+    (best) no front point within the budget.
 ";
 
 fn fail(msg: impl std::fmt::Display) -> ExitCode {
@@ -107,6 +113,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
     let mut rounds: Option<usize> = None;
     let mut max_evals: Option<usize> = None;
     let mut nodes: Option<u32> = None;
+    let mut pair = false;
     let mut eta_min: Option<f64> = None;
     let mut eta_max: Option<f64> = None;
     let mut opts = OptOptions::default();
@@ -149,6 +156,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             "--rounds" => rounds = Some(parse_pos(value("--rounds")?, "--rounds")?),
             "--max-evals" => max_evals = Some(parse_pos(value("--max-evals")?, "--max-evals")?),
             "--nodes" => nodes = Some(parse_pos(value("--nodes")?, "--nodes")? as u32),
+            "--pair" => pair = true,
             "--eta-min" => eta_min = Some(parse_unit(value("--eta-min")?, "--eta-min")?),
             "--eta-max" => eta_max = Some(parse_unit(value("--eta-max")?, "--eta-max")?),
             "--budget" => {
@@ -209,6 +217,9 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
     }
     if let Some(n) = nodes {
         spec.nodes = n;
+    }
+    if pair {
+        spec.pair = true;
     }
     if eta_min.is_some() || eta_max.is_some() {
         // one-sided restrictions leave the other bound open (the protocol
@@ -282,6 +293,48 @@ fn percent(x: f64) -> String {
     }
 }
 
+/// When any protocol's front came back empty, explain *why* — the
+/// censoring counts per reason — on stderr and return the failure exit
+/// code; an empty table with no diagnosis is useless.
+fn check_empty_fronts(outcome: &OptOutcome) -> Option<ExitCode> {
+    let empty: Vec<_> = outcome
+        .fronts
+        .iter()
+        .filter(|f| f.front.is_empty())
+        .collect();
+    if empty.is_empty() {
+        return None;
+    }
+    for f in &empty {
+        let reasons = if f.censored.is_empty() {
+            "no candidates evaluated (empty feasible seed grid?)".to_string()
+        } else {
+            f.censored
+                .iter()
+                .map(|(reason, count)| format!("{count} {reason}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        eprintln!(
+            "nd-opt: {}: empty front — {} candidate(s) evaluated, {} censored ({reasons})",
+            f.protocol, f.evaluated, f.errors,
+        );
+        if f.censored.contains_key("undiscovered-offsets") {
+            eprintln!(
+                "nd-opt: {}: slotted worst-case fronts are censored by design \
+                 (ω/slot of the offsets are never covered) — use a percentile \
+                 objective (p95/p99), or eta_min to skip the degenerate corner",
+                f.protocol,
+            );
+        }
+    }
+    Some(fail(format!(
+        "{} of {} protocol(s) produced an empty front",
+        empty.len(),
+        outcome.fronts.len(),
+    )))
+}
+
 fn cmd_front(args: &[String]) -> ExitCode {
     let cli = match parse_cli(args) {
         Ok(c) => c,
@@ -318,8 +371,8 @@ fn cmd_front(args: &[String]) -> ExitCode {
         }
     }
     summary(&outcome);
-    if outcome.fronts.iter().any(|f| f.front.is_empty()) {
-        return fail("at least one protocol produced an empty front");
+    if let Some(code) = check_empty_fronts(&outcome) {
+        return code;
     }
     ExitCode::SUCCESS
 }
@@ -347,11 +400,22 @@ fn cmd_best(args: &[String]) -> ExitCode {
                     .slot_us
                     .map(|s| format!(" slot_us={s}"))
                     .unwrap_or_default();
+                let role_b = match (p.eta_b, p.slot_us_b) {
+                    (None, None) => String::new(),
+                    (eta_b, slot_b) => format!(
+                        " eta_b={}{}",
+                        eta_b.unwrap_or(f64::NAN),
+                        slot_b
+                            .map(|s| format!(" slot_us_b={s}"))
+                            .unwrap_or_default()
+                    ),
+                };
                 println!(
-                    "  {}: eta={}{} → duty_cycle={:.6} latency_s={} (bound_s={}, gap {})",
+                    "  {}: eta={}{}{} → duty_cycle={:.6} latency_s={} (bound_s={}, gap {})",
                     f.protocol,
                     p.eta,
                     slot,
+                    role_b,
                     p.duty_cycle,
                     p.latency_s,
                     p.bound_s,
@@ -382,8 +446,7 @@ fn cmd_gap(args: &[String]) -> ExitCode {
     };
     for f in &outcome.fronts {
         if f.front.is_empty() {
-            println!("  {}: empty front", f.protocol);
-            continue;
+            continue; // check_empty_fronts prints the diagnostic
         }
         let gaps: Vec<f64> = f.front.iter().map(|p| p.gap_frac).collect();
         let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
@@ -410,8 +473,8 @@ fn cmd_gap(args: &[String]) -> ExitCode {
         }
     }
     summary(&outcome);
-    if outcome.fronts.iter().any(|f| f.front.is_empty()) {
-        return fail("at least one protocol produced an empty front");
+    if let Some(code) = check_empty_fronts(&outcome) {
+        return code;
     }
     ExitCode::SUCCESS
 }

@@ -24,10 +24,28 @@ use std::collections::BTreeMap;
 pub struct Candidate {
     /// Registry protocol name.
     pub protocol: String,
-    /// Total duty-cycle target η.
+    /// Role A's duty-cycle target η (η_E in a pair search).
     pub eta: f64,
-    /// Slot length in µs (slotted protocols only).
+    /// Role A's slot length in µs (slotted protocols only).
     pub slot_us: Option<f64>,
+    /// Role B's duty-cycle target η_F (pair searches only; `None` =
+    /// symmetric).
+    pub eta_b: Option<f64>,
+    /// Role B's slot length in µs (pair searches of slotted protocols).
+    pub slot_us_b: Option<f64>,
+}
+
+impl Candidate {
+    /// A symmetric (single-role) candidate.
+    pub fn symmetric(protocol: impl Into<String>, eta: f64, slot_us: Option<f64>) -> Self {
+        Candidate {
+            protocol: protocol.into(),
+            eta,
+            slot_us,
+            eta_b: None,
+            slot_us_b: None,
+        }
+    }
 }
 
 /// A candidate's evaluation: the two objectives plus the backend's full
@@ -36,10 +54,15 @@ pub struct Candidate {
 pub struct Evaluation {
     /// The evaluated candidate.
     pub candidate: Candidate,
-    /// Nominal total duty cycle η = γ + αβ of the *constructed* schedule
-    /// (which may differ from the requested η by integer rounding) — the
-    /// x-axis of the front, and the budget `best --budget` filters on.
+    /// The budget objective — the x-axis of the front, and what
+    /// `best --budget` filters on. Symmetric search: the nominal duty
+    /// cycle η = γ + αβ of the *constructed* schedule (which may differ
+    /// from the requested η by integer rounding). Pair search: the total
+    /// budget η_E + η_F across both constructed schedules.
     pub duty_cycle: f64,
+    /// Role B's constructed duty cycle η_F (pair searches only; role A's
+    /// is then `duty_cycle − duty_cycle_b`).
+    pub duty_cycle_b: Option<f64>,
     /// The latency objective value, seconds.
     pub latency_s: f64,
     /// Every metric the backend produced.
@@ -86,6 +109,9 @@ struct Harness {
     spec: ScenarioSpec,
     latency_key: &'static str,
     nodes: u32,
+    /// Role-B cohort share for pair searches on the netsim evaluator
+    /// (an even split); 0.0 for symmetric searches.
+    mix: f64,
     /// The failure mass the objective tolerates: a `q`-percentile is
     /// defined as long as at most `1 − q` of the probability mass never
     /// discovers; the worst case tolerates none.
@@ -113,6 +139,16 @@ impl Harness {
                 .slot_us
                 .map(|us| Tick::from_secs_f64(us * 1e-6))
                 .unwrap_or_else(|| Tick::from_millis(1)),
+            // pair candidates put role B on device 1 (pairwise backends)
+            // or on the `mix` share of the cohort (netsim)
+            protocol_b: None,
+            eta_b: cand.eta_b,
+            slot_b: cand.slot_us_b.map(|us| Tick::from_secs_f64(us * 1e-6)),
+            mix: if cand.eta_b.is_some() || cand.slot_us_b.is_some() {
+                self.mix
+            } else {
+                0.0
+            },
             drift_ppm: 0,
             drop_probability: 0.0,
             turnaround: Tick::ZERO,
@@ -157,7 +193,15 @@ impl Harness {
                 ));
             }
         }
-        if let Some(&f) = metrics.get("pair_discovered_frac") {
+        // a mixed pair-mode cohort is judged on its cross-role pairs: the
+        // coupled Theorem 5.7 construction only guarantees cross
+        // discovery, so same-role pairs must neither censor nor pass it
+        let discovered_key = if self.mix > 0.0 {
+            "cross_discovered_frac"
+        } else {
+            "pair_discovered_frac"
+        };
+        if let Some(&f) = metrics.get(discovered_key) {
             if f < 1.0 - allowed - 1e-12 {
                 return Err(format!(
                     "only {f:.4} of node pairs discovered within the horizon \
@@ -174,10 +218,21 @@ impl Harness {
                 self.latency_key
             ));
         }
-        let sched = nd_sweep::engine::build_schedule(&self.job(cand), &self.spec)?;
+        let job = self.job(cand);
+        let alpha = self.spec.radio.alpha;
+        let (dc, dc_b) = if job.has_role_b() {
+            // pair search: the front runs over the total budget η_E + η_F
+            let (a, b) = nd_sweep::engine::build_role_schedules(&job, &self.spec)?;
+            let (dc_a, dc_b) = (a.eta(alpha), b.eta(alpha));
+            (dc_a + dc_b, Some(dc_b))
+        } else {
+            let sched = nd_sweep::engine::build_schedule(&job, &self.spec)?;
+            (sched.eta(alpha), None)
+        };
         Ok(Evaluation {
             candidate: cand.clone(),
-            duty_cycle: sched.eta(self.spec.radio.alpha),
+            duty_cycle: dc,
+            duty_cycle_b: dc_b,
             latency_s,
             metrics,
             from_cache,
@@ -238,6 +293,14 @@ pub fn evaluator_for(spec: &OptSpec) -> Result<Box<dyn Evaluator>, SpecError> {
     spec.validate()?;
     let mut base = spec.base.clone();
     let objective = spec.objective;
+    // pair searches on the cohort backend split the cohort evenly
+    // between the two roles; the pairwise backends put role B on
+    // device 1 and keep `mix` out of their job hashes
+    let mix = if spec.pair && base.backend == Backend::Netsim {
+        0.5
+    } else {
+        0.0
+    };
     Ok(match base.backend {
         Backend::Exact => {
             base.percentiles = objective != Objective::Worst;
@@ -251,6 +314,7 @@ pub fn evaluator_for(spec: &OptSpec) -> Result<Box<dyn Evaluator>, SpecError> {
                 spec: base,
                 latency_key,
                 nodes: spec.nodes,
+                mix,
                 allowed_failure: allowed_failure(objective),
             }))
         }
@@ -264,19 +328,27 @@ pub fn evaluator_for(spec: &OptSpec) -> Result<Box<dyn Evaluator>, SpecError> {
                 spec: base,
                 latency_key,
                 nodes: spec.nodes,
+                mix,
                 allowed_failure: allowed_failure(objective),
             }))
         }
         Backend::Netsim => {
-            let latency_key = match objective {
-                Objective::Worst => "pair_max_s",
-                Objective::P95 => "pair_p95_s",
-                Objective::P99 => unreachable!("rejected by OptSpec::validate"),
+            // pair mode optimizes the cross-role slice of the mixed
+            // cohort — the latencies the (η_E, η_F) front is about —
+            // against the Theorem 5.7 bound; same-role pairs have no
+            // cross-role guarantee and would bias the objective
+            let latency_key = match (objective, spec.pair) {
+                (Objective::Worst, false) => "pair_max_s",
+                (Objective::P95, false) => "pair_p95_s",
+                (Objective::Worst, true) => "cross_max_s",
+                (Objective::P95, true) => "cross_p95_s",
+                (Objective::P99, _) => unreachable!("rejected by OptSpec::validate"),
             };
             Box::new(NetsimEvaluator(Harness {
                 spec: base,
                 latency_key,
                 nodes: spec.nodes,
+                mix,
                 allowed_failure: allowed_failure(objective),
             }))
         }
@@ -294,11 +366,7 @@ mod tests {
     }
 
     fn cand(eta: f64) -> Candidate {
-        Candidate {
-            protocol: "optimal-slotless".into(),
-            eta,
-            slot_us: None,
-        }
+        Candidate::symmetric("optimal-slotless", eta, None)
     }
 
     #[test]
@@ -359,6 +427,75 @@ mod tests {
             .interpret(&c, metrics, false)
             .unwrap_err()
             .contains("pairs"));
+    }
+
+    #[test]
+    fn pair_candidates_evaluate_against_theorem_5_7() {
+        let spec = opt_spec(
+            "backend = \"exact\"\nmetric = \"two-way\"\n\
+             [opt]\nprotocols = [\"optimal\"]\npair = true\n",
+        );
+        let ev = evaluator_for(&spec).unwrap();
+        let c = Candidate {
+            protocol: "optimal-slotless".into(),
+            eta: 0.08,
+            slot_us: None,
+            eta_b: Some(0.02),
+            slot_us_b: None,
+        };
+        let metrics = ev.run(&c).unwrap();
+        let e = ev.interpret(&c, metrics, false).unwrap();
+        // the x-axis is the total budget, with role B's share attached
+        assert!((e.duty_cycle - 0.10).abs() < 0.005, "{}", e.duty_cycle);
+        let dc_b = e.duty_cycle_b.unwrap();
+        assert!((dc_b - 0.02).abs() < 0.003);
+        let bound = nd_core::bounds::asymmetric_bound(1.0, 36e-6, e.duty_cycle - dc_b, dc_b);
+        assert!(
+            (e.latency_s - bound).abs() / bound < 0.01,
+            "latency {} vs Theorem 5.7 bound {bound}",
+            e.latency_s
+        );
+    }
+
+    #[test]
+    fn netsim_pair_candidates_run_mixed_cohorts() {
+        // pair mode on the cohort evaluator: the job carries mix = 0.5,
+        // so the cohort splits evenly between the two roles — and the
+        // mix enters the cache key (a different nodes/mix must not
+        // collide with the pairwise evaluation of the same candidate)
+        let net = opt_spec(
+            "backend = \"netsim\"\nmetric = \"two-way\"\n\
+             [opt]\nprotocols = [\"optimal\"]\npair = true\nnodes = 4\n",
+        );
+        let ev = evaluator_for(&net).unwrap();
+        let c = Candidate {
+            protocol: "optimal-slotless".into(),
+            eta: 0.08,
+            slot_us: None,
+            eta_b: Some(0.02),
+            slot_us_b: None,
+        };
+        let exact = opt_spec(
+            "backend = \"exact\"\nmetric = \"two-way\"\n\
+             [opt]\nprotocols = [\"optimal\"]\npair = true\n",
+        );
+        let exact_ev = evaluator_for(&exact).unwrap();
+        assert_ne!(ev.cache_key(&c), exact_ev.cache_key(&c));
+        // the pair objective reads the cross-role slice, not the cohort-
+        // wide distribution the same-role pairs dominate
+        assert_eq!(ev.latency_metric(), "cross_max_s");
+        let metrics = ev.run(&c).unwrap();
+        assert!(metrics.contains_key("cross_pairs"));
+        assert!(metrics["cross_pairs"] > 0.0, "mixed cohort has cross pairs");
+        assert!(metrics.contains_key("cross_max_s"));
+        assert!(metrics.contains_key("cross_p95_s"));
+        // censoring keys off cross_discovered_frac for pair cohorts:
+        // an undiscovered same-role pair must not censor the candidate
+        let mut doctored = metrics.clone();
+        doctored.insert("pair_discovered_frac".to_string(), 0.5);
+        doctored.insert("cross_discovered_frac".to_string(), 1.0);
+        doctored.insert("cross_max_s".to_string(), 1.0);
+        assert!(ev.interpret(&c, doctored, false).is_ok());
     }
 
     #[test]

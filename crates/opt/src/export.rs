@@ -7,11 +7,14 @@ use crate::optimizer::OptOutcome;
 use nd_sweep::value::Value;
 use std::collections::{BTreeMap, BTreeSet};
 
-const FIXED_COLUMNS: [&str; 7] = [
+const FIXED_COLUMNS: [&str; 10] = [
     "protocol",
     "eta",
     "slot_us",
+    "eta_b",
+    "slot_us_b",
     "duty_cycle",
+    "duty_cycle_b",
     "latency_s",
     "bound_s",
     "gap_frac",
@@ -42,7 +45,10 @@ pub fn to_csv(outcome: &OptOutcome) -> String {
             for v in [
                 Some(p.eta),
                 p.slot_us,
+                p.eta_b,
+                p.slot_us_b,
                 Some(p.duty_cycle),
+                p.duty_cycle_b,
                 Some(p.latency_s),
                 Some(p.bound_s),
                 Some(p.gap_frac),
@@ -80,7 +86,19 @@ pub fn to_json(outcome: &OptOutcome) -> String {
                         "slot_us".to_string(),
                         p.slot_us.map(Value::Float).unwrap_or(Value::Null),
                     );
+                    t.insert(
+                        "eta_b".to_string(),
+                        p.eta_b.map(Value::Float).unwrap_or(Value::Null),
+                    );
+                    t.insert(
+                        "slot_us_b".to_string(),
+                        p.slot_us_b.map(Value::Float).unwrap_or(Value::Null),
+                    );
                     t.insert("duty_cycle".to_string(), Value::Float(p.duty_cycle));
+                    t.insert(
+                        "duty_cycle_b".to_string(),
+                        p.duty_cycle_b.map(Value::Float).unwrap_or(Value::Null),
+                    );
                     t.insert("latency_s".to_string(), Value::Float(p.latency_s));
                     t.insert("bound_s".to_string(), Value::Float(p.bound_s));
                     t.insert("gap_frac".to_string(), Value::Float(p.gap_frac));
@@ -103,6 +121,15 @@ pub fn to_json(outcome: &OptOutcome) -> String {
             t.insert("executed".to_string(), Value::Int(f.executed as i64));
             t.insert("cache_hits".to_string(), Value::Int(f.cache_hits as i64));
             t.insert("errors".to_string(), Value::Int(f.errors as i64));
+            t.insert(
+                "censored".to_string(),
+                Value::Table(
+                    f.censored
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), Value::Int(*v as i64)))
+                        .collect(),
+                ),
+            );
             Value::Table(t)
         })
         .collect();
@@ -155,7 +182,9 @@ mod tests {
         let out = outcome();
         let csv = to_csv(&out);
         let lines: Vec<&str> = csv.lines().collect();
-        assert!(lines[0].starts_with("protocol,eta,slot_us,duty_cycle,latency_s,bound_s,gap_frac"));
+        assert!(lines[0].starts_with(
+            "protocol,eta,slot_us,eta_b,slot_us_b,duty_cycle,duty_cycle_b,latency_s,bound_s,gap_frac"
+        ));
         assert_eq!(
             lines.len(),
             1 + out.fronts.iter().map(|f| f.front.len()).sum::<usize>()

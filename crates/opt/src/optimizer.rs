@@ -69,16 +69,26 @@ impl OptOptions {
 /// One point of a computed front.
 #[derive(Clone, Debug)]
 pub struct FrontPoint {
-    /// The requested duty-cycle target η.
+    /// The requested duty-cycle target η (role A's / η_E in a pair
+    /// search).
     pub eta: f64,
-    /// The slot length in µs (slotted protocols).
+    /// Role A's slot length in µs (slotted protocols).
     pub slot_us: Option<f64>,
-    /// The achieved nominal duty cycle of the constructed schedule.
+    /// Role B's requested duty-cycle target η_F (pair searches only).
+    pub eta_b: Option<f64>,
+    /// Role B's slot length in µs (pair searches of slotted protocols).
+    pub slot_us_b: Option<f64>,
+    /// The achieved budget: the constructed schedule's nominal duty
+    /// cycle (symmetric search) or the pair's total η_E + η_F (pair
+    /// search) — the x-axis of the front.
     pub duty_cycle: f64,
+    /// Role B's achieved duty cycle η_F (pair searches only).
+    pub duty_cycle_b: Option<f64>,
     /// The latency objective value, seconds.
     pub latency_s: f64,
-    /// The closed-form optimal latency at this duty cycle (NaN if the
-    /// bound is undefined here).
+    /// The closed-form optimal latency at this point (Theorem 5.5/C.1 at
+    /// the achieved duty cycle, or Theorem 5.7 at the achieved (η_E, η_F)
+    /// for pair searches; NaN if the bound is undefined here).
     pub bound_s: f64,
     /// Relative distance to the bound: `(latency − bound) / bound`.
     pub gap_frac: f64,
@@ -103,6 +113,24 @@ pub struct FrontResult {
     /// Candidates whose evaluation errored (infeasible constructions,
     /// censored simulation results).
     pub errors: usize,
+    /// The errors broken down by reason (see [`censor_reason`]) — the
+    /// diagnostic an empty front prints so users see *why* nothing
+    /// survived.
+    pub censored: BTreeMap<&'static str, usize>,
+}
+
+/// Classify a candidate-evaluation error into a censoring reason for
+/// [`FrontResult::censored`].
+pub fn censor_reason(error: &str) -> &'static str {
+    if error.contains("never discovered") {
+        "undiscovered-offsets"
+    } else if error.contains("failed to discover") {
+        "failed-trials"
+    } else if error.contains("node pairs discovered") {
+        "undiscovered-pairs"
+    } else {
+        "construction-error"
+    }
 }
 
 /// A completed optimization: one front per protocol.
@@ -187,6 +215,8 @@ fn candidate_at(protocol: &str, space: &ParamSpace, point: &[f64]) -> Candidate 
         protocol: protocol.to_string(),
         eta: space.value_of("eta", point).expect("every space has eta"),
         slot_us: space.value_of("slot_us", point),
+        eta_b: space.value_of("eta_b", point),
+        slot_us_b: space.value_of("slot_us_b", point),
     }
 }
 
@@ -200,16 +230,27 @@ fn front_for_protocol(
 ) -> Result<FrontResult, OptError> {
     let kind = ProtocolKind::from_name(protocol)
         .ok_or_else(|| OptError(format!("`{protocol}` is not a registry protocol")))?;
-    let space = kind.param_space();
-    let space = match spec.eta_range {
-        None => space,
-        Some((lo, hi)) => space.restrict("eta", lo, hi).ok_or_else(|| {
-            OptError(format!(
-                "{protocol}: eta range [{lo}, {hi}] does not intersect the protocol's \
-                 declared duty-cycle range"
-            ))
-        })?,
-    };
+    // pair searches double the space: (eta, slot_us?) per role
+    let mut space = kind.param_space();
+    if spec.pair {
+        space = space.paired();
+    }
+    if let Some((lo, hi)) = spec.eta_range {
+        // the restriction applies to both roles' duty-cycle axes
+        let axes: &[&str] = if spec.pair {
+            &["eta", "eta_b"]
+        } else {
+            &["eta"]
+        };
+        for axis in axes {
+            space = space.restrict(axis, lo, hi).ok_or_else(|| {
+                OptError(format!(
+                    "{protocol}: eta range [{lo}, {hi}] does not intersect the protocol's \
+                     declared duty-cycle range"
+                ))
+            })?;
+        }
+    }
     let omega = spec.base.radio.omega;
 
     let mut seen: BTreeSet<String> = BTreeSet::new();
@@ -219,6 +260,7 @@ fn front_for_protocol(
     let mut executed = 0usize;
     let mut cache_hits = 0usize;
     let mut errors = 0usize;
+    let mut censored: BTreeMap<&'static str, usize> = BTreeMap::new();
 
     // round 0: the coarse seeding grid; rounds 1..=rounds: refinement
     let mut batch: Vec<Vec<f64>> = space
@@ -258,7 +300,10 @@ fn front_for_protocol(
                     points.push(point);
                     evals.push(eval);
                 }
-                Err(_) => errors += 1,
+                Err(e) => {
+                    errors += 1;
+                    *censored.entry(censor_reason(&e)).or_insert(0) += 1;
+                }
             }
         }
 
@@ -286,7 +331,9 @@ fn front_for_protocol(
         batch.retain(|p| space.feasible(p, omega));
     }
 
-    // final front, with gap-to-bound annotations
+    // final front, with gap-to-bound annotations: Theorem 5.5/C.1 at the
+    // achieved duty cycle for symmetric searches, Theorem 5.7 at the
+    // achieved (η_E, η_F) for pair searches
     let objs: Vec<(f64, f64)> = evals.iter().map(|e| (e.duty_cycle, e.latency_s)).collect();
     let bound_metric = BoundMetric::from_name(spec.base.metric.name())
         .expect("sweep metrics and bound metrics share spellings");
@@ -296,12 +343,25 @@ fn front_for_protocol(
         .into_iter()
         .map(|i| {
             let e = &evals[i];
-            let bound_s = optimal_discovery_bound(bound_metric, alpha, omega_secs, e.duty_cycle)
-                .map_or(f64::NAN, |b| b);
+            let bound_s = match e.duty_cycle_b {
+                Some(dc_b) => {
+                    let dc_a = e.duty_cycle - dc_b;
+                    if dc_a > 0.0 && dc_b > 0.0 {
+                        nd_core::bounds::asymmetric_bound(alpha, omega_secs, dc_a, dc_b)
+                    } else {
+                        f64::NAN
+                    }
+                }
+                None => optimal_discovery_bound(bound_metric, alpha, omega_secs, e.duty_cycle)
+                    .map_or(f64::NAN, |b| b),
+            };
             FrontPoint {
                 eta: e.candidate.eta,
                 slot_us: e.candidate.slot_us,
+                eta_b: e.candidate.eta_b,
+                slot_us_b: e.candidate.slot_us_b,
                 duty_cycle: e.duty_cycle,
+                duty_cycle_b: e.duty_cycle_b,
                 latency_s: e.latency_s,
                 bound_s,
                 gap_frac: (e.latency_s - bound_s) / bound_s,
@@ -317,6 +377,7 @@ fn front_for_protocol(
         executed,
         cache_hits,
         errors,
+        censored,
     })
 }
 

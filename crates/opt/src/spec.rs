@@ -104,6 +104,12 @@ pub struct OptSpec {
     pub max_evals: usize,
     /// Cohort size for the netsim evaluator.
     pub nodes: u32,
+    /// Asymmetric-pair search: both roles' parameters are searched
+    /// independently ([`nd_protocols::ParamSpace::paired`]), the front
+    /// runs over the *total* budget η_E + η_F, and every point's gap is
+    /// measured against the Theorem 5.7 asymmetric bound. Two-way metric
+    /// only (that is the bound's metric).
+    pub pair: bool,
     /// Optional restriction of the duty-cycle search range: the
     /// intersection of every protocol's declared `eta` range with
     /// `[eta_min, eta_max]`. Bounds the expensive low-η corner, or
@@ -130,6 +136,7 @@ impl OptSpec {
             rounds: 2,
             max_evals: 256,
             nodes: 2,
+            pair: false,
             eta_range: None,
         };
         spec.validate()?;
@@ -192,12 +199,13 @@ impl OptSpec {
                     | "rounds"
                     | "max_evals"
                     | "nodes"
+                    | "pair"
                     | "eta_min"
                     | "eta_max"
             ) {
                 return Err(SpecError(format!(
                     "unknown key `{key}` in [opt] (allowed: protocols, objective, \
-                     seeds_per_axis, rounds, max_evals, nodes, eta_min, eta_max)"
+                     seeds_per_axis, rounds, max_evals, nodes, pair, eta_min, eta_max)"
                 )));
             }
         }
@@ -248,6 +256,13 @@ impl OptSpec {
             (lo, hi) => Some((lo.unwrap_or(f64::MIN_POSITIVE), hi.unwrap_or(1.0))),
         };
 
+        let pair = match opt_table.get("pair") {
+            None => false,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| SpecError("`opt.pair` must be a boolean".into()))?,
+        };
+
         let spec = OptSpec {
             base,
             protocols,
@@ -256,6 +271,7 @@ impl OptSpec {
             rounds: pos_int("rounds", 2)?,
             max_evals: pos_int("max_evals", 256)?,
             nodes: pos_int("nodes", 2)? as u32,
+            pair,
             eta_range,
         };
         spec.validate()?;
@@ -286,6 +302,20 @@ impl OptSpec {
             return Err(SpecError(
                 "`opt.nodes` requires backend = \"netsim\"".into(),
             ));
+        }
+        if self.pair && self.base.metric != Metric::TwoWay {
+            return Err(SpecError(
+                "pair = true optimizes against the Theorem 5.7 asymmetric bound, \
+                 which is a two-way bound (set metric = \"two-way\")"
+                    .into(),
+            ));
+        }
+        if self.pair && self.base.radio.alpha != 1.0 {
+            return Err(SpecError(format!(
+                "pair = true with radio.alpha = {} is not supported: the coupled \
+                 Theorem 5.7 construction is built for α = 1",
+                self.base.radio.alpha
+            )));
         }
         if let Some((lo, hi)) = self.eta_range {
             if !(lo.is_finite() && hi.is_finite() && lo > 0.0 && lo <= hi && hi <= 1.0) {
@@ -334,6 +364,7 @@ impl OptSpec {
         self.rounds.encode(&mut bytes);
         self.max_evals.encode(&mut bytes);
         (self.nodes as u64).encode(&mut bytes);
+        self.pair.encode(&mut bytes);
         self.eta_range.map(|(lo, _)| lo).encode(&mut bytes);
         self.eta_range.map(|(_, hi)| hi).encode(&mut bytes);
         nd_sweep::hash::sha256_hex(&bytes)
@@ -419,6 +450,39 @@ max_evals = 64
             "backend = \"exact\"\n[opt]\nprotocols = [\"optimal\"]\neta_min = 0.2\neta_max = 0.1\n",
         )
         .is_err());
+    }
+
+    #[test]
+    fn pair_mode_parses_and_requires_two_way() {
+        let s = OptSpec::from_toml_str(
+            "backend = \"exact\"\nmetric = \"two-way\"\n[opt]\nprotocols = [\"optimal\"]\npair = true\n",
+        )
+        .unwrap();
+        assert!(s.pair);
+        // the pair flag is a search knob: it feeds the provenance hash
+        let mut sym = s.clone();
+        sym.pair = false;
+        assert_ne!(s.content_hash(), sym.content_hash());
+        // Theorem 5.7 is a two-way bound
+        let err = OptSpec::from_toml_str(
+            "backend = \"exact\"\nmetric = \"one-way\"\n[opt]\nprotocols = [\"optimal\"]\npair = true\n",
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("two-way"), "{err}");
+        // and the flag must be a boolean
+        assert!(OptSpec::from_toml_str(
+            "backend = \"exact\"\n[opt]\nprotocols = [\"optimal\"]\npair = 1\n",
+        )
+        .is_err());
+        // the coupled construction is an α = 1 construction
+        let err = OptSpec::from_toml_str(
+            "backend = \"exact\"\nmetric = \"two-way\"\n[radio]\nalpha = 2.0\n\
+             [opt]\nprotocols = [\"optimal\"]\npair = true\n",
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("alpha"), "{err}");
     }
 
     #[test]

@@ -143,7 +143,9 @@ fn cli_front_best_gap_and_cache_roundtrip() {
     assert!(out_dir.join("optimal-front.csv").exists());
     assert!(out_dir.join("optimal-front.json").exists());
     let csv1 = std::fs::read_to_string(out_dir.join("optimal-front.csv")).unwrap();
-    assert!(csv1.starts_with("protocol,eta,slot_us,duty_cycle,latency_s,bound_s,gap_frac"));
+    assert!(csv1.starts_with(
+        "protocol,eta,slot_us,eta_b,slot_us_b,duty_cycle,duty_cycle_b,latency_s,bound_s,gap_frac"
+    ));
 
     // second run: everything from cache, identical bytes
     let (ok, stdout, _) = run("front", &["--out-dir", out_dir.to_str().unwrap()]);
@@ -283,5 +285,171 @@ fn cli_adhoc_protocol_front() {
     assert!(stdout.contains("optimal-slotless:"), "{stdout}");
     assert!(stdout.contains("front points"), "{stdout}");
     assert!(dir.join("adhoc.csv").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+const PAIR_SPEC: &str = "\
+name = \"asym-front\"
+backend = \"exact\"
+metric = \"two-way\"
+
+[opt]
+protocols = [\"optimal\"]
+pair = true
+seeds_per_axis = 5
+rounds = 2
+max_evals = 128
+";
+
+/// The asymmetric acceptance criterion: the pair-mode exact front of the
+/// optimal protocol sits entirely at-or-above the Theorem 5.7 bound with
+/// max gap ≤ 1%, runs over the total budget η_E + η_F, and re-runs fully
+/// from cache.
+#[test]
+fn asymmetric_front_within_1_percent_of_theorem_5_7() {
+    let dir = temp_dir("pair-accept");
+    let spec = OptSpec::from_toml_str(PAIR_SPEC).unwrap();
+    assert!(spec.pair);
+    let opts = OptOptions {
+        cache_dir: Some(dir.join("cache")),
+        ..OptOptions::default()
+    };
+
+    let first = run_opt(&spec, &opts).unwrap();
+    let f = &first.fronts[0];
+    assert!(!f.front.is_empty(), "non-empty asymmetric front");
+    let objs: Vec<(f64, f64)> = f
+        .front
+        .iter()
+        .map(|p| (p.duty_cycle, p.latency_s))
+        .collect();
+    assert!(nd_opt::is_valid_front(&objs));
+    for p in &f.front {
+        let dc_b = p.duty_cycle_b.expect("pair points carry role B's share");
+        let dc_a = p.duty_cycle - dc_b;
+        assert!(dc_a > 0.0 && dc_b > 0.0);
+        let bound = nd_core::bounds::asymmetric_bound(1.0, 36e-6, dc_a, dc_b);
+        assert!((p.bound_s - bound).abs() < 1e-12, "Theorem 5.7 reference");
+        assert!(
+            p.gap_frac >= -1e-9,
+            "no point may beat the bound: gap {}",
+            p.gap_frac
+        );
+        assert!(
+            p.gap_frac <= 0.01,
+            "(η_E, η_F) = ({dc_a}, {dc_b}): latency {} vs bound {bound} (gap {})",
+            p.latency_s,
+            p.gap_frac
+        );
+    }
+    // the search actually explored asymmetric splits, not just the diagonal
+    assert!(
+        f.front
+            .iter()
+            .any(|p| { (p.eta - p.eta_b.unwrap()).abs() > 1e-9 }),
+        "front contains genuinely asymmetric pairs"
+    );
+
+    let second = run_opt(&spec, &opts).unwrap();
+    assert_eq!(second.executed, 0, "0 fresh evaluations on re-run");
+    assert_eq!(nd_opt::to_csv(&first), nd_opt::to_csv(&second));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An empty front exits non-zero *with a censoring diagnostic*: the
+/// worst-case objective on a slotted protocol censors every candidate
+/// (ω/slot of the offsets are never covered), and the CLI says so per
+/// reason instead of printing an empty table.
+#[test]
+fn cli_empty_front_prints_censoring_diagnostic() {
+    let dir = temp_dir("censor");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bin = env!("CARGO_BIN_EXE_nd-opt");
+    let out = std::process::Command::new(bin)
+        .args([
+            "front",
+            "--protocol",
+            "code-based",
+            "--metric",
+            "one-way",
+            "--objective",
+            "worst",
+            "--seeds",
+            "2",
+            "--rounds",
+            "1",
+            "--eta-min",
+            "0.05",
+            "--no-cache",
+            "--out-dir",
+        ])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "empty front must exit non-zero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("empty front"), "{stderr}");
+    assert!(stderr.contains("undiscovered-offsets"), "{stderr}");
+    assert!(stderr.contains("censored"), "{stderr}");
+    // the diagnostic also teaches the way out
+    assert!(stderr.contains("percentile"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `--pair` on the CLI: the ad-hoc path runs an asymmetric search and
+/// the front CSV carries the role-B columns.
+#[test]
+fn cli_pair_flag_runs_asymmetric_search() {
+    let dir = temp_dir("pair-cli");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bin = env!("CARGO_BIN_EXE_nd-opt");
+    let out = std::process::Command::new(bin)
+        .args([
+            "front",
+            "--protocol",
+            "optimal",
+            "--pair",
+            "--seeds",
+            "3",
+            "--rounds",
+            "1",
+            "--no-cache",
+            "--out-dir",
+        ])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let csv = std::fs::read_to_string(dir.join("adhoc.csv")).unwrap();
+    let mut lines = csv.lines();
+    assert!(lines.next().unwrap().contains("eta_b"));
+    // every data row fills the pair columns
+    let row = lines.next().unwrap();
+    let cells: Vec<&str> = row.split(',').collect();
+    assert!(!cells[3].is_empty(), "eta_b filled: {row}");
+    assert!(!cells[6].is_empty(), "duty_cycle_b filled: {row}");
+
+    // --pair with a one-way metric is rejected (Theorem 5.7 is two-way)
+    let bad = std::process::Command::new(bin)
+        .args([
+            "front",
+            "--protocol",
+            "optimal",
+            "--pair",
+            "--metric",
+            "one-way",
+        ])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+    assert!(
+        String::from_utf8_lossy(&bad.stderr).contains("two-way"),
+        "{}",
+        String::from_utf8_lossy(&bad.stderr)
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }

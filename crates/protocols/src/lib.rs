@@ -38,6 +38,7 @@ pub mod optimal;
 pub mod pi;
 pub mod redundant;
 pub mod registry;
+pub mod role;
 pub mod searchlight;
 pub mod slotted;
 pub mod space;
@@ -55,6 +56,7 @@ pub use optimal::{OptimalParams, OptimalProtocol};
 pub use pi::{BleAdvertiser, PiProtocol};
 pub use redundant::{redundant_symmetric, RedundantProtocol};
 pub use registry::{schedule_for_selector, ProtocolKind};
+pub use role::{RoleConfig, RolePair};
 pub use searchlight::Searchlight;
 pub use slotted::{BeaconPlacement, SlottedSchedule};
 pub use space::{Constraint, ParamDef, ParamRange, ParamSpace};

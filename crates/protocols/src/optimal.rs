@@ -121,8 +121,16 @@ pub fn constrained(
 
 /// Build the asymmetric bidirectional optimum (Theorem 5.7) for two devices
 /// with budgets `eta_e` and `eta_f`: each device transmits with
-/// β_X = η_X/(2α) and listens with γ_X = η_X/2; both one-way latencies are
+/// β_X ≈ η_X/(2α) and listens with γ_X ≈ η_X/2; both one-way latencies are
 /// balanced at `4αω/(η_E·η_F)`.
+///
+/// The reception side quantizes to γ_X = 1/k_X (Theorem 5.3), which skews
+/// the two sides by different relative amounts; the βs are then
+/// *re-balanced* (the proof's balanced-latency condition L_E = L_F,
+/// which the continuous split satisfies automatically) so that the
+/// first-order quantization error cancels from both directions and the
+/// constructed pair tracks the bound at its *achieved* duty cycles to
+/// second order.
 ///
 /// Returns `(schedule_e, schedule_f)`.
 pub fn asymmetric(
@@ -131,9 +139,21 @@ pub fn asymmetric(
     eta_f: f64,
 ) -> Result<(OptimalProtocol, OptimalProtocol), NdError> {
     let (dc_e, dc_f) = bounds::optimal_asymmetric_splits(eta_e, eta_f, params.alpha);
+    // the relative skew each side's γ = 1/k quantization introduces
+    let skew = |gamma_target: f64, eta: f64| -> f64 {
+        let k = (1.0 / gamma_target).round().max(1.0);
+        (1.0 / k - gamma_target) / eta
+    };
+    let d_e = skew(dc_e.gamma, eta_e);
+    let d_f = skew(dc_f.gamma, eta_f);
+    // L_EF/L_FE re-balance: stretch E's β by the skew difference, shrink
+    // F's by the same amount (d_e = d_f — symmetric pairs included —
+    // reduces to the plain optimal split)
+    let beta_e = dc_e.beta * (1.0 + (d_e - d_f));
+    let beta_f = dc_f.beta * (1.0 + (d_f - d_e));
     // E's beacons must tile F's windows and vice versa
-    let (beacons_e, windows_f, l_f) = build_tiling(params, dc_e.beta, dc_f.gamma)?;
-    let (beacons_f, windows_e, l_e) = build_tiling(params, dc_f.beta, dc_e.gamma)?;
+    let (beacons_e, windows_f, l_f) = build_tiling(params, beta_e, dc_f.gamma)?;
+    let (beacons_f, windows_e, l_e) = build_tiling(params, beta_f, dc_e.gamma)?;
     let sched_e = Schedule::full(beacons_e, windows_e);
     let sched_f = Schedule::full(beacons_f, windows_f);
     let (a_e, a_f) = (sched_e.duty_cycle(), sched_f.duty_cycle());

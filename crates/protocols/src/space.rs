@@ -134,7 +134,8 @@ impl ParamSpace {
 
     /// Whether the point is inside every range and satisfies every
     /// constraint. `omega` is the radio's packet airtime (constraints
-    /// relate slot lengths to it).
+    /// relate slot lengths to it). In a [`ParamSpace::paired`] space the
+    /// constraints apply to each role's `(eta, slot_us)` independently.
     pub fn feasible(&self, point: &[f64], omega: Tick) -> bool {
         if point.len() != self.params.len() {
             return false;
@@ -148,15 +149,46 @@ impl ParamSpace {
             return false;
         }
         let omega_us = omega.as_micros_f64();
-        let slot_us = self.value_of("slot_us", point);
-        let eta = self.value_of("eta", point);
-        self.constraints.iter().all(|c| match *c {
-            Constraint::MinSlotOmegaRatio(r) => slot_us.is_none_or(|s| s >= r * omega_us),
-            Constraint::MinEtaSlotProductOmega(f) => match (eta, slot_us) {
-                (Some(e), Some(s)) => e * s >= f * omega_us,
-                _ => true,
-            },
+        let roles = [
+            (self.value_of("eta", point), self.value_of("slot_us", point)),
+            (
+                self.value_of("eta_b", point),
+                self.value_of("slot_us_b", point),
+            ),
+        ];
+        self.constraints.iter().all(|c| {
+            roles.iter().all(|&(eta, slot_us)| match *c {
+                Constraint::MinSlotOmegaRatio(r) => slot_us.is_none_or(|s| s >= r * omega_us),
+                Constraint::MinEtaSlotProductOmega(f) => match (eta, slot_us) {
+                    (Some(e), Some(s)) => e * s >= f * omega_us,
+                    _ => true,
+                },
+            })
         })
+    }
+
+    /// The two-role version of this space: every parameter duplicated
+    /// with a `_b` suffix (role B), role A's axes first. Constraints
+    /// apply to each role independently (see [`ParamSpace::feasible`]).
+    /// This is how `nd-opt` searches asymmetric (η_E, η_F) pairs against
+    /// the Theorem 5.7 bound.
+    pub fn paired(&self) -> ParamSpace {
+        let suffixed = |name: &'static str| -> &'static str {
+            match name {
+                "eta" => "eta_b",
+                "slot_us" => "slot_us_b",
+                other => panic!("no role-B spelling for parameter `{other}`"),
+            }
+        };
+        let mut params = self.params.clone();
+        params.extend(self.params.iter().map(|p| ParamDef {
+            name: suffixed(p.name),
+            range: p.range,
+        }));
+        ParamSpace {
+            params,
+            constraints: self.constraints.clone(),
+        }
     }
 
     /// The full seeding grid: `per_axis` values per parameter, crossed
@@ -389,6 +421,28 @@ mod tests {
         // empty intersection and unknown names are errors
         assert!(space.restrict("eta", 0.5, 0.9).is_none());
         assert!(space.restrict("warp", 0.1, 0.2).is_none());
+    }
+
+    #[test]
+    fn paired_space_duplicates_axes_and_checks_roles_independently() {
+        let space = ProtocolKind::Disco.param_space().paired();
+        assert_eq!(
+            space.params.iter().map(|p| p.name).collect::<Vec<_>>(),
+            vec!["eta", "slot_us", "eta_b", "slot_us_b"]
+        );
+        // both roles feasible
+        assert!(space.feasible(&[0.05, 1000.0, 0.02, 2000.0], OMEGA));
+        // role B violates the η·slot constraint (0.005 · 1000 µs < 36 µs)
+        assert!(!space.feasible(&[0.05, 1000.0, 0.005, 1000.0], OMEGA));
+        // role A violates it while role B is fine
+        assert!(!space.feasible(&[0.005, 1000.0, 0.05, 1000.0], OMEGA));
+        // slotless pairs too
+        let slotless = ProtocolKind::OptimalSlotless.param_space().paired();
+        assert_eq!(
+            slotless.params.iter().map(|p| p.name).collect::<Vec<_>>(),
+            vec!["eta", "eta_b"]
+        );
+        assert!(slotless.feasible(&[0.05, 0.01], OMEGA));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! nd-sweep protocols               # list registry protocol names
 //! ```
 
-use nd_sweep::{expand, run_sweep, ScenarioSpec, SweepOptions, ENGINE_VERSION};
+use nd_sweep::{expand, run_sweep, ResultCache, ScenarioSpec, SweepOptions, ENGINE_VERSION};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -19,6 +19,7 @@ fn main() -> ExitCode {
         Some("expand") => cmd_expand(&args[1..]),
         Some("hash") => cmd_hash(&args[1..]),
         Some("protocols") => cmd_protocols(),
+        Some("cache") => cmd_cache(&args[1..]),
         Some("--version" | "-V" | "version") => {
             // one stable provenance line so scripted runs can record which
             // binary (and which cache ABI) produced their data
@@ -46,8 +47,10 @@ A sweep is described by a declarative TOML/JSON scenario spec: a protocol
 axis (registry names or `diff-code:<v>:<m1>,<m2>,…`), parameter grids
 (`eta`, `slot_us`, `drift_ppm`, `drop_probability`, `turnaround_us`,
 `phase_us`, `ratio`, `nodes`, `churn`, `collision`) and an evaluation
-backend. Results are cached content-addressed: re-runs and overlapping
-grids are near-free.
+backend. Heterogeneous device pairs add role-B axes (`protocol_b`,
+`eta_b`, `slot_us_b`; device 1 runs role B) and netsim cohorts a `mix`
+axis (fraction of nodes running role B). Results are cached
+content-addressed: re-runs and overlapping grids are near-free.
 
 Backends:
     exact        coverage-map analysis — exact worst case, mean,
@@ -62,6 +65,11 @@ USAGE:
     nd-sweep expand <spec>      list the jobs the spec expands to
     nd-sweep hash <spec>        print the spec's content hash
     nd-sweep protocols          list protocol registry names
+    nd-sweep cache stats        entry count + total size of the result cache
+    nd-sweep cache gc --max-bytes N [--dry-run]
+                                LRU-evict down to N bytes (suffixes K/M/G;
+                                recency = last cache hit; --dry-run only
+                                prints the reclaimable bytes)
     nd-sweep --version          print version + engine/cache ABI, then exit
     nd-sweep --help             print this help, then exit
 
@@ -224,6 +232,86 @@ fn cmd_hash(args: &[String]) -> ExitCode {
         }
         Err(e) => fail(e),
     }
+}
+
+/// `cache stats` / `cache gc`: size accounting and LRU eviction for the
+/// content-addressed result cache.
+fn cmd_cache(args: &[String]) -> ExitCode {
+    let mut max_bytes: Option<u64> = None;
+    let mut dry_run = false;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut sub: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "stats" | "gc" if sub.is_none() => sub = Some(arg),
+            "--dry-run" => dry_run = true,
+            "--max-bytes" => match it.next().and_then(|v| parse_bytes(v)) {
+                Some(n) => max_bytes = Some(n),
+                None => return fail("--max-bytes needs a byte count (suffixes K/M/G allowed)"),
+            },
+            "--cache-dir" => match it.next() {
+                Some(d) => cache_dir = Some(PathBuf::from(d)),
+                None => return fail("--cache-dir needs a value"),
+            },
+            other => return fail(format!("unknown cache argument `{other}`")),
+        }
+    }
+    let cache = ResultCache::at(cache_dir.unwrap_or_else(ResultCache::default_dir));
+    match sub {
+        Some("stats") => {
+            if max_bytes.is_some() || dry_run {
+                return fail("--max-bytes/--dry-run only apply to `cache gc`");
+            }
+            let stats = cache.stats();
+            println!(
+                "{}: {} entries, {} bytes",
+                cache.dir().display(),
+                stats.entries,
+                stats.bytes
+            );
+            ExitCode::SUCCESS
+        }
+        Some("gc") => {
+            let Some(max) = max_bytes else {
+                return fail("cache gc needs --max-bytes N");
+            };
+            let report = cache.gc(max, dry_run);
+            if dry_run {
+                println!(
+                    "{}: {} entries, {} bytes; {} entries / {} bytes reclaimable (dry run, nothing deleted)",
+                    cache.dir().display(),
+                    report.entries,
+                    report.bytes,
+                    report.evicted_entries,
+                    report.evicted_bytes,
+                );
+            } else {
+                println!(
+                    "{}: evicted {} of {} entries ({} of {} bytes), {} bytes kept",
+                    cache.dir().display(),
+                    report.evicted_entries,
+                    report.entries,
+                    report.evicted_bytes,
+                    report.bytes,
+                    report.bytes - report.evicted_bytes,
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        _ => fail("cache needs a subcommand: stats | gc"),
+    }
+}
+
+/// Parse a byte count with optional K/M/G suffix (powers of 1024).
+fn parse_bytes(s: &str) -> Option<u64> {
+    let (digits, mult) = match s.to_ascii_uppercase() {
+        ref u if u.ends_with('K') => (&s[..s.len() - 1], 1024u64),
+        ref u if u.ends_with('M') => (&s[..s.len() - 1], 1024 * 1024),
+        ref u if u.ends_with('G') => (&s[..s.len() - 1], 1024 * 1024 * 1024),
+        _ => (s, 1),
+    };
+    digits.parse::<u64>().ok().and_then(|n| n.checked_mul(mult))
 }
 
 fn cmd_protocols() -> ExitCode {

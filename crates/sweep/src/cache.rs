@@ -59,9 +59,19 @@ impl ResultCache {
         self.dir.join(&hash[..2]).join(format!("{hash}.json"))
     }
 
-    /// Look a job hash up; `None` on miss or unreadable entry.
+    /// Look a job hash up; `None` on miss or unreadable entry. A hit
+    /// refreshes the entry's modification time, which is the recency the
+    /// LRU sweep ([`ResultCache::gc`]) evicts by — entries no sweep or
+    /// search has touched lately go first.
     pub fn load(&self, hash: &str) -> Option<CachedResult> {
-        let text = std::fs::read_to_string(self.path_for(hash)).ok()?;
+        let path = self.path_for(hash);
+        let text = std::fs::read_to_string(&path).ok()?;
+        // touch for LRU; failure (read-only cache) costs recency, not
+        // correctness
+        let _ = std::fs::File::options()
+            .append(true)
+            .open(&path)
+            .and_then(|f| f.set_modified(std::time::SystemTime::now()));
         let v = parse_json(&text).ok()?;
         let table = v.as_table()?;
         let metrics = table
@@ -118,6 +128,126 @@ impl ResultCache {
             let _ = std::fs::remove_file(&tmp);
         }
     }
+
+    /// Every file in the two-level shard layout (entries *and* leftover
+    /// temp files). The single walk both accountings share.
+    fn files(&self) -> Vec<std::fs::DirEntry> {
+        let mut out = Vec::new();
+        if let Ok(shards) = std::fs::read_dir(&self.dir) {
+            for shard in shards.flatten() {
+                if let Ok(files) = std::fs::read_dir(shard.path()) {
+                    out.extend(files.flatten());
+                }
+            }
+        }
+        out
+    }
+
+    /// Every entry on disk: `(hash path, size in bytes, last use)`.
+    /// Unreadable metadata is skipped — consistent with load's
+    /// corruption-is-a-miss stance.
+    fn entries(&self) -> Vec<(PathBuf, u64, std::time::SystemTime)> {
+        self.files()
+            .into_iter()
+            .filter_map(|file| {
+                let path = file.path();
+                if path.extension().is_none_or(|e| e != "json") {
+                    return None; // leftover .tmp.* from a killed writer
+                }
+                let meta = file.metadata().ok()?;
+                let used = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+                Some((path, meta.len(), used))
+            })
+            .collect()
+    }
+
+    /// Entry count and total size in bytes.
+    pub fn stats(&self) -> CacheStats {
+        let entries = self.entries();
+        CacheStats {
+            entries: entries.len(),
+            bytes: entries.iter().map(|(_, b, _)| b).sum(),
+        }
+    }
+
+    /// Shrink the cache to at most `max_bytes`, evicting least-recently
+    /// used entries first (recency = mtime, refreshed on every cache
+    /// hit). With `dry_run` nothing is deleted — the report says what
+    /// *would* go. Also sweeps temp files left behind by killed writers.
+    pub fn gc(&self, max_bytes: u64, dry_run: bool) -> GcReport {
+        let mut entries = self.entries();
+        // oldest first; ties broken by path for determinism
+        entries.sort_by(|a, b| a.2.cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
+        let total: u64 = entries.iter().map(|(_, b, _)| b).sum();
+        let mut report = GcReport {
+            entries: entries.len(),
+            bytes: total,
+            evicted_entries: 0,
+            evicted_bytes: 0,
+        };
+        let mut live = total;
+        for (path, bytes, _) in &entries {
+            if live <= max_bytes {
+                break;
+            }
+            if dry_run || std::fs::remove_file(path).is_ok() {
+                report.evicted_entries += 1;
+                report.evicted_bytes += bytes;
+                live -= bytes;
+            }
+        }
+        if !dry_run {
+            self.sweep_temp_files();
+        }
+        report
+    }
+
+    /// Remove orphaned `*.tmp.<pid>` files (a writer killed between
+    /// create and rename leaves one behind; they are never read). Only
+    /// *stale* temp files go: a concurrent sweep's in-flight write is
+    /// seconds old at most, so an age threshold keeps gc from racing
+    /// live writers (whose rename would silently fail, costing a
+    /// recompute).
+    fn sweep_temp_files(&self) {
+        const ORPHAN_AGE: std::time::Duration = std::time::Duration::from_secs(600);
+        for file in self.files() {
+            let path = file.path();
+            let is_temp = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.contains(".tmp."));
+            let is_stale = file
+                .metadata()
+                .and_then(|m| m.modified())
+                .map(|t| t.elapsed().unwrap_or_default() >= ORPHAN_AGE)
+                .unwrap_or(false);
+            if is_temp && is_stale {
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+    }
+}
+
+/// Cache size accounting (see [`ResultCache::stats`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of stored results.
+    pub entries: usize,
+    /// Total size in bytes.
+    pub bytes: u64,
+}
+
+/// What a [`ResultCache::gc`] pass did (or, dry-run, would do).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GcReport {
+    /// Entries present before the sweep.
+    pub entries: usize,
+    /// Bytes present before the sweep.
+    pub bytes: u64,
+    /// Entries evicted (or reclaimable, on a dry run).
+    pub evicted_entries: usize,
+    /// Bytes evicted (or reclaimable, on a dry run).
+    pub evicted_bytes: u64,
 }
 
 #[cfg(test)]
@@ -166,6 +296,100 @@ mod tests {
         let path = dir.join(&hash[..2]).join(format!("{hash}.json"));
         std::fs::write(&path, "{ not json").unwrap();
         assert!(cache.load(&hash).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_evicts_least_recently_used_first() {
+        let dir = temp_dir("gc");
+        let cache = ResultCache::at(&dir);
+        let result = CachedResult {
+            metrics: BTreeMap::from([("worst_s".to_string(), 1.0)]),
+            error: None,
+        };
+        let hashes: Vec<String> = (0..4)
+            .map(|i| format!("{i}{i}") + &"0".repeat(62))
+            .collect();
+        for (i, h) in hashes.iter().enumerate() {
+            cache.store(h, &result);
+            // stagger mtimes well beyond filesystem timestamp granularity
+            let t = std::time::SystemTime::UNIX_EPOCH
+                + std::time::Duration::from_secs(1_000_000 + i as u64 * 1000);
+            std::fs::File::options()
+                .append(true)
+                .open(dir.join(&h[..2]).join(format!("{h}.json")))
+                .unwrap()
+                .set_modified(t)
+                .unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 4);
+        let per_entry = stats.bytes / 4;
+
+        // dry run reports reclaimable bytes but deletes nothing
+        let dry = cache.gc(per_entry * 2, true);
+        assert_eq!(dry.evicted_entries, 2);
+        assert_eq!(dry.evicted_bytes, per_entry * 2);
+        assert_eq!(cache.stats().entries, 4);
+
+        // a real pass evicts the two oldest, keeps the two newest
+        let real = cache.gc(per_entry * 2, false);
+        assert_eq!(real.evicted_entries, 2);
+        assert_eq!(cache.stats().entries, 2);
+        assert!(cache.load(&hashes[0]).is_none(), "oldest evicted");
+        assert!(cache.load(&hashes[3]).is_some(), "newest kept");
+
+        // a cache-hit refreshes recency: loading the older survivor
+        // makes the newer one the eviction candidate
+        assert!(cache.load(&hashes[2]).is_some());
+        let lru = cache.gc(per_entry, false);
+        assert_eq!(lru.evicted_entries, 1);
+        assert!(cache.load(&hashes[2]).is_some(), "recently hit entry kept");
+        assert!(cache.load(&hashes[3]).is_none());
+
+        // gc to zero clears everything
+        cache.gc(0, false);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                entries: 0,
+                bytes: 0
+            }
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_sweeps_orphaned_temp_files() {
+        let dir = temp_dir("gc-tmp");
+        let cache = ResultCache::at(&dir);
+        let hash = "ab".to_string() + &"3".repeat(62);
+        cache.store(
+            &hash,
+            &CachedResult {
+                metrics: BTreeMap::new(),
+                error: None,
+            },
+        );
+        let orphan = dir.join("ab").join(format!("{hash}.tmp.999"));
+        std::fs::write(&orphan, "torn write").unwrap();
+        // temp files are invisible to stats…
+        assert_eq!(cache.stats().entries, 1);
+        // …but a *fresh* temp file survives gc: it may belong to a
+        // concurrent writer about to rename it into place
+        let report = cache.gc(u64::MAX, false);
+        assert_eq!(report.evicted_entries, 0);
+        assert!(orphan.exists(), "fresh temp file kept (live-writer race)");
+        // backdated past the orphan age threshold, gc sweeps it
+        std::fs::File::options()
+            .append(true)
+            .open(&orphan)
+            .unwrap()
+            .set_modified(std::time::SystemTime::now() - std::time::Duration::from_secs(3600))
+            .unwrap();
+        cache.gc(u64::MAX, false);
+        assert!(!orphan.exists(), "stale orphan swept");
+        assert!(cache.load(&hash).is_some());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -205,7 +205,7 @@ pub fn execute_job(job: &Job, spec: &ScenarioSpec) -> Result<BTreeMap<String, f6
 // protocol construction
 // ---------------------------------------------------------------------------
 
-/// Build the per-device schedule for a job's protocol selector.
+/// Build role A's per-device schedule for a job's protocol selector.
 ///
 /// Selectors are registry names (`ProtocolKind::from_name`) built for the
 /// job's η/slot, or the parametrized form `diff-code:<v>:<m1>,<m2>,…`
@@ -214,7 +214,19 @@ pub fn execute_job(job: &Job, spec: &ScenarioSpec) -> Result<BTreeMap<String, f6
 /// [`nd_protocols::schedule_for_selector`] so the cohort simulator and any
 /// future frontends share one grammar.
 pub fn build_schedule(job: &Job, spec: &ScenarioSpec) -> Result<Schedule, String> {
-    nd_protocols::schedule_for_selector(&job.protocol, job.eta, job.slot, spec.radio.omega)
+    job.role_a()
+        .schedule(spec.radio.omega)
+        .map_err(|e: NdError| e.to_string())
+}
+
+/// Build both role schedules of a job's pair (role B reuses role A's
+/// schedule when the pair is symmetric).
+pub fn build_role_schedules(
+    job: &Job,
+    spec: &ScenarioSpec,
+) -> Result<(Schedule, Schedule), String> {
+    job.role_pair()
+        .schedules(spec.radio.omega)
         .map_err(|e: NdError| e.to_string())
 }
 
@@ -226,8 +238,8 @@ fn analysis_config(spec: &ScenarioSpec) -> AnalysisConfig {
 
 /// The schedule pair's nominal guarantee: the exact worst-case two-way
 /// latency (used for `horizon_predicted_x` and `deadline = "predicted"`).
-fn predicted_worst(sched: &Schedule, spec: &ScenarioSpec) -> Result<Tick, String> {
-    two_way_worst_case(sched, sched, &analysis_config(spec))
+fn predicted_worst(a: &Schedule, b: &Schedule, spec: &ScenarioSpec) -> Result<Tick, String> {
+    two_way_worst_case(a, b, &analysis_config(spec))
         .map_err(|e| format!("cannot derive predicted latency (needed for horizon/deadline): {e}"))
 }
 
@@ -236,11 +248,30 @@ fn predicted_worst(sched: &Schedule, spec: &ScenarioSpec) -> Result<Tick, String
 // ---------------------------------------------------------------------------
 
 fn exec_bounds(job: &Job, spec: &ScenarioSpec) -> Result<BTreeMap<String, f64>, String> {
+    let omega = spec.radio.omega.as_secs_f64();
+    let alpha = spec.radio.alpha;
+    // explicit (η_E, η_F) pair: Theorem 5.7 evaluated directly on the
+    // per-device duty cycles (`eta` = η_E, `eta_b` = η_F)
+    if let Some(eta_f) = job.eta_b {
+        let eta_e = job.eta;
+        if !(eta_e > 0.0 && eta_e <= 1.0) {
+            return Err(format!("η_E = {eta_e} out of (0, 1]"));
+        }
+        let bound = nd_core::bounds::asymmetric_bound(alpha, omega, eta_e, eta_f);
+        let sum = eta_e + eta_f;
+        let ratio = eta_e.max(eta_f) / eta_e.min(eta_f);
+        let mut m = BTreeMap::new();
+        m.insert("bound_s".to_string(), bound);
+        m.insert("product".to_string(), bound * sum);
+        m.insert("penalty".to_string(), asymmetry_penalty(ratio));
+        m.insert("eta_sum".to_string(), sum);
+        return Ok(m);
+    }
+    // legacy joint-budget parametrization: `eta` = η_E + η_F, split by
+    // the `ratio` axis
     if job.ratio < 1.0 {
         return Err(format!("ratio {} must be ≥ 1 (η_E/η_F)", job.ratio));
     }
-    let omega = spec.radio.omega.as_secs_f64();
-    let alpha = spec.radio.alpha;
     let sum = job.eta;
     if !(sum > 0.0 && sum <= 2.0) {
         return Err(format!("joint budget η_E+η_F = {sum} out of (0, 2]"));
@@ -254,15 +285,17 @@ fn exec_bounds(job: &Job, spec: &ScenarioSpec) -> Result<BTreeMap<String, f64>, 
 }
 
 fn exec_exact(job: &Job, spec: &ScenarioSpec) -> Result<BTreeMap<String, f64>, String> {
-    let sched = build_schedule(job, spec)?;
-    let beacons = sched
+    let (sched_a, sched_b) = build_role_schedules(job, spec)?;
+    // the one-way metric is "device 1 (role B) discovers device 0
+    // (role A)": role A's beacons against role B's listening windows
+    let beacons = sched_a
         .beacons
         .as_ref()
-        .ok_or("protocol never transmits; exact one-way analysis needs beacons")?;
-    let windows = sched
+        .ok_or("role A never transmits; exact one-way analysis needs beacons")?;
+    let windows = sched_b
         .windows
         .as_ref()
-        .ok_or("protocol never listens; exact one-way analysis needs windows")?;
+        .ok_or("role B never listens; exact one-way analysis needs windows")?;
     let cfg = analysis_config(spec);
 
     let cov = one_way_coverage(beacons, windows, &cfg).map_err(|e| e.to_string())?;
@@ -288,22 +321,59 @@ fn exec_exact(job: &Job, spec: &ScenarioSpec) -> Result<BTreeMap<String, f64>, S
     }
 
     if spec.metric == Metric::TwoWay {
-        let two = two_way_worst_case(&sched, &sched, &cfg).map_err(|e| e.to_string())?;
+        let two = two_way_worst_case(&sched_a, &sched_b, &cfg).map_err(|e| e.to_string())?;
         m.insert("two_way_worst_s".to_string(), two.as_secs_f64());
+    }
+    if job.has_role_b() {
+        // heterogeneous pairs annotate their achieved per-role duty
+        // cycles and the Theorem 5.7 reference (new metric columns only
+        // on role-typed jobs: symmetric rows — and their cached entries —
+        // stay byte-identical)
+        let (dc_a, dc_b) = (sched_a.eta(spec.radio.alpha), sched_b.eta(spec.radio.alpha));
+        m.insert("duty_cycle_a".to_string(), dc_a);
+        m.insert("duty_cycle_b".to_string(), dc_b);
+        if dc_a > 0.0 && dc_b > 0.0 {
+            m.insert(
+                "asym_bound_s".to_string(),
+                nd_core::bounds::asymmetric_bound(
+                    spec.radio.alpha,
+                    spec.radio.omega.as_secs_f64(),
+                    dc_a,
+                    dc_b,
+                ),
+            );
+        }
     }
     Ok(m)
 }
 
 /// Resolve the trial horizon and optional deadline for a simulation
 /// backend; the `predicted` guarantee is computed only when either needs
-/// it. Returns `(predicted, horizon, deadline)`.
+/// it. `pairs` lists the schedule pair classes the run actually
+/// simulates (one (A, B) entry for the pairwise backends; the present
+/// classes of (A-A, A-B, B-B) for a mixed cohort): the prediction is
+/// the worst over the classes with a defined exact worst case, so no
+/// simulated pair class is silently censored by a horizon anchored to a
+/// faster class. Classes *without* a worst-case guarantee (e.g. the
+/// same-role pairs of a coupled Theorem 5.7 construction, which only
+/// guarantees cross discovery) do not extend the horizon; only if no
+/// class resolves is that an error. Returns
+/// `(predicted, horizon, deadline)`.
 fn resolve_horizon(
-    sched: &Schedule,
+    pairs: &[(&Schedule, &Schedule)],
     spec: &ScenarioSpec,
 ) -> Result<(Option<Tick>, Tick, Option<Tick>), String> {
     let predicted = match (spec.sim.horizon, spec.sim.deadline) {
         (Horizon::PredictedTimes(_), _) | (_, Some(Deadline::Predicted)) => {
-            Some(predicted_worst(sched, spec)?)
+            let mut worst: Option<Tick> = None;
+            let mut last_err = String::new();
+            for (a, b) in pairs {
+                match predicted_worst(a, b, spec) {
+                    Ok(t) => worst = Some(worst.map_or(t, |w| w.max(t))),
+                    Err(e) => last_err = e,
+                }
+            }
+            Some(worst.ok_or(last_err)?)
         }
         _ => None,
     };
@@ -325,18 +395,21 @@ fn resolve_horizon(
 }
 
 fn exec_montecarlo(job: &Job, spec: &ScenarioSpec) -> Result<BTreeMap<String, f64>, String> {
-    let sched = build_schedule(job, spec)?;
+    let (sched_a, sched_b) = build_role_schedules(job, spec)?;
     let job_seed = job.seed(spec);
-    let (predicted, horizon, deadline) = resolve_horizon(&sched, spec)?;
+    let (predicted, horizon, deadline) = resolve_horizon(&[(&sched_a, &sched_b)], spec)?;
 
     let base_cfg = job.base_sim_config(spec);
     let radio = base_cfg.radio;
 
-    let period = schedule_period(&sched);
+    let period_a = schedule_period(&sched_a);
+    let period_b = schedule_period(&sched_b);
     let mut rng = StdRng::seed_from_u64(job_seed);
     let mut latencies: Vec<Option<Tick>> = Vec::with_capacity(spec.sim.trials);
     let mut eta_acc = 0.0;
+    let mut eta_b_acc = 0.0;
     let mut energy_acc = 0.0;
+    let mut energy_b_acc = 0.0;
     let mut collision_acc = 0.0;
 
     for trial in 0..spec.sim.trials {
@@ -346,17 +419,17 @@ fn exec_montecarlo(job: &Job, spec: &ScenarioSpec) -> Result<BTreeMap<String, f6
         let (phase_a, phase_b) = match job.phase {
             Some(p) => (Tick::ZERO, p),
             None => (
-                random_phase(period, &mut rng),
-                random_phase(period, &mut rng),
+                random_phase(period_a, &mut rng),
+                random_phase(period_b, &mut rng),
             ),
         };
         let mut sim = Simulator::new(cfg, Topology::full(2));
         sim.add_device(Box::new(Drifting::ppm(
-            ScheduleBehavior::with_phase(sched.clone(), phase_a),
+            ScheduleBehavior::with_phase(sched_a.clone(), phase_a),
             0,
         )));
         sim.add_device(Box::new(Drifting::ppm(
-            ScheduleBehavior::with_phase(sched.clone(), phase_b),
+            ScheduleBehavior::with_phase(sched_b.clone(), phase_b),
             job.drift_ppm,
         )));
         sim.stop_when_all_discovered(spec.metric == Metric::TwoWay);
@@ -369,6 +442,11 @@ fn exec_montecarlo(job: &Job, spec: &ScenarioSpec) -> Result<BTreeMap<String, f6
         let elapsed = report.elapsed.max(Tick(1));
         eta_acc += report.devices[0].eta_with_overheads(elapsed, &radio);
         energy_acc += report.devices[0].energy_joules(&radio, spec.radio.prx_mw * 1e-3);
+        if job.has_role_b() {
+            // only role-typed jobs report per-role columns
+            eta_b_acc += report.devices[1].eta_with_overheads(elapsed, &radio);
+            energy_b_acc += report.devices[1].energy_joules(&radio, spec.radio.prx_mw * 1e-3);
+        }
         collision_acc += report.packets.collision_rate();
     }
 
@@ -385,6 +463,12 @@ fn exec_montecarlo(job: &Job, spec: &ScenarioSpec) -> Result<BTreeMap<String, f6
     m.insert("measured_eta".to_string(), eta_acc / trials);
     m.insert("energy_mj".to_string(), energy_acc * 1e3 / trials);
     m.insert("collision_rate".to_string(), collision_acc / trials);
+    if job.has_role_b() {
+        // per-role energy accounting (role-typed jobs only, so symmetric
+        // metric rows — and their cached entries — stay byte-identical)
+        m.insert("measured_eta_b".to_string(), eta_b_acc / trials);
+        m.insert("energy_b_mj".to_string(), energy_b_acc * 1e3 / trials);
+    }
     if let Some(d) = deadline {
         let over = latencies.iter().filter(|l| l.is_none_or(|t| t > d)).count();
         m.insert(
@@ -399,22 +483,40 @@ fn exec_montecarlo(job: &Job, spec: &ScenarioSpec) -> Result<BTreeMap<String, f6
     Ok(m)
 }
 
-/// The netsim backend: N nodes running the job's protocol concurrently on
-/// one collision channel, with staggered join/leave churn and per-node
-/// drift. All randomness (phases, drift draws, churn plans, fault rolls)
-/// derives from the job's content-hash seed, so results are reproducible
-/// across hosts and thread counts.
+/// The netsim backend: N nodes running the job's role configurations
+/// concurrently on one collision channel, with staggered join/leave churn
+/// and per-node drift. A `mix` of m puts `round(m·N)` role-B nodes (the
+/// highest node ids) among the role-A majority. All randomness (phases,
+/// drift draws, churn plans, fault rolls) derives from the job's
+/// content-hash seed, so results are reproducible across hosts and
+/// thread counts.
 fn exec_netsim(job: &Job, spec: &ScenarioSpec) -> Result<BTreeMap<String, f64>, String> {
-    let sched = build_schedule(job, spec)?;
+    let pair = job.role_pair();
+    let (sched_a, sched_b) = build_role_schedules(job, spec)?;
     let n = job.nodes as usize;
     if n < 2 {
         return Err(format!("nodes {n} below 2 (discovery needs a pair)"));
     }
+    let count_b = (job.mix * n as f64).round() as usize;
+    let is_role_b = |i: usize| i >= n - count_b;
     let job_seed = job.seed(spec);
-    let (predicted, horizon, deadline) = resolve_horizon(&sched, spec)?;
+    // the horizon must accommodate every pair class the cohort actually
+    // contains, not just the cross-role one
+    let mut classes: Vec<(&Schedule, &Schedule)> = Vec::new();
+    if count_b < n {
+        classes.push((&sched_a, &sched_a));
+    }
+    if count_b > 0 {
+        classes.push((&sched_b, &sched_b));
+        if count_b < n {
+            classes.push((&sched_a, &sched_b));
+        }
+    }
+    let (predicted, horizon, deadline) = resolve_horizon(&classes, spec)?;
     let base_cfg = job.base_sim_config(spec);
     let radio = base_cfg.radio;
-    let period = schedule_period(&sched);
+    let period_a = schedule_period(&sched_a);
+    let period_b = schedule_period(&sched_b);
     let metric = match spec.metric {
         Metric::OneWay => PairMetric::OneWay,
         Metric::TwoWay => PairMetric::TwoWay,
@@ -423,6 +525,7 @@ fn exec_netsim(job: &Job, spec: &ScenarioSpec) -> Result<BTreeMap<String, f64>, 
 
     let mut rng = StdRng::seed_from_u64(job_seed ^ 0xd6e8_feb8_6659_fd93);
     let mut pair_latencies: Vec<Option<Tick>> = Vec::new();
+    let mut cross_latencies: Vec<Option<Tick>> = Vec::new();
     let mut first_contacts: Vec<Option<Tick>> = Vec::new();
     let mut complete_trials = 0usize;
     let mut cohort_acc = 0.0;
@@ -441,9 +544,13 @@ fn exec_netsim(job: &Job, spec: &ScenarioSpec) -> Result<BTreeMap<String, f64>, 
         };
         let mut sim = NetSimulator::new(cfg, Topology::full(n));
         for i in 0..n {
+            let (sched, period, role) = if is_role_b(i) {
+                (&sched_b, period_b, &pair.b)
+            } else {
+                (&sched_a, period_a, &pair.a)
+            };
             let phase = random_phase(period, &mut rng);
-            let behavior =
-                ScheduleBehavior::with_phase(sched.clone(), phase).labeled(job.protocol.clone());
+            let behavior = ScheduleBehavior::with_phase(sched.clone(), phase).labeled(role.label());
             let behavior: Box<dyn Behavior> = if job.drift_ppm == 0 {
                 Box::new(behavior)
             } else {
@@ -456,7 +563,8 @@ fn exec_netsim(job: &Job, spec: &ScenarioSpec) -> Result<BTreeMap<String, f64>, 
         }
         sim.stop_when_all_discovered(true);
         let report = sim.run();
-        let lats = report.pair_latencies(metric);
+        let entries = report.pair_latency_entries(metric);
+        let lats: Vec<Option<Tick>> = entries.iter().map(|&(_, _, l)| l).collect();
         if lats.is_empty() {
             discovered_acc += 1.0; // nothing was possible, nothing was missed
         } else {
@@ -472,6 +580,12 @@ fn exec_netsim(job: &Job, spec: &ScenarioSpec) -> Result<BTreeMap<String, f64>, 
                     .as_secs_f64();
             }
         }
+        cross_latencies.extend(
+            entries
+                .iter()
+                .filter(|&&(a, b, _)| is_role_b(a) != is_role_b(b))
+                .map(|&(_, _, l)| l),
+        );
         pair_latencies.extend(lats);
         first_contacts.extend(report.first_contacts());
         eta_acc += report.mean_eta(&radio);
@@ -504,6 +618,27 @@ fn exec_netsim(job: &Job, spec: &ScenarioSpec) -> Result<BTreeMap<String, f64>, 
     );
     m.insert("measured_eta".to_string(), eta_acc / trials);
     m.insert("collision_rate".to_string(), collision_acc / trials);
+    if job.has_role_b() {
+        // the cross-role slice of the pair distribution — the latencies a
+        // mixed deployment (tags vs. anchors, advertisers vs. scanners)
+        // actually cares about. Role-typed jobs only, so symmetric metric
+        // rows — and their cached entries — stay byte-identical.
+        let cross = LatencySummary::from_latencies(&cross_latencies);
+        m.insert("cross_pairs".to_string(), cross_latencies.len() as f64);
+        m.insert("cross_mean_s".to_string(), cross.mean);
+        m.insert("cross_p50_s".to_string(), cross.p50);
+        m.insert("cross_p95_s".to_string(), cross.p95);
+        m.insert("cross_max_s".to_string(), cross.max);
+        m.insert(
+            "cross_discovered_frac".to_string(),
+            if cross_latencies.is_empty() {
+                1.0
+            } else {
+                cross_latencies.iter().filter(|l| l.is_some()).count() as f64
+                    / cross_latencies.len() as f64
+            },
+        );
+    }
     if let Some(d) = deadline {
         let over = pair_latencies
             .iter()
@@ -587,6 +722,90 @@ mod tests {
         );
         assert_eq!(row.metric("undiscovered_prob"), Some(0.0));
         assert!(row.metric("p50_s").unwrap() <= row.metric("p95_s").unwrap());
+    }
+
+    #[test]
+    fn bounds_backend_takes_explicit_eta_pairs() {
+        let s = spec("backend = \"bounds\"\n[grid]\neta = [0.08]\neta_b = [0.02]\n");
+        let out = run_sweep(&s, &SweepOptions::uncached()).unwrap();
+        let row = &out.rows[0];
+        assert!(row.error.is_none(), "{:?}", row.error);
+        let bound = nd_core::bounds::asymmetric_bound(1.0, 36e-6, 0.08, 0.02);
+        assert!((row.metric("bound_s").unwrap() - bound).abs() < 1e-12);
+        assert!((row.metric("eta_sum").unwrap() - 0.10).abs() < 1e-12);
+        // ratio r = 4 → penalty (1+4)²/16
+        assert!((row.metric("penalty").unwrap() - 25.0 / 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_asymmetric_pair_achieves_theorem_5_7() {
+        let s = spec(
+            "backend = \"exact\"\nmetric = \"two-way\"\npercentiles = false\n\
+             [grid]\nprotocol = [\"optimal-slotless\"]\neta = [0.08]\neta_b = [0.02]\n",
+        );
+        let out = run_sweep(&s, &SweepOptions::uncached()).unwrap();
+        let row = &out.rows[0];
+        assert!(row.error.is_none(), "{:?}", row.error);
+        // the coupled construction's exact two-way worst case tracks the
+        // Theorem 5.7 bound at the achieved per-role duty cycles
+        let two = row.metric("two_way_worst_s").unwrap();
+        let asym_bound = row.metric("asym_bound_s").unwrap();
+        assert!(
+            (two - asym_bound) / asym_bound < 0.01 && two >= asym_bound * (1.0 - 1e-9),
+            "two-way {two} vs Theorem 5.7 bound {asym_bound}"
+        );
+        // the per-role duty cycles land near their budgets
+        assert!((row.metric("duty_cycle_a").unwrap() - 0.08).abs() < 0.005);
+        assert!((row.metric("duty_cycle_b").unwrap() - 0.02).abs() < 0.005);
+    }
+
+    #[test]
+    fn montecarlo_heterogeneous_pair_respects_roles() {
+        let s = spec(
+            "backend = \"montecarlo\"\nmetric = \"two-way\"\n\
+             [grid]\nprotocol = [\"optimal-slotless\"]\neta = [0.10]\neta_b = [0.02]\n\
+             [sim]\ntrials = 6\nseed = 9\nhorizon_predicted_x = 3.0\ncollisions = false\nhalf_duplex = false\n",
+        );
+        let out = run_sweep(&s, &SweepOptions::uncached()).unwrap();
+        let row = &out.rows[0];
+        assert!(row.error.is_none(), "{:?}", row.error);
+        // the deterministic coupled pair completes within its guarantee
+        assert_eq!(row.metric("failure_rate"), Some(0.0));
+        assert!(row.metric("max_s").unwrap() <= row.metric("predicted_s").unwrap() * 1.001);
+        // per-role energy accounting: role A (η 0.10) spends ~5x role B
+        let eta_a = row.metric("measured_eta").unwrap();
+        let eta_b = row.metric("measured_eta_b").unwrap();
+        assert!(eta_a > 3.0 * eta_b, "advertiser {eta_a} vs scanner {eta_b}");
+    }
+
+    #[test]
+    fn netsim_mixed_cohort_reports_cross_role_pairs() {
+        let s = spec(
+            "backend = \"netsim\"\nmetric = \"one-way\"\n\
+             [grid]\nprotocol = [\"optimal-slotless\"]\neta = [0.10]\neta_b = [0.05]\n\
+             nodes = [4]\nmix = [0.0, 0.5]\ncollision = [false]\n\
+             [sim]\ntrials = 3\nseed = 21\nhorizon_predicted_x = 4.0\n",
+        );
+        let out = run_sweep(&s, &SweepOptions::uncached()).unwrap();
+        assert_eq!(out.rows.len(), 2);
+        let pure = &out.rows[0];
+        let mixed = &out.rows[1];
+        assert!(pure.error.is_none(), "{:?}", pure.error);
+        assert!(mixed.error.is_none(), "{:?}", mixed.error);
+        // mix 0.0: all nodes role A → no cross-role pairs at all
+        assert_eq!(pure.metric("cross_pairs"), Some(0.0));
+        // mix 0.5 on 4 nodes: 2 role-B nodes → 2·2·2 ordered cross pairs
+        // (one-way counts both directions) per trial, 3 trials
+        assert_eq!(mixed.metric("cross_pairs"), Some(24.0));
+        let frac = mixed.metric("cross_discovered_frac").unwrap();
+        assert!((0.0..=1.0).contains(&frac));
+        // both rows are deterministic (Debug-compare: NaN-valued metrics
+        // like an incomplete cohort's worst must also match)
+        let again = run_sweep(&s, &SweepOptions::uncached()).unwrap();
+        assert_eq!(
+            format!("{:?}", mixed.metrics),
+            format!("{:?}", again.rows[1].metrics)
+        );
     }
 
     #[test]

@@ -18,12 +18,23 @@ use nd_core::time::Tick;
 pub struct Job {
     /// Position in the expansion order (row order of the results).
     pub index: usize,
-    /// Protocol selector string (registry name or parametrized form).
+    /// Role A's protocol selector string (registry name or parametrized
+    /// form).
     pub protocol: String,
-    /// Total duty-cycle target η.
+    /// Role A's total duty-cycle target η.
     pub eta: f64,
-    /// Slot length for slotted protocols.
+    /// Role A's slot length for slotted protocols.
     pub slot: Tick,
+    /// Role B's protocol selector; `None` = role A's.
+    pub protocol_b: Option<String>,
+    /// Role B's duty-cycle target; `None` = role A's.
+    pub eta_b: Option<f64>,
+    /// Role B's slot length; `None` = role A's.
+    pub slot_b: Option<Tick>,
+    /// Fraction of the cohort running role B (netsim backend; the
+    /// pairwise backends put role B on device 1 whenever a role-B axis
+    /// is set, regardless of `mix`).
+    pub mix: f64,
     /// Relative drift of device B (ppm).
     pub drift_ppm: i64,
     /// I.i.d. reception-drop probability.
@@ -44,6 +55,47 @@ pub struct Job {
 }
 
 impl Job {
+    /// Whether this job carries any role-B departure from the symmetric
+    /// default. Only then do the role fields enter the content hash, so
+    /// every symmetric job keeps its pre-role hash (and cache entry).
+    pub fn has_role_b(&self) -> bool {
+        self.protocol_b.is_some()
+            || self.eta_b.is_some()
+            || self.slot_b.is_some()
+            || self.mix != 0.0
+    }
+
+    /// Role A's configuration (device 0; the whole cohort minus the
+    /// role-B share).
+    pub fn role_a(&self) -> nd_protocols::RoleConfig {
+        nd_protocols::RoleConfig {
+            protocol: self.protocol.clone(),
+            eta: self.eta,
+            slot: self.slot,
+        }
+    }
+
+    /// Role B's configuration (device 1; the role-B share of a cohort),
+    /// with unset fields inherited from role A.
+    pub fn role_b(&self) -> nd_protocols::RoleConfig {
+        nd_protocols::RoleConfig {
+            protocol: self
+                .protocol_b
+                .clone()
+                .unwrap_or_else(|| self.protocol.clone()),
+            eta: self.eta_b.unwrap_or(self.eta),
+            slot: self.slot_b.unwrap_or(self.slot),
+        }
+    }
+
+    /// The job's full role pair.
+    pub fn role_pair(&self) -> nd_protocols::RolePair {
+        nd_protocols::RolePair {
+            a: self.role_a(),
+            b: self.role_b(),
+        }
+    }
+
     /// The radio this job simulates with: the spec's ideal radio plus the
     /// job's turnaround overhead, split evenly between TxRx and RxTx (the
     /// Appendix A.5 convention). Shared by the engine and the content hash
@@ -124,6 +176,16 @@ impl Job {
         (self.nodes as u64).encode(&mut out);
         self.churn.encode(&mut out);
         self.collision.encode(&mut out);
+        // role-B fields are appended only for asymmetric jobs, so every
+        // symmetric job (the entire pre-role universe) keeps its hash —
+        // and its cache entries — byte for byte
+        if self.has_role_b() {
+            "role-b".encode(&mut out);
+            self.protocol_b.encode(&mut out);
+            self.eta_b.encode(&mut out);
+            self.slot_b.encode(&mut out);
+            self.mix.encode(&mut out);
+        }
         out
     }
 
@@ -140,12 +202,28 @@ impl Job {
         sha256_prefix_u64(&bytes)
     }
 
-    /// The job's parameter columns, in stable presentation order.
+    /// The job's parameter columns, in stable presentation order. The
+    /// role-B columns render as null/empty for symmetric jobs.
     pub fn params(&self) -> Vec<(&'static str, Value)> {
         vec![
             ("protocol", Value::Str(self.protocol.clone())),
             ("eta", Value::Float(self.eta)),
             ("slot_us", Value::Float(self.slot.as_micros_f64())),
+            (
+                "protocol_b",
+                match &self.protocol_b {
+                    Some(p) => Value::Str(p.clone()),
+                    None => Value::Null,
+                },
+            ),
+            ("eta_b", self.eta_b.map(Value::Float).unwrap_or(Value::Null)),
+            (
+                "slot_us_b",
+                self.slot_b
+                    .map(|s| Value::Float(s.as_micros_f64()))
+                    .unwrap_or(Value::Null),
+            ),
+            ("mix", Value::Float(self.mix)),
             ("nodes", Value::Int(self.nodes as i64)),
             ("churn", Value::Float(self.churn)),
             ("collision", Value::Bool(self.collision)),
@@ -175,34 +253,60 @@ pub fn expand(spec: &ScenarioSpec) -> Vec<Job> {
         None => vec![None],
         Some(p) => p.iter().copied().map(Some).collect(),
     };
+    // optional role-B axes expand to the single symmetric default when
+    // unset, so they add no loop levels to pre-role specs
+    let protocols_b: Vec<Option<String>> = match &g.protocol_b {
+        None => vec![None],
+        Some(p) => p.iter().cloned().map(Some).collect(),
+    };
+    let etas_b: Vec<Option<f64>> = match &g.eta_b {
+        None => vec![None],
+        Some(e) => e.iter().copied().map(Some).collect(),
+    };
+    let slots_b: Vec<Option<Tick>> = match &g.slot_b {
+        None => vec![None],
+        Some(s) => s.iter().copied().map(Some).collect(),
+    };
     let mut jobs = Vec::new();
     let mut index = 0;
     for protocol in &g.protocol {
-        for &eta in &g.eta {
-            for &slot in &g.slot {
-                for &nodes in &g.nodes {
-                    for &churn in &g.churn {
-                        for &collision in &g.collision {
-                            for &drift_ppm in &g.drift_ppm {
-                                for &drop_probability in &g.drop_probability {
-                                    for &turnaround in &g.turnaround {
-                                        for &phase in &phases {
-                                            for &ratio in &g.ratio {
-                                                jobs.push(Job {
-                                                    index,
-                                                    protocol: protocol.clone(),
-                                                    eta,
-                                                    slot,
-                                                    drift_ppm,
-                                                    drop_probability,
-                                                    turnaround,
-                                                    phase,
-                                                    ratio,
-                                                    nodes,
-                                                    churn,
-                                                    collision,
-                                                });
-                                                index += 1;
+        for protocol_b in &protocols_b {
+            for &eta in &g.eta {
+                for &eta_b in &etas_b {
+                    for &slot in &g.slot {
+                        for &slot_b in &slots_b {
+                            for &nodes in &g.nodes {
+                                for &mix in &g.mix {
+                                    for &churn in &g.churn {
+                                        for &collision in &g.collision {
+                                            for &drift_ppm in &g.drift_ppm {
+                                                for &drop_probability in &g.drop_probability {
+                                                    for &turnaround in &g.turnaround {
+                                                        for &phase in &phases {
+                                                            for &ratio in &g.ratio {
+                                                                jobs.push(Job {
+                                                                    index,
+                                                                    protocol: protocol.clone(),
+                                                                    eta,
+                                                                    slot,
+                                                                    protocol_b: protocol_b.clone(),
+                                                                    eta_b,
+                                                                    slot_b,
+                                                                    mix,
+                                                                    drift_ppm,
+                                                                    drop_probability,
+                                                                    turnaround,
+                                                                    phase,
+                                                                    ratio,
+                                                                    nodes,
+                                                                    churn,
+                                                                    collision,
+                                                                });
+                                                                index += 1;
+                                                            }
+                                                        }
+                                                    }
+                                                }
                                             }
                                         }
                                     }

@@ -47,7 +47,7 @@ pub mod pool;
 pub mod spec;
 pub mod value;
 
-pub use cache::{CachedResult, ResultCache};
+pub use cache::{CacheStats, CachedResult, GcReport, ResultCache};
 pub use engine::{run_sweep, Row, SweepError, SweepOptions, SweepOutcome};
 pub use export::{to_csv, to_json};
 pub use grid::{expand, Job};

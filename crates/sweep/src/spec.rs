@@ -170,12 +170,30 @@ pub struct Grid {
     /// Protocol axis: registry names (`nd-protocols::registry`, e.g.
     /// `"disco"`, `"optimal-slotless"`) or the parametrized form
     /// `"diff-code:<v>:<m1>,<m2>,…"` for an explicit difference set.
+    /// This is *role A*'s protocol; device 1 (and the role-B share of a
+    /// netsim cohort) runs role B, which defaults to role A.
     pub protocol: Vec<String>,
     /// Total duty-cycle targets η (ignored by parametrized protocols and
-    /// interpreted as the *joint* budget η_E+η_F by the bounds backend).
+    /// interpreted as the *joint* budget η_E+η_F by the bounds backend —
+    /// unless `eta_b` makes the pair explicitly asymmetric, in which case
+    /// `eta` is η_E).
     pub eta: Vec<f64>,
     /// Slot lengths for slotted protocols.
     pub slot: Vec<Tick>,
+    /// Role-B protocol axis; `None` = role B runs role A's protocol
+    /// (the symmetric default every pre-existing spec uses).
+    pub protocol_b: Option<Vec<String>>,
+    /// Role-B duty-cycle targets η_F; `None` = role A's η. On the bounds
+    /// backend this switches `eta`/`eta_b` to the explicit (η_E, η_F)
+    /// parametrization of Theorem 5.7 (mutually exclusive with `ratio`).
+    pub eta_b: Option<Vec<f64>>,
+    /// Role-B slot lengths; `None` = role A's slot.
+    pub slot_b: Option<Vec<Tick>>,
+    /// Fraction of the cohort running role B (netsim only): `0.0` = all
+    /// nodes are role A, `0.5` = an even split, `1.0` = all role B. The
+    /// role-B node count is `round(mix · nodes)`, assigned to the
+    /// highest node ids.
+    pub mix: Vec<f64>,
     /// Relative clock drift of device B in ppm (montecarlo only).
     pub drift_ppm: Vec<i64>,
     /// I.i.d. reception-drop probability (montecarlo only).
@@ -204,6 +222,10 @@ impl Default for Grid {
             protocol: vec!["optimal-slotless".to_string()],
             eta: vec![0.05],
             slot: vec![Tick::from_millis(1)],
+            protocol_b: None,
+            eta_b: None,
+            slot_b: None,
+            mix: vec![0.0],
             drift_ppm: vec![0],
             drop_probability: vec![0.0],
             turnaround: vec![Tick::ZERO],
@@ -213,6 +235,18 @@ impl Default for Grid {
             churn: vec![0.0],
             collision: vec![true],
         }
+    }
+}
+
+impl Grid {
+    /// Whether any role-B axis departs from the symmetric default. Only
+    /// then do the role axes enter content hashes — symmetric specs keep
+    /// their pre-role hashes byte for byte.
+    pub fn has_role_axes(&self) -> bool {
+        self.protocol_b.is_some()
+            || self.eta_b.is_some()
+            || self.slot_b.is_some()
+            || self.mix != vec![0.0]
     }
 }
 
@@ -431,6 +465,58 @@ impl ScenarioSpec {
         if self.backend != Backend::Bounds && g.ratio != vec![1.0] {
             return invalid("ratio axis requires backend = \"bounds\"");
         }
+        if self.backend == Backend::Bounds {
+            if g.protocol_b.is_some() || g.slot_b.is_some() {
+                return invalid(
+                    "protocol_b/slot_us_b axes are meaningless on the bounds backend \
+                     (no schedules are built; use eta_b for the Theorem 5.7 pair)",
+                );
+            }
+            if g.eta_b.is_some() && g.ratio != vec![1.0] {
+                return invalid(
+                    "eta_b and ratio are mutually exclusive on the bounds backend \
+                     (eta_b switches to the explicit (η_E, η_F) parametrization)",
+                );
+            }
+        }
+        if self.backend != Backend::Netsim && g.mix != vec![0.0] {
+            return invalid("mix axis requires backend = \"netsim\"");
+        }
+        // the registry/selector constructions (and the coupled Theorem
+        // 5.7 pair) are built for α = 1; a schedule-building backend with
+        // role axes at a different α would be measured against a bound it
+        // was not constructed for — reject instead of silently missing it
+        if self.backend != Backend::Bounds && g.has_role_axes() && self.radio.alpha != 1.0 {
+            return invalid(format!(
+                "role-B axes with radio.alpha = {} are not supported: the pair \
+                 constructions assume α = 1 (the bounds backend takes any α)",
+                self.radio.alpha
+            ));
+        }
+        let has_b_axis = g.protocol_b.is_some() || g.eta_b.is_some() || g.slot_b.is_some();
+        if g.mix != vec![0.0] && !has_b_axis {
+            return invalid(
+                "mix axis without a role-B axis (protocol_b/eta_b/slot_us_b) has no effect",
+            );
+        }
+        if self.backend == Backend::Netsim && has_b_axis && g.mix == vec![0.0] {
+            return invalid(
+                "role-B axes on the netsim backend need a mix axis (mix = [0.0] \
+                 keeps the whole cohort on role A, so role B would be ignored)",
+            );
+        }
+        for &m in &g.mix {
+            if !(0.0..=1.0).contains(&m) {
+                return invalid(format!("mix {m} out of [0, 1]"));
+            }
+        }
+        if let Some(etas) = &g.eta_b {
+            for &eta in etas {
+                if !(eta > 0.0 && eta <= 1.0) {
+                    return invalid(format!("eta_b {eta} out of (0, 1]"));
+                }
+            }
+        }
         for &n in &g.nodes {
             if n < 2 {
                 return invalid(format!("nodes {n} below 2 (discovery needs a pair)"));
@@ -523,6 +609,17 @@ impl StableEncode for ScenarioSpec {
                 t.encode(out);
             }
         }
+        // the role-B axes entered the grammar after abi3; they are
+        // appended only when asymmetric so every pre-existing symmetric
+        // spec keeps its content hash byte for byte (no cache
+        // invalidation, no ENGINE_VERSION bump)
+        if self.grid.has_role_axes() {
+            "role-b".encode(out);
+            self.grid.protocol_b.encode(out);
+            self.grid.eta_b.encode(out);
+            self.grid.slot_b.encode(out);
+            self.grid.mix.encode(out);
+        }
     }
 }
 
@@ -600,6 +697,10 @@ fn parse_grid(v: &Value) -> Result<Grid, SpecError> {
             "protocol",
             "eta",
             "slot_us",
+            "protocol_b",
+            "eta_b",
+            "slot_us_b",
+            "mix",
             "drift_ppm",
             "drop_probability",
             "turnaround_us",
@@ -611,21 +712,35 @@ fn parse_grid(v: &Value) -> Result<Grid, SpecError> {
         ],
         "[grid]",
     )?;
-    let mut grid = Grid::default();
-    if let Some(v) = t.get("protocol") {
+    let string_list = |v: &Value, what: &str| -> Result<Vec<String>, SpecError> {
         let arr = v
             .as_array()
-            .ok_or_else(|| SpecError("`grid.protocol` must be an array".into()))?;
-        grid.protocol = arr
-            .iter()
-            .map(|x| req_str(x, "grid.protocol").map(str::to_string))
-            .collect::<Result<_, _>>()?;
+            .ok_or_else(|| SpecError(format!("`{what}` must be an array")))?;
+        arr.iter()
+            .map(|x| req_str(x, what).map(str::to_string))
+            .collect()
+    };
+    let mut grid = Grid::default();
+    if let Some(v) = t.get("protocol") {
+        grid.protocol = string_list(v, "grid.protocol")?;
     }
     if let Some(v) = t.get("eta") {
         grid.eta = f64_list(v, "grid.eta")?;
     }
     if let Some(v) = t.get("slot_us") {
         grid.slot = ticks_from_us(v, "grid.slot_us")?;
+    }
+    if let Some(v) = t.get("protocol_b") {
+        grid.protocol_b = Some(string_list(v, "grid.protocol_b")?);
+    }
+    if let Some(v) = t.get("eta_b") {
+        grid.eta_b = Some(f64_list(v, "grid.eta_b")?);
+    }
+    if let Some(v) = t.get("slot_us_b") {
+        grid.slot_b = Some(ticks_from_us(v, "grid.slot_us_b")?);
+    }
+    if let Some(v) = t.get("mix") {
+        grid.mix = f64_list(v, "grid.mix")?;
     }
     if let Some(v) = t.get("drift_ppm") {
         let arr = v
@@ -872,6 +987,79 @@ deadline = "predicted"
         let mut coll = base.clone();
         coll.grid.collision = vec![false];
         assert_ne!(base.content_hash(), coll.content_hash());
+    }
+
+    #[test]
+    fn role_axes_parse_validate_and_gate_the_hash() {
+        let s = ScenarioSpec::from_toml_str(
+            "backend = \"montecarlo\"\n[grid]\nprotocol = [\"optimal-slotless\"]\n\
+             eta = [0.02]\nprotocol_b = [\"disco\"]\neta_b = [0.10, 0.20]\nslot_us_b = [2000]\n",
+        )
+        .unwrap();
+        assert_eq!(s.grid.protocol_b, Some(vec!["disco".to_string()]));
+        assert_eq!(s.grid.eta_b, Some(vec![0.10, 0.20]));
+        assert!(s.grid.has_role_axes());
+
+        // a netsim mix axis needs a role-B axis to mix in
+        let mixed = ScenarioSpec::from_toml_str(
+            "backend = \"netsim\"\n[grid]\neta = [0.05]\neta_b = [0.2]\nmix = [0.0, 0.5]\n",
+        )
+        .unwrap();
+        assert_eq!(mixed.grid.mix, vec![0.0, 0.5]);
+
+        for (bad, needle) in [
+            // mix is a cohort axis
+            (
+                "backend = \"montecarlo\"\n[grid]\neta_b = [0.1]\nmix = [0.5]\n",
+                "netsim",
+            ),
+            // mix without a role-B axis has nothing to mix
+            ("backend = \"netsim\"\n[grid]\nmix = [0.5]\n", "no effect"),
+            // …and netsim role-B axes without a mix axis would be ignored
+            (
+                "backend = \"netsim\"\n[grid]\neta_b = [0.2]\n",
+                "need a mix axis",
+            ),
+            (
+                "backend = \"netsim\"\n[grid]\neta_b = [0.1]\nmix = [1.5]\n",
+                "out of [0, 1]",
+            ),
+            ("[grid]\neta_b = [0.0]\n", "out of (0, 1]"),
+            // bounds takes eta_b (Theorem 5.7 pairs) but not schedules
+            (
+                "backend = \"bounds\"\n[grid]\nprotocol_b = [\"disco\"]\n",
+                "meaningless",
+            ),
+            (
+                "backend = \"bounds\"\n[grid]\neta_b = [0.1]\nratio = [2.0]\n",
+                "mutually exclusive",
+            ),
+            // role pairs are α = 1 constructions on schedule-building
+            // backends (the closed-form bounds backend takes any α)
+            (
+                "backend = \"exact\"\n[radio]\nalpha = 2.0\n[grid]\neta_b = [0.1]\n",
+                "alpha",
+            ),
+        ] {
+            let err = ScenarioSpec::from_toml_str(bad).unwrap_err().to_string();
+            assert!(err.contains(needle), "`{bad}` → `{err}`");
+        }
+
+        // hash gating: the symmetric spec's hash has no role-B bytes
+        let sym = ScenarioSpec::from_toml_str("[grid]\neta = [0.05]\n").unwrap();
+        let mut with_b = sym.clone();
+        with_b.grid.eta_b = Some(vec![0.02]);
+        assert_ne!(sym.content_hash(), with_b.content_hash());
+        let mut with_mix = sym.clone();
+        with_mix.backend = Backend::Netsim;
+        let sym_netsim = {
+            let mut s = sym.clone();
+            s.backend = Backend::Netsim;
+            s
+        };
+        with_mix.grid.eta_b = Some(vec![0.02]);
+        with_mix.grid.mix = vec![0.5];
+        assert_ne!(sym_netsim.content_hash(), with_mix.content_hash());
     }
 
     #[test]

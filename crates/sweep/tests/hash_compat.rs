@@ -1,0 +1,144 @@
+//! Backward-compatibility regression: every symmetric scenario spec that
+//! predates the role-typed pipeline must keep its content hashes — spec
+//! hash and per-job hashes — byte for byte. The role-B axes enter a hash
+//! only when a spec actually uses them, so the entire pre-role cache
+//! stays valid with no ENGINE_VERSION bump.
+//!
+//! The pinned values below were captured from `nd-sweep hash` /
+//! `nd-sweep expand` on the commit immediately before the role axes
+//! landed (`fb563df`). If this test fails, symmetric users just lost
+//! their cache: either restore hash equality or bump ENGINE_VERSION and
+//! re-pin deliberately.
+
+use nd_sweep::{expand, ScenarioSpec};
+use std::path::PathBuf;
+
+fn scenario(name: &str) -> ScenarioSpec {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../scenarios")
+        .join(name);
+    ScenarioSpec::from_file(&path).unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+/// `(spec file, pinned spec hash, pinned 12-hex job hash prefixes)`.
+const PINNED: &[(&str, &str, &[&str])] = &[
+    (
+        "drift-strip-rescue.toml",
+        "a99e39d086c1b0851149f883949c3fd04c5e6dc678d4a46cf9892fdfe5c50a92",
+        &[
+            "480bdd510472",
+            "cf6fccf74b76",
+            "62e0ba33fa64",
+            "07a47c23bff4",
+        ],
+    ),
+    (
+        "fig5-slot-boundary-strips.toml",
+        "492127b617d01a8c62be558812dcd7289e38c911ec603f5c8cbec833259ba1dd",
+        &[
+            "264e92b31979",
+            "246cb2dc646c",
+            "6af00312af57",
+            "1bbd698d7b78",
+            "8d2bb7f69cb8",
+        ],
+    ),
+    (
+        "fig6-asymmetry-cost.toml",
+        "3f484c6b1d9619a0153756b0ca4ce9585758333b6d53cacc304ad90f9ecee384",
+        &[
+            "f97d3c60f831",
+            "7358a8750759",
+            "208fea5e843c",
+            "56bbdecf26f5",
+            "c8dc6d1207ea",
+        ],
+    ),
+    (
+        "netsim-churn-resilience.toml",
+        "fc6796cf87fb58f896c1018077ab6015eaca1e0b8308fa7d47a4cfc41a9ef790",
+        &[
+            "0e86b38eca8b",
+            "9f9e9aae60ea",
+            "9ddb042510c5",
+            "bfaad19e56bc",
+            "6b808761556b",
+        ],
+    ),
+    (
+        "netsim-cohort-scaling.toml",
+        "82a95558d4962f5896ab16491ec3de70b3c945d38fe8063c87181dd573f9c09c",
+        &[
+            "c8bc56cf3795",
+            "5528ac006d46",
+            "dc5120c52a80",
+            "79bdc8ffc380",
+            "8b35f66f2e33",
+            "445ffb6d9a66",
+        ],
+    ),
+    (
+        "pfail-self-blocking.toml",
+        "3b9fc900f2fb435ac9ddb4fbbe6e447f46f95e42a1280a8fc9f7884b1e117763",
+        &["9944f27489c8", "253f84859b1d"],
+    ),
+    (
+        "protocol-shootout.toml",
+        "85f05f386bfae5ffb0e26bdc50155243ebdc7956316e1ac55555500bc9a27a16",
+        &[
+            "e97354136e75",
+            "880778ccf0aa",
+            "445c8ed9cd02",
+            "d319a249f916",
+        ],
+    ),
+];
+
+#[test]
+fn pre_role_scenario_specs_hash_identically_to_main() {
+    for (file, spec_hash, job_prefixes) in PINNED {
+        let spec = scenario(file);
+        assert_eq!(
+            &spec.content_hash(),
+            spec_hash,
+            "{file}: spec content hash changed — symmetric cache invalidated"
+        );
+        let jobs = expand(&spec);
+        assert!(
+            jobs.len() >= job_prefixes.len(),
+            "{file}: fewer jobs than pinned"
+        );
+        for (job, pinned) in jobs.iter().zip(*job_prefixes) {
+            assert_eq!(
+                &job.content_hash(&spec)[..12],
+                *pinned,
+                "{file} job {}: content hash changed — symmetric cache invalidated",
+                job.index
+            );
+        }
+    }
+}
+
+/// The same property, spec-level: a symmetric grid encodes no role-B
+/// bytes at all, while any role-B departure changes both the spec hash
+/// and the affected job hashes.
+#[test]
+fn role_axes_only_hash_when_used() {
+    let sym = ScenarioSpec::from_toml_str(
+        "backend = \"exact\"\n[grid]\nprotocol = [\"optimal-slotless\"]\neta = [0.05]\n",
+    )
+    .unwrap();
+    let sym_job = &expand(&sym)[0];
+    assert!(!sym.grid.has_role_axes());
+    assert!(!sym_job.has_role_b());
+
+    let asym = ScenarioSpec::from_toml_str(
+        "backend = \"exact\"\n[grid]\nprotocol = [\"optimal-slotless\"]\neta = [0.05]\neta_b = [0.02]\n",
+    )
+    .unwrap();
+    assert!(asym.grid.has_role_axes());
+    assert_ne!(sym.content_hash(), asym.content_hash());
+    let asym_job = &expand(&asym)[0];
+    assert!(asym_job.has_role_b());
+    assert_ne!(sym_job.content_hash(&sym), asym_job.content_hash(&asym));
+}

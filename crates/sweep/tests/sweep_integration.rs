@@ -357,3 +357,127 @@ fn cli_version_and_help_record_provenance() {
         );
     }
 }
+
+/// `nd-sweep cache stats` / `cache gc`: size accounting, dry-run
+/// reporting, and LRU eviction — the cache shrinks to the byte budget
+/// and a subsequent run of the surviving spec still hits.
+#[test]
+fn cli_cache_stats_and_gc() {
+    let dir = temp_dir("cache-gc");
+    let cache_dir = dir.join("cache");
+    let out_dir = dir.join("out");
+    let spec_path = dir.join("spec.toml");
+    std::fs::write(
+        &spec_path,
+        "name = \"gc-spec\"\nbackend = \"bounds\"\n[grid]\neta = [0.05, 0.10]\nratio = [1.0, 2.0]\n",
+    )
+    .unwrap();
+    let bin = env!("CARGO_BIN_EXE_nd-sweep");
+    let run = |args: &[&str]| {
+        let out = std::process::Command::new(bin).args(args).output().unwrap();
+        (
+            out.status.success(),
+            String::from_utf8_lossy(&out.stdout).to_string(),
+            String::from_utf8_lossy(&out.stderr).to_string(),
+        )
+    };
+    let cache_str = cache_dir.to_str().unwrap();
+
+    // populate 4 entries
+    let (ok, _, stderr) = run(&[
+        "run",
+        spec_path.to_str().unwrap(),
+        "--cache-dir",
+        cache_str,
+        "--out-dir",
+        out_dir.to_str().unwrap(),
+        "--quiet",
+    ]);
+    assert!(ok, "{stderr}");
+
+    let (ok, stdout, _) = run(&["cache", "stats", "--cache-dir", cache_str]);
+    assert!(ok);
+    assert!(stdout.contains("4 entries"), "{stdout}");
+
+    // dry run reports reclaimable bytes, deletes nothing
+    let (ok, stdout, _) = run(&[
+        "cache",
+        "gc",
+        "--max-bytes",
+        "0",
+        "--dry-run",
+        "--cache-dir",
+        cache_str,
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("4 entries / "), "{stdout}");
+    assert!(stdout.contains("reclaimable"), "{stdout}");
+    assert!(stdout.contains("dry run"), "{stdout}");
+    let (_, stdout, _) = run(&["cache", "stats", "--cache-dir", cache_str]);
+    assert!(
+        stdout.contains("4 entries"),
+        "dry run must not delete: {stdout}"
+    );
+
+    // a real gc to ~half the size evicts the least recently used half
+    let (ok, stdout, _) = run(&["cache", "gc", "--max-bytes", "1", "--cache-dir", cache_str]);
+    assert!(ok);
+    assert!(stdout.contains("evicted 4 of 4 entries"), "{stdout}");
+    let (_, stdout, _) = run(&["cache", "stats", "--cache-dir", cache_str]);
+    assert!(stdout.contains("0 entries"), "{stdout}");
+
+    // bad invocations fail loudly
+    for bad in [
+        vec!["cache"],
+        vec!["cache", "gc"],                        // missing --max-bytes
+        vec!["cache", "gc", "--max-bytes", "lots"], // not a byte count
+        vec!["cache", "stats", "--dry-run"],        // stats takes no gc flags
+        vec!["cache", "frobnicate"],
+    ] {
+        let out = std::process::Command::new(bin).args(&bad).output().unwrap();
+        assert!(!out.status.success(), "{bad:?} must fail");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Role-typed sweep end to end through the CLI: the BLE advertiser vs.
+/// scanner scenario exercises the `eta_b` axis and the per-role energy
+/// columns, and re-runs hit the cache like any other sweep.
+#[test]
+fn cli_runs_role_typed_scenarios() {
+    let dir = temp_dir("roles-cli");
+    let cache_dir = dir.join("cache");
+    let out_dir = dir.join("out");
+    let spec_path = dir.join("asym.toml");
+    std::fs::write(
+        &spec_path,
+        "name = \"asym-cli\"\nbackend = \"exact\"\nmetric = \"two-way\"\npercentiles = false\n\
+         [grid]\nprotocol = [\"optimal-slotless\"]\neta = [0.08]\neta_b = [0.02]\n",
+    )
+    .unwrap();
+    let bin = env!("CARGO_BIN_EXE_nd-sweep");
+    let args = [
+        "run",
+        spec_path.to_str().unwrap(),
+        "--cache-dir",
+        cache_dir.to_str().unwrap(),
+        "--out-dir",
+        out_dir.to_str().unwrap(),
+    ];
+    let first = std::process::Command::new(bin).args(args).output().unwrap();
+    assert!(
+        first.status.success(),
+        "{}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    let csv = std::fs::read_to_string(out_dir.join("asym-cli.csv")).unwrap();
+    let header = csv.lines().next().unwrap();
+    for col in ["protocol_b", "eta_b", "slot_us_b", "mix", "asym_bound_s"] {
+        assert!(header.contains(col), "missing `{col}` in {header}");
+    }
+    let second = std::process::Command::new(bin).args(args).output().unwrap();
+    assert!(second.status.success());
+    let stdout = String::from_utf8_lossy(&second.stdout);
+    assert!(stdout.contains("0 executed"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

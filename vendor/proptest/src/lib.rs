@@ -108,7 +108,7 @@ macro_rules! impl_range_strategy {
     )*};
 }
 
-impl_range_strategy!(u64, u32, usize, i64, i32, i128);
+impl_range_strategy!(u64, u32, usize, i64, i32, i128, f64);
 
 macro_rules! impl_tuple_strategy {
     ($($s:ident/$idx:tt),+) => {
