@@ -2,17 +2,18 @@
 //! runs per second) as the cohort grows, plus a netsim-backend sweep
 //! throughput case.
 //!
-//! Besides the criterion console report, the bench writes a small JSON
-//! summary (`BENCH_netsim.json`, path overridable via `ND_BENCH_JSON`) so
-//! CI can upload machine-readable throughput numbers as an artifact.
+//! Besides the criterion console report, the bench writes a JSON summary
+//! (`BENCH_netsim.json`, path overridable via `ND_BENCH_JSON`) under the
+//! stable `nd-bench-summary/v1` schema ([`nd_bench::summary`]) so CI can
+//! upload machine-readable throughput numbers and fail on schema drift.
 
 use criterion::{BenchmarkId, Criterion, Throughput};
+use nd_bench::{measure, Summary};
 use nd_core::time::Tick;
 use nd_netsim::{NetSimulator, NodeSpec};
 use nd_sim::{ScheduleBehavior, SimConfig, Topology};
 use nd_sweep::{run_sweep, ScenarioSpec, SweepOptions};
 use std::hint::black_box;
-use std::time::Instant;
 
 const COHORTS: [usize; 3] = [2, 8, 32];
 
@@ -81,62 +82,25 @@ fn bench_netsim_sweep(c: &mut Criterion) {
 }
 
 /// Hand-measured throughput summary for the CI artifact: cohort runs per
-/// second per cohort size, and netsim-backend sweep jobs per second.
+/// second per cohort size, and netsim-backend sweep jobs per second, all
+/// recorded through the `nd-obs` registry under `nd-bench-summary/v1`.
 fn write_summary() {
-    let measure = |mut f: Box<dyn FnMut() -> u64>| -> (u64, f64) {
-        // calibrated single batch, like the vendored criterion harness
-        let mut iters: u64 = 1;
-        let target_ms: u64 = std::env::var("ND_BENCH_MS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(300);
-        let per_iter = loop {
-            let t0 = Instant::now();
-            for _ in 0..iters {
-                black_box(f());
-            }
-            let dt = t0.elapsed();
-            if dt.as_millis() as u64 * 8 >= target_ms || iters >= 1 << 20 {
-                break dt.as_secs_f64() / iters as f64;
-            }
-            iters *= 2;
-        };
-        let n = ((target_ms as f64 / 1e3) / per_iter.max(1e-9))
-            .ceil()
-            .clamp(1.0, 1e7) as u64;
-        let t0 = Instant::now();
-        for _ in 0..n {
-            black_box(f());
-        }
-        (n, n as f64 / t0.elapsed().as_secs_f64())
-    };
-
-    let mut entries = Vec::new();
+    let summary = Summary::new("netsim");
     for n in COHORTS {
-        let (iters, per_sec) = measure(Box::new(move || cohort_run(n, 42)));
-        entries.push(format!(
-            "    {{\"bench\": \"netsim_cohort\", \"nodes\": {n}, \"iters\": {iters}, \"runs_per_sec\": {per_sec:.2}}}"
-        ));
+        let (iters, per_sec) = measure(|| cohort_run(n, 42));
+        summary.record_rate(&format!("netsim_cohort.nodes_{n}"), "runs", iters, per_sec);
     }
     let spec = ScenarioSpec::from_toml_str(NETSIM_SWEEP).unwrap();
     let jobs = nd_sweep::expand(&spec).len();
-    let (iters, sweeps_per_sec) = measure(Box::new(move || {
+    let (iters, sweeps_per_sec) = measure(|| {
         run_sweep(&spec, &SweepOptions::uncached())
             .unwrap()
             .rows
             .len() as u64
-    }));
-    entries.push(format!(
-        "    {{\"bench\": \"netsim_sweep\", \"jobs\": {jobs}, \"iters\": {iters}, \"jobs_per_sec\": {:.2}}}",
-        sweeps_per_sec * jobs as f64
-    ));
-
-    let path = std::env::var("ND_BENCH_JSON").unwrap_or_else(|_| "BENCH_netsim.json".to_string());
-    let body = format!("{{\n  \"results\": [\n{}\n  ]\n}}\n", entries.join(",\n"));
-    match std::fs::write(&path, body) {
-        Ok(()) => println!("wrote throughput summary to {path}"),
-        Err(e) => eprintln!("cannot write {path}: {e}"),
-    }
+    });
+    summary.record_gauge("netsim_sweep", "jobs", jobs as f64);
+    summary.record_rate("netsim_sweep", "jobs", iters, sweeps_per_sec * jobs as f64);
+    summary.write("BENCH_netsim.json");
 }
 
 fn main() {

@@ -2,14 +2,15 @@
 //! per second on the exact evaluator (uncached, 1 thread vs. all cores)
 //! and raw candidate-evaluation throughput.
 //!
-//! Besides the criterion console report, the bench writes a small JSON
-//! summary (`BENCH_opt.json`, path overridable via `ND_BENCH_JSON`) so CI
-//! can upload machine-readable throughput numbers as an artifact.
+//! Besides the criterion console report, the bench writes a JSON summary
+//! (`BENCH_opt.json`, path overridable via `ND_BENCH_JSON`) under the
+//! stable `nd-bench-summary/v1` schema ([`nd_bench::summary`]) so CI can
+//! upload machine-readable throughput numbers and fail on schema drift.
 
 use criterion::Criterion;
+use nd_bench::{measure, Summary};
 use nd_opt::{evaluator_for, run_opt, Candidate, OptOptions, OptSpec};
 use std::hint::black_box;
-use std::time::Instant;
 
 const FRONT_SPEC: &str = r#"
 name = "bench-opt-front"
@@ -54,57 +55,20 @@ fn bench_evaluations(c: &mut Criterion) {
 
 /// Hand-measured throughput summary for the CI artifact: whole searches
 /// per second (serial and parallel) and single exact evaluations per
-/// second.
+/// second, recorded through the `nd-obs` registry under
+/// `nd-bench-summary/v1`.
 fn write_summary() {
-    let measure = |mut f: Box<dyn FnMut() -> u64>| -> (u64, f64) {
-        // calibrated single batch, like the vendored criterion harness
-        let mut iters: u64 = 1;
-        let target_ms: u64 = std::env::var("ND_BENCH_MS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(300);
-        let per_iter = loop {
-            let t0 = Instant::now();
-            for _ in 0..iters {
-                black_box(f());
-            }
-            let dt = t0.elapsed();
-            if dt.as_millis() as u64 * 8 >= target_ms || iters >= 1 << 20 {
-                break dt.as_secs_f64() / iters as f64;
-            }
-            iters *= 2;
-        };
-        let n = ((target_ms as f64 / 1e3) / per_iter.max(1e-9))
-            .ceil()
-            .clamp(1.0, 1e7) as u64;
-        let t0 = Instant::now();
-        for _ in 0..n {
-            black_box(f());
-        }
-        (n, n as f64 / t0.elapsed().as_secs_f64())
-    };
-
-    let mut entries = Vec::new();
+    let summary = Summary::new("opt");
     for (name, threads) in [("opt_front_serial", Some(1)), ("opt_front_parallel", None)] {
-        let (iters, per_sec) = measure(Box::new(move || front_run(threads) as u64));
-        entries.push(format!(
-            "    {{\"bench\": \"{name}\", \"iters\": {iters}, \"fronts_per_sec\": {per_sec:.2}}}"
-        ));
+        let (iters, per_sec) = measure(|| front_run(threads) as u64);
+        summary.record_rate(name, "fronts", iters, per_sec);
     }
     let s = spec();
     let ev = evaluator_for(&s).unwrap();
     let cand = Candidate::symmetric("optimal-slotless", 0.05, None);
-    let (iters, per_sec) = measure(Box::new(move || ev.run(&cand).unwrap().len() as u64));
-    entries.push(format!(
-        "    {{\"bench\": \"opt_eval_exact\", \"iters\": {iters}, \"evals_per_sec\": {per_sec:.2}}}"
-    ));
-
-    let path = std::env::var("ND_BENCH_JSON").unwrap_or_else(|_| "BENCH_opt.json".to_string());
-    let body = format!("{{\n  \"results\": [\n{}\n  ]\n}}\n", entries.join(",\n"));
-    match std::fs::write(&path, body) {
-        Ok(()) => println!("wrote throughput summary to {path}"),
-        Err(e) => eprintln!("cannot write {path}: {e}"),
-    }
+    let (iters, per_sec) = measure(|| ev.run(&cand).unwrap().len() as u64);
+    summary.record_rate("opt_eval_exact", "evals", iters, per_sec);
+    summary.write("BENCH_opt.json");
 }
 
 fn main() {

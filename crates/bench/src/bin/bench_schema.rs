@@ -1,0 +1,107 @@
+//! `bench-schema` — guard the `nd-bench-summary/v1` schema against drift.
+//!
+//! ```text
+//! bench-schema <baseline.json> <fresh.json>
+//! ```
+//!
+//! Compares a committed baseline summary (e.g. `BENCH_netsim.json` at the
+//! repo root) against a freshly regenerated one: the `schema` version and
+//! `suite` must match, and the *set of metric names* in each section
+//! (counters, gauges, histograms) must be identical. Values are ignored —
+//! they vary with the machine; names drifting silently is what breaks
+//! downstream dashboards.
+
+use nd_sweep::value::{parse_json, Value};
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, fresh_path] = args.as_slice() else {
+        eprintln!("usage: bench-schema <baseline.json> <fresh.json>");
+        return ExitCode::FAILURE;
+    };
+    match check(baseline_path, fresh_path) {
+        Ok(suite) => {
+            println!("bench-schema: `{suite}` summaries agree ({baseline_path} vs {fresh_path})");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bench-schema: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Shape {
+    schema: String,
+    suite: String,
+    /// `<section>/<metric name>` for every metric in the summary.
+    names: BTreeSet<String>,
+}
+
+fn check(baseline_path: &str, fresh_path: &str) -> Result<String, String> {
+    let baseline = load(baseline_path)?;
+    let fresh = load(fresh_path)?;
+    if baseline.schema != fresh.schema {
+        return Err(format!(
+            "schema version drift: baseline `{}` vs fresh `{}`",
+            baseline.schema, fresh.schema
+        ));
+    }
+    if baseline.suite != fresh.suite {
+        return Err(format!(
+            "suite mismatch: baseline `{}` vs fresh `{}`",
+            baseline.suite, fresh.suite
+        ));
+    }
+    let missing: Vec<&String> = baseline.names.difference(&fresh.names).collect();
+    let added: Vec<&String> = fresh.names.difference(&baseline.names).collect();
+    if !missing.is_empty() || !added.is_empty() {
+        let mut msg = format!("metric-name drift in suite `{}`:", baseline.suite);
+        for name in missing {
+            msg.push_str(&format!("\n  - {name} (in baseline, not regenerated)"));
+        }
+        for name in added {
+            msg.push_str(&format!("\n  + {name} (new; re-commit the baseline)"));
+        }
+        return Err(msg);
+    }
+    Ok(baseline.suite)
+}
+
+fn load(path: &str) -> Result<Shape, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let v = parse_json(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let table = v
+        .as_table()
+        .ok_or_else(|| format!("{path}: not a JSON object"))?;
+    let str_field = |key: &str| -> Result<String, String> {
+        table
+            .get(key)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("{path}: missing string field `{key}`"))
+    };
+    let schema = str_field("schema")?;
+    let suite = str_field("suite")?;
+    let metrics = table
+        .get("metrics")
+        .and_then(Value::as_table)
+        .ok_or_else(|| format!("{path}: missing `metrics` object"))?;
+    let mut names = BTreeSet::new();
+    for section in ["counters", "gauges", "histograms"] {
+        let map = metrics
+            .get(section)
+            .and_then(Value::as_table)
+            .ok_or_else(|| format!("{path}: missing `metrics.{section}` object"))?;
+        for name in map.keys() {
+            names.insert(format!("{section}/{name}"));
+        }
+    }
+    Ok(Shape {
+        schema,
+        suite,
+        names,
+    })
+}

@@ -15,6 +15,8 @@
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod summary;
 pub mod table;
 
 pub use experiments::{all_experiments, run_experiment};
+pub use summary::{measure, Summary};

@@ -1,0 +1,151 @@
+//! Shared throughput measurement and the stable `nd-bench-summary/v1`
+//! JSON schema for the criterion benches' CI artifacts.
+//!
+//! Each bench (`benches/netsim.rs`, `benches/opt.rs`) records its
+//! hand-measured throughput numbers into the `nd-obs` metrics registry —
+//! iteration counts as counters, rates as gauges, all under a `bench.`
+//! prefix — and then serializes the retained snapshot under a versioned
+//! envelope:
+//!
+//! ```json
+//! {
+//!   "schema": "nd-bench-summary/v1",
+//!   "suite": "netsim",
+//!   "metrics": {
+//!     "counters": {"bench.netsim_cohort.nodes_2.iters": 137, ...},
+//!     "gauges": {"bench.netsim_cohort.nodes_2.runs_per_sec": 412.5, ...},
+//!     "histograms": {}
+//!   }
+//! }
+//! ```
+//!
+//! The *schema* — the envelope fields plus the set of metric names — is
+//! what CI guards (see the `bench-schema` bin): values vary with the
+//! machine, names must not drift silently.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Version tag written into every summary envelope.
+pub const SCHEMA: &str = "nd-bench-summary/v1";
+
+/// Calibrated throughput measurement, shared by every bench summary.
+///
+/// Doubles the batch size until one batch takes a meaningful fraction of
+/// the time budget (`ND_BENCH_MS`, default 300 ms), then runs a single
+/// timed batch sized to fill the budget. Returns `(iterations, per_sec)`.
+pub fn measure(mut f: impl FnMut() -> u64) -> (u64, f64) {
+    let mut iters: u64 = 1;
+    let target_ms: u64 = std::env::var("ND_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300);
+    let per_iter = loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let dt = t0.elapsed();
+        if dt.as_millis() as u64 * 8 >= target_ms || iters >= 1 << 20 {
+            break dt.as_secs_f64() / iters as f64;
+        }
+        iters *= 2;
+    };
+    let n = ((target_ms as f64 / 1e3) / per_iter.max(1e-9))
+        .ceil()
+        .clamp(1.0, 1e7) as u64;
+    let t0 = Instant::now();
+    for _ in 0..n {
+        black_box(f());
+    }
+    (n, n as f64 / t0.elapsed().as_secs_f64())
+}
+
+/// One bench suite's summary, accumulating into the metrics registry.
+pub struct Summary {
+    suite: &'static str,
+}
+
+impl Summary {
+    /// Start a summary for `suite`, enabling and resetting the registry
+    /// so the snapshot holds exactly this suite's numbers.
+    pub fn new(suite: &'static str) -> Self {
+        nd_obs::metrics::set_enabled(true);
+        nd_obs::metrics::reset();
+        Summary { suite }
+    }
+
+    /// Record one measured rate: `bench.<bench>.iters` (counter) and
+    /// `bench.<bench>.<unit>_per_sec` (gauge).
+    pub fn record_rate(&self, bench: &str, unit: &str, iters: u64, per_sec: f64) {
+        nd_obs::metrics::add(&format!("bench.{bench}.iters"), iters);
+        nd_obs::metrics::gauge_set(&format!("bench.{bench}.{unit}_per_sec"), per_sec);
+    }
+
+    /// Record a free-form per-bench gauge (e.g. a job count).
+    pub fn record_gauge(&self, bench: &str, key: &str, value: f64) {
+        nd_obs::metrics::gauge_set(&format!("bench.{bench}.{key}"), value);
+    }
+
+    /// Render the versioned envelope around the registry snapshot
+    /// (restricted to `bench.` metrics).
+    pub fn to_json(&self) -> String {
+        let mut snap = nd_obs::metrics::snapshot();
+        snap.retain(|name| name.starts_with("bench."));
+        let metrics = snap.to_json();
+        let mut out = format!(
+            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"suite\": \"{}\",\n  \"metrics\": ",
+            self.suite
+        );
+        // re-indent the snapshot's pretty-printed lines to nest cleanly
+        for (i, line) in metrics.trim_end().lines().enumerate() {
+            if i > 0 {
+                out.push_str("\n  ");
+            }
+            out.push_str(line);
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Write the summary to `ND_BENCH_JSON` (or `default_path`), keeping
+    /// the bench alive on I/O failure — a bench run still reports to the
+    /// console even if the artifact directory is read-only.
+    pub fn write(&self, default_path: &str) {
+        let path = std::env::var("ND_BENCH_JSON").unwrap_or_else(|_| default_path.to_string());
+        match std::fs::write(&path, self.to_json()) {
+            Ok(()) => println!("wrote throughput summary to {path}"),
+            Err(e) => eprintln!("cannot write {path}: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_counts_iterations() {
+        let (iters, per_sec) = measure(|| 1);
+        assert!(iters >= 1);
+        assert!(per_sec > 0.0);
+    }
+
+    #[test]
+    fn summary_envelope_is_versioned_and_nested() {
+        let s = Summary::new("selftest");
+        s.record_rate("alpha", "runs", 10, 123.5);
+        s.record_gauge("alpha", "jobs", 4.0);
+        let json = s.to_json();
+        assert!(json.contains("\"schema\": \"nd-bench-summary/v1\""));
+        assert!(json.contains("\"suite\": \"selftest\""));
+        assert!(json.contains("\"bench.alpha.iters\": 10"));
+        assert!(json.contains("\"bench.alpha.runs_per_sec\": 123.5"));
+        assert!(json.contains("\"bench.alpha.jobs\": 4.0"));
+        // the envelope must parse as JSON (via nd-sweep's parser)
+        let v = nd_sweep::value::parse_json(&json).expect("summary must be valid JSON");
+        let table = v.as_table().unwrap();
+        assert_eq!(table["schema"].as_str(), Some(SCHEMA));
+        assert!(table["metrics"].as_table().unwrap().contains_key("gauges"));
+    }
+}

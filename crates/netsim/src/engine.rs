@@ -19,6 +19,7 @@ use crate::metrics::CohortReport;
 use crate::node::{Node, NodeSpec};
 use nd_core::interval::{Interval, IntervalSet};
 use nd_core::time::Tick;
+use nd_obs::Progress;
 use nd_sim::{DiscoveryMatrix, Op, PacketCounters, SimConfig, Topology};
 use rand::Rng;
 
@@ -102,6 +103,15 @@ impl NetSimulator {
     }
 
     /// Run to completion and return the cohort report.
+    ///
+    /// The event loop is a profiling hook: processed events are flushed
+    /// to the `netsim.events` counter in batches, the high-water heap
+    /// depth goes to the `netsim.heap_depth_max` gauge, the end-of-run
+    /// rate to `netsim.events_per_sec`, and (for standalone runs — the
+    /// sweep pool's display takes priority inside a sweep) simulated
+    /// time drives a stderr progress line toward `t_end`. None of it
+    /// runs unless observability is enabled, and none of it feeds back
+    /// into the simulation.
     pub fn run(mut self) -> CohortReport {
         assert_eq!(
             self.nodes.len(),
@@ -114,6 +124,15 @@ impl NetSimulator {
                 self.queue.push(leave, EventKind::Leave(i));
             }
         }
+        // Flush-batched so the hot loop touches no shared atomics; 2^16
+        // events ≈ a few ms of work, plenty fine-grained for profiling.
+        const FLUSH_EVERY: u64 = 1 << 16;
+        let progress = Progress::new("netsim", self.cfg.t_end.0);
+        let observing = nd_obs::metrics::enabled() || progress.is_active();
+        let wall_start = observing.then(std::time::Instant::now);
+        let mut batch: u64 = 0;
+        let mut total_events: u64 = 0;
+        let mut heap_high: usize = 0;
         while let Some(ev) = self.queue.pop() {
             if ev.at > self.cfg.t_end {
                 break;
@@ -124,10 +143,32 @@ impl NetSimulator {
                 EventKind::Wake(i) => self.handle_wake(i),
                 EventKind::TxEnd(idx) => self.handle_tx_end(idx),
             }
+            if observing {
+                batch += 1;
+                heap_high = heap_high.max(self.queue.len());
+                if batch == FLUSH_EVERY {
+                    total_events += batch;
+                    batch = 0;
+                    nd_obs::metrics::add("netsim.events", FLUSH_EVERY);
+                    progress.update(ev.at.0);
+                }
+            }
             if self.stop_when_complete && self.discovery.complete() {
                 break;
             }
         }
+        if observing {
+            total_events += batch;
+            nd_obs::metrics::add("netsim.events", batch);
+            nd_obs::metrics::gauge_max("netsim.heap_depth_max", heap_high as f64);
+            if let Some(start) = wall_start {
+                let secs = start.elapsed().as_secs_f64();
+                if secs > 0.0 {
+                    nd_obs::metrics::gauge_max("netsim.events_per_sec", total_events as f64 / secs);
+                }
+            }
+        }
+        progress.finish();
         let elapsed = self.queue.now().min(self.cfg.t_end);
         CohortReport {
             elapsed,

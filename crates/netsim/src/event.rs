@@ -79,6 +79,11 @@ impl EventQueue {
     pub fn now(&self) -> Tick {
         self.now
     }
+
+    /// Pending events (the heap depth the profiling gauge reports).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
 }
 
 #[cfg(test)]

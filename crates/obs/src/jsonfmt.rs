@@ -1,0 +1,63 @@
+//! Minimal JSON value formatting shared by the trace sink and the
+//! metrics snapshot (this crate is dependency-free by design, so it
+//! carries its own escaping).
+
+/// Append `s` as a JSON string literal (quotes included).
+pub(crate) fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append an `f64` as a JSON number (`null` for non-finite values, which
+/// JSON cannot represent). Uses the shortest round-trip representation,
+/// so output is deterministic across platforms.
+pub(crate) fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(x: &str) -> String {
+        let mut out = String::new();
+        push_str(&mut out, x);
+        out
+    }
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(s("a\"b"), r#""a\"b""#);
+        assert_eq!(s("a\\b"), r#""a\\b""#);
+        assert_eq!(s("a\nb"), r#""a\nb""#);
+        assert_eq!(s("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn floats_round_trip_or_null() {
+        let mut out = String::new();
+        push_f64(&mut out, 0.1);
+        assert_eq!(out, "0.1");
+        let mut out = String::new();
+        push_f64(&mut out, f64::NAN);
+        assert_eq!(out, "null");
+        let mut out = String::new();
+        push_f64(&mut out, 3.0);
+        assert_eq!(out, "3.0");
+    }
+}

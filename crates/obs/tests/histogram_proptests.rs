@@ -1,0 +1,62 @@
+//! Property tests for histogram merge algebra: merging per-shard
+//! histograms must be order-insensitive, or multi-threaded snapshot
+//! aggregation would depend on scheduling.
+
+use nd_obs::HistogramData;
+use proptest::prelude::*;
+
+fn hist_from(samples: &[u64]) -> HistogramData {
+    let mut h = HistogramData::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_commutative(a in prop::collection::vec(0u64..1_000_000, 0..40),
+                            b in prop::collection::vec(0u64..1_000_000, 0..40)) {
+        let (ha, hb) = (hist_from(&a), hist_from(&b));
+        prop_assert_eq!(ha.merge(&hb), hb.merge(&ha));
+    }
+
+    #[test]
+    fn merge_is_associative(a in prop::collection::vec(0u64..1_000_000, 0..30),
+                            b in prop::collection::vec(0u64..1_000_000, 0..30),
+                            c in prop::collection::vec(0u64..1_000_000, 0..30)) {
+        let (ha, hb, hc) = (hist_from(&a), hist_from(&b), hist_from(&c));
+        prop_assert_eq!(ha.merge(&hb).merge(&hc), ha.merge(&hb.merge(&hc)));
+    }
+
+    #[test]
+    fn empty_is_identity(a in prop::collection::vec(0u64..1_000_000, 0..40)) {
+        let ha = hist_from(&a);
+        let empty = HistogramData::new();
+        prop_assert_eq!(ha.merge(&empty), ha.clone());
+        prop_assert_eq!(empty.merge(&ha), ha);
+    }
+
+    #[test]
+    fn merge_equals_recording_concatenation(
+        a in prop::collection::vec(0u64..1_000_000, 0..40),
+        b in prop::collection::vec(0u64..1_000_000, 0..40),
+    ) {
+        let merged = hist_from(&a).merge(&hist_from(&b));
+        let mut both = a.clone();
+        both.extend_from_slice(&b);
+        prop_assert_eq!(merged, hist_from(&both));
+    }
+
+    #[test]
+    fn stats_match_samples(a in prop::collection::vec(0u64..1_000_000, 1..60)) {
+        let h = hist_from(&a);
+        prop_assert_eq!(h.count, a.len() as u64);
+        prop_assert_eq!(h.sum, a.iter().sum::<u64>());
+        prop_assert_eq!(h.min, *a.iter().min().unwrap());
+        prop_assert_eq!(h.max, *a.iter().max().unwrap());
+        prop_assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+    }
+}

@@ -14,8 +14,12 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    if let Err(e) = nd_obs::trace::init_from_env() {
+        eprintln!("nd-opt: cannot open $ND_TRACE: {e}");
+        return ExitCode::FAILURE;
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
+    let code = match args.first().map(String::as_str) {
         Some("front") => cmd_front(&args[1..]),
         Some("best") => cmd_best(&args[1..]),
         Some("gap") => cmd_gap(&args[1..]),
@@ -34,7 +38,9 @@ fn main() -> ExitCode {
             eprintln!("unknown command `{other}`\n{USAGE}");
             ExitCode::FAILURE
         }
-    }
+    };
+    nd_obs::trace::shutdown(); // flush any --trace-out / ND_TRACE sink
+    code
 }
 
 const USAGE: &str = "\
@@ -82,6 +88,14 @@ OPTIONS:
                        target/nd-sweep-cache)
     --quiet            suppress per-point detail
 
+OBSERVABILITY:
+    --stats            (front) append a deterministic JSON metrics
+                       snapshot (opt.evals, opt.cache_hits, censor
+                       reasons, pool latency, …) to stdout
+    --trace-out PATH   write a JSONL span trace of the whole search
+                       (overrides $ND_TRACE; see the README's
+                       Observability section for the line schema)
+
 EXIT STATUS:
     0 on success; non-zero on an invalid spec, an empty front (with a
     censoring-count diagnostic explaining why nothing survived), or
@@ -101,6 +115,7 @@ struct Cli {
     format: String,
     quiet: bool,
     budget: Option<f64>,
+    stats: bool,
 }
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
@@ -121,6 +136,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
     let mut format = "both".to_string();
     let mut quiet = false;
     let mut budget = None;
+    let mut stats = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -177,6 +193,9 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             "--no-cache" => opts.use_cache = false,
             "--cache-dir" => opts.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
             "--quiet" => quiet = true,
+            "--stats" => stats = true,
+            "--trace-out" => nd_obs::trace::init_file(std::path::Path::new(value("--trace-out")?))
+                .map_err(|e| format!("--trace-out: {e}"))?,
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -228,6 +247,11 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
     }
     spec.validate().map_err(|e| e.to_string())?;
 
+    if stats {
+        // the registry must be collecting before the search runs
+        nd_obs::metrics::set_enabled(true);
+    }
+
     Ok(Cli {
         spec,
         opts,
@@ -235,6 +259,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         format,
         quiet,
         budget,
+        stats,
     })
 }
 
@@ -371,6 +396,9 @@ fn cmd_front(args: &[String]) -> ExitCode {
         }
     }
     summary(&outcome);
+    if cli.stats {
+        print!("{}", nd_obs::metrics::snapshot().to_json());
+    }
     if let Some(code) = check_empty_fronts(&outcome) {
         return code;
     }
@@ -426,6 +454,9 @@ fn cmd_best(args: &[String]) -> ExitCode {
         }
     }
     summary(&outcome);
+    if cli.stats {
+        print!("{}", nd_obs::metrics::snapshot().to_json());
+    }
     if !found {
         return fail(format!("no configuration fits duty-cycle budget {budget}"));
     }
@@ -473,6 +504,9 @@ fn cmd_gap(args: &[String]) -> ExitCode {
         }
     }
     summary(&outcome);
+    if cli.stats {
+        print!("{}", nd_obs::metrics::snapshot().to_json());
+    }
     if let Some(code) = check_empty_fronts(&outcome) {
         return code;
     }

@@ -171,6 +171,7 @@ impl std::error::Error for OptError {}
 
 /// Run the full search a spec describes: one Pareto front per protocol.
 pub fn run_opt(spec: &OptSpec, opts: &OptOptions) -> Result<OptOutcome, OptError> {
+    let _span = nd_obs::span!("opt.run", name = spec.base.name.as_str());
     let start = Instant::now();
     let evaluator = evaluator_for(spec).map_err(|e| OptError(e.to_string()))?;
     let cache = opts.use_cache.then(|| {
@@ -228,6 +229,7 @@ fn front_for_protocol(
     cache: Option<&ResultCache>,
     threads: usize,
 ) -> Result<FrontResult, OptError> {
+    let _span = nd_obs::span!("opt.front", protocol = protocol);
     let kind = ProtocolKind::from_name(protocol)
         .ok_or_else(|| OptError(format!("`{protocol}` is not a registry protocol")))?;
     // pair searches double the space: (eta, slot_us?) per role
@@ -285,15 +287,22 @@ fn front_for_protocol(
             break;
         }
 
-        let results = run_parallel(&fresh, threads, |_, (_, cand)| {
-            evaluate_one(cand, evaluator, cache)
-        });
+        let results = {
+            let _span = nd_obs::span!("opt.round", round = round, candidates = fresh.len());
+            run_parallel(&fresh, threads, |_, (_, cand)| {
+                evaluate_one(cand, evaluator, cache)
+            })
+        };
         evaluated += fresh.len();
+        nd_obs::metrics::add("opt.evals", fresh.len() as u64);
+        nd_obs::metrics::observe("opt.round_evals", fresh.len() as u64);
         for ((point, _), (result, from_cache)) in fresh.into_iter().zip(results) {
             if from_cache {
                 cache_hits += 1;
+                nd_obs::metrics::inc("opt.cache_hits");
             } else {
                 executed += 1;
+                nd_obs::metrics::inc("opt.executed");
             }
             match result {
                 Ok(eval) => {
@@ -302,7 +311,10 @@ fn front_for_protocol(
                 }
                 Err(e) => {
                     errors += 1;
-                    *censored.entry(censor_reason(&e)).or_insert(0) += 1;
+                    nd_obs::metrics::inc("opt.errors");
+                    let reason = censor_reason(&e);
+                    nd_obs::metrics::inc(&format!("opt.censored.{reason}"));
+                    *censored.entry(reason).or_insert(0) += 1;
                 }
             }
         }
@@ -393,6 +405,11 @@ fn evaluate_one(
     evaluator: &dyn Evaluator,
     cache: Option<&ResultCache>,
 ) -> (Result<Evaluation, String>, bool) {
+    let _span = nd_obs::span!(
+        "opt.eval",
+        protocol = cand.protocol.as_str(),
+        eta = cand.eta
+    );
     let key = evaluator.cache_key(cand);
     if let Some(c) = cache {
         if let Some(hit) = c.load(&key) {

@@ -63,16 +63,39 @@ impl ResultCache {
     /// refreshes the entry's modification time, which is the recency the
     /// LRU sweep ([`ResultCache::gc`]) evicts by — entries no sweep or
     /// search has touched lately go first.
+    ///
+    /// Outcomes feed the metrics registry: `cache.hit`, `cache.miss`
+    /// (absent entry), and `cache.corrupt` (present but unparseable —
+    /// also counted as a miss, since that is how it behaves).
     pub fn load(&self, hash: &str) -> Option<CachedResult> {
         let path = self.path_for(hash);
-        let text = std::fs::read_to_string(&path).ok()?;
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            nd_obs::metrics::inc("cache.miss");
+            return None;
+        };
         // touch for LRU; failure (read-only cache) costs recency, not
         // correctness
         let _ = std::fs::File::options()
             .append(true)
             .open(&path)
             .and_then(|f| f.set_modified(std::time::SystemTime::now()));
-        let v = parse_json(&text).ok()?;
+        match Self::parse_entry(&text) {
+            Some(result) => {
+                nd_obs::metrics::inc("cache.hit");
+                Some(result)
+            }
+            None => {
+                nd_obs::metrics::inc("cache.corrupt");
+                nd_obs::metrics::inc("cache.miss");
+                None
+            }
+        }
+    }
+
+    /// Decode one on-disk entry; `None` when the file is not a valid
+    /// entry (the corruption-is-a-miss path).
+    fn parse_entry(text: &str) -> Option<CachedResult> {
+        let v = parse_json(text).ok()?;
         let table = v.as_table()?;
         let metrics = table
             .get("metrics")?
@@ -124,8 +147,11 @@ impl ResultCache {
         let write = std::fs::File::create(&tmp)
             .and_then(|mut f| f.write_all(body.as_bytes()))
             .and_then(|()| std::fs::rename(&tmp, &path));
-        if write.is_err() {
-            let _ = std::fs::remove_file(&tmp);
+        match write {
+            Ok(()) => nd_obs::metrics::inc("cache.store"),
+            Err(_) => {
+                let _ = std::fs::remove_file(&tmp);
+            }
         }
     }
 

@@ -118,8 +118,13 @@ impl std::error::Error for SweepError {}
 /// store, aggregate.
 pub fn run_sweep(spec: &ScenarioSpec, opts: &SweepOptions) -> Result<SweepOutcome, SweepError> {
     spec.validate().map_err(|e| SweepError(e.to_string()))?;
+    let _run_span = nd_obs::span!("sweep.run", name = spec.name.as_str());
     let start = Instant::now();
-    let jobs = expand(spec);
+    let jobs = {
+        let _span = nd_obs::span!("sweep.expand");
+        expand(spec)
+    };
+    nd_obs::metrics::add("sweep.jobs", jobs.len() as u64);
     let cache = opts.use_cache.then(|| {
         ResultCache::at(
             opts.cache_dir
@@ -132,19 +137,24 @@ pub fn run_sweep(spec: &ScenarioSpec, opts: &SweepOptions) -> Result<SweepOutcom
     let mut results: Vec<Option<CachedResult>> = Vec::with_capacity(jobs.len());
     let mut hit_flags: Vec<bool> = Vec::with_capacity(jobs.len());
     let mut misses: Vec<&Job> = Vec::new();
-    for job in &jobs {
-        let hit = cache.as_ref().and_then(|c| c.load(&job.content_hash(spec)));
-        hit_flags.push(hit.is_some());
-        if hit.is_none() {
-            misses.push(job);
+    {
+        let _span = nd_obs::span!("sweep.cache_probe", jobs = jobs.len());
+        for job in &jobs {
+            let hit = cache.as_ref().and_then(|c| c.load(&job.content_hash(spec)));
+            hit_flags.push(hit.is_some());
+            if hit.is_none() {
+                misses.push(job);
+            }
+            results.push(hit);
         }
-        results.push(hit);
     }
     let cache_hits = jobs.len() - misses.len();
+    nd_obs::metrics::add("sweep.cache_hits", cache_hits as u64);
 
     // execute the misses across all cores
     let threads = opts.threads.unwrap_or_else(default_threads);
     let executed = run_parallel(&misses, threads, |_, job| {
+        let _span = nd_obs::span!("sweep.job", job = job.index);
         let outcome = execute_job(job, spec);
         let result = match outcome {
             Ok(metrics) => CachedResult {
@@ -162,11 +172,12 @@ pub fn run_sweep(spec: &ScenarioSpec, opts: &SweepOptions) -> Result<SweepOutcom
         (job.index, result)
     });
     let executed_count = executed.len();
+    nd_obs::metrics::add("sweep.executed", executed_count as u64);
     for (index, result) in executed {
         results[index] = Some(result);
     }
 
-    let rows = jobs
+    let rows: Vec<Row> = jobs
         .iter()
         .zip(results)
         .zip(&hit_flags)
@@ -180,6 +191,10 @@ pub fn run_sweep(spec: &ScenarioSpec, opts: &SweepOptions) -> Result<SweepOutcom
             }
         })
         .collect();
+    nd_obs::metrics::add(
+        "sweep.errors",
+        rows.iter().filter(|r| r.error.is_some()).count() as u64,
+    );
 
     Ok(SweepOutcome {
         name: spec.name.clone(),
@@ -194,10 +209,22 @@ pub fn run_sweep(spec: &ScenarioSpec, opts: &SweepOptions) -> Result<SweepOutcom
 /// Execute one job on the spec's backend.
 pub fn execute_job(job: &Job, spec: &ScenarioSpec) -> Result<BTreeMap<String, f64>, String> {
     match spec.backend {
-        Backend::Bounds => exec_bounds(job, spec),
-        Backend::Exact => exec_exact(job, spec),
-        Backend::MonteCarlo => exec_montecarlo(job, spec),
-        Backend::Netsim => exec_netsim(job, spec),
+        Backend::Bounds => {
+            let _span = nd_obs::span!("backend.bounds", job = job.index);
+            exec_bounds(job, spec)
+        }
+        Backend::Exact => {
+            let _span = nd_obs::span!("backend.exact", job = job.index);
+            exec_exact(job, spec)
+        }
+        Backend::MonteCarlo => {
+            let _span = nd_obs::span!("backend.montecarlo", job = job.index);
+            exec_montecarlo(job, spec)
+        }
+        Backend::Netsim => {
+            let _span = nd_obs::span!("backend.netsim", job = job.index);
+            exec_netsim(job, spec)
+        }
     }
 }
 

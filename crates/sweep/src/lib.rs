@@ -45,6 +45,7 @@ pub mod grid;
 pub mod hash;
 pub mod pool;
 pub mod spec;
+pub mod tracecheck;
 pub mod value;
 
 pub use cache::{CacheStats, CachedResult, GcReport, ResultCache};

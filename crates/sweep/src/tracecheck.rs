@@ -1,0 +1,218 @@
+//! Validation for `nd-obs` JSONL span traces (the `nd-sweep trace-check`
+//! subcommand, and the CI `obs-smoke` job's assertion).
+//!
+//! A trace is valid when every line parses as a span record and, per
+//! thread, the spans form a proper nesting: ordered by start time, each
+//! span's `depth` equals the number of enclosing spans still open, and
+//! every span's interval lies inside its parent's. The checker also
+//! measures *job cover* — the fraction of `sweep.run` wall-clock spent
+//! inside `sweep.job` spans — which the acceptance gate bounds: on a
+//! single-threaded sweep of real jobs, per-job durations must account
+//! for the run's wall-clock to within tolerance.
+
+use crate::value::{parse_json, Value};
+use std::collections::BTreeMap;
+
+/// One parsed span record.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Span name (`sweep.job`, `backend.netsim`, …).
+    pub name: String,
+    /// Per-process thread ordinal.
+    pub tid: u64,
+    /// Start, nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Open spans on this thread when this one started.
+    pub depth: u64,
+}
+
+/// What [`check_trace`] found in a valid trace.
+#[derive(Clone, Debug)]
+pub struct TraceReport {
+    /// Total span records.
+    pub spans: usize,
+    /// Distinct thread ordinals seen.
+    pub threads: usize,
+    /// Span count per name.
+    pub by_name: BTreeMap<String, usize>,
+    /// Σ `dur_ns` per name.
+    pub dur_by_name: BTreeMap<String, u64>,
+    /// Σ dur(`sweep.job`) / Σ dur(`sweep.run`); `None` when the trace
+    /// has no `sweep.run` span.
+    pub job_cover: Option<f64>,
+}
+
+/// Parse and validate a JSONL trace. Returns the report, or a
+/// description of the first problem (bad line, missing field, or a
+/// nesting violation).
+pub fn check_trace(text: &str) -> Result<TraceReport, String> {
+    let mut spans = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        spans.push(parse_line(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    if spans.is_empty() {
+        return Err("trace contains no span records".into());
+    }
+
+    // group per thread; nesting is a per-thread property
+    let mut per_tid: BTreeMap<u64, Vec<&SpanRecord>> = BTreeMap::new();
+    for s in &spans {
+        per_tid.entry(s.tid).or_default().push(s);
+    }
+    for (tid, mut thread_spans) in per_tid.clone() {
+        // parents start no later than children; at equal starts the
+        // shallower span is the parent
+        thread_spans.sort_by_key(|s| (s.start_ns, s.depth));
+        let mut stack: Vec<&SpanRecord> = Vec::new();
+        for s in thread_spans {
+            while let Some(top) = stack.last() {
+                if s.start_ns >= top.start_ns + top.dur_ns {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if s.depth as usize != stack.len() {
+                return Err(format!(
+                    "tid {tid}: span `{}` at {} ns has depth {} but {} enclosing span(s) open",
+                    s.name,
+                    s.start_ns,
+                    s.depth,
+                    stack.len()
+                ));
+            }
+            if let Some(top) = stack.last() {
+                if s.start_ns + s.dur_ns > top.start_ns + top.dur_ns {
+                    return Err(format!(
+                        "tid {tid}: span `{}` [{}, {}] ns extends past its parent `{}` [{}, {}] ns",
+                        s.name,
+                        s.start_ns,
+                        s.start_ns + s.dur_ns,
+                        top.name,
+                        top.start_ns,
+                        top.start_ns + top.dur_ns
+                    ));
+                }
+            }
+            stack.push(s);
+        }
+    }
+
+    let mut by_name: BTreeMap<String, usize> = BTreeMap::new();
+    let mut dur_by_name: BTreeMap<String, u64> = BTreeMap::new();
+    for s in &spans {
+        *by_name.entry(s.name.clone()).or_insert(0) += 1;
+        *dur_by_name.entry(s.name.clone()).or_insert(0) += s.dur_ns;
+    }
+    let job_cover = match (dur_by_name.get("sweep.job"), dur_by_name.get("sweep.run")) {
+        (Some(&job), Some(&run)) if run > 0 => Some(job as f64 / run as f64),
+        (None, Some(&run)) if run > 0 => Some(0.0),
+        _ => None,
+    };
+
+    Ok(TraceReport {
+        spans: spans.len(),
+        threads: per_tid.len(),
+        by_name,
+        dur_by_name,
+        job_cover,
+    })
+}
+
+fn parse_line(line: &str) -> Result<SpanRecord, String> {
+    let v = parse_json(line).map_err(|e| format!("not valid JSON: {e}"))?;
+    let table = v.as_table().ok_or("not a JSON object")?;
+    let str_field = |key: &str| -> Result<&str, String> {
+        table
+            .get(key)
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("missing string field `{key}`"))
+    };
+    let u64_field = |key: &str| -> Result<u64, String> {
+        table
+            .get(key)
+            .and_then(Value::as_f64)
+            .filter(|x| *x >= 0.0)
+            .map(|x| x as u64)
+            .ok_or_else(|| format!("missing numeric field `{key}`"))
+    };
+    let t = str_field("t")?;
+    if t != "span" {
+        return Err(format!("unknown record type `{t}`"));
+    }
+    Ok(SpanRecord {
+        name: str_field("name")?.to_string(),
+        tid: u64_field("tid")?,
+        start_ns: u64_field("start_ns")?,
+        dur_ns: u64_field("dur_ns")?,
+        depth: u64_field("depth")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(name: &str, tid: u64, start: u64, dur: u64, depth: u64) -> String {
+        format!(
+            "{{\"t\": \"span\", \"name\": \"{name}\", \"tid\": {tid}, \
+             \"start_ns\": {start}, \"dur_ns\": {dur}, \"depth\": {depth}}}"
+        )
+    }
+
+    #[test]
+    fn accepts_a_well_nested_trace() {
+        let trace = [
+            line("sweep.expand", 0, 10, 5, 1),
+            line("sweep.job", 0, 20, 30, 1),
+            line("sweep.job", 0, 55, 40, 1),
+            line("sweep.run", 0, 0, 100, 0),
+        ]
+        .join("\n");
+        let report = check_trace(&trace).unwrap();
+        assert_eq!(report.spans, 4);
+        assert_eq!(report.threads, 1);
+        assert_eq!(report.by_name["sweep.job"], 2);
+        assert_eq!(report.job_cover, Some(0.7));
+    }
+
+    #[test]
+    fn rejects_wrong_depth() {
+        let trace = [line("a", 0, 0, 100, 0), line("b", 0, 10, 20, 2)].join("\n");
+        let err = check_trace(&trace).unwrap_err();
+        assert!(err.contains("depth 2"), "{err}");
+    }
+
+    #[test]
+    fn rejects_child_escaping_parent() {
+        let trace = [line("a", 0, 0, 100, 0), line("b", 0, 90, 50, 1)].join("\n");
+        let err = check_trace(&trace).unwrap_err();
+        assert!(err.contains("extends past"), "{err}");
+    }
+
+    #[test]
+    fn rejects_garbage_and_missing_fields() {
+        assert!(check_trace("not json\n").is_err());
+        assert!(check_trace("{\"t\": \"span\"}\n").is_err());
+        assert!(check_trace("").is_err());
+    }
+
+    #[test]
+    fn threads_nest_independently() {
+        // identical intervals on different threads are unrelated
+        let trace = [
+            line("a", 0, 0, 100, 0),
+            line("a", 1, 0, 100, 0),
+            line("b", 1, 10, 20, 1),
+        ]
+        .join("\n");
+        let report = check_trace(&trace).unwrap();
+        assert_eq!(report.threads, 2);
+        assert_eq!(report.job_cover, None, "no sweep.run span");
+    }
+}

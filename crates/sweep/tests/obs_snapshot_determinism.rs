@@ -1,0 +1,79 @@
+//! Metric snapshots must be byte-identical across thread counts once
+//! wall-clock/scheduling-dependent series are excluded.
+//!
+//! The convention (documented in the README's Observability section):
+//! names ending `_us`/`_ns`/`_per_sec` and everything under `pool.` carry
+//! timing or scheduling state and are expected to vary run to run; every
+//! other metric is a deterministic function of the work performed, so a
+//! 1-thread and a 4-thread run of the same spec must agree exactly.
+//!
+//! This file holds a single test on purpose: the metrics registry is
+//! process-global, and a sibling test mutating it concurrently would make
+//! the comparison meaningless. A dedicated integration-test binary gives
+//! it a process of its own.
+
+use nd_sweep::{run_sweep, ScenarioSpec, SweepOptions};
+
+const SPEC: &str = r#"
+name = "obs-determinism"
+backend = "netsim"
+
+[grid]
+protocol = ["optimal-slotless"]
+eta = [0.05]
+nodes = [2, 4]
+collision = [true, false]
+
+[sim]
+trials = 2
+horizon_ms = 40
+"#;
+
+/// Drop every metric that legitimately depends on timing or scheduling.
+fn deterministic_part() -> nd_obs::Snapshot {
+    let mut snap = nd_obs::metrics::snapshot();
+    snap.retain(|name| {
+        !name.ends_with("_us")
+            && !name.ends_with("_ns")
+            && !name.ends_with("_per_sec")
+            && !name.starts_with("pool.")
+    });
+    snap
+}
+
+fn snapshot_for(threads: usize) -> String {
+    nd_obs::metrics::reset();
+    let spec = ScenarioSpec::from_toml_str(SPEC).unwrap();
+    let opts = SweepOptions {
+        threads: Some(threads),
+        ..SweepOptions::uncached()
+    };
+    let outcome = run_sweep(&spec, &opts).unwrap();
+    assert_eq!(outcome.rows.len(), 4);
+    deterministic_part().to_json()
+}
+
+#[test]
+fn snapshots_are_byte_identical_across_thread_counts() {
+    nd_obs::metrics::set_enabled(true);
+    let serial = snapshot_for(1);
+    let parallel = snapshot_for(4);
+    let again = snapshot_for(4);
+
+    // the filtered snapshot still carries real content: job accounting
+    // and netsim event totals
+    assert!(
+        serial.contains("\"sweep.jobs\": 4"),
+        "filtered snapshot lost sweep accounting:\n{serial}"
+    );
+    assert!(
+        serial.contains("netsim.events"),
+        "filtered snapshot lost netsim counters:\n{serial}"
+    );
+
+    assert_eq!(
+        serial, parallel,
+        "1-thread vs 4-thread snapshots differ after filtering"
+    );
+    assert_eq!(parallel, again, "4-thread snapshot is not reproducible");
+}

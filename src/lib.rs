@@ -20,12 +20,17 @@
 //!   sweeps over all of the above (and the `nd-sweep` CLI).
 //! * [`opt`] (`nd-opt`) — per-protocol Pareto fronts over (duty cycle,
 //!   latency) with gap-to-bound reporting (and the `nd-opt` CLI).
+//! * [`obs`] (`nd-obs`) — zero-dependency observability spine: structured
+//!   tracing spans with a JSONL sink, the atomic metrics registry, and
+//!   stderr progress lines. Off by default; `ND_TRACE`/`--trace-out`
+//!   and the report/stats subcommands turn it on.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
 pub use nd_analysis as analysis;
 pub use nd_core as core;
 pub use nd_netsim as netsim;
+pub use nd_obs as obs;
 pub use nd_opt as opt;
 pub use nd_protocols as protocols;
 pub use nd_sim as sim;
