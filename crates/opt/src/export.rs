@@ -4,6 +4,7 @@
 //! code can treat fronts as just another result table.
 
 use crate::optimizer::OptOutcome;
+use nd_sweep::export::EXPORT_SCHEMA;
 use nd_sweep::value::Value;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -30,7 +31,7 @@ pub fn to_csv(outcome: &OptOutcome) -> String {
         .flat_map(|p| p.metrics.keys().map(|s| s.as_str()))
         .collect();
 
-    let mut out = String::new();
+    let mut out = format!("# {EXPORT_SCHEMA}\n");
     for (i, name) in FIXED_COLUMNS.iter().chain(metric_names.iter()).enumerate() {
         if i > 0 {
             out.push(',');
@@ -135,6 +136,7 @@ pub fn to_json(outcome: &OptOutcome) -> String {
         .collect();
 
     let mut doc = BTreeMap::new();
+    doc.insert("schema".to_string(), Value::Str(EXPORT_SCHEMA.to_string()));
     doc.insert("name".to_string(), Value::Str(outcome.name.clone()));
     doc.insert(
         "spec_hash".to_string(),
@@ -182,16 +184,17 @@ mod tests {
         let out = outcome();
         let csv = to_csv(&out);
         let lines: Vec<&str> = csv.lines().collect();
-        assert!(lines[0].starts_with(
+        assert_eq!(lines[0], "# nd-export/v1");
+        assert!(lines[1].starts_with(
             "protocol,eta,slot_us,eta_b,slot_us_b,duty_cycle,duty_cycle_b,latency_s,bound_s,gap_frac"
         ));
         assert_eq!(
             lines.len(),
-            1 + out.fronts.iter().map(|f| f.front.len()).sum::<usize>()
+            2 + out.fronts.iter().map(|f| f.front.len()).sum::<usize>()
         );
         assert_eq!(csv, to_csv(&out), "byte-identical re-render");
         // slotless protocol: slot_us column empty
-        assert!(lines[1].starts_with("optimal-slotless,"));
+        assert!(lines[2].starts_with("optimal-slotless,"));
     }
 
     #[test]
@@ -199,6 +202,7 @@ mod tests {
         let out = outcome();
         let doc = parse_json(&to_json(&out)).unwrap();
         let t = doc.as_table().unwrap();
+        assert_eq!(t["schema"].as_str(), Some(EXPORT_SCHEMA));
         assert_eq!(t["name"].as_str(), Some("exp"));
         assert_eq!(t["backend"].as_str(), Some("exact"));
         let fronts = t["fronts"].as_array().unwrap();

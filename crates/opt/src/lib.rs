@@ -54,6 +54,7 @@ pub use evaluator::{evaluator_for, Candidate, Evaluation, Evaluator};
 pub use export::{to_csv, to_json};
 pub use optimizer::{
     censor_reason, run_opt, FrontPoint, FrontResult, OptError, OptOptions, OptOutcome,
+    CORRUPT_CACHE,
 };
 pub use pareto::{dominates, front_indices, is_valid_front};
 pub use spec::{normalize_protocol, Objective, OptSpec};

@@ -33,6 +33,11 @@ use std::collections::BTreeSet;
 use std::fmt;
 use std::time::{Duration, Instant};
 
+/// Error-message prefix marking a search aborted by a corrupt cache
+/// entry under [`OptOptions::strict_cache`]. Serving callers match on
+/// this to map the failure to their corrupt-cache error code.
+pub const CORRUPT_CACHE: &str = "corrupt-cache";
+
 /// Options orthogonal to the spec: parallelism and cache placement
 /// (mirrors `nd_sweep::SweepOptions`).
 #[derive(Clone, Debug)]
@@ -44,6 +49,12 @@ pub struct OptOptions {
     /// Cache location; `None` = [`ResultCache::default_dir`] (shared with
     /// `nd-sweep`).
     pub cache_dir: Option<std::path::PathBuf>,
+    /// How to treat a corrupt cache entry ([`nd_sweep::CacheError`]).
+    /// `false` (batch default): recompute — corruption is a miss, and the
+    /// overwriting store heals the entry. `true` (serving callers): abort
+    /// the search with [`OptError`] carrying the [`CORRUPT_CACHE`] prefix
+    /// — a server must report damaged state, not quietly rewrite it.
+    pub strict_cache: bool,
 }
 
 impl Default for OptOptions {
@@ -52,6 +63,7 @@ impl Default for OptOptions {
             threads: None,
             use_cache: true,
             cache_dir: None,
+            strict_cache: false,
         }
     }
 }
@@ -191,6 +203,7 @@ pub fn run_opt(spec: &OptSpec, opts: &OptOptions) -> Result<OptOutcome, OptError
             evaluator.as_ref(),
             cache.as_ref(),
             threads,
+            opts.strict_cache,
         )?);
     }
 
@@ -228,6 +241,7 @@ fn front_for_protocol(
     evaluator: &dyn Evaluator,
     cache: Option<&ResultCache>,
     threads: usize,
+    strict_cache: bool,
 ) -> Result<FrontResult, OptError> {
     let _span = nd_obs::span!("opt.front", protocol = protocol);
     let kind = ProtocolKind::from_name(protocol)
@@ -290,7 +304,7 @@ fn front_for_protocol(
         let results = {
             let _span = nd_obs::span!("opt.round", round = round, candidates = fresh.len());
             run_parallel(&fresh, threads, |_, (_, cand)| {
-                evaluate_one(cand, evaluator, cache)
+                evaluate_one(cand, evaluator, cache, strict_cache)
             })
         };
         evaluated += fresh.len();
@@ -309,6 +323,9 @@ fn front_for_protocol(
                     points.push(point);
                     evals.push(eval);
                 }
+                // strict-mode cache corruption is search-fatal, not a
+                // censored candidate: the caller asked to be told
+                Err(e) if e.starts_with(CORRUPT_CACHE) => return Err(OptError(e)),
                 Err(e) => {
                     errors += 1;
                     nd_obs::metrics::inc("opt.errors");
@@ -404,6 +421,7 @@ fn evaluate_one(
     cand: &Candidate,
     evaluator: &dyn Evaluator,
     cache: Option<&ResultCache>,
+    strict_cache: bool,
 ) -> (Result<Evaluation, String>, bool) {
     let _span = nd_obs::span!(
         "opt.eval",
@@ -412,12 +430,21 @@ fn evaluate_one(
     );
     let key = evaluator.cache_key(cand);
     if let Some(c) = cache {
-        if let Some(hit) = c.load(&key) {
-            let result = match hit.error {
-                Some(e) => Err(e),
-                None => evaluator.interpret(cand, hit.metrics, true),
-            };
-            return (result, true);
+        match c.load(&key) {
+            Ok(Some(hit)) => {
+                let result = match hit.error {
+                    Some(e) => Err(e),
+                    None => evaluator.interpret(cand, hit.metrics, true),
+                };
+                return (result, true);
+            }
+            Ok(None) => {}
+            // strict callers get the corruption surfaced (the prefixed
+            // error is promoted to a search-fatal OptError by
+            // front_for_protocol, never stored, never censor-counted);
+            // batch callers fall through and recompute
+            Err(e) if strict_cache => return (Err(format!("{CORRUPT_CACHE}: {e}")), true),
+            Err(_) => {}
         }
     }
     let raw = evaluator.run(cand);

@@ -144,7 +144,7 @@ fn cli_front_best_gap_and_cache_roundtrip() {
     assert!(out_dir.join("optimal-front.json").exists());
     let csv1 = std::fs::read_to_string(out_dir.join("optimal-front.csv")).unwrap();
     assert!(csv1.starts_with(
-        "protocol,eta,slot_us,eta_b,slot_us_b,duty_cycle,duty_cycle_b,latency_s,bound_s,gap_frac"
+        "# nd-export/v1\nprotocol,eta,slot_us,eta_b,slot_us_b,duty_cycle,duty_cycle_b,latency_s,bound_s,gap_frac"
     ));
 
     // second run: everything from cache, identical bytes
@@ -426,6 +426,7 @@ fn cli_pair_flag_runs_asymmetric_search() {
     );
     let csv = std::fs::read_to_string(dir.join("adhoc.csv")).unwrap();
     let mut lines = csv.lines();
+    assert_eq!(lines.next().unwrap(), "# nd-export/v1");
     assert!(lines.next().unwrap().contains("eta_b"));
     // every data row fills the pair columns
     let row = lines.next().unwrap();

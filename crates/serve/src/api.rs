@@ -1,0 +1,393 @@
+//! The versioned request/response API: `nd-serve-api/v1`.
+//!
+//! Requests and responses are JSON envelopes carrying an explicit `"api"`
+//! version tag, so clients and servers can detect a grammar mismatch
+//! instead of mis-parsing each other. The query *payload* is not a new
+//! grammar: the `"spec"` object inside a request is exactly the
+//! [`OptSpec`] document the `nd-opt` CLI reads from disk — one spec
+//! grammar for batch files and service requests.
+//!
+//! ```json
+//! {
+//!   "api": "nd-serve-api/v1",
+//!   "spec": { "name": "q", "backend": "exact", "metric": "two-way",
+//!             "opt": { "protocols": ["optimal"] } },
+//!   "budget": 0.01
+//! }
+//! ```
+//!
+//! Errors are typed ([`ApiError`]): every failure maps to a stable
+//! machine-readable `code` plus an HTTP status, and the response envelope
+//! carries both. See the README's "Serving" section for the catalog.
+
+use nd_opt::OptSpec;
+use nd_sweep::value::{parse_json, Value};
+use std::collections::BTreeMap;
+
+/// The request/response envelope version this server speaks.
+pub const API_VERSION: &str = "nd-serve-api/v1";
+
+/// The three planning queries, mirroring the `nd-opt` subcommands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /v1/front` — the full Pareto front per protocol.
+    Front,
+    /// `POST /v1/best` — the best configuration within a duty-cycle
+    /// budget (requires `"budget"`).
+    Best,
+    /// `POST /v1/gap` — per-protocol distance-to-optimality summary.
+    Gap,
+}
+
+impl Endpoint {
+    /// Resolve a URL path to an endpoint.
+    pub fn from_path(path: &str) -> Option<Endpoint> {
+        match path {
+            "/v1/front" => Some(Endpoint::Front),
+            "/v1/best" => Some(Endpoint::Best),
+            "/v1/gap" => Some(Endpoint::Gap),
+            _ => None,
+        }
+    }
+
+    /// The short name used in metrics (`serve.<name>_us`) and spans.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Endpoint::Front => "front",
+            Endpoint::Best => "best",
+            Endpoint::Gap => "gap",
+        }
+    }
+}
+
+/// A parsed, validated planning request.
+#[derive(Debug)]
+pub struct Request {
+    /// Which query to answer.
+    pub endpoint: Endpoint,
+    /// The search the query is over — the `nd-opt` spec grammar verbatim.
+    pub spec: OptSpec,
+    /// Duty-cycle budget; present exactly for [`Endpoint::Best`].
+    pub budget: Option<f64>,
+}
+
+/// The typed error taxonomy. Every variant has a stable wire `code` and
+/// an HTTP status; the split follows *whose fault it is and when it was
+/// knowable*: 400s are malformed input, 422s are well-formed requests the
+/// search cannot satisfy, 500s are server-side state damage.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ApiError {
+    /// 400 `bad-request`: the envelope itself is malformed (invalid
+    /// JSON, missing/unsupported `"api"` tag, unknown keys, bad budget).
+    BadRequest(String),
+    /// 400 `bad-spec`: the envelope is fine but the `"spec"` payload
+    /// fails the `nd-opt` grammar or its validation rules.
+    BadSpec(String),
+    /// 422 `infeasible`: a valid spec the search cannot run or satisfy
+    /// (e.g. an eta range outside the protocol's declared duty-cycle
+    /// range, or no front point within a `best` budget).
+    Infeasible(String),
+    /// 422 `empty-front`: the search ran but every candidate was
+    /// censored; `censored` carries the per-reason counts so the client
+    /// learns *why* (mirrors the `nd-opt` CLI diagnostic).
+    EmptyFront {
+        /// Human-readable summary naming the empty protocols.
+        message: String,
+        /// Censor reason → candidate count, aggregated over empty fronts.
+        censored: BTreeMap<String, i64>,
+    },
+    /// 500 `corrupt-cache`: a cache entry the query needed exists but is
+    /// unparseable. The server refuses to silently recompute (that would
+    /// rewrite damaged state); `nd-sweep cache gc` or a batch re-run
+    /// heals the entry.
+    CorruptCache(String),
+    /// 500 `internal`: anything else that should never happen.
+    Internal(String),
+    /// 404 `not-found`: no such endpoint.
+    NotFound(String),
+    /// 405 `method-not-allowed`: right path, wrong HTTP method.
+    MethodNotAllowed(String),
+}
+
+impl ApiError {
+    /// The stable machine-readable error code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ApiError::BadRequest(_) => "bad-request",
+            ApiError::BadSpec(_) => "bad-spec",
+            ApiError::Infeasible(_) => "infeasible",
+            ApiError::EmptyFront { .. } => "empty-front",
+            ApiError::CorruptCache(_) => "corrupt-cache",
+            ApiError::Internal(_) => "internal",
+            ApiError::NotFound(_) => "not-found",
+            ApiError::MethodNotAllowed(_) => "method-not-allowed",
+        }
+    }
+
+    /// The HTTP status the code maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            ApiError::BadRequest(_) | ApiError::BadSpec(_) => 400,
+            ApiError::Infeasible(_) | ApiError::EmptyFront { .. } => 422,
+            ApiError::CorruptCache(_) | ApiError::Internal(_) => 500,
+            ApiError::NotFound(_) => 404,
+            ApiError::MethodNotAllowed(_) => 405,
+        }
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        match self {
+            ApiError::BadRequest(m)
+            | ApiError::BadSpec(m)
+            | ApiError::Infeasible(m)
+            | ApiError::CorruptCache(m)
+            | ApiError::Internal(m)
+            | ApiError::NotFound(m)
+            | ApiError::MethodNotAllowed(m) => m,
+            ApiError::EmptyFront { message, .. } => message,
+        }
+    }
+
+    /// Render the error response envelope.
+    pub fn to_body(&self) -> String {
+        let mut error = BTreeMap::new();
+        error.insert("code".to_string(), Value::Str(self.code().to_string()));
+        error.insert(
+            "message".to_string(),
+            Value::Str(self.message().to_string()),
+        );
+        if let ApiError::EmptyFront { censored, .. } = self {
+            error.insert(
+                "censored".to_string(),
+                Value::Table(
+                    censored
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::Int(*v)))
+                        .collect(),
+                ),
+            );
+        }
+        let mut doc = BTreeMap::new();
+        doc.insert("api".to_string(), Value::Str(API_VERSION.to_string()));
+        doc.insert("error".to_string(), Value::Table(error));
+        Value::Table(doc).to_json_pretty()
+    }
+
+    /// Classify a search failure ([`nd_opt::OptError`] message): strict
+    /// cache-corruption aborts carry the [`nd_opt::CORRUPT_CACHE`] prefix
+    /// and become 500s; everything else a search refuses at runtime is a
+    /// well-formed-but-unsatisfiable request.
+    pub fn from_opt_error(message: &str) -> ApiError {
+        if message.starts_with(nd_opt::CORRUPT_CACHE) {
+            ApiError::CorruptCache(message.to_string())
+        } else {
+            ApiError::Infeasible(message.to_string())
+        }
+    }
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code(), self.message())
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+/// Parse and validate one request body for `endpoint`.
+///
+/// The envelope must carry `"api": "nd-serve-api/v1"` and a `"spec"`
+/// object; `best` additionally requires `"budget"` in (0, 1]. Unknown
+/// keys are rejected — silent tolerance would make future envelope
+/// versions ambiguous.
+pub fn parse_request(endpoint: Endpoint, body: &str) -> Result<Request, ApiError> {
+    let v = parse_json(body)
+        .map_err(|e| ApiError::BadRequest(format!("request body is not valid JSON: {e}")))?;
+    let top = v
+        .as_table()
+        .ok_or_else(|| ApiError::BadRequest("request body must be a JSON object".into()))?;
+
+    match top.get("api").and_then(Value::as_str) {
+        Some(tag) if tag == API_VERSION => {}
+        Some(tag) => {
+            return Err(ApiError::BadRequest(format!(
+                "unsupported api version `{tag}` (this server speaks {API_VERSION})"
+            )))
+        }
+        None => {
+            return Err(ApiError::BadRequest(format!(
+                "request needs \"api\": \"{API_VERSION}\""
+            )))
+        }
+    }
+    for key in top.keys() {
+        let known = match key.as_str() {
+            "api" | "spec" => true,
+            "budget" => endpoint == Endpoint::Best,
+            _ => false,
+        };
+        if !known {
+            return Err(ApiError::BadRequest(format!(
+                "unknown request key `{key}` for /v1/{}",
+                endpoint.name()
+            )));
+        }
+    }
+
+    let spec_value = top.get("spec").ok_or_else(|| {
+        ApiError::BadRequest("request needs a \"spec\" object (the nd-opt spec grammar)".into())
+    })?;
+    let spec = OptSpec::from_value(spec_value).map_err(|e| ApiError::BadSpec(e.to_string()))?;
+
+    let budget = match endpoint {
+        Endpoint::Best => Some(
+            top.get("budget")
+                .and_then(Value::as_f64)
+                .filter(|b| *b > 0.0 && *b <= 1.0)
+                .ok_or_else(|| {
+                    ApiError::BadRequest("/v1/best needs \"budget\": a duty cycle in (0, 1]".into())
+                })?,
+        ),
+        _ => None,
+    };
+
+    Ok(Request {
+        endpoint,
+        spec,
+        budget,
+    })
+}
+
+/// Render a success response envelope: the result document plus the
+/// `served` block describing how the answer was produced (memo hit,
+/// coalesced onto an in-flight computation, evaluations executed).
+pub fn success_body(result: Value, served: Value) -> String {
+    let mut doc = BTreeMap::new();
+    doc.insert("api".to_string(), Value::Str(API_VERSION.to_string()));
+    doc.insert("result".to_string(), result);
+    doc.insert("served".to_string(), served);
+    Value::Table(doc).to_json_pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(json: &str) -> String {
+        json.replace("$API", API_VERSION)
+    }
+
+    const SPEC: &str = r#""spec": {"name": "q", "backend": "exact", "metric": "two-way",
+        "opt": {"protocols": ["optimal"]}}"#;
+
+    #[test]
+    fn front_request_roundtrips_the_opt_grammar() {
+        let req = parse_request(
+            Endpoint::Front,
+            &body(&format!(r#"{{"api": "$API", {SPEC}}}"#)),
+        )
+        .unwrap();
+        assert_eq!(req.endpoint, Endpoint::Front);
+        assert_eq!(req.spec.protocols, vec!["optimal-slotless"]);
+        assert_eq!(req.budget, None);
+        // the request spec hashes like the identical CLI spec file would
+        let cli = OptSpec::from_toml_str(
+            "name = \"q\"\nbackend = \"exact\"\nmetric = \"two-way\"\n[opt]\nprotocols = [\"optimal\"]\n",
+        )
+        .unwrap();
+        assert_eq!(req.spec.content_hash(), cli.content_hash());
+    }
+
+    #[test]
+    fn api_tag_is_mandatory_and_versioned() {
+        let missing = parse_request(Endpoint::Front, &body(&format!("{{{SPEC}}}"))).unwrap_err();
+        assert_eq!(missing.code(), "bad-request");
+        let wrong = parse_request(
+            Endpoint::Front,
+            &body(&format!(r#"{{"api": "nd-serve-api/v2", {SPEC}}}"#)),
+        )
+        .unwrap_err();
+        assert_eq!(wrong.code(), "bad-request");
+        assert!(wrong.message().contains("nd-serve-api/v2"));
+    }
+
+    #[test]
+    fn unknown_keys_and_misplaced_budget_are_rejected() {
+        let unknown = parse_request(
+            Endpoint::Front,
+            &body(&format!(r#"{{"api": "$API", "zap": 1, {SPEC}}}"#)),
+        )
+        .unwrap_err();
+        assert_eq!(unknown.code(), "bad-request");
+        // budget is a /v1/best key only
+        let misplaced = parse_request(
+            Endpoint::Gap,
+            &body(&format!(r#"{{"api": "$API", "budget": 0.01, {SPEC}}}"#)),
+        )
+        .unwrap_err();
+        assert_eq!(misplaced.code(), "bad-request");
+    }
+
+    #[test]
+    fn best_needs_a_unit_budget() {
+        let missing = parse_request(
+            Endpoint::Best,
+            &body(&format!(r#"{{"api": "$API", {SPEC}}}"#)),
+        )
+        .unwrap_err();
+        assert_eq!(missing.code(), "bad-request");
+        let out_of_range = parse_request(
+            Endpoint::Best,
+            &body(&format!(r#"{{"api": "$API", "budget": 1.5, {SPEC}}}"#)),
+        )
+        .unwrap_err();
+        assert_eq!(out_of_range.code(), "bad-request");
+        let ok = parse_request(
+            Endpoint::Best,
+            &body(&format!(r#"{{"api": "$API", "budget": 0.05, {SPEC}}}"#)),
+        )
+        .unwrap();
+        assert_eq!(ok.budget, Some(0.05));
+    }
+
+    #[test]
+    fn bad_specs_get_their_own_code() {
+        let err = parse_request(
+            Endpoint::Front,
+            &body(r#"{"api": "$API", "spec": {"backend": "exact", "opt": {}}}"#),
+        )
+        .unwrap_err();
+        assert_eq!(err.code(), "bad-spec");
+        let not_json = parse_request(Endpoint::Front, "{ not json").unwrap_err();
+        assert_eq!(not_json.code(), "bad-request");
+    }
+
+    #[test]
+    fn error_bodies_carry_code_status_and_censoring() {
+        let err = ApiError::EmptyFront {
+            message: "optimal-slotless: empty front".into(),
+            censored: BTreeMap::from([("undiscovered-offsets".to_string(), 12)]),
+        };
+        assert_eq!(err.status(), 422);
+        let doc = parse_json(&err.to_body()).unwrap();
+        let t = doc.as_table().unwrap();
+        assert_eq!(t["api"].as_str(), Some(API_VERSION));
+        let e = t["error"].as_table().unwrap();
+        assert_eq!(e["code"].as_str(), Some("empty-front"));
+        assert_eq!(
+            e["censored"].as_table().unwrap()["undiscovered-offsets"].as_i64(),
+            Some(12)
+        );
+    }
+
+    #[test]
+    fn opt_errors_split_corrupt_from_infeasible() {
+        let corrupt = ApiError::from_opt_error("corrupt-cache: corrupt cache entry ab12");
+        assert_eq!(corrupt.code(), "corrupt-cache");
+        assert_eq!(corrupt.status(), 500);
+        let infeasible = ApiError::from_opt_error("eta range [0.9, 1] does not intersect");
+        assert_eq!(infeasible.code(), "infeasible");
+        assert_eq!(infeasible.status(), 422);
+    }
+}

@@ -1,0 +1,265 @@
+//! A minimal HTTP/1.1 server on [`std::net::TcpListener`] — zero
+//! dependencies, matching the workspace convention.
+//!
+//! Scope: exactly what the planning API needs. Request line + headers +
+//! `Content-Length` bodies, keep-alive (HTTP/1.1 default) with an idle
+//! read timeout, JSON responses. No chunked encoding, no TLS, no HTTP/2.
+//!
+//! Threading: one accept loop hands connections to a fixed pool of
+//! worker threads over a channel; each worker drives one connection at a
+//! time through its keep-alive lifetime. The pool size bounds concurrent
+//! *connections*, so size it for the expected herd (the `nd-serve`
+//! default is generous — blocked workers are cheap, they mostly wait on
+//! the coalescing condvar or the idle-read timeout).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Largest accepted request body; larger requests get a 400. Planning
+/// specs are a few hundred bytes — a megabyte is already absurd.
+const MAX_BODY: usize = 1 << 20;
+
+/// How long a keep-alive connection may sit idle between requests before
+/// the worker reclaims itself.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// The method verb, uppercased as received (`GET`, `POST`, …).
+    pub method: String,
+    /// The request path (query strings are not split off — the API has
+    /// none).
+    pub path: String,
+    /// The request body (empty when no `Content-Length`).
+    pub body: String,
+    keep_alive: bool,
+}
+
+/// One response: a status code and a JSON body.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body; always `application/json` on the wire.
+    pub body: String,
+}
+
+impl Response {
+    /// Build a JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            body: body.into(),
+        }
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+enum ReadOutcome {
+    Request(Request),
+    /// Peer closed (or idled out) between requests — normal end of a
+    /// keep-alive connection.
+    Closed,
+    /// The bytes on the wire are not HTTP we accept; answer 400, close.
+    Malformed(String),
+}
+
+fn read_request(reader: &mut BufReader<TcpStream>) -> ReadOutcome {
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) | Err(_) => return ReadOutcome::Closed,
+        Ok(_) => {}
+    }
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return ReadOutcome::Malformed("malformed request line".into());
+    };
+    if !version.starts_with("HTTP/1.") {
+        return ReadOutcome::Malformed(format!("unsupported protocol version `{version}`"));
+    }
+    // HTTP/1.1 defaults to keep-alive; a Connection header overrides
+    let mut keep_alive = version == "HTTP/1.1";
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        match reader.read_line(&mut header) {
+            Ok(0) | Err(_) => return ReadOutcome::Closed,
+            Ok(_) => {}
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return ReadOutcome::Malformed(format!("malformed header `{header}`"));
+        };
+        let value = value.trim();
+        match name.to_ascii_lowercase().as_str() {
+            "content-length" => match value.parse::<usize>() {
+                Ok(n) if n <= MAX_BODY => content_length = n,
+                Ok(_) => {
+                    return ReadOutcome::Malformed(format!(
+                        "request body over the {MAX_BODY}-byte limit"
+                    ))
+                }
+                Err(_) => return ReadOutcome::Malformed("bad Content-Length".into()),
+            },
+            "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
+            _ => {}
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    if reader.read_exact(&mut body).is_err() {
+        return ReadOutcome::Closed;
+    }
+    let Ok(body) = String::from_utf8(body) else {
+        return ReadOutcome::Malformed("request body is not UTF-8".into());
+    };
+    ReadOutcome::Request(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+        keep_alive,
+    })
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    resp: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    // head + body in ONE write: a split write interacts with Nagle +
+    // delayed ACK and costs tens of milliseconds per response on loopback
+    let mut wire = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    wire.push_str(&resp.body);
+    stream.write_all(wire.as_bytes())?;
+    stream.flush()
+}
+
+/// The server: a bound listener plus the worker-pool run loop.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Bind an address (`127.0.0.1:0` picks a free port — read it back
+    /// via [`Server::addr`]).
+    pub fn bind(addr: &str) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server { listener, addr })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serve until `shutdown` flips: accept connections, dispatch them to
+    /// `workers` threads, drive each through its keep-alive lifetime with
+    /// `handler`. Blocks; joins all workers before returning. The accept
+    /// loop only observes `shutdown` after an accept, so whoever flips it
+    /// must also poke the listener ([`wake`]) — the `/v1/shutdown`
+    /// handler does.
+    pub fn run<H>(self, workers: usize, shutdown: Arc<AtomicBool>, handler: Arc<H>)
+    where
+        H: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let connections = Arc::new(AtomicI64::new(0));
+        let mut pool = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let rx = Arc::clone(&rx);
+            let handler = Arc::clone(&handler);
+            let shutdown = Arc::clone(&shutdown);
+            let connections = Arc::clone(&connections);
+            pool.push(std::thread::spawn(move || loop {
+                let stream = match rx.lock().unwrap().recv() {
+                    Ok(s) => s,
+                    Err(_) => return, // accept loop gone: drain complete
+                };
+                let live = connections.fetch_add(1, Ordering::Relaxed) + 1;
+                nd_obs::metrics::gauge_max("serve.connections_peak", live as f64);
+                handle_connection(stream, handler.as_ref(), &shutdown);
+                connections.fetch_sub(1, Ordering::Relaxed);
+            }));
+        }
+        while !shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    nd_obs::metrics::inc("serve.accepted");
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(_) => continue,
+            }
+        }
+        drop(tx);
+        for worker in pool {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Unblock a [`Server::run`] accept loop after flipping its shutdown
+/// flag, by making (and immediately dropping) one throwaway connection.
+pub fn wake(addr: SocketAddr) {
+    let _ = TcpStream::connect(addr);
+}
+
+fn handle_connection<H>(stream: TcpStream, handler: &H, shutdown: &AtomicBool)
+where
+    H: Fn(&Request) -> Response,
+{
+    let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
+    let _ = stream.set_nodelay(true); // latency over batching, always
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request(&mut reader) {
+            ReadOutcome::Closed => return,
+            ReadOutcome::Malformed(message) => {
+                let body = crate::api::ApiError::BadRequest(message).to_body();
+                let _ = write_response(&mut writer, &Response::json(400, body), false);
+                return;
+            }
+            ReadOutcome::Request(req) => {
+                let resp = handler(&req);
+                let keep_alive = req.keep_alive && !shutdown.load(Ordering::SeqCst);
+                if write_response(&mut writer, &resp, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+        }
+    }
+}

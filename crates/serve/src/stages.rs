@@ -1,0 +1,221 @@
+//! The background stage pipeline: **ingest → execute → prune**.
+//!
+//! Layout after reth's staged-sync design (`crates/stages`): each stage
+//! is a small unit with an id and an `execute` step, and a `Pipeline`
+//! runs them in order — either once ([`Pipeline::run_once`]) or on an
+//! interval from a background thread ([`Pipeline::spawn`]).
+//!
+//! - **ingest** scans a spool directory for dropped-off planning specs
+//!   (TOML or `.json`, same grammar as `nd-opt run`) and parses them;
+//!   consumed files are deleted, unparseable ones renamed to
+//!   `<name>.rejected` so they are inspected, not retried forever.
+//! - **execute** runs every ingested spec through the [`Planner`] — the
+//!   results land in the on-disk cache and the response memo, so the
+//!   specs clients will ask for are warm before they ask.
+//! - **prune** is `nd-sweep cache gc` wearing a stage id: it LRU-evicts
+//!   the shared result cache down to a byte budget.
+
+use crate::service::Planner;
+use nd_opt::OptSpec;
+use nd_sweep::ResultCache;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What a stage run accomplished, for the caller's log line.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StageReport {
+    /// Items the stage processed (specs ingested / executed, cache
+    /// entries evicted).
+    pub processed: usize,
+    /// Items that failed (unparseable spool files, failed searches).
+    pub failed: usize,
+}
+
+/// Shared state flowing through one pipeline pass.
+#[derive(Default)]
+pub struct StageContext {
+    /// Specs picked up by ingest, awaiting execute.
+    pub pending: Vec<OptSpec>,
+}
+
+/// One pipeline stage.
+pub trait Stage: Send {
+    /// Stable identifier, used for metrics (`serve.stage.<id>.runs`) and
+    /// trace spans.
+    fn id(&self) -> &'static str;
+    /// Run the stage once.
+    fn execute(&self, ctx: &mut StageContext) -> StageReport;
+}
+
+/// Scan a spool directory for planning specs.
+pub struct IngestStage {
+    spool: PathBuf,
+}
+
+impl IngestStage {
+    /// Watch `spool` for spec files.
+    pub fn new(spool: impl Into<PathBuf>) -> IngestStage {
+        IngestStage {
+            spool: spool.into(),
+        }
+    }
+}
+
+impl Stage for IngestStage {
+    fn id(&self) -> &'static str {
+        "ingest"
+    }
+
+    fn execute(&self, ctx: &mut StageContext) -> StageReport {
+        let mut report = StageReport::default();
+        let Ok(entries) = std::fs::read_dir(&self.spool) else {
+            return report; // no spool directory yet: nothing to do
+        };
+        let mut paths: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_file() && p.extension().is_none_or(|e| e != "rejected"))
+            .collect();
+        paths.sort(); // deterministic pick-up order
+        for path in paths {
+            match OptSpec::from_file(&path) {
+                Ok(spec) => {
+                    ctx.pending.push(spec);
+                    report.processed += 1;
+                    let _ = std::fs::remove_file(&path);
+                }
+                Err(err) => {
+                    report.failed += 1;
+                    eprintln!("nd-serve: rejecting spool file {}: {err}", path.display());
+                    let mut rejected = path.clone().into_os_string();
+                    rejected.push(".rejected");
+                    let _ = std::fs::rename(&path, rejected);
+                }
+            }
+        }
+        report
+    }
+}
+
+/// Run ingested specs through the planner to pre-warm cache and memo.
+pub struct ExecuteStage {
+    planner: Arc<Planner>,
+}
+
+impl ExecuteStage {
+    /// Execute against `planner` (the same one serving requests, so the
+    /// memo warms too).
+    pub fn new(planner: Arc<Planner>) -> ExecuteStage {
+        ExecuteStage { planner }
+    }
+}
+
+impl Stage for ExecuteStage {
+    fn id(&self) -> &'static str {
+        "execute"
+    }
+
+    fn execute(&self, ctx: &mut StageContext) -> StageReport {
+        let mut report = StageReport::default();
+        for spec in ctx.pending.drain(..) {
+            let (result, _served) = self.planner.front_document(&spec);
+            match result {
+                Ok(_) => report.processed += 1,
+                Err(err) => {
+                    report.failed += 1;
+                    eprintln!("nd-serve: spooled spec `{}` failed: {err}", spec.base.name);
+                }
+            }
+        }
+        report
+    }
+}
+
+/// LRU-evict the result cache down to a byte budget (`cache gc` as a
+/// pipeline stage).
+pub struct PruneStage {
+    cache: ResultCache,
+    max_bytes: u64,
+}
+
+impl PruneStage {
+    /// Prune `cache` down to `max_bytes`.
+    pub fn new(cache: ResultCache, max_bytes: u64) -> PruneStage {
+        PruneStage { cache, max_bytes }
+    }
+}
+
+impl Stage for PruneStage {
+    fn id(&self) -> &'static str {
+        "prune"
+    }
+
+    fn execute(&self, _ctx: &mut StageContext) -> StageReport {
+        let gc = self.cache.gc(self.max_bytes, false);
+        nd_obs::metrics::add("serve.pruned_bytes", gc.evicted_bytes);
+        StageReport {
+            processed: gc.evicted_entries,
+            failed: 0,
+        }
+    }
+}
+
+/// An ordered list of stages plus the run loop.
+pub struct Pipeline {
+    stages: Vec<Box<dyn Stage>>,
+}
+
+impl Pipeline {
+    /// Build a pipeline from stages, run in the given order.
+    pub fn new(stages: Vec<Box<dyn Stage>>) -> Pipeline {
+        Pipeline { stages }
+    }
+
+    /// Run every stage once, in order, threading a fresh context
+    /// through. Returns `(id, report)` per stage.
+    pub fn run_once(&self) -> Vec<(&'static str, StageReport)> {
+        let _span = nd_obs::span!("serve.pipeline", stages = self.stages.len());
+        let mut ctx = StageContext::default();
+        let mut reports = Vec::with_capacity(self.stages.len());
+        for stage in &self.stages {
+            let _span = nd_obs::span!("serve.stage", id = stage.id());
+            let report = stage.execute(&mut ctx);
+            nd_obs::metrics::inc(&format!("serve.stage.{}.runs", stage.id()));
+            nd_obs::metrics::add(
+                &format!("serve.stage.{}.processed", stage.id()),
+                report.processed as u64,
+            );
+            reports.push((stage.id(), report));
+        }
+        reports
+    }
+
+    /// Run the pipeline every `interval` on a background thread until
+    /// `shutdown` flips (checked once a second so shutdown is prompt
+    /// even with long intervals). Join the returned handle on exit.
+    pub fn spawn(
+        self,
+        interval: Duration,
+        shutdown: Arc<AtomicBool>,
+    ) -> std::thread::JoinHandle<()> {
+        std::thread::spawn(move || {
+            let tick = Duration::from_secs(1);
+            loop {
+                let mut waited = Duration::ZERO;
+                while waited < interval {
+                    if shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let step = tick.min(interval - waited);
+                    std::thread::sleep(step);
+                    waited += step;
+                }
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                self.run_once();
+            }
+        })
+    }
+}

@@ -1,0 +1,83 @@
+//! Request coalescing, asserted through the metrics registry: a
+//! thundering herd of identical cache-miss requests costs exactly one
+//! evaluation.
+//!
+//! This lives in its own test binary (one `#[test]`) because the
+//! registry is process-global — any concurrently-running test would
+//! pollute the counters.
+
+use nd_opt::{OptOptions, OptSpec};
+use nd_serve::Planner;
+use std::sync::{Arc, Barrier};
+
+const HERD: usize = 32;
+
+#[test]
+fn herd_of_identical_requests_coalesces_to_one_evaluation() {
+    nd_obs::metrics::set_enabled(true);
+    let spec = Arc::new(
+        OptSpec::from_json_str(
+            r#"{"name": "herd", "backend": "exact", "metric": "two-way",
+                "opt": {"protocols": ["optimal"], "seeds_per_axis": 3, "rounds": 1}}"#,
+        )
+        .unwrap(),
+    );
+    let planner = Arc::new(Planner::new(OptOptions::uncached(), 1024));
+
+    // all threads release together; the leader's search takes orders of
+    // magnitude longer than the followers' barrier→memo-lock hop, so the
+    // followers deterministically find the Pending slot and wait
+    let barrier = Arc::new(Barrier::new(HERD));
+    let threads: Vec<_> = (0..HERD)
+        .map(|_| {
+            let planner = Arc::clone(&planner);
+            let spec = Arc::clone(&spec);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                planner.front_document(&spec)
+            })
+        })
+        .collect();
+    let results: Vec<_> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+
+    let mut fresh = 0;
+    let mut coalesced = 0;
+    for (computed, served) in &results {
+        let computed = computed.as_ref().expect("every request succeeds");
+        assert!(!computed
+            .doc
+            .as_table()
+            .unwrap()
+            .get("fronts")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty());
+        match (served.memo, served.coalesced) {
+            (false, false) => fresh += 1,
+            (false, true) => coalesced += 1,
+            (true, false) => {} // straggler that arrived after completion
+            (true, true) => panic!("memo and coalesced are exclusive"),
+        }
+    }
+    assert_eq!(fresh, 1, "exactly one leader computed");
+    assert_eq!(coalesced, HERD - 1, "everyone else coalesced onto it");
+
+    let snapshot = nd_obs::metrics::snapshot().to_json();
+    assert!(
+        snapshot.contains("\"serve.computed\": 1"),
+        "one computation: {snapshot}"
+    );
+    assert!(
+        snapshot.contains(&format!("\"serve.coalesced\": {}", HERD - 1)),
+        "herd minus leader coalesced: {snapshot}"
+    );
+
+    // one more identical request: a plain memo hit, still zero work
+    let (_, served) = planner.front_document(&spec);
+    assert!(served.memo && !served.coalesced);
+    let snapshot = nd_obs::metrics::snapshot().to_json();
+    assert!(snapshot.contains("\"serve.computed\": 1"), "{snapshot}");
+    assert!(snapshot.contains("\"serve.memo_hits\": 1"), "{snapshot}");
+}

@@ -3,8 +3,8 @@
 //! ```text
 //! nd-sweep run <spec.toml> [--out-dir DIR] [--format csv|json|both]
 //!              [--threads N] [--no-cache] [--cache-dir DIR] [--quiet]
-//!              [--trace-out FILE]
-//! nd-sweep report <spec.toml> [run options]   # run + metrics snapshot
+//!              [--stats] [--trace-out FILE]
+//! nd-sweep report <spec.toml> [...]   # legacy spelling of `run --stats`
 //! nd-sweep expand <spec.toml>      # list the jobs a spec would run
 //! nd-sweep hash <spec.toml>        # print the spec's content hash
 //! nd-sweep protocols               # list registry protocol names
@@ -23,7 +23,11 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..], false),
-        Some("report") => cmd_run(&args[1..], true),
+        Some("report") => {
+            // old spelling of `run --stats`; keep it working, say so once
+            eprintln!("nd-sweep: note: `report` is now `run --stats` (behavior unchanged)");
+            cmd_run(&args[1..], true)
+        }
         Some("expand") => cmd_expand(&args[1..]),
         Some("hash") => cmd_hash(&args[1..]),
         Some("protocols") => cmd_protocols(),
@@ -74,11 +78,8 @@ Backends:
 USAGE:
     nd-sweep run <spec.toml|spec.json> [OPTIONS]
     nd-sweep report <spec> [OPTIONS]
-                                run the sweep with metrics collection on and
-                                print a deterministic JSON snapshot of the
-                                registry (cache hit/miss, per-backend work,
-                                pool latency) to stdout; exports are written
-                                only with an explicit --format
+                                legacy spelling of `run --stats` (still
+                                works; prints a one-line notice on stderr)
     nd-sweep expand <spec>      list the jobs the spec expands to
     nd-sweep hash <spec>        print the spec's content hash
     nd-sweep protocols          list protocol registry names
@@ -99,8 +100,15 @@ USAGE:
     nd-sweep --help             print this help, then exit
 
 OPTIONS (run, report):
+    --stats            run with metrics collection on and print a
+                       deterministic JSON snapshot of the registry (cache
+                       hit/miss, per-backend work, pool latency) to
+                       stdout; the run summary moves to stderr, and
+                       exports are written only with an explicit --format
+                       (the flag is spelled the same across nd-sweep,
+                       nd-opt and nd-serve)
     --out-dir DIR      write <name>.csv/.json here (default: .)
-    --format FMT       csv | json | both (default: both; report: none)
+    --format FMT       csv | json | both (default: both; --stats: none)
     --threads N        worker threads (default: all cores)
     --no-cache         skip the content-addressed result cache
     --cache-dir DIR    cache location (default: $ND_SWEEP_CACHE or
@@ -132,13 +140,15 @@ fn positional(args: &[String]) -> Option<&String> {
     args.iter().find(|a| !a.starts_with("--"))
 }
 
-/// `run` and `report` share everything but metrics collection and where
-/// the summary goes: `report` turns the registry on, keeps stdout clean
-/// for the JSON snapshot (summary → stderr), and exports nothing unless
-/// a `--format` is given explicitly.
-fn cmd_run(args: &[String], report: bool) -> ExitCode {
+/// `run` and `run --stats` share everything but metrics collection and
+/// where the summary goes: `--stats` (canonical across nd-sweep, nd-opt
+/// and nd-serve; `report` is the legacy spelling) turns the registry on,
+/// keeps stdout clean for the JSON snapshot (summary → stderr), and
+/// exports nothing unless a `--format` is given explicitly.
+fn cmd_run(args: &[String], stats: bool) -> ExitCode {
     // single pass: flags consume their values, the remaining positional is
     // the spec path (so `run --threads 4 spec.toml` parses correctly)
+    let mut report = stats;
     let mut opts = SweepOptions::default();
     let mut out_dir = PathBuf::from(".");
     let mut format: Option<String> = None;
@@ -148,6 +158,7 @@ fn cmd_run(args: &[String], report: bool) -> ExitCode {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--no-cache" => opts.use_cache = false,
+            "--stats" => report = true,
             "--quiet" => quiet = true,
             "--threads" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(n) if n > 0 => opts.threads = Some(n),

@@ -11,11 +11,15 @@
 //! * results produced by a different engine version can never be served
 //!   (the version is hashed in), so stale entries die silently.
 //!
-//! Corrupt or unreadable entries are treated as misses — the cache is an
-//! accelerator, never a correctness dependency.
+//! Corrupt entries are *reported* ([`CacheError`]) rather than silently
+//! conflated with misses: batch callers (sweeps, searches) treat them as
+//! misses and recompute — the cache is an accelerator, never a
+//! correctness dependency — while serving callers (`nd-serve`) surface
+//! them as an internal error instead of quietly rewriting history.
 
 use crate::value::{parse_json, Value};
 use std::collections::BTreeMap;
+use std::fmt;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
@@ -28,6 +32,33 @@ pub struct CachedResult {
     /// that deterministically errors will deterministically error again).
     pub error: Option<String>,
 }
+
+/// A present-but-unparseable cache entry (see [`ResultCache::load`]).
+///
+/// Distinct from a miss so callers can choose a policy: batch pipelines
+/// recompute (`load(h).unwrap_or(None)`), a serving read path refuses to
+/// answer. The entry stays on disk — `gc` or an overwriting `store` are
+/// the remedies — so repeated loads keep failing deterministically.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheError {
+    /// The job content hash whose entry is corrupt.
+    pub hash: String,
+    /// Path of the offending file.
+    pub path: PathBuf,
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "corrupt cache entry {} ({})",
+            self.hash,
+            self.path.display()
+        )
+    }
+}
+
+impl std::error::Error for CacheError {}
 
 /// The on-disk cache.
 pub struct ResultCache {
@@ -59,19 +90,25 @@ impl ResultCache {
         self.dir.join(&hash[..2]).join(format!("{hash}.json"))
     }
 
-    /// Look a job hash up; `None` on miss or unreadable entry. A hit
-    /// refreshes the entry's modification time, which is the recency the
-    /// LRU sweep ([`ResultCache::gc`]) evicts by — entries no sweep or
-    /// search has touched lately go first.
+    /// Look a job hash up: `Ok(Some(_))` on a hit, `Ok(None)` on a miss
+    /// (absent or unreadable file), `Err(CacheError)` when the entry is
+    /// present but unparseable. A hit refreshes the entry's modification
+    /// time, which is the recency the LRU sweep ([`ResultCache::gc`])
+    /// evicts by — entries no sweep or search has touched lately go
+    /// first.
+    ///
+    /// Callers that only want acceleration treat corruption as a miss
+    /// (`load(h).unwrap_or(None)` — the sweep engine and the optimizer
+    /// do); callers that *serve* cached answers propagate the error.
     ///
     /// Outcomes feed the metrics registry: `cache.hit`, `cache.miss`
     /// (absent entry), and `cache.corrupt` (present but unparseable —
-    /// also counted as a miss, since that is how it behaves).
-    pub fn load(&self, hash: &str) -> Option<CachedResult> {
+    /// also counted as a miss, since batch callers recompute).
+    pub fn load(&self, hash: &str) -> Result<Option<CachedResult>, CacheError> {
         let path = self.path_for(hash);
         let Ok(text) = std::fs::read_to_string(&path) else {
             nd_obs::metrics::inc("cache.miss");
-            return None;
+            return Ok(None);
         };
         // touch for LRU; failure (read-only cache) costs recency, not
         // correctness
@@ -82,12 +119,15 @@ impl ResultCache {
         match Self::parse_entry(&text) {
             Some(result) => {
                 nd_obs::metrics::inc("cache.hit");
-                Some(result)
+                Ok(Some(result))
             }
             None => {
                 nd_obs::metrics::inc("cache.corrupt");
                 nd_obs::metrics::inc("cache.miss");
-                None
+                Err(CacheError {
+                    hash: hash.to_string(),
+                    path,
+                })
             }
         }
     }
@@ -292,7 +332,7 @@ mod tests {
         let dir = temp_dir("roundtrip");
         let cache = ResultCache::at(&dir);
         let hash = "ab".to_string() + &"0".repeat(62);
-        assert!(cache.load(&hash).is_none());
+        assert_eq!(cache.load(&hash), Ok(None), "absent entry is a miss");
 
         let result = CachedResult {
             metrics: BTreeMap::from([
@@ -302,12 +342,12 @@ mod tests {
             error: None,
         };
         cache.store(&hash, &result);
-        assert_eq!(cache.load(&hash), Some(result));
+        assert_eq!(cache.load(&hash), Ok(Some(result)));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
-    fn errors_are_cached_and_corruption_is_a_miss() {
+    fn errors_are_cached_and_corruption_is_reported() {
         let dir = temp_dir("corrupt");
         let cache = ResultCache::at(&dir);
         let hash = "cd".to_string() + &"1".repeat(62);
@@ -316,12 +356,25 @@ mod tests {
             error: Some("no such protocol".into()),
         };
         cache.store(&hash, &failed);
-        assert_eq!(cache.load(&hash), Some(failed));
+        assert_eq!(cache.load(&hash), Ok(Some(failed)));
 
-        // corrupt the entry: load must degrade to a miss, not a panic
+        // corrupt the entry: load must report it — distinguishable from a
+        // miss — and never panic; batch callers map this back to a miss
         let path = dir.join(&hash[..2]).join(format!("{hash}.json"));
         std::fs::write(&path, "{ not json").unwrap();
-        assert!(cache.load(&hash).is_none());
+        let err = cache.load(&hash).unwrap_err();
+        assert_eq!(err.hash, hash);
+        assert_eq!(err.path, path);
+        assert!(err.to_string().contains("corrupt cache entry"));
+        // a fresh store over the corrupt entry heals it
+        cache.store(
+            &hash,
+            &CachedResult {
+                metrics: BTreeMap::new(),
+                error: None,
+            },
+        );
+        assert!(cache.load(&hash).is_ok());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -362,16 +415,19 @@ mod tests {
         let real = cache.gc(per_entry * 2, false);
         assert_eq!(real.evicted_entries, 2);
         assert_eq!(cache.stats().entries, 2);
-        assert!(cache.load(&hashes[0]).is_none(), "oldest evicted");
-        assert!(cache.load(&hashes[3]).is_some(), "newest kept");
+        assert_eq!(cache.load(&hashes[0]), Ok(None), "oldest evicted");
+        assert!(cache.load(&hashes[3]).unwrap().is_some(), "newest kept");
 
         // a cache-hit refreshes recency: loading the older survivor
         // makes the newer one the eviction candidate
-        assert!(cache.load(&hashes[2]).is_some());
+        assert!(cache.load(&hashes[2]).unwrap().is_some());
         let lru = cache.gc(per_entry, false);
         assert_eq!(lru.evicted_entries, 1);
-        assert!(cache.load(&hashes[2]).is_some(), "recently hit entry kept");
-        assert!(cache.load(&hashes[3]).is_none());
+        assert!(
+            cache.load(&hashes[2]).unwrap().is_some(),
+            "recently hit entry kept"
+        );
+        assert_eq!(cache.load(&hashes[3]), Ok(None));
 
         // gc to zero clears everything
         cache.gc(0, false);
@@ -415,7 +471,7 @@ mod tests {
             .unwrap();
         cache.gc(u64::MAX, false);
         assert!(!orphan.exists(), "stale orphan swept");
-        assert!(cache.load(&hash).is_some());
+        assert!(cache.load(&hash).unwrap().is_some());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -140,7 +140,11 @@ pub fn run_sweep(spec: &ScenarioSpec, opts: &SweepOptions) -> Result<SweepOutcom
     {
         let _span = nd_obs::span!("sweep.cache_probe", jobs = jobs.len());
         for job in &jobs {
-            let hit = cache.as_ref().and_then(|c| c.load(&job.content_hash(spec)));
+            // corrupt entries (`Err`) degrade to misses here: a sweep can
+            // always recompute, and the overwriting store heals the entry
+            let hit = cache
+                .as_ref()
+                .and_then(|c| c.load(&job.content_hash(spec)).unwrap_or(None));
             hit_flags.push(hit.is_some());
             if hit.is_none() {
                 misses.push(job);

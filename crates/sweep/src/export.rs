@@ -4,13 +4,25 @@
 //! order, alphabetically sorted metric columns, shortest-roundtrip float
 //! rendering), which makes them diff-friendly and lets the cache-hit
 //! equivalence tests compare exports byte for byte.
+//!
+//! Both carry the [`EXPORT_SCHEMA`] tag (mirroring the bench crate's
+//! `nd-bench-summary/v1` convention): JSON documents have a top-level
+//! `"schema"` key, CSV files open with a `# nd-export/v1` comment line.
+//! Downstream consumers should check the tag and refuse envelopes they
+//! don't know; any future change to column layout or document shape bumps
+//! the version.
 
 use crate::engine::SweepOutcome;
 use crate::value::Value;
 use std::collections::BTreeSet;
 
-/// Render the outcome as CSV: parameter columns (grid order), then metric
-/// columns (sorted union across rows), then `error`.
+/// The export envelope version carried by every CSV/JSON export (sweep
+/// *and* opt fronts — both exporters share the envelope convention).
+pub const EXPORT_SCHEMA: &str = "nd-export/v1";
+
+/// Render the outcome as CSV: a `# nd-export/v1` schema comment, then
+/// parameter columns (grid order), then metric columns (sorted union
+/// across rows), then `error`.
 pub fn to_csv(outcome: &SweepOutcome) -> String {
     let param_names: Vec<&str> = outcome
         .rows
@@ -23,7 +35,7 @@ pub fn to_csv(outcome: &SweepOutcome) -> String {
         .flat_map(|r| r.metrics.keys().map(|s| s.as_str()))
         .collect();
 
-    let mut out = String::new();
+    let mut out = format!("# {EXPORT_SCHEMA}\n");
     for (i, name) in param_names
         .iter()
         .chain(metric_names.iter())
@@ -98,6 +110,7 @@ pub fn to_json(outcome: &SweepOutcome) -> String {
         .collect();
 
     let mut doc = BTreeMap::new();
+    doc.insert("schema".to_string(), Value::Str(EXPORT_SCHEMA.to_string()));
     doc.insert("name".to_string(), Value::Str(outcome.name.clone()));
     doc.insert(
         "spec_hash".to_string(),
@@ -150,14 +163,15 @@ mod tests {
     }
 
     #[test]
-    fn csv_has_header_rows_and_stable_shape() {
+    fn csv_has_schema_header_rows_and_stable_shape() {
         let out = outcome();
         let csv = to_csv(&out);
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines.len(), 1 + out.rows.len());
-        assert!(lines[0].starts_with("protocol,eta,"));
-        assert!(lines[0].ends_with(",error"));
-        assert!(lines[0].contains("product"));
+        assert_eq!(lines.len(), 2 + out.rows.len());
+        assert_eq!(lines[0], "# nd-export/v1");
+        assert!(lines[1].starts_with("protocol,eta,"));
+        assert!(lines[1].ends_with(",error"));
+        assert!(lines[1].contains("product"));
         // byte-identical on re-render
         assert_eq!(csv, to_csv(&out));
     }
@@ -167,8 +181,8 @@ mod tests {
         let s = ScenarioSpec::from_toml_str("backend = \"bounds\"\n[grid]\neta = []\n").unwrap();
         let out = run_sweep(&s, &SweepOptions::uncached()).unwrap();
         let csv = to_csv(&out);
-        assert_eq!(csv.lines().count(), 1);
-        assert_eq!(csv.trim(), "error");
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines, vec!["# nd-export/v1", "error"]);
     }
 
     #[test]
@@ -176,6 +190,7 @@ mod tests {
         let out = outcome();
         let doc = parse_json(&to_json(&out)).unwrap();
         let t = doc.as_table().unwrap();
+        assert_eq!(t["schema"].as_str(), Some(EXPORT_SCHEMA));
         assert_eq!(t["name"].as_str(), Some("exp"));
         assert_eq!(t["rows"].as_array().unwrap().len(), out.rows.len());
         let row0 = t["rows"].as_array().unwrap()[0].as_table().unwrap();

@@ -32,7 +32,8 @@
 //! let outcome = run_sweep(&spec, &SweepOptions::uncached()).unwrap();
 //! assert_eq!(outcome.rows.len(), 2);
 //! let csv = nd_sweep::to_csv(&outcome);
-//! assert!(csv.lines().count() == 3);
+//! // schema comment + header + one line per job
+//! assert!(csv.lines().count() == 4);
 //! ```
 
 #![warn(missing_docs)]
@@ -48,9 +49,9 @@ pub mod spec;
 pub mod tracecheck;
 pub mod value;
 
-pub use cache::{CacheStats, CachedResult, GcReport, ResultCache};
+pub use cache::{CacheError, CacheStats, CachedResult, GcReport, ResultCache};
 pub use engine::{run_sweep, Row, SweepError, SweepOptions, SweepOutcome};
-pub use export::{to_csv, to_json};
+pub use export::{to_csv, to_json, EXPORT_SCHEMA};
 pub use grid::{expand, Job};
 pub use spec::{Backend, Metric, ScenarioSpec, SpecError, ENGINE_VERSION};
 pub use value::Value;

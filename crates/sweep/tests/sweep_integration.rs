@@ -285,7 +285,8 @@ fn cli_run_expand_hash_roundtrip() {
     let first = run(&[]);
     assert!(first.contains("4 jobs (0 cached, 4 executed"), "{first}");
     let csv = std::fs::read_to_string(out_dir.join("cli-demo.csv")).unwrap();
-    assert_eq!(csv.lines().count(), 5);
+    assert_eq!(csv.lines().next(), Some("# nd-export/v1"));
+    assert_eq!(csv.lines().count(), 6); // schema tag + header + 4 rows
     assert!(out_dir.join("cli-demo.json").exists());
 
     // repeated invocation is served from cache
@@ -471,7 +472,7 @@ fn cli_runs_role_typed_scenarios() {
         String::from_utf8_lossy(&first.stderr)
     );
     let csv = std::fs::read_to_string(out_dir.join("asym-cli.csv")).unwrap();
-    let header = csv.lines().next().unwrap();
+    let header = csv.lines().nth(1).unwrap(); // line 0 is the schema tag
     for col in ["protocol_b", "eta_b", "slot_us_b", "mix", "asym_bound_s"] {
         assert!(header.contains(col), "missing `{col}` in {header}");
     }

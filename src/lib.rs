@@ -20,6 +20,10 @@
 //!   sweeps over all of the above (and the `nd-sweep` CLI).
 //! * [`opt`] (`nd-opt`) — per-protocol Pareto fronts over (duty cycle,
 //!   latency) with gap-to-bound reporting (and the `nd-opt` CLI).
+//! * [`serve`] (`nd-serve`) — the always-on planning daemon: front/best/
+//!   gap queries over HTTP/JSON behind the versioned `nd-serve-api/v1`
+//!   envelope, with response memoization, request coalescing and a
+//!   background ingest→execute→prune pipeline.
 //! * [`obs`] (`nd-obs`) — zero-dependency observability spine: structured
 //!   tracing spans with a JSONL sink, the atomic metrics registry, and
 //!   stderr progress lines. Off by default; `ND_TRACE`/`--trace-out`
@@ -33,5 +37,6 @@ pub use nd_netsim as netsim;
 pub use nd_obs as obs;
 pub use nd_opt as opt;
 pub use nd_protocols as protocols;
+pub use nd_serve as serve;
 pub use nd_sim as sim;
 pub use nd_sweep as sweep;
