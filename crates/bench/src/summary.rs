@@ -110,12 +110,61 @@ impl Summary {
 
     /// Write the summary to `ND_BENCH_JSON` (or `default_path`), keeping
     /// the bench alive on I/O failure — a bench run still reports to the
-    /// console even if the artifact directory is read-only.
+    /// console even if the artifact directory is read-only. When
+    /// `ND_BENCH_HISTORY` names a file, one compact history line is
+    /// appended there too.
     pub fn write(&self, default_path: &str) {
         let path = std::env::var("ND_BENCH_JSON").unwrap_or_else(|_| default_path.to_string());
         match std::fs::write(&path, self.to_json()) {
             Ok(()) => println!("wrote throughput summary to {path}"),
             Err(e) => eprintln!("cannot write {path}: {e}"),
+        }
+        self.append_history();
+    }
+
+    /// The envelope as one compact JSONL line, stamped with the wall
+    /// clock (`recorded_unix_s`) and, when `ND_BENCH_LABEL` is set, a
+    /// free-form label (CI passes the commit id) — the append-only
+    /// history format behind `BENCH_HISTORY.jsonl`.
+    pub fn to_history_line(&self) -> String {
+        use nd_sweep::value::Value;
+        let mut v =
+            nd_sweep::value::parse_json(&self.to_json()).expect("own envelope is valid JSON");
+        if let Value::Table(t) = &mut v {
+            let unix = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0);
+            t.insert("recorded_unix_s".to_string(), Value::Int(unix as i64));
+            if let Ok(label) = std::env::var("ND_BENCH_LABEL") {
+                if !label.is_empty() {
+                    t.insert("label".to_string(), Value::Str(label));
+                }
+            }
+        }
+        v.to_json()
+    }
+
+    /// Append [`Summary::to_history_line`] to the file named by
+    /// `ND_BENCH_HISTORY`. A no-op when the variable is unset or empty;
+    /// like [`Summary::write`], I/O failure only warns.
+    pub fn append_history(&self) {
+        let Ok(path) = std::env::var("ND_BENCH_HISTORY") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        use std::io::Write as _;
+        let line = self.to_history_line();
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| writeln!(f, "{line}"));
+        match appended {
+            Ok(()) => println!("appended throughput history to {path}"),
+            Err(e) => eprintln!("cannot append {path}: {e}"),
         }
     }
 }
@@ -147,5 +196,30 @@ mod tests {
         let table = v.as_table().unwrap();
         assert_eq!(table["schema"].as_str(), Some(SCHEMA));
         assert!(table["metrics"].as_table().unwrap().contains_key("gauges"));
+
+        // history lines: compact, append-only, timestamped, labelled.
+        // Same test (not a sibling): the registry and the environment
+        // are process-global.
+        let history = std::env::temp_dir().join(format!("nd-bench-hist-{}", std::process::id()));
+        let _ = std::fs::remove_file(&history);
+        std::env::set_var("ND_BENCH_HISTORY", &history);
+        std::env::set_var("ND_BENCH_LABEL", "deadbeef");
+        s.append_history();
+        s.append_history();
+        std::env::remove_var("ND_BENCH_HISTORY");
+        std::env::remove_var("ND_BENCH_LABEL");
+        let text = std::fs::read_to_string(&history).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "append-only: one line per call");
+        for line in lines {
+            let v = nd_sweep::value::parse_json(line).expect("history line parses");
+            let t = v.as_table().unwrap();
+            assert_eq!(t["schema"].as_str(), Some(SCHEMA));
+            assert_eq!(t["suite"].as_str(), Some("selftest"));
+            assert_eq!(t["label"].as_str(), Some("deadbeef"));
+            assert!(t.contains_key("recorded_unix_s"));
+            assert!(t["metrics"].as_table().is_some());
+        }
+        let _ = std::fs::remove_file(&history);
     }
 }

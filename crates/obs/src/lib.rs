@@ -46,4 +46,4 @@ pub mod trace;
 
 pub use metrics::{HistogramData, Snapshot};
 pub use progress::Progress;
-pub use trace::{FieldValue, Span};
+pub use trace::{ContextGuard, FieldValue, Span};

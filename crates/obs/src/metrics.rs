@@ -245,6 +245,52 @@ impl HistogramData {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Estimate the `q`-quantile (`q` clamped to `[0, 1]`) from the log₂
+    /// buckets. NaN when empty.
+    ///
+    /// The rank-holding bucket is found by a cumulative walk, then the
+    /// estimate interpolates linearly inside that bucket's value range
+    /// and is clamped to the observed `[min, max]`. Because bucket `i`
+    /// only brackets its samples to `[2^(i-1), 2^i)`, the estimate can
+    /// be off by up to the bucket width (a factor of 2 at worst) — but
+    /// it always lies within the closed bounds of the bucket holding the
+    /// true quantile, and is monotone in `q`. Both properties, plus
+    /// stability under [`merge`](Self::merge), are pinned by proptests.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the sample that holds the quantile.
+        let rank = (q * self.count as f64).ceil().max(1.0);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let before = seen as f64;
+            seen += c;
+            if seen as f64 >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                let frac = (rank - before) / c as f64;
+                let est = lo + frac * (hi - lo);
+                return est.clamp(self.min as f64, self.max as f64);
+            }
+        }
+        self.max as f64
+    }
+}
+
+/// The closed value range covered by bucket `i`: `(0, 0)` for bucket 0,
+/// else `(2^(i-1), 2^i)`. Computed in `f64` (bucket 64's upper bound
+/// does not fit in `u64`).
+pub fn bucket_bounds(i: usize) -> (f64, f64) {
+    if i == 0 {
+        (0.0, 0.0)
+    } else {
+        (f64::exp2(i as f64 - 1.0), f64::exp2(i as f64))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -435,8 +481,10 @@ impl Snapshot {
 
     /// Deterministic pretty JSON: keys sorted, floats in shortest
     /// round-trip form, non-finite values as `null`. Histograms carry
-    /// `count`/`sum`/`min`/`max`/`mean` plus the non-empty buckets keyed
-    /// by bucket index (bucket `i ≥ 1` holds values in `[2^(i-1), 2^i)`).
+    /// `count`/`sum`/`min`/`max`/`mean`, estimated `p50`/`p95`/`p99`
+    /// quantiles (see [`HistogramData::quantile`] for the log₂-bucket
+    /// error bound), plus the non-empty buckets keyed by bucket index
+    /// (bucket `i ≥ 1` holds values in `[2^(i-1), 2^i)`).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n  \"counters\": {");
         push_map(&mut out, &self.counters, |o, v| o.push_str(&v.to_string()));
@@ -452,6 +500,10 @@ impl Snapshot {
                 h.max
             ));
             jsonfmt::push_f64(o, h.mean());
+            for (key, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+                o.push_str(&format!(", \"{key}\": "));
+                jsonfmt::push_f64(o, h.quantile(q));
+            }
             o.push_str(", \"buckets\": {");
             let mut first = true;
             for (i, &c) in h.buckets.iter().enumerate() {
@@ -466,6 +518,60 @@ impl Snapshot {
             o.push_str("}}");
         });
         out.push_str("}\n}\n");
+        out
+    }
+
+    /// Prometheus text exposition (format version 0.0.4) of the whole
+    /// snapshot. Counters map to `counter`, gauges to `gauge`, and
+    /// histograms to `summary` series with `quantile` labels estimated
+    /// from the log₂ buckets (see [`HistogramData::quantile`]).
+    ///
+    /// Metric names are sanitised to the prometheus charset: every
+    /// character outside `[a-zA-Z0-9_:]` becomes `_` (so `cache.hit`
+    /// is exposed as `cache_hit`), with a leading `_` added if the name
+    /// starts with a digit. Output order follows the snapshot's sorted
+    /// maps, so the exposition is deterministic.
+    pub fn to_prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            let mut out = String::with_capacity(name.len() + 1);
+            for (i, c) in name.chars().enumerate() {
+                if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                    if i == 0 && c.is_ascii_digit() {
+                        out.push('_');
+                    }
+                    out.push(c);
+                } else {
+                    out.push('_');
+                }
+            }
+            out
+        }
+        // Prometheus floats: plain decimal, `NaN` for empty-histogram
+        // quantiles (the exposition format allows it).
+        fn num(v: f64) -> String {
+            if v.is_nan() {
+                "NaN".to_string()
+            } else {
+                format!("{v}")
+            }
+        }
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", num(*v)));
+        }
+        for (name, h) in &self.histograms {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} summary\n"));
+            for q in [0.5, 0.95, 0.99] {
+                out.push_str(&format!("{n}{{quantile=\"{q}\"}} {}\n", num(h.quantile(q))));
+            }
+            out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum, h.count));
+        }
         out
     }
 }
@@ -552,6 +658,72 @@ mod tests {
         // keys come out sorted
         let json = s1.to_json();
         assert!(json.find("a.first").unwrap() < json.find("b.second").unwrap());
+        set_enabled(false);
+        reset();
+    }
+
+    #[test]
+    fn quantiles_respect_bucket_bounds_and_range() {
+        let mut h = HistogramData::new();
+        assert!(h.quantile(0.5).is_nan());
+        for v in [0u64, 1, 2, 3, 5, 100, 1000, 1000, 1000, 70_000] {
+            h.record(v);
+        }
+        // p50 must land in (or clamp inside) the bucket holding the
+        // 5th-ranked sample (5 → bucket 3: [4, 8)).
+        let p50 = h.quantile(0.5);
+        let (lo, hi) = bucket_bounds(bucket_of(5));
+        assert!((lo..=hi).contains(&p50), "p50 {p50} outside [{lo}, {hi}]");
+        // Extremes clamp to the observed range.
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(1.0), 70_000.0);
+        // Monotone in q.
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = h.quantile(q);
+            assert!(v >= prev, "quantile({q}) = {v} < {prev}");
+            prev = v;
+        }
+        // A single-sample histogram pins every quantile to that sample.
+        let mut one = HistogramData::new();
+        one.record(37);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(one.quantile(q), 37.0);
+        }
+    }
+
+    #[test]
+    fn snapshot_prometheus_exposition() {
+        let _g = serial();
+        set_enabled(true);
+        reset();
+        add("test.prom_hits", 3);
+        gauge_set("test.prom_level", 2.5);
+        for v in [10u64, 20, 30, 40] {
+            observe("test.prom_us", v);
+        }
+        let mut snap = snapshot();
+        snap.retain(|n| n.starts_with("test.prom"));
+        let text = snap.to_prometheus();
+        assert!(text.contains("# TYPE test_prom_hits counter\ntest_prom_hits 3\n"));
+        assert!(text.contains("# TYPE test_prom_level gauge\ntest_prom_level 2.5\n"));
+        assert!(text.contains("# TYPE test_prom_us summary\n"));
+        assert!(text.contains("test_prom_us{quantile=\"0.5\"}"));
+        assert!(text.contains("test_prom_us_sum 100\n"));
+        assert!(text.contains("test_prom_us_count 4\n"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').unwrap();
+            assert!(!series.is_empty());
+            assert!(
+                value == "NaN" || value.parse::<f64>().is_ok(),
+                "bad: {line}"
+            );
+        }
         set_enabled(false);
         reset();
     }

@@ -32,6 +32,24 @@ fn env_enabled() -> bool {
     }
 }
 
+/// Defensively erase any progress residue from stderr and flush it.
+///
+/// Call this immediately before printing a final summary: on fast runs
+/// the last repaint can race the summary write (stderr is unbuffered,
+/// stdout often block-buffered when piped), leaving the carriage-return
+/// line interleaved with the summary. A no-op when the environment
+/// disables progress rendering, so piped runs with `ND_PROGRESS=0` see
+/// no stray control bytes.
+pub fn clear_line() {
+    if !env_enabled() {
+        return;
+    }
+    let mut err = std::io::stderr().lock();
+    // Wide enough for any line a `Progress` may have painted.
+    let _ = write!(err, "\r{:100}\r", "");
+    let _ = err.flush();
+}
+
 /// A progress line over `total` units of work. Construct with
 /// [`Progress::new`], feed it the running completion count with
 /// [`update`](Progress::update), and let it drop (or call

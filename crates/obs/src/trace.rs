@@ -32,6 +32,10 @@
 //! * `depth` — how many spans were already open on this thread when this
 //!   one started (0 = top level). A parent always has a smaller `depth`
 //!   and an enclosing `[start_ns, start_ns+dur_ns]` interval.
+//! * `ctx` — the thread's trace context at open time (see
+//!   [`push_context`]); omitted when none is installed. `nd-serve` puts
+//!   each request's `X-ND-Trace-Id` here, so one id reconstructs the
+//!   whole cross-thread story of a request.
 //! * `fields` — the `key = value` pairs from the macro call; omitted
 //!   when empty.
 //!
@@ -40,12 +44,12 @@
 //! with tracing on or off (a regression test in nd-sweep pins this).
 
 use crate::jsonfmt;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -78,6 +82,9 @@ thread_local! {
     static TID: Cell<u64> = const { Cell::new(u64::MAX) };
     /// Open-span count on this thread (the next span's `depth`).
     static DEPTH: Cell<u64> = const { Cell::new(0) };
+    /// The thread's trace context (e.g. a request id); stamped as `ctx`
+    /// on every span opened while it is installed.
+    static CONTEXT: RefCell<Option<Arc<str>>> = const { RefCell::new(None) };
 }
 
 fn tid() -> u64 {
@@ -87,6 +94,51 @@ fn tid() -> u64 {
         }
         t.get()
     })
+}
+
+/// The calling thread's current trace context, if one is installed.
+///
+/// Capture this before handing work to another thread and re-install it
+/// there with [`set_context`] so spans emitted by the worker carry the
+/// originating request's id (nd-sweep's worker pool does exactly this).
+pub fn current_context() -> Option<Arc<str>> {
+    CONTEXT.with(|c| c.borrow().clone())
+}
+
+/// Install `ctx` as this thread's trace context until the returned
+/// guard drops; the previous context (if any) is restored on drop.
+///
+/// While installed, every span opened on this thread records
+/// `"ctx": "<value>"` in its JSONL line. Installing a context is cheap
+/// and independent of whether tracing is enabled, so request-scoped
+/// code can set it unconditionally.
+pub fn set_context(ctx: Option<Arc<str>>) -> ContextGuard {
+    let prev = CONTEXT.with(|c| c.replace(ctx));
+    ContextGuard {
+        prev,
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// Convenience wrapper over [`set_context`] for the common "stamp this
+/// request id" case.
+pub fn push_context(ctx: impl Into<Arc<str>>) -> ContextGuard {
+    set_context(Some(ctx.into()))
+}
+
+/// Restores the previously installed trace context when dropped.
+/// Returned by [`set_context`] / [`push_context`]; `!Send` because the
+/// context is thread-local state.
+#[must_use = "dropping the guard immediately uninstalls the context"]
+pub struct ContextGuard {
+    prev: Option<Arc<str>>,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        CONTEXT.with(|c| *c.borrow_mut() = self.prev.take());
+    }
 }
 
 /// Route trace output to `writer` and enable tracing. Replaces (and
@@ -198,6 +250,7 @@ struct SpanInner {
     start_ns: u64,
     depth: u64,
     tid: u64,
+    ctx: Option<Arc<str>>,
     // Keep the guard thread-bound so depth bookkeeping stays coherent.
     _not_send: std::marker::PhantomData<*const ()>,
 }
@@ -220,6 +273,7 @@ impl Span {
                 start_ns: now_ns(),
                 depth,
                 tid: tid(),
+                ctx: current_context(),
                 _not_send: std::marker::PhantomData,
             }),
         }
@@ -250,6 +304,10 @@ impl Drop for Span {
             end_ns.saturating_sub(inner.start_ns),
             inner.depth
         ));
+        if let Some(ctx) = &inner.ctx {
+            line.push_str(", \"ctx\": ");
+            jsonfmt::push_str(&mut line, ctx);
+        }
         if !inner.fields.is_empty() {
             line.push_str(", \"fields\": {");
             for (i, (k, v)) in inner.fields.iter().enumerate() {
@@ -367,6 +425,69 @@ mod tests {
         for l in &lines {
             assert!(l.starts_with('{') && l.ends_with('}'));
         }
+    }
+
+    #[test]
+    fn context_is_stamped_nested_and_restored() {
+        let _g = serial();
+        let buf = Shared::default();
+        init_writer(Box::new(buf.clone()));
+        {
+            let _before = span!("test.ctx_before");
+        }
+        {
+            let _ctx = push_context("req-42");
+            let _outer = span!("test.ctx_outer");
+            let _inner = span!("test.ctx_inner");
+            // An inner scope can override, and the override unwinds.
+            {
+                let _ctx2 = push_context("req-43");
+                let _deep = span!("test.ctx_deep");
+            }
+            let _tail = span!("test.ctx_tail");
+        }
+        {
+            let _after = span!("test.ctx_after");
+        }
+        shutdown();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let line = |name: &str| -> String {
+            text.lines()
+                .find(|l| l.contains(&format!("\"name\": \"{name}\"")))
+                .unwrap_or_else(|| panic!("missing span {name} in: {text}"))
+                .to_string()
+        };
+        assert!(!line("test.ctx_before").contains("\"ctx\""));
+        assert!(line("test.ctx_outer").contains("\"ctx\": \"req-42\""));
+        assert!(line("test.ctx_inner").contains("\"ctx\": \"req-42\""));
+        assert!(line("test.ctx_deep").contains("\"ctx\": \"req-43\""));
+        assert!(line("test.ctx_tail").contains("\"ctx\": \"req-42\""));
+        assert!(!line("test.ctx_after").contains("\"ctx\""));
+        assert!(current_context().is_none());
+    }
+
+    #[test]
+    fn context_transfers_across_threads_by_capture() {
+        let _g = serial();
+        let buf = Shared::default();
+        init_writer(Box::new(buf.clone()));
+        {
+            let _ctx = push_context("req-x");
+            let captured = current_context();
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    let _g = set_context(captured);
+                    let _span = span!("test.ctx_worker");
+                });
+            });
+        }
+        shutdown();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let worker = text
+            .lines()
+            .find(|l| l.contains("test.ctx_worker"))
+            .unwrap();
+        assert!(worker.contains("\"ctx\": \"req-x\""), "got: {worker}");
     }
 
     #[test]

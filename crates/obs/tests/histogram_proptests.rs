@@ -1,7 +1,10 @@
 //! Property tests for histogram merge algebra: merging per-shard
 //! histograms must be order-insensitive, or multi-threaded snapshot
-//! aggregation would depend on scheduling.
+//! aggregation would depend on scheduling. Also pins the quantile
+//! estimator's contract: monotone in q, within the log₂ bucket bounds
+//! of the true quantile sample, and stable under merge.
 
+use nd_obs::metrics::bucket_bounds;
 use nd_obs::HistogramData;
 use proptest::prelude::*;
 
@@ -11,6 +14,15 @@ fn hist_from(samples: &[u64]) -> HistogramData {
         h.record(s);
     }
     h
+}
+
+/// The exact q-quantile sample of `samples` (the one `quantile` brackets):
+/// the element at 1-based rank `ceil(q * n)` of the sorted list.
+fn exact_quantile_sample(samples: &[u64], q: f64) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
 }
 
 proptest! {
@@ -58,5 +70,62 @@ proptest! {
         prop_assert_eq!(h.min, *a.iter().min().unwrap());
         prop_assert_eq!(h.max, *a.iter().max().unwrap());
         prop_assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q(
+        a in prop::collection::vec(0u64..1_000_000, 1..60),
+        qs in prop::collection::vec(0.0f64..1.0, 2..12),
+    ) {
+        let h = hist_from(&a);
+        let mut qs = qs;
+        qs.sort_by(f64::total_cmp);
+        let mut prev = f64::NEG_INFINITY;
+        for &q in &qs {
+            let v = h.quantile(q);
+            prop_assert!(v.is_finite());
+            prop_assert!(v >= prev, "quantile({}) = {} < {}", q, v, prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn quantile_within_bucket_bounds_and_range(
+        a in prop::collection::vec(0u64..1_000_000, 1..60),
+        q in 0.0f64..1.0,
+    ) {
+        let h = hist_from(&a);
+        let est = h.quantile(q);
+        // Within the observed sample range …
+        prop_assert!(est >= h.min as f64 && est <= h.max as f64);
+        // … and within the closed bounds of the log₂ bucket that holds
+        // the true quantile sample.
+        let exact = exact_quantile_sample(&a, q);
+        let (lo, hi) = bucket_bounds((64 - exact.leading_zeros()) as usize);
+        prop_assert!(
+            est >= lo && est <= hi,
+            "quantile({}) = {} outside bucket [{}, {}] of exact sample {}",
+            q, est, lo, hi, exact
+        );
+    }
+
+    #[test]
+    fn quantile_is_merge_stable(
+        a in prop::collection::vec(0u64..1_000_000, 1..60),
+        q in 0.0f64..1.0,
+    ) {
+        let h = hist_from(&a);
+        let doubled = h.merge(&h);
+        let (e1, e2) = (h.quantile(q), doubled.quantile(q));
+        // Self-merge selects the same bucket; the interpolated rank can
+        // shift by at most half a sample within it.
+        let exact = exact_quantile_sample(&a, q);
+        let b = (64 - exact.leading_zeros()) as usize;
+        let (lo, hi) = bucket_bounds(b);
+        let c = h.buckets[b] as f64;
+        prop_assert!(
+            (e1 - e2).abs() <= (hi - lo) / (2.0 * c) + 1e-9,
+            "quantile({}) drifted on self-merge: {} vs {}", q, e1, e2
+        );
     }
 }

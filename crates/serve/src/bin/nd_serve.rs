@@ -60,9 +60,19 @@ ENDPOINTS:
     POST /v1/front     Pareto front per protocol
     POST /v1/best      best configuration within a duty-cycle budget
     POST /v1/gap       per-protocol gap-to-bound summary
-    GET  /healthz      liveness probe
-    GET  /v1/metrics   metrics snapshot (requires --stats)
+    GET  /healthz      liveness probe: version, engine, uptime, spool
+                       depth, stage-pipeline cycle gauges
+    GET  /v1/metrics   metrics snapshot (requires --stats); add
+                       ?format=prometheus for text exposition with
+                       p50/p95/p99 summaries
     POST /v1/shutdown  graceful stop
+
+Every request is answered with an `X-ND-Trace-Id` header: the client's
+own id when it sent that header, a generated one otherwise. With tracing
+on (--trace-out / $ND_TRACE) every span emitted while handling the
+request — including planner-pool evaluation spans on worker threads —
+carries that id in its `ctx` field; filter with
+`nd-trace critical-path t.jsonl --ctx <id>`.
 
 OPTIONS:
     --addr HOST:PORT   listen address (default: 127.0.0.1:7077; port 0
@@ -74,7 +84,8 @@ OPTIONS:
     --cache-dir DIR    cache location (default: $ND_SWEEP_CACHE or
                        target/nd-sweep-cache)
     --memo-capacity N  in-memory response memo entries (default: 1024)
-    --quiet            suppress the startup line
+    --quiet            suppress the startup line and the per-request
+                       access log (one JSON line per request on stderr)
 
 BACKGROUND PIPELINE (ingest → execute → prune):
     --spool DIR        pick up nd-opt spec files dropped here, pre-warm
@@ -223,8 +234,12 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             )));
         }
     }
-    let pipeline = (!stages.is_empty())
-        .then(|| Pipeline::new(stages).spawn(cli.stage_interval, Arc::clone(&shutdown)));
+    let health = nd_serve::Health::new(cli.spool.clone());
+    let pipeline = (!stages.is_empty()).then(|| {
+        Pipeline::new(stages)
+            .with_health(Arc::clone(&health))
+            .spawn(cli.stage_interval, Arc::clone(&shutdown))
+    });
 
     if !cli.quiet {
         println!(
@@ -233,7 +248,9 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         );
     }
 
-    let app = App::new(Arc::clone(&planner), Arc::clone(&shutdown), addr);
+    let app = App::new(Arc::clone(&planner), Arc::clone(&shutdown), addr)
+        .with_health(health)
+        .with_access_log(!cli.quiet);
     server.run(
         cli.workers,
         Arc::clone(&shutdown),

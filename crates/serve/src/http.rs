@@ -32,21 +32,30 @@ const IDLE_TIMEOUT: Duration = Duration::from_secs(5);
 pub struct Request {
     /// The method verb, uppercased as received (`GET`, `POST`, …).
     pub method: String,
-    /// The request path (query strings are not split off — the API has
-    /// none).
+    /// The request path, query string split off.
     pub path: String,
+    /// The query string after `?`, if any (`format=prometheus`). Not
+    /// further decoded — the API's queries are single bare pairs.
+    pub query: Option<String>,
+    /// The `X-ND-Trace-Id` header, if the client sent one.
+    pub trace_id: Option<String>,
     /// The request body (empty when no `Content-Length`).
     pub body: String,
     keep_alive: bool,
 }
 
-/// One response: a status code and a JSON body.
+/// One response: a status code, a body, and its content type.
 #[derive(Debug)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// Response body; always `application/json` on the wire.
+    /// Response body.
     pub body: String,
+    /// Wire `Content-Type` (defaults to `application/json`).
+    pub content_type: &'static str,
+    /// Trace id echoed back as `X-ND-Trace-Id` (the router sets this on
+    /// every response so clients can find their spans in the trace).
+    pub trace_id: Option<String>,
 }
 
 impl Response {
@@ -55,7 +64,25 @@ impl Response {
         Response {
             status,
             body: body.into(),
+            content_type: "application/json",
+            trace_id: None,
         }
+    }
+
+    /// Build a plain-text response (prometheus exposition).
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            body: body.into(),
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            trace_id: None,
+        }
+    }
+
+    /// Attach the trace id to echo on the wire.
+    pub fn with_trace_id(mut self, id: impl Into<String>) -> Response {
+        self.trace_id = Some(id.into());
+        self
     }
 }
 
@@ -98,6 +125,7 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> ReadOutcome {
     // HTTP/1.1 defaults to keep-alive; a Connection header overrides
     let mut keep_alive = version == "HTTP/1.1";
     let mut content_length = 0usize;
+    let mut trace_id: Option<String> = None;
     loop {
         let mut header = String::new();
         match reader.read_line(&mut header) {
@@ -123,6 +151,7 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> ReadOutcome {
                 Err(_) => return ReadOutcome::Malformed("bad Content-Length".into()),
             },
             "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
+            "x-nd-trace-id" if !value.is_empty() => trace_id = Some(value.to_string()),
             _ => {}
         }
     }
@@ -133,9 +162,16 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> ReadOutcome {
     let Ok(body) = String::from_utf8(body) else {
         return ReadOutcome::Malformed("request body is not UTF-8".into());
     };
+    let (path, query) = match path.split_once('?') {
+        Some((p, q)) if !q.is_empty() => (p, Some(q.to_string())),
+        Some((p, _)) => (p, None),
+        None => (path, None),
+    };
     ReadOutcome::Request(Request {
         method: method.to_string(),
         path: path.to_string(),
+        query,
+        trace_id,
         body,
         keep_alive,
     })
@@ -149,12 +185,19 @@ fn write_response(
     // head + body in ONE write: a split write interacts with Nagle +
     // delayed ACK and costs tens of milliseconds per response on loopback
     let mut wire = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         resp.status,
         reason(resp.status),
+        resp.content_type,
         resp.body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
+    if let Some(id) = &resp.trace_id {
+        // Header values may not carry CR/LF; ids are client-supplied.
+        let clean: String = id.chars().filter(|c| !c.is_control()).collect();
+        wire.push_str(&format!("X-ND-Trace-Id: {clean}\r\n"));
+    }
+    wire.push_str("\r\n");
     wire.push_str(&resp.body);
     stream.write_all(wire.as_bytes())?;
     stream.flush()

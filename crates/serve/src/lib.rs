@@ -47,7 +47,7 @@ pub mod service;
 pub mod stages;
 
 pub use api::{parse_request, success_body, ApiError, Endpoint, Request, API_VERSION};
-pub use service::{App, Computed, Planner, Served};
+pub use service::{App, Computed, Health, Planner, Served};
 pub use stages::{
     ExecuteStage, IngestStage, Pipeline, PruneStage, Stage, StageContext, StageReport,
 };

@@ -28,7 +28,8 @@ use nd_opt::{run_opt, OptOptions, OptSpec};
 use nd_sweep::value::{parse_json, Value};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
@@ -349,30 +350,159 @@ fn gap_result(doc: &Value) -> Value {
     )]))
 }
 
+/// Liveness state behind `/healthz`: build identity, uptime, and
+/// stage-pipeline gauges. Shared between the router (which reports it)
+/// and the [`crate::Pipeline`] (which marks completed passes).
+pub struct Health {
+    start: Instant,
+    /// Completed pipeline passes.
+    cycles: AtomicU64,
+    /// Milliseconds from `start` to the last completed pass.
+    last_cycle_ms: AtomicU64,
+    spool: Option<PathBuf>,
+}
+
+impl Health {
+    /// Fresh health state; `spool` is the ingest directory to report the
+    /// depth of (None when no pipeline is configured).
+    pub fn new(spool: Option<PathBuf>) -> Arc<Health> {
+        Arc::new(Health {
+            start: Instant::now(),
+            cycles: AtomicU64::new(0),
+            last_cycle_ms: AtomicU64::new(0),
+            spool,
+        })
+    }
+
+    /// Record a completed pipeline pass (called by the pipeline loop).
+    pub fn mark_cycle(&self) {
+        self.last_cycle_ms
+            .store(self.start.elapsed().as_millis() as u64, Ordering::Relaxed);
+        self.cycles.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Pending (non-rejected) files in the spool; `None` when no spool
+    /// is configured.
+    fn spool_depth(&self) -> Option<i64> {
+        let spool = self.spool.as_ref()?;
+        let entries = std::fs::read_dir(spool).ok()?;
+        Some(
+            entries
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.is_file() && p.extension().is_none_or(|e| e != "rejected"))
+                .count() as i64,
+        )
+    }
+
+    /// The `/healthz` response body.
+    fn body(&self) -> String {
+        let cycles = self.cycles.load(Ordering::Relaxed);
+        let mut t = BTreeMap::from([
+            ("api".to_string(), Value::Str(API_VERSION.to_string())),
+            ("status".to_string(), Value::Str("ok".to_string())),
+            (
+                "version".to_string(),
+                Value::Str(env!("CARGO_PKG_VERSION").to_string()),
+            ),
+            (
+                "engine".to_string(),
+                Value::Str(nd_sweep::ENGINE_VERSION.to_string()),
+            ),
+            (
+                "uptime_s".to_string(),
+                Value::Float(self.start.elapsed().as_secs_f64()),
+            ),
+            (
+                "stage_cycles".to_string(),
+                Value::Int(cycles.min(i64::MAX as u64) as i64),
+            ),
+        ]);
+        t.insert(
+            "spool_depth".to_string(),
+            self.spool_depth().map_or(Value::Null, Value::Int),
+        );
+        t.insert(
+            "last_cycle_age_s".to_string(),
+            if cycles == 0 {
+                Value::Null
+            } else {
+                let last_ms = self.last_cycle_ms.load(Ordering::Relaxed);
+                let now_ms = self.start.elapsed().as_millis() as u64;
+                Value::Float(now_ms.saturating_sub(last_ms) as f64 / 1e3)
+            },
+        );
+        Value::Table(t).to_json_pretty()
+    }
+}
+
+/// A fresh request id when the client did not send `X-ND-Trace-Id`:
+/// 16 hex digits from a SplitMix64 over (monotonic time, pid, sequence).
+fn generate_trace_id() -> String {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let mut z = nd_obs::trace::now_ns()
+        ^ ((std::process::id() as u64) << 32)
+        ^ SEQ
+            .fetch_add(1, Ordering::Relaxed)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    format!("{:016x}", z ^ (z >> 31))
+}
+
 /// The HTTP router: maps methods/paths to the planner and the control
-/// endpoints, and owns per-request observability (the `serve.request`
-/// span, request counters, per-endpoint latency histograms).
+/// endpoints, and owns per-request observability: the request's trace
+/// id (honored from `X-ND-Trace-Id` or generated), the `serve.request`
+/// span and everything under it stamped with that id, request counters,
+/// per-endpoint latency histograms, and the access log.
 pub struct App {
     planner: Arc<Planner>,
     shutdown: Arc<AtomicBool>,
     addr: SocketAddr,
+    health: Arc<Health>,
+    access_log: bool,
 }
 
 impl App {
     /// Wire a router to a planner. `addr` is the server's own bound
     /// address (the shutdown handler pokes it to unblock the accept
-    /// loop); `shutdown` is shared with [`http::Server::run`].
+    /// loop); `shutdown` is shared with [`http::Server::run`]. The
+    /// default health state has no spool and the access log is off —
+    /// see [`App::with_health`] / [`App::with_access_log`].
     pub fn new(planner: Arc<Planner>, shutdown: Arc<AtomicBool>, addr: SocketAddr) -> App {
         App {
             planner,
             shutdown,
             addr,
+            health: Health::new(None),
+            access_log: false,
         }
+    }
+
+    /// Report `health` from `/healthz` (share it with the pipeline via
+    /// [`crate::Pipeline::with_health`]).
+    pub fn with_health(mut self, health: Arc<Health>) -> App {
+        self.health = health;
+        self
+    }
+
+    /// Emit one structured access-log line per request to stderr.
+    pub fn with_access_log(mut self, on: bool) -> App {
+        self.access_log = on;
+        self
     }
 
     /// Handle one HTTP request.
     pub fn route(&self, req: &http::Request) -> http::Response {
         let start = Instant::now();
+        let trace_id: Arc<str> = match &req.trace_id {
+            Some(id) => id.as_str().into(),
+            None => generate_trace_id().into(),
+        };
+        // Install the id as this thread's trace context before opening
+        // the request span: every span from here down — including pool
+        // evaluation spans on worker threads — carries it.
+        let _ctx = nd_obs::trace::set_context(Some(Arc::clone(&trace_id)));
         let _span = nd_obs::span!(
             "serve.request",
             method = req.method.as_str(),
@@ -391,16 +521,42 @@ impl App {
         if let Some(endpoint) = Endpoint::from_path(&req.path) {
             nd_obs::metrics::observe(&format!("serve.{}_us", endpoint.name()), us);
         }
-        resp
+        if self.access_log {
+            eprintln!(
+                "{}",
+                Value::Table(BTreeMap::from([
+                    ("t".to_string(), Value::Str("access".to_string())),
+                    ("method".to_string(), Value::Str(req.method.clone())),
+                    ("path".to_string(), Value::Str(req.path.clone())),
+                    ("status".to_string(), Value::Int(resp.status as i64)),
+                    ("us".to_string(), Value::Int(us as i64)),
+                    (
+                        "trace_id".to_string(),
+                        Value::Str(trace_id.as_ref().to_string()),
+                    ),
+                ]))
+                .to_json()
+            );
+        }
+        resp.with_trace_id(trace_id.as_ref())
     }
 
     fn dispatch(&self, req: &http::Request) -> Result<http::Response, ApiError> {
         match (req.method.as_str(), req.path.as_str()) {
-            ("GET", "/healthz") => Ok(http::Response::json(200, status_body("ok"))),
-            ("GET", "/v1/metrics") => Ok(http::Response::json(
-                200,
-                nd_obs::metrics::snapshot().to_json(),
-            )),
+            ("GET", "/healthz") => Ok(http::Response::json(200, self.health.body())),
+            ("GET", "/v1/metrics") => match req.query.as_deref() {
+                None => Ok(http::Response::json(
+                    200,
+                    nd_obs::metrics::snapshot().to_json(),
+                )),
+                Some("format=prometheus") => Ok(http::Response::text(
+                    200,
+                    nd_obs::metrics::snapshot().to_prometheus(),
+                )),
+                Some(other) => Err(ApiError::BadRequest(format!(
+                    "unknown metrics query `{other}` (supported: format=prometheus)"
+                ))),
+            },
             ("POST", "/v1/shutdown") => {
                 self.shutdown.store(true, Ordering::SeqCst);
                 http::wake(self.addr);

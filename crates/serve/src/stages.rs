@@ -164,12 +164,23 @@ impl Stage for PruneStage {
 /// An ordered list of stages plus the run loop.
 pub struct Pipeline {
     stages: Vec<Box<dyn Stage>>,
+    health: Option<Arc<crate::service::Health>>,
 }
 
 impl Pipeline {
     /// Build a pipeline from stages, run in the given order.
     pub fn new(stages: Vec<Box<dyn Stage>>) -> Pipeline {
-        Pipeline { stages }
+        Pipeline {
+            stages,
+            health: None,
+        }
+    }
+
+    /// Mark completed passes on `health`, so `/healthz` reports the
+    /// cycle count and the age of the last pass.
+    pub fn with_health(mut self, health: Arc<crate::service::Health>) -> Pipeline {
+        self.health = Some(health);
+        self
     }
 
     /// Run every stage once, in order, threading a fresh context
@@ -187,6 +198,9 @@ impl Pipeline {
                 report.processed as u64,
             );
             reports.push((stage.id(), report));
+        }
+        if let Some(health) = &self.health {
+            health.mark_cycle();
         }
         reports
     }

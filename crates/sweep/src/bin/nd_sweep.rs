@@ -290,6 +290,9 @@ fn summary_line(
     if quiet {
         return;
     }
+    // On fast runs the pool's last progress repaint can race this write;
+    // erase any residue so the summary starts at column zero.
+    nd_obs::progress::clear_line();
     let provenance = match spec_hash {
         Some(h) => format!("[spec {}]", &h[..12]),
         None => "[sweep failed]".to_string(),

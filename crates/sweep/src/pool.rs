@@ -55,20 +55,26 @@ where
     let next = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // Workers inherit the caller's trace context (request id), so spans
+    // from pooled evaluations attribute to the request that caused them.
+    let ctx = nd_obs::trace::current_context();
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(|| {
+                let _ctx = nd_obs::trace::set_context(ctx.clone());
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    nd_obs::metrics::gauge_set("pool.queue_depth", n.saturating_sub(i + 1) as f64);
+                    let r = {
+                        let _t = nd_obs::metrics::time("pool.task_us");
+                        f(i, &items[i])
+                    };
+                    *slots[i].lock().unwrap() = Some(r);
+                    progress.update(done.fetch_add(1, Ordering::Relaxed) as u64 + 1);
                 }
-                nd_obs::metrics::gauge_set("pool.queue_depth", n.saturating_sub(i + 1) as f64);
-                let r = {
-                    let _t = nd_obs::metrics::time("pool.task_us");
-                    f(i, &items[i])
-                };
-                *slots[i].lock().unwrap() = Some(r);
-                progress.update(done.fetch_add(1, Ordering::Relaxed) as u64 + 1);
             });
         }
     });

@@ -482,3 +482,47 @@ fn cli_runs_role_typed_scenarios() {
     assert!(stdout.contains("0 executed"), "{stdout}");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn cli_progress_never_interleaves_with_summary() {
+    // With ND_PROGRESS=1 forcing progress repaints and --stats moving
+    // the summary onto stderr (the stream progress paints on), the
+    // summary must always start at column zero: at the start of stderr
+    // or right after a newline / carriage return, never appended to a
+    // half-painted progress line.
+    let dir = temp_dir("progress");
+    let spec_path = dir.join("spec.toml");
+    std::fs::write(
+        &spec_path,
+        "name = \"prog-demo\"\nbackend = \"bounds\"\n[grid]\neta = [0.02, 0.05, 0.08, 0.10]\nratio = [1.0, 2.0]\n",
+    )
+    .unwrap();
+    let bin = env!("CARGO_BIN_EXE_nd-sweep");
+    let out = std::process::Command::new(bin)
+        .arg("run")
+        .arg(&spec_path)
+        .arg("--stats")
+        .arg("--no-cache")
+        .env("ND_PROGRESS", "1")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // stdout is the metrics snapshot: valid JSON, no progress bytes
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(!stdout.contains('\r'), "progress leaked onto stdout");
+    nd_sweep::value::parse_json(&stdout).expect("stats snapshot parses");
+
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    let needle = "prog-demo: 8 jobs";
+    for (pos, _) in stderr.match_indices(needle) {
+        let before = &stderr[..pos];
+        assert!(
+            before.is_empty() || before.ends_with('\n') || before.ends_with('\r'),
+            "summary glued to progress residue: {:?}",
+            &stderr[pos.saturating_sub(40)..pos + needle.len()]
+        );
+    }
+    assert!(stderr.contains(needle), "summary missing: {stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
