@@ -10,12 +10,22 @@
 use criterion::{BenchmarkId, Criterion, Throughput};
 use nd_bench::{measure, Summary};
 use nd_core::time::Tick;
-use nd_netsim::{NetSimulator, NodeSpec};
+use nd_netsim::wheel::TimingWheel;
+use nd_netsim::{run_sharded, NetSimulator, NodeSpec};
 use nd_sim::{ScheduleBehavior, SimConfig, Topology};
 use nd_sweep::{run_sweep, ScenarioSpec, SweepOptions};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::hint::black_box;
 
 const COHORTS: [usize; 3] = [2, 8, 32];
+
+/// Sharded cohorts: `n` nodes cut into 8-node channel neighborhoods,
+/// run through [`run_sharded`] — the scaling path the million-node run
+/// uses. One timed run each (a 100k-node cohort is seconds, not the
+/// `measure` window).
+const LARGE_COHORTS: [usize; 3] = [1_000, 10_000, 100_000];
+const NEIGHBORHOOD: u32 = 8;
 
 fn cohort_run(n: usize, seed: u64) -> u64 {
     let sched = nd_protocols::schedule_for_selector(
@@ -39,6 +49,83 @@ fn cohort_run(n: usize, seed: u64) -> u64 {
     sim.stop_when_all_discovered(true);
     let report = sim.run();
     report.packets.sent + report.packets.received
+}
+
+/// One sharded large-cohort run; returns `(events, wall seconds)`.
+fn large_cohort_run(n: usize, seed: u64) -> (u64, f64) {
+    let sched = nd_protocols::schedule_for_selector(
+        "optimal-slotless",
+        0.10,
+        Tick::from_millis(1),
+        Tick::from_micros(36),
+    )
+    .unwrap();
+    let mut radio = nd_core::RadioParams::paper_default();
+    radio.omega = Tick::from_micros(36);
+    let cfg = SimConfig::paper_baseline(Tick::from_millis(50), seed).with_radio(radio);
+    let topo = Topology::clusters((0..n as u32).map(|i| i / NEIGHBORHOOD).collect());
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut events: u64 = 0;
+    let t0 = std::time::Instant::now();
+    run_sharded(
+        &cfg,
+        &topo,
+        true,
+        threads,
+        |g| {
+            let phase =
+                Tick(((seed ^ (g as u64)).wrapping_mul(0x9e37_79b9_7f4a_7c15)) % 14_400_000);
+            NodeSpec::always_on(Box::new(ScheduleBehavior::with_phase(sched.clone(), phase)))
+        },
+        |_, _, report| events += report.events,
+    );
+    (events, t0.elapsed().as_secs_f64())
+}
+
+/// Steady-state queue ops at netsim-like depth and spacing: pop the
+/// earliest entry, push a new one a pseudo-random stride ahead.
+const QUEUE_DEPTH: usize = 35;
+const QUEUE_BATCH: u64 = 10_000;
+
+fn queue_stride(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    1 + *state % 20_000
+}
+
+fn wheel_ops_batch() -> u64 {
+    let mut w: TimingWheel<u32> = TimingWheel::new();
+    let (mut state, mut at, mut seq) = (7_001u64, 0u64, 0u64);
+    for _ in 0..QUEUE_DEPTH {
+        at += queue_stride(&mut state);
+        w.push(at, seq, 0);
+        seq += 1;
+    }
+    for _ in 0..QUEUE_BATCH {
+        let e = w.pop().unwrap();
+        at = e.at + queue_stride(&mut state);
+        w.push(at, seq, 0);
+        seq += 1;
+    }
+    QUEUE_BATCH
+}
+
+fn heap_ops_batch() -> u64 {
+    let mut h: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
+    let (mut state, mut at, mut seq) = (7_001u64, 0u64, 0u64);
+    for _ in 0..QUEUE_DEPTH {
+        at += queue_stride(&mut state);
+        h.push(Reverse((at, seq, 0)));
+        seq += 1;
+    }
+    for _ in 0..QUEUE_BATCH {
+        let Reverse((eat, _, _)) = h.pop().unwrap();
+        at = eat + queue_stride(&mut state);
+        h.push(Reverse((at, seq, 0)));
+        seq += 1;
+    }
+    QUEUE_BATCH
 }
 
 const NETSIM_SWEEP: &str = r#"
@@ -67,6 +154,18 @@ fn bench_cohort_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_wheel_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_ops");
+    group.throughput(Throughput::Elements(QUEUE_BATCH));
+    group.bench_with_input(BenchmarkId::new("queue", "wheel"), &(), |b, ()| {
+        b.iter(|| black_box(wheel_ops_batch()))
+    });
+    group.bench_with_input(BenchmarkId::new("queue", "heap"), &(), |b, ()| {
+        b.iter(|| black_box(heap_ops_batch()))
+    });
+    group.finish();
+}
+
 fn bench_netsim_sweep(c: &mut Criterion) {
     let spec = ScenarioSpec::from_toml_str(NETSIM_SWEEP).unwrap();
     c.bench_function("netsim_sweep_4_jobs", |b| {
@@ -90,6 +189,27 @@ fn write_summary() {
         let (iters, per_sec) = measure(|| cohort_run(n, 42));
         summary.record_rate(&format!("netsim_cohort.nodes_{n}"), "runs", iters, per_sec);
     }
+    for n in LARGE_COHORTS {
+        let (events, secs) = large_cohort_run(n, 42);
+        summary.record_rate(&format!("netsim_cohort.nodes_{n}"), "runs", 1, 1.0 / secs);
+        summary.record_gauge(
+            &format!("netsim_cohort.nodes_{n}"),
+            "events_per_sec",
+            events as f64 / secs,
+        );
+    }
+    for (name, batch) in [
+        ("queue_ops.wheel", wheel_ops_batch as fn() -> u64),
+        ("queue_ops.heap", heap_ops_batch),
+    ] {
+        let (iters, per_sec) = measure(batch);
+        summary.record_rate(
+            name,
+            "ops",
+            iters * QUEUE_BATCH,
+            per_sec * QUEUE_BATCH as f64,
+        );
+    }
     let spec = ScenarioSpec::from_toml_str(NETSIM_SWEEP).unwrap();
     let jobs = nd_sweep::expand(&spec).len();
     let (iters, sweeps_per_sec) = measure(|| {
@@ -106,6 +226,7 @@ fn write_summary() {
 fn main() {
     let mut c = Criterion::default();
     bench_cohort_scaling(&mut c);
+    bench_wheel_ops(&mut c);
     bench_netsim_sweep(&mut c);
     write_summary();
 }

@@ -157,8 +157,16 @@ impl ReceptionWindows {
     /// `[from, until)`, assuming the sequence starts at absolute time 0.
     pub fn instances_in(&self, from: Tick, until: Tick) -> Vec<Interval> {
         let mut out = Vec::new();
+        self.for_each_instance_in(from, until, |iv| out.push(iv));
+        out
+    }
+
+    /// Visit every window interval intersecting `[from, until)` in
+    /// nondecreasing start order (clipped to the range), without
+    /// allocating — the simulator refill path calls this on every batch.
+    pub fn for_each_instance_in(&self, from: Tick, until: Tick, mut f: impl FnMut(Interval)) {
         if from >= until {
-            return out;
+            return;
         }
         let first_cycle = from.as_nanos() / self.period.as_nanos();
         let mut cycle = first_cycle.saturating_sub(1);
@@ -170,12 +178,11 @@ impl ReceptionWindows {
             for w in &self.windows {
                 let iv = Interval::new(base + w.t, base + w.end());
                 if iv.end > from && iv.start < until {
-                    out.push(Interval::new(iv.start.max(from), iv.end.min(until)));
+                    f(Interval::new(iv.start.max(from), iv.end.min(until)));
                 }
             }
             cycle += 1;
         }
-        out
     }
 }
 
@@ -318,8 +325,16 @@ impl BeaconSeq {
     /// assuming the sequence starts at absolute time 0.
     pub fn instants_in(&self, from: Tick, until: Tick) -> Vec<Tick> {
         let mut out = Vec::new();
+        self.for_each_instant_in(from, until, |t| out.push(t));
+        out
+    }
+
+    /// Visit every transmission instant in `[from, until)` in increasing
+    /// order without allocating — the simulator refill path calls this on
+    /// every batch.
+    pub fn for_each_instant_in(&self, from: Tick, until: Tick, mut f: impl FnMut(Tick)) {
         if from >= until {
-            return out;
+            return;
         }
         let mut cycle = (from.as_nanos() / self.period.as_nanos()).saturating_sub(1);
         loop {
@@ -330,12 +345,11 @@ impl BeaconSeq {
             for &t in &self.times {
                 let inst = base + t;
                 if inst >= from && inst < until {
-                    out.push(inst);
+                    f(inst);
                 }
             }
             cycle += 1;
         }
-        out
     }
 
     /// The first `n` transmission instants at/after absolute time 0, as

@@ -1,0 +1,90 @@
+//! `cohort_scale` — run an N-node sharded cohort and print a digest.
+//!
+//! ```text
+//! cargo run --release -p nd-netsim --example cohort_scale -- [N] [neighborhood] [threads] [horizon_ms]
+//! ```
+//!
+//! Cuts `N` nodes into channel neighborhoods of the given size
+//! (disconnected clusters), runs them through [`nd_netsim::run_sharded`]
+//! on the requested worker threads, and prints one summary line ending
+//! in a digest folded over every shard report **in shard order**. The
+//! digest is bit-stable across runs and thread counts — CI re-runs the
+//! binary and compares the lines verbatim to catch determinism
+//! regressions at scale.
+
+use nd_core::time::Tick;
+use nd_netsim::{run_sharded, NodeSpec};
+use nd_sim::{ScheduleBehavior, SimConfig, Topology};
+
+fn arg(i: usize, default: u64) -> u64 {
+    std::env::args()
+        .nth(i)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn fnv(h: &mut u64, v: u64) {
+    for b in v.to_le_bytes() {
+        *h = (*h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+fn main() {
+    let n = arg(1, 1_000_000) as usize;
+    let neighborhood = arg(2, 8).max(2) as u32;
+    let threads = arg(
+        3,
+        std::thread::available_parallelism().map_or(1, |p| p.get() as u64),
+    ) as usize;
+    let horizon = Tick::from_millis(arg(4, 50));
+    let seed = 42u64;
+
+    let sched = nd_protocols::schedule_for_selector(
+        "optimal-slotless",
+        0.10,
+        Tick::from_millis(1),
+        Tick::from_micros(36),
+    )
+    .unwrap();
+    let mut radio = nd_core::RadioParams::paper_default();
+    radio.omega = Tick::from_micros(36);
+    let cfg = SimConfig::paper_baseline(horizon, seed).with_radio(radio);
+    let topo = Topology::clusters((0..n as u32).map(|i| i / neighborhood).collect());
+
+    let mut events: u64 = 0;
+    let mut sent: u64 = 0;
+    let mut received: u64 = 0;
+    let mut lost_coll: u64 = 0;
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    let t0 = std::time::Instant::now();
+    run_sharded(
+        &cfg,
+        &topo,
+        true,
+        threads,
+        |g| {
+            let phase =
+                Tick(((seed ^ (g as u64)).wrapping_mul(0x9e37_79b9_7f4a_7c15)) % 14_400_000);
+            NodeSpec::always_on(Box::new(ScheduleBehavior::with_phase(sched.clone(), phase)))
+        },
+        |_, _, report| {
+            events += report.events;
+            sent += report.packets.sent;
+            received += report.packets.received;
+            lost_coll += report.packets.lost_collision;
+            fnv(&mut digest, report.events);
+            fnv(&mut digest, report.elapsed.0);
+            fnv(&mut digest, report.packets.sent);
+            fnv(&mut digest, report.packets.received);
+            fnv(&mut digest, report.packets.lost_collision);
+            fnv(&mut digest, report.packets.lost_self_blocking);
+        },
+    );
+    let wall = t0.elapsed().as_secs_f64();
+    println!(
+        "n={n} shards={} threads={threads} events={events} sent={sent} received={received} \
+         lost_coll={lost_coll} wall={wall:.2}s events_per_sec={:.0} digest={digest:016x}",
+        n.div_ceil(neighborhood as usize),
+        events as f64 / wall,
+    );
+}

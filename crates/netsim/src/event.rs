@@ -1,4 +1,4 @@
-//! The event core: a binary-heap priority queue and the logical clock.
+//! The event core: the timing-wheel queue and the logical clock.
 //!
 //! Every state change of the network simulation is an [`Event`] popped off
 //! the [`EventQueue`] in `(time, sequence)` order. The sequence number
@@ -6,7 +6,19 @@
 //! instant fire in the order they were pushed — which is what makes whole
 //! runs reproducible byte for byte regardless of the host or of how many
 //! sweeps run in sibling threads.
+//!
+//! The queue is backed by the hierarchical [`crate::wheel::TimingWheel`]
+//! (O(1) amortized at netsim's dense, short-horizon event mix). The
+//! binary heap it replaced survives as [`EventQueue::new_heap`], the
+//! reference implementation the equivalence suite replays whole cohorts
+//! against — the two must produce byte-identical event sequences.
+//!
+//! Popping no longer advances the clock implicitly: the engine calls
+//! [`EventQueue::advance`] for events it *handles*, so events it discards
+//! (a completed cluster's tail) leave the clock — and therefore the
+//! reported elapsed time — exactly where the per-shard runs put it.
 
+use crate::wheel::TimingWheel;
 use nd_core::time::Tick;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -19,10 +31,30 @@ pub(crate) enum EventKind {
     Join(usize),
     /// Node `.0` leaves the network (stops transmitting and listening).
     Leave(usize),
-    /// Pull due operations from node `.0`'s buffer.
+    /// Refill node `.0`'s proactive schedule (a once-per-batch tick).
     Wake(usize),
-    /// Transmission record `.0` has just ended; decide receptions.
-    TxEnd(usize),
+    /// Node `node` starts transmitting one beacon at the event instant
+    /// (airtime is the radio's ω). Like [`EventKind::RxStart`], buffered
+    /// nowhere: the behaviour's ops become events directly, and the wake
+    /// that used to shepherd each op through the node's buffer survives
+    /// only as a once-per-batch refill tick.
+    TxStart {
+        /// The transmitting node.
+        node: u32,
+        /// Beacon payload.
+        payload: u64,
+    },
+    /// Node `node`'s scheduled listening window `[event instant, end)`
+    /// opens. Listening needs no per-node bookkeeping at its start — only
+    /// membership in the cluster timeline by the time a packet asks — so
+    /// windows ride the queue directly instead of passing through the
+    /// node's op buffer and a wake dispatch.
+    RxStart {
+        /// The listening node.
+        node: u32,
+        /// Window close instant.
+        end: Tick,
+    },
 }
 
 /// A scheduled event.
@@ -36,21 +68,37 @@ pub(crate) struct Event {
     pub kind: EventKind,
 }
 
+enum QueueImpl {
+    Wheel(TimingWheel<EventKind>),
+    Heap(BinaryHeap<Reverse<Event>>),
+}
+
 /// Min-ordered event queue plus the simulation's logical clock.
 ///
-/// The clock only advances in [`EventQueue::pop`]; pushing an event in the
-/// past is a logic error (debug-asserted), so time is monotone by
-/// construction.
+/// The clock advances via [`EventQueue::advance`] as the engine handles
+/// events; pushing an event in the past is a logic error
+/// (debug-asserted), so time is monotone by construction.
 pub(crate) struct EventQueue {
-    heap: BinaryHeap<Reverse<Event>>,
+    q: QueueImpl,
     seq: u64,
     now: Tick,
 }
 
 impl EventQueue {
+    /// The production queue: hierarchical timing wheel.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            q: QueueImpl::Wheel(TimingWheel::new()),
+            seq: 0,
+            now: Tick::ZERO,
+        }
+    }
+
+    /// The reference queue: the binary heap the wheel replaced. Kept for
+    /// the wheel-vs-heap equivalence suite (and as a bisection tool).
+    pub fn new_heap() -> Self {
+        EventQueue {
+            q: QueueImpl::Heap(BinaryHeap::new()),
             seq: 0,
             now: Tick::ZERO,
         }
@@ -59,30 +107,76 @@ impl EventQueue {
     /// Schedule `kind` at `at` (≥ the current logical time).
     pub fn push(&mut self, at: Tick, kind: EventKind) {
         debug_assert!(at >= self.now, "event scheduled in the past");
-        self.heap.push(Reverse(Event {
-            at,
-            seq: self.seq,
-            kind,
-        }));
+        match &mut self.q {
+            QueueImpl::Wheel(w) => w.push(at.0, self.seq, kind),
+            QueueImpl::Heap(h) => h.push(Reverse(Event {
+                at,
+                seq: self.seq,
+                kind,
+            })),
+        }
         self.seq += 1;
     }
 
-    /// Pop the next event and advance the logical clock to it.
-    pub fn pop(&mut self) -> Option<Event> {
-        let Reverse(ev) = self.heap.pop()?;
-        debug_assert!(ev.at >= self.now, "time went backwards");
-        self.now = ev.at;
-        Some(ev)
+    /// Consume the next sequence number without scheduling anything.
+    ///
+    /// The engine keeps constant-airtime transmission ends in a FIFO
+    /// beside the queue instead of scheduling each one; reserving a
+    /// sequence number here keeps their tie-break order — and every
+    /// later push's — exactly what scheduling them would have produced.
+    pub fn alloc_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
     }
 
-    /// The logical clock: the instant of the last popped event.
+    /// The `(at, seq)` key of the next event, without consuming it.
+    pub fn peek_key(&mut self) -> Option<(Tick, u64)> {
+        match &mut self.q {
+            QueueImpl::Wheel(w) => w.peek_key().map(|(at, seq)| (Tick(at), seq)),
+            QueueImpl::Heap(h) => h.peek().map(|Reverse(ev)| (ev.at, ev.seq)),
+        }
+    }
+
+    /// Pop the next event. Does **not** move the logical clock — the
+    /// engine advances it only for events it actually handles.
+    pub fn pop(&mut self) -> Option<Event> {
+        match &mut self.q {
+            QueueImpl::Wheel(w) => w.pop().map(|e| Event {
+                at: Tick(e.at),
+                seq: e.seq,
+                kind: e.payload,
+            }),
+            QueueImpl::Heap(h) => h.pop().map(|Reverse(ev)| ev),
+        }
+    }
+
+    /// Advance the logical clock to `at` (monotone).
+    pub fn advance(&mut self, at: Tick) {
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
+    }
+
+    /// The logical clock: the instant of the last handled event.
     pub fn now(&self) -> Tick {
         self.now
     }
 
-    /// Pending events (the heap depth the profiling gauge reports).
+    /// Pending events (the depth the profiling gauge reports).
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.q {
+            QueueImpl::Wheel(w) => w.len(),
+            QueueImpl::Heap(h) => h.len(),
+        }
+    }
+
+    /// Wheel profiling counters `(depth_max, cascades, overflow_max)`;
+    /// `None` on the heap path.
+    pub fn wheel_stats(&self) -> Option<(usize, u64, usize)> {
+        match &self.q {
+            QueueImpl::Wheel(w) => Some((w.depth_max(), w.cascades(), w.overflow_max())),
+            QueueImpl::Heap(_) => None,
+        }
     }
 }
 
@@ -104,12 +198,12 @@ mod tests {
     fn equal_instants_fire_in_push_order() {
         let mut q = EventQueue::new();
         q.push(Tick(5), EventKind::Wake(9));
-        q.push(Tick(5), EventKind::TxEnd(1));
+        q.push(Tick(5), EventKind::Join(1));
         q.push(Tick(5), EventKind::Leave(2));
         let kinds: Vec<EventKind> = std::iter::from_fn(|| q.pop()).map(|e| e.kind).collect();
         assert_eq!(
             kinds,
-            vec![EventKind::Wake(9), EventKind::TxEnd(1), EventKind::Leave(2)]
+            vec![EventKind::Wake(9), EventKind::Join(1), EventKind::Leave(2)]
         );
     }
 
@@ -120,14 +214,65 @@ mod tests {
         q.push(Tick(10), EventKind::Wake(1));
         q.push(Tick(40), EventKind::Wake(2));
         assert_eq!(q.now(), Tick::ZERO);
-        q.pop();
+        let ev = q.pop().unwrap();
+        q.advance(ev.at);
         assert_eq!(q.now(), Tick(10));
         // pushing at the current instant is allowed (same-time cascades)
         q.push(Tick(10), EventKind::Wake(3));
         q.pop();
         q.pop();
-        q.pop();
+        let ev = q.pop().unwrap();
+        q.advance(ev.at);
         assert_eq!(q.now(), Tick(40));
         assert!(q.pop().is_none());
+    }
+
+    /// Identical push sequences → byte-identical pop sequences on both
+    /// queue implementations, across every slot scale.
+    #[test]
+    fn wheel_and_heap_pop_identically() {
+        let mut wheel = EventQueue::new();
+        let mut heap = EventQueue::new_heap();
+        let mut state = 42u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut now = 0u64;
+        let mut pending = 0usize;
+        for round in 0..4_000 {
+            let at = Tick(now + next() % (1 << (10 + (round % 4) * 8)));
+            let kind = match next() % 4 {
+                0 => EventKind::Join(round),
+                1 => EventKind::Leave(round),
+                2 => EventKind::Wake(round),
+                _ => EventKind::RxStart {
+                    node: round as u32,
+                    end: Tick(round as u64),
+                },
+            };
+            wheel.push(at, kind);
+            heap.push(at, kind);
+            pending += 1;
+            if next() % 3 == 0 && pending > 1 {
+                let a = wheel.pop().unwrap();
+                let b = heap.pop().unwrap();
+                assert_eq!(a, b);
+                wheel.advance(a.at);
+                heap.advance(b.at);
+                now = a.at.0;
+                pending -= 1;
+            }
+        }
+        loop {
+            match (wheel.pop(), heap.pop()) {
+                (None, None) => break,
+                (a, b) => assert_eq!(a, b),
+            }
+        }
+        assert!(wheel.wheel_stats().is_some());
+        assert!(heap.wheel_stats().is_none());
     }
 }

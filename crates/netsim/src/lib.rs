@@ -2,8 +2,8 @@
 //!
 //! The paper analyzes *pairwise* discovery; its collision model (Eq. 12)
 //! only bites once many nodes contend for one channel. This crate
-//! simulates an **N-node cohort**: a discrete-event core (binary-heap
-//! event queue + logical clock) advances nodes ([`node`]) whose
+//! simulates an **N-node cohort**: a discrete-event core (hierarchical
+//! timing-wheel event queue + logical clock) advances nodes ([`node`]) whose
 //! radios share the paper's channel model — overlap geometry, half-duplex
 //! blanking, ALOHA collisions, fault injection — exactly as the pairwise
 //! `nd_sim::Simulator` does, so a two-node always-on run is the pairwise
@@ -33,8 +33,11 @@ pub mod engine;
 pub(crate) mod event;
 pub mod metrics;
 pub mod node;
+pub mod shard;
+pub mod wheel;
 
 pub use churn::ChurnPlan;
 pub use engine::NetSimulator;
 pub use metrics::{CohortReport, PairMetric};
 pub use node::NodeSpec;
+pub use shard::{run_sharded, run_sharded_collect, ShardedReport};

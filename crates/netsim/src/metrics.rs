@@ -3,8 +3,9 @@
 //! Pairwise analysis reports one latency; an N-node cohort has a whole
 //! distribution. The conventions here:
 //!
-//! * a **pair is eligible** if the two nodes' presence windows overlap —
-//!   only eligible pairs can possibly discover each other;
+//! * a **pair is eligible** if the two nodes' presence windows overlap
+//!   *and* they share a channel neighborhood (topology cluster) — only
+//!   eligible pairs can possibly discover each other;
 //! * a pair's **latency is measured from co-presence start**
 //!   (`max(join_a, join_b)`), so a node that churns in late is not charged
 //!   for time it was absent;
@@ -36,6 +37,8 @@ pub enum PairMetric {
 pub struct CohortReport {
     /// Instant the run stopped (≤ the configured horizon).
     pub elapsed: Tick,
+    /// Handled events (join/leave/wake/tx-end), for throughput gauges.
+    pub events: u64,
     /// First-reception instants for every ordered pair.
     pub discovery: DiscoveryMatrix,
     /// Channel-level packet counters.
@@ -46,6 +49,10 @@ pub struct CohortReport {
     pub joins: Vec<Tick>,
     /// Leave instant per node (`None` = stayed to the end).
     pub leaves: Vec<Option<Tick>>,
+    /// Channel-neighborhood label per node (`Topology::cluster_assignments`
+    /// normal form: the smallest member id). Nodes in different clusters
+    /// are never audible to each other, so their pairs are ineligible.
+    pub cluster: Vec<u32>,
 }
 
 impl CohortReport {
@@ -104,6 +111,9 @@ impl CohortReport {
                 if metric != PairMetric::OneWay && a > b {
                     continue; // unordered metrics visit each pair once
                 }
+                if self.cluster[a] != self.cluster[b] {
+                    continue; // different channels: never audible
+                }
                 let Some(window) = self.copresence(a, b) else {
                     continue;
                 };
@@ -145,7 +155,7 @@ impl CohortReport {
             let mut any_neighbor = false;
             let mut best: Option<Tick> = None;
             for s in 0..n {
-                if r == s || self.copresence(r, s).is_none() {
+                if r == s || self.cluster[r] != self.cluster[s] || self.copresence(r, s).is_none() {
                     continue;
                 }
                 any_neighbor = true;
@@ -189,19 +199,27 @@ impl CohortReport {
         lats.iter().filter(|l| l.is_some()).count() as f64 / lats.len() as f64
     }
 
-    /// Mean measured duty cycle over all nodes, each over its own presence
-    /// duration (a churner is not charged for time outside the network).
-    pub fn mean_eta(&self, radio: &RadioParams) -> f64 {
-        if self.is_empty() {
-            return 0.0;
-        }
+    /// Sum of per-node measured duty cycles (each node over its own
+    /// presence duration). Sharded runs add the shard sums in shard order
+    /// and divide once by the cohort size, which reproduces
+    /// [`CohortReport::mean_eta`] of the whole-cohort run bit for bit.
+    pub fn eta_sum(&self, radio: &RadioParams) -> f64 {
         let mut acc = 0.0;
         for (i, stats) in self.stats.iter().enumerate() {
             let until = self.leaves[i].unwrap_or(self.elapsed).min(self.elapsed);
             let active = until.saturating_sub(self.joins[i]).max(Tick(1));
             acc += stats.eta_with_overheads(active, radio);
         }
-        acc / self.stats.len() as f64
+        acc
+    }
+
+    /// Mean measured duty cycle over all nodes, each over its own presence
+    /// duration (a churner is not charged for time outside the network).
+    pub fn mean_eta(&self, radio: &RadioParams) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.eta_sum(radio) / self.stats.len() as f64
     }
 }
 
@@ -221,11 +239,13 @@ mod tests {
         // pair (1,2): nothing
         CohortReport {
             elapsed: Tick(1000),
+            events: 0,
             discovery,
             packets: PacketCounters::default(),
             stats: vec![DeviceStats::default(); 3],
             joins: vec![Tick::ZERO, Tick::ZERO, Tick(100)],
             leaves: vec![None, None, Some(Tick(900))],
+            cluster: vec![0; 3],
         }
     }
 

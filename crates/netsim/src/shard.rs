@@ -1,0 +1,325 @@
+//! Sharded cohort execution: simulate each channel neighborhood on its
+//! own, deterministically.
+//!
+//! A topology that splits into disconnected clusters — per-channel
+//! neighborhoods from [`Topology::clusters`], or any audibility matrix
+//! with several weak components — factors the simulation: no packet,
+//! collision, blanking decision or RNG draw ever crosses a cluster
+//! boundary. [`run_sharded`] exploits that by running one
+//! [`NetSimulator`] per cluster (optionally across worker threads) and
+//! delivering the per-shard reports **in shard order**, so any
+//! aggregation is a deterministic fold no matter how the OS schedules
+//! the workers.
+//!
+//! ## Determinism contract
+//!
+//! The merged result is bit-identical to a whole-cohort
+//! [`NetSimulator::run`] over the same topology because:
+//!
+//! * **RNG streams** are keyed by *global* node id
+//!   ([`NodeSpec::with_stream`]), not by the node's index inside its
+//!   shard, so every node draws the same private stream either way;
+//! * **event order** within a cluster is preserved: the global queue
+//!   pops in `(time, seq)` order and same-cluster events keep their
+//!   relative sequence, while cross-cluster interleaving only reorders
+//!   events that share no state;
+//! * **early stop** is per cluster in both modes: the whole-cohort
+//!   engine drops a completed cluster's tail events without advancing
+//!   the clock, exactly where a shard run stops;
+//! * **aggregation order** is pinned: shard reports are visited in
+//!   ascending shard index (ascending smallest member id), so even
+//!   floating-point folds reproduce.
+//!
+//! The `netsim_sharding` cross-validation suite asserts the merged
+//! report equals the unsharded one field for field.
+
+use crate::engine::NetSimulator;
+use crate::metrics::CohortReport;
+use crate::node::NodeSpec;
+use nd_obs::Progress;
+use nd_sim::{DeviceStats, DiscoveryMatrix, SimConfig, Topology};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Simulate `topo` one channel neighborhood at a time.
+///
+/// `make_node` is called once per *global* node id — possibly from a
+/// worker thread — and must return that node's spec; behaviours are
+/// built inside the worker, so they don't need to be `Send`. Unless the
+/// spec pins one, the node's RNG stream id is its global id. `visit` is
+/// called on the calling thread, in ascending shard index, with
+/// `(shard index, members (ascending global ids), shard report)`; node
+/// indices inside the report are shard-local (`members[local] = global`).
+///
+/// `threads ≤ 1` runs shards sequentially; more spread them over that
+/// many scoped worker threads (reports are still visited in order).
+/// Progress is surfaced per shard through the `ND_PROGRESS` hook as
+/// `netsim.shards`, and an aggregate `netsim.cohort_events_per_sec`
+/// gauge is recorded when metrics are on.
+pub fn run_sharded<F, V>(
+    cfg: &SimConfig,
+    topo: &Topology,
+    stop_when_complete: bool,
+    threads: usize,
+    make_node: F,
+    mut visit: V,
+) where
+    F: Fn(usize) -> NodeSpec + Sync,
+    V: FnMut(usize, &[usize], CohortReport),
+{
+    let shards = topo.shards();
+    let progress = Progress::new("netsim.shards", shards.len() as u64);
+    let observing = nd_obs::metrics::enabled();
+    let wall_start = observing.then(std::time::Instant::now);
+    let mut total_events: u64 = 0;
+    let run_one = |members: &[usize]| -> CohortReport {
+        let mut sim = NetSimulator::new(cfg.clone(), topo.subtopology(members));
+        sim.stop_when_all_discovered(stop_when_complete);
+        for &g in members {
+            let spec = make_node(g);
+            let spec = if spec.stream.is_none() {
+                spec.with_stream(g as u64)
+            } else {
+                spec
+            };
+            sim.add_node(spec);
+        }
+        sim.run()
+    };
+    if threads <= 1 || shards.len() <= 1 {
+        for (s, members) in shards.iter().enumerate() {
+            let report = run_one(members);
+            progress.update(s as u64 + 1);
+            total_events += report.events;
+            visit(s, members, report);
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let (out_tx, out_rx) = mpsc::channel::<(usize, CohortReport)>();
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(shards.len()) {
+                let out_tx = out_tx.clone();
+                let next = &next;
+                let shards = &shards;
+                let run_one = &run_one;
+                scope.spawn(move || loop {
+                    let s = next.fetch_add(1, Ordering::Relaxed);
+                    if s >= shards.len() {
+                        break;
+                    }
+                    if out_tx.send((s, run_one(&shards[s]))).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(out_tx);
+            // reorder buffer: workers finish in any order, the visitor
+            // must still see shards in ascending index
+            let mut pending: BTreeMap<usize, CohortReport> = BTreeMap::new();
+            let mut next_deliver = 0usize;
+            let mut done: u64 = 0;
+            for (s, report) in out_rx {
+                done += 1;
+                progress.update(done);
+                pending.insert(s, report);
+                while let Some(report) = pending.remove(&next_deliver) {
+                    total_events += report.events;
+                    visit(next_deliver, &shards[next_deliver], report);
+                    next_deliver += 1;
+                }
+            }
+        });
+    }
+    if let Some(start) = wall_start {
+        let secs = start.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            nd_obs::metrics::gauge_max("netsim.cohort_events_per_sec", total_events as f64 / secs);
+        }
+    }
+    progress.finish();
+}
+
+/// Per-shard reports plus the member lists that map shard-local node
+/// indices back to global ids.
+pub struct ShardedReport {
+    /// Global node ids per shard, ascending; `shards[s][local] = global`.
+    pub shards: Vec<Vec<usize>>,
+    /// One report per shard, same order.
+    pub reports: Vec<CohortReport>,
+}
+
+impl ShardedReport {
+    /// Stitch the shard reports back into one whole-cohort
+    /// [`CohortReport`] over `topo` (the topology the shards were cut
+    /// from). Materializes the dense `n × n` discovery matrix — meant
+    /// for validation at moderate N, not for million-node runs (stream
+    /// those through [`run_sharded`]'s visitor instead).
+    pub fn merge(&self, topo: &Topology) -> CohortReport {
+        let n = topo.len();
+        let mut discovery = DiscoveryMatrix::new(n);
+        let mut packets = nd_sim::PacketCounters::default();
+        let mut stats = vec![DeviceStats::default(); n];
+        let mut joins = vec![nd_core::time::Tick::ZERO; n];
+        let mut leaves = vec![None; n];
+        let mut elapsed = nd_core::time::Tick::ZERO;
+        let mut events: u64 = 0;
+        for (members, report) in self.shards.iter().zip(&self.reports) {
+            elapsed = elapsed.max(report.elapsed);
+            events += report.events;
+            packets.sent += report.packets.sent;
+            packets.received += report.packets.received;
+            packets.lost_collision += report.packets.lost_collision;
+            packets.lost_self_blocking += report.packets.lost_self_blocking;
+            packets.lost_fault += report.packets.lost_fault;
+            for (local_rx, &rx) in members.iter().enumerate() {
+                stats[rx] = report.stats[local_rx].clone();
+                joins[rx] = report.joins[local_rx];
+                leaves[rx] = report.leaves[local_rx];
+                for (local_tx, &tx) in members.iter().enumerate() {
+                    if let Some(t) = report.discovery.one_way(local_rx, local_tx) {
+                        discovery.record(rx, tx, t);
+                    }
+                }
+            }
+        }
+        CohortReport {
+            elapsed,
+            events,
+            discovery,
+            packets,
+            stats,
+            joins,
+            leaves,
+            cluster: topo.cluster_assignments(),
+        }
+    }
+}
+
+/// [`run_sharded`], collecting every shard report. Convenient for tests
+/// and moderate cohorts; million-node runs should stream through the
+/// visitor to avoid holding all reports at once.
+pub fn run_sharded_collect<F>(
+    cfg: &SimConfig,
+    topo: &Topology,
+    stop_when_complete: bool,
+    threads: usize,
+    make_node: F,
+) -> ShardedReport
+where
+    F: Fn(usize) -> NodeSpec + Sync,
+{
+    let mut out = ShardedReport {
+        shards: Vec::new(),
+        reports: Vec::new(),
+    };
+    run_sharded(
+        cfg,
+        topo,
+        stop_when_complete,
+        threads,
+        make_node,
+        |s, members, report| {
+            debug_assert_eq!(s, out.reports.len());
+            out.shards.push(members.to_vec());
+            out.reports.push(report);
+        },
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nd_core::schedule::{BeaconSeq, ReceptionWindows, Schedule};
+    use nd_core::time::Tick;
+    use nd_sim::ScheduleBehavior;
+
+    fn sched(phase_us: u64) -> Schedule {
+        Schedule::full(
+            BeaconSeq::uniform(
+                1,
+                Tick::from_micros(300),
+                Tick::from_micros(4),
+                Tick::from_micros(phase_us),
+            )
+            .unwrap(),
+            ReceptionWindows::single(
+                Tick::from_micros(50),
+                Tick::from_micros(200),
+                Tick::from_micros(300),
+            )
+            .unwrap(),
+        )
+    }
+
+    fn cfg(ms: u64) -> SimConfig {
+        let radio = nd_core::params::RadioParams::ideal(Tick::from_micros(4), 1.0);
+        SimConfig::paper_baseline(Tick::from_millis(ms), 42).with_radio(radio)
+    }
+
+    fn spec(i: usize) -> NodeSpec {
+        let phase = Tick::from_micros(11 + 37 * (i as u64 % 7));
+        NodeSpec::always_on(Box::new(ScheduleBehavior::with_phase(sched(0), phase)))
+    }
+
+    fn unsharded(cfg: &SimConfig, topo: &Topology, n: usize) -> CohortReport {
+        let mut sim = NetSimulator::new(cfg.clone(), topo.clone());
+        sim.stop_when_all_discovered(true);
+        for i in 0..n {
+            sim.add_node(spec(i));
+        }
+        sim.run()
+    }
+
+    fn assert_reports_equal(a: &CohortReport, b: &CohortReport) {
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.discovery, b.discovery);
+        assert_eq!(a.packets, b.packets);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.joins, b.joins);
+        assert_eq!(a.leaves, b.leaves);
+        assert_eq!(a.cluster, b.cluster);
+    }
+
+    #[test]
+    fn sharded_merge_matches_unsharded_run() {
+        let n = 12;
+        let topo = Topology::clusters((0..n as u32).map(|i| i % 3).collect());
+        let cfg = cfg(50);
+        let whole = unsharded(&cfg, &topo, n);
+        for threads in [1, 4] {
+            let sharded = run_sharded_collect(&cfg, &topo, true, threads, spec);
+            assert_eq!(sharded.shards.len(), 3);
+            assert_reports_equal(&sharded.merge(&topo), &whole);
+        }
+    }
+
+    #[test]
+    fn single_cluster_shard_is_the_plain_run() {
+        let n = 5;
+        let topo = Topology::full(n);
+        let cfg = cfg(20);
+        let whole = unsharded(&cfg, &topo, n);
+        let sharded = run_sharded_collect(&cfg, &topo, true, 4, spec);
+        assert_eq!(sharded.shards.len(), 1);
+        assert_reports_equal(&sharded.reports[0], &whole);
+        assert_reports_equal(&sharded.merge(&topo), &whole);
+    }
+
+    #[test]
+    fn visitor_sees_shards_in_order_even_multithreaded() {
+        let n = 40;
+        let topo = Topology::clusters((0..n as u32).map(|i| i % 8).collect());
+        let mut seen = Vec::new();
+        run_sharded(&cfg(10), &topo, true, 4, spec, |s, members, _| {
+            seen.push((s, members[0]));
+        });
+        assert_eq!(seen.len(), 8);
+        for (i, &(s, first)) in seen.iter().enumerate() {
+            assert_eq!(s, i);
+            assert_eq!(first, i, "shard {i} starts at its smallest member");
+        }
+    }
+}

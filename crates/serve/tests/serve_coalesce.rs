@@ -15,10 +15,12 @@ const HERD: usize = 32;
 #[test]
 fn herd_of_identical_requests_coalesces_to_one_evaluation() {
     nd_obs::metrics::set_enabled(true);
+    // the search must outlast a scheduler timeslice on a loaded single-CPU
+    // host, or followers arrive after completion and read the memo instead
     let spec = Arc::new(
         OptSpec::from_json_str(
             r#"{"name": "herd", "backend": "exact", "metric": "two-way",
-                "opt": {"protocols": ["optimal"], "seeds_per_axis": 3, "rounds": 1}}"#,
+                "opt": {"protocols": ["optimal"], "seeds_per_axis": 15, "rounds": 3}}"#,
         )
         .unwrap(),
     );

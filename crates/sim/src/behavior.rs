@@ -56,6 +56,14 @@ pub trait Behavior {
     /// returning an empty batch permanently idles the proactive side.
     fn next_ops(&mut self, after: Tick, rng: &mut dyn RngCore) -> Vec<Op>;
 
+    /// Append the next batch of operations to `out` (same contract as
+    /// [`Behavior::next_ops`]). Engines on the hot path call this with a
+    /// reused scratch buffer so steady-state refills allocate nothing;
+    /// behaviours with their own emission machinery override it.
+    fn next_ops_into(&mut self, after: Tick, rng: &mut dyn RngCore, out: &mut Vec<Op>) {
+        out.extend(self.next_ops(after, rng));
+    }
+
     /// Called when this device successfully receives a beacon; may return
     /// additional operations (e.g. the mutual-assistance reply beacon).
     /// `at` is the packet's start instant, `from` the sender's device index.
@@ -92,6 +100,11 @@ pub struct ScheduleBehavior {
     /// remember how far each side has been emitted.
     emitted_until_b: Tick,
     emitted_until_c: Tick,
+    /// Reused per-side emission buffers: each side emits in start order,
+    /// and a batch is their two-pointer merge — no sort, no allocation
+    /// once the buffers have grown to a chunk's op count.
+    scratch_tx: Vec<Op>,
+    scratch_rx: Vec<Op>,
 }
 
 impl ScheduleBehavior {
@@ -112,6 +125,8 @@ impl ScheduleBehavior {
             label: "schedule".into(),
             emitted_until_b: Tick::ZERO,
             emitted_until_c: Tick::ZERO,
+            scratch_tx: Vec::new(),
+            scratch_rx: Vec::new(),
         }
     }
 
@@ -126,36 +141,44 @@ impl ScheduleBehavior {
         &self.schedule
     }
 
-    fn emit_tx(&mut self, until: Tick, out: &mut Vec<Op>) {
+    /// Emit beacon ops in `[cursor, until)` landing at/after `after`.
+    fn emit_tx(&mut self, after: Tick, until: Tick, out: &mut Vec<Op>) {
         let Some(b) = &self.schedule.beacons else {
             return;
         };
         // absolute sim time t corresponds to schedule time t + phase
-        let from = self.emitted_until_b + self.phase_b;
-        let to = until + self.phase_b;
-        for inst in b.instants_in(from, to) {
+        let phase = self.phase_b;
+        let from = self.emitted_until_b + phase;
+        let to = until + phase;
+        b.for_each_instant_in(from, to, |inst| {
             // map back to sim time; instants before the phase are skipped
-            if let Some(at) = inst.checked_sub(self.phase_b) {
-                out.push(Op::Tx { at, payload: 0 });
+            if let Some(at) = inst.checked_sub(phase) {
+                if at >= after {
+                    out.push(Op::Tx { at, payload: 0 });
+                }
             }
-        }
+        });
         self.emitted_until_b = until;
     }
 
-    fn emit_rx(&mut self, until: Tick, out: &mut Vec<Op>) {
+    /// Emit listen-window ops in `[cursor, until)` landing at/after `after`.
+    fn emit_rx(&mut self, after: Tick, until: Tick, out: &mut Vec<Op>) {
         let Some(c) = &self.schedule.windows else {
             return;
         };
-        let from = self.emitted_until_c + self.phase_c;
-        let to = until + self.phase_c;
-        for iv in c.instances_in(from, to) {
-            if let Some(at) = iv.start.checked_sub(self.phase_c) {
-                out.push(Op::Rx {
-                    at,
-                    duration: iv.measure(),
-                });
+        let phase = self.phase_c;
+        let from = self.emitted_until_c + phase;
+        let to = until + phase;
+        c.for_each_instance_in(from, to, |iv| {
+            if let Some(at) = iv.start.checked_sub(phase) {
+                if at >= after {
+                    out.push(Op::Rx {
+                        at,
+                        duration: iv.measure(),
+                    });
+                }
             }
-        }
+        });
         self.emitted_until_c = until;
     }
 
@@ -176,23 +199,46 @@ impl ScheduleBehavior {
 }
 
 impl Behavior for ScheduleBehavior {
-    fn next_ops(&mut self, after: Tick, _rng: &mut dyn RngCore) -> Vec<Op> {
-        let chunk = self.chunk();
+    fn next_ops(&mut self, after: Tick, rng: &mut dyn RngCore) -> Vec<Op> {
         let mut out = Vec::new();
+        self.next_ops_into(after, rng, &mut out);
+        out
+    }
+
+    fn next_ops_into(&mut self, after: Tick, _rng: &mut dyn RngCore, out: &mut Vec<Op>) {
+        let chunk = self.chunk();
+        let mut txs = std::mem::take(&mut self.scratch_tx);
+        let mut rxs = std::mem::take(&mut self.scratch_rx);
+        txs.clear();
+        rxs.clear();
         // keep emitting chunks until at least one op lands at/after `after`
         // (bounded: each chunk contains at least one op of each active side)
         let mut until = self.emitted_until_b.max(self.emitted_until_c).max(after) + chunk;
         for _ in 0..3 {
-            self.emit_tx(until, &mut out);
-            self.emit_rx(until, &mut out);
-            out.retain(|op| op.at() >= after);
-            if !out.is_empty() {
+            self.emit_tx(after, until, &mut txs);
+            self.emit_rx(after, until, &mut rxs);
+            if !txs.is_empty() || !rxs.is_empty() {
                 break;
             }
             until += chunk;
         }
-        out.sort_by_key(|op| op.at());
-        out
+        // each side is already in start order; merge with ties keeping Tx
+        // first (what the stable sort over [tx..., rx...] used to produce)
+        let (mut t, mut r) = (0, 0);
+        out.reserve(txs.len() + rxs.len());
+        while t < txs.len() && r < rxs.len() {
+            if txs[t].at() <= rxs[r].at() {
+                out.push(txs[t]);
+                t += 1;
+            } else {
+                out.push(rxs[r]);
+                r += 1;
+            }
+        }
+        out.extend_from_slice(&txs[t..]);
+        out.extend_from_slice(&rxs[r..]);
+        self.scratch_tx = txs;
+        self.scratch_rx = rxs;
     }
 
     fn label(&self) -> String {
@@ -203,6 +249,10 @@ impl Behavior for ScheduleBehavior {
 impl<B: Behavior + ?Sized> Behavior for Box<B> {
     fn next_ops(&mut self, after: Tick, rng: &mut dyn RngCore) -> Vec<Op> {
         (**self).next_ops(after, rng)
+    }
+
+    fn next_ops_into(&mut self, after: Tick, rng: &mut dyn RngCore, out: &mut Vec<Op>) {
+        (**self).next_ops_into(after, rng, out)
     }
 
     fn on_reception(

@@ -93,20 +93,48 @@ impl StableEncode for SimConfig {
 /// `in_range(tx, rx)` answers whether a transmission by `tx` is audible at
 /// `rx` at all; `link_loss(tx, rx)` is an extra per-link drop probability
 /// (fault injection for asymmetric/marginal links).
-#[derive(Clone, Debug)]
+///
+/// Three representations share this interface. [`Topology::full`] is
+/// symbolic — O(1) memory at any `n`, which is what makes million-node
+/// cohorts constructible at all. [`Topology::clusters`] partitions the
+/// cohort into channel neighborhoods (audible iff same cluster), also
+/// without a matrix. Editing an individual link ([`Topology::set_link`],
+/// [`Topology::set_link_loss`]) promotes to the dense per-pair matrices,
+/// exactly as before.
+#[derive(Clone, Debug, PartialEq)]
 pub struct Topology {
     n: usize,
-    audible: Vec<bool>,
-    loss: Vec<f64>,
+    repr: TopologyRepr,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum TopologyRepr {
+    /// Every ordered pair audible, loss-free.
+    Full,
+    /// Audible iff the two devices share a cluster id; loss-free.
+    Clusters(Vec<u32>),
+    /// Explicit per-pair matrices (row-major `tx * n + rx`).
+    Dense { audible: Vec<bool>, loss: Vec<f64> },
 }
 
 impl Topology {
-    /// A fully connected, loss-free topology of `n` devices.
+    /// A fully connected, loss-free topology of `n` devices (O(1) memory).
     pub fn full(n: usize) -> Self {
         Topology {
             n,
-            audible: vec![true; n * n],
-            loss: vec![0.0; n * n],
+            repr: TopologyRepr::Full,
+        }
+    }
+
+    /// A clustered topology: device `i` sits in cluster `assignment[i]`,
+    /// and a transmission is audible exactly when sender and receiver
+    /// share a cluster. Cluster ids are arbitrary labels; only equality
+    /// matters. This is the netsim channel-neighborhood model: each
+    /// cluster is an independent collision domain.
+    pub fn clusters(assignment: Vec<u32>) -> Self {
+        Topology {
+            n: assignment.len(),
+            repr: TopologyRepr::Clusters(assignment),
         }
     }
 
@@ -125,10 +153,36 @@ impl Topology {
         tx * self.n + rx
     }
 
-    /// Set whether `rx` can hear `tx` (directed).
+    /// Materialize the dense matrices (link editing needs per-pair state).
+    fn make_dense(&mut self) -> (&mut Vec<bool>, &mut Vec<f64>) {
+        if !matches!(self.repr, TopologyRepr::Dense { .. }) {
+            let n = self.n;
+            let mut audible = vec![false; n * n];
+            for tx in 0..n {
+                for rx in 0..n {
+                    audible[tx * n + rx] = match &self.repr {
+                        TopologyRepr::Full => true,
+                        TopologyRepr::Clusters(c) => c[tx] == c[rx],
+                        TopologyRepr::Dense { .. } => unreachable!(),
+                    };
+                }
+            }
+            self.repr = TopologyRepr::Dense {
+                audible,
+                loss: vec![0.0; n * n],
+            };
+        }
+        match &mut self.repr {
+            TopologyRepr::Dense { audible, loss } => (audible, loss),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Set whether `rx` can hear `tx` (directed). Promotes a symbolic
+    /// topology to the dense representation.
     pub fn set_link(&mut self, tx: usize, rx: usize, connected: bool) {
         let i = self.idx(tx, rx);
-        self.audible[i] = connected;
+        self.make_dense().0[i] = connected;
     }
 
     /// Set both directions of a link.
@@ -139,19 +193,171 @@ impl Topology {
 
     /// Whether a transmission by `tx` is audible at `rx`.
     pub fn in_range(&self, tx: usize, rx: usize) -> bool {
-        tx != rx && self.audible[self.idx(tx, rx)]
+        let i = self.idx(tx, rx);
+        tx != rx
+            && match &self.repr {
+                TopologyRepr::Full => true,
+                TopologyRepr::Clusters(c) => c[tx] == c[rx],
+                TopologyRepr::Dense { audible, .. } => audible[i],
+            }
     }
 
-    /// Set the per-link loss probability for packets `tx → rx`.
+    /// Set the per-link loss probability for packets `tx → rx`. Promotes
+    /// a symbolic topology to the dense representation.
     pub fn set_link_loss(&mut self, tx: usize, rx: usize, p: f64) {
         assert!((0.0..=1.0).contains(&p));
         let i = self.idx(tx, rx);
-        self.loss[i] = p;
+        self.make_dense().1[i] = p;
     }
 
     /// The per-link loss probability for packets `tx → rx`.
     pub fn link_loss(&self, tx: usize, rx: usize) -> f64 {
-        self.loss[self.idx(tx, rx)]
+        let i = self.idx(tx, rx);
+        match &self.repr {
+            TopologyRepr::Dense { loss, .. } => loss[i],
+            _ => 0.0,
+        }
+    }
+
+    /// Connected-component label per device: devices that can influence
+    /// each other (in either direction, transitively) share a label;
+    /// labels are the smallest member id of the component. A full
+    /// topology is one component; a clustered one has one per cluster;
+    /// dense topologies are scanned (weakly connected components over
+    /// the audible matrix).
+    pub fn cluster_assignments(&self) -> Vec<u32> {
+        match &self.repr {
+            TopologyRepr::Full => vec![0; self.n],
+            TopologyRepr::Clusters(c) => {
+                // normalize labels to the smallest member id per cluster
+                let mut first: std::collections::HashMap<u32, u32> =
+                    std::collections::HashMap::new();
+                let mut out = Vec::with_capacity(self.n);
+                for (i, &c_i) in c.iter().enumerate() {
+                    let label = *first.entry(c_i).or_insert(i as u32);
+                    out.push(label);
+                }
+                out
+            }
+            TopologyRepr::Dense { audible, .. } => {
+                // union-find over the (undirected closure of the) matrix
+                let n = self.n;
+                let mut parent: Vec<u32> = (0..n as u32).collect();
+                fn find(parent: &mut [u32], mut x: u32) -> u32 {
+                    while parent[x as usize] != x {
+                        parent[x as usize] = parent[parent[x as usize] as usize];
+                        x = parent[x as usize];
+                    }
+                    x
+                }
+                for tx in 0..n {
+                    for rx in 0..n {
+                        if tx != rx && audible[tx * n + rx] {
+                            let (a, b) =
+                                (find(&mut parent, tx as u32), find(&mut parent, rx as u32));
+                            if a != b {
+                                let (lo, hi) = (a.min(b), a.max(b));
+                                parent[hi as usize] = lo;
+                            }
+                        }
+                    }
+                }
+                (0..n as u32).map(|i| find(&mut parent, i)).collect()
+            }
+        }
+    }
+
+    /// The device ids of each connected component, grouped in order of
+    /// each component's smallest member id (so shard 0 always contains
+    /// device 0). These are the independently-simulable shards: no event
+    /// in one component can ever influence another.
+    pub fn shards(&self) -> Vec<Vec<usize>> {
+        if let TopologyRepr::Full = self.repr {
+            return if self.n == 0 {
+                Vec::new()
+            } else {
+                vec![(0..self.n).collect()]
+            };
+        }
+        let labels = self.cluster_assignments();
+        let mut order: Vec<u32> = Vec::new();
+        let mut groups: std::collections::HashMap<u32, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (i, &l) in labels.iter().enumerate() {
+            let g = groups.entry(l).or_default();
+            if g.is_empty() {
+                order.push(l);
+            }
+            g.push(i);
+        }
+        // labels are smallest-member ids and nodes are scanned in id
+        // order, so first-appearance order == ascending smallest member
+        order
+            .into_iter()
+            .map(|l| groups.remove(&l).expect("grouped above"))
+            .collect()
+    }
+
+    /// The induced sub-topology over `members` (ids in member order).
+    /// Members of one cluster/component induce a full sub-topology in the
+    /// symbolic representations; dense matrices are sliced.
+    pub fn subtopology(&self, members: &[usize]) -> Topology {
+        let k = members.len();
+        match &self.repr {
+            TopologyRepr::Full => Topology::full(k),
+            TopologyRepr::Clusters(c) => {
+                Topology::clusters(members.iter().map(|&i| c[i]).collect())
+            }
+            TopologyRepr::Dense { audible, loss } => {
+                let mut sub_audible = vec![false; k * k];
+                let mut sub_loss = vec![0.0; k * k];
+                for (a, &i) in members.iter().enumerate() {
+                    for (b, &j) in members.iter().enumerate() {
+                        sub_audible[a * k + b] = audible[self.idx(i, j)];
+                        sub_loss[a * k + b] = loss[self.idx(i, j)];
+                    }
+                }
+                Topology {
+                    n: k,
+                    repr: TopologyRepr::Dense {
+                        audible: sub_audible,
+                        loss: sub_loss,
+                    },
+                }
+            }
+        }
+    }
+
+    /// Number of ordered pairs `(tx, rx)` with `in_range(tx, rx)` — the
+    /// denominator of cohort completion. O(1) for full, O(n) for
+    /// clustered, O(n²) for dense topologies.
+    pub fn ordered_in_range_pairs(&self) -> u64 {
+        match &self.repr {
+            TopologyRepr::Full => {
+                let n = self.n as u64;
+                n.saturating_mul(n.saturating_sub(1))
+            }
+            TopologyRepr::Clusters(c) => {
+                let mut sizes: std::collections::HashMap<u32, u64> =
+                    std::collections::HashMap::new();
+                for &ci in c {
+                    *sizes.entry(ci).or_insert(0) += 1;
+                }
+                sizes.values().map(|&k| k * (k - 1)).sum()
+            }
+            TopologyRepr::Dense { audible, .. } => {
+                let n = self.n;
+                let mut count = 0u64;
+                for tx in 0..n {
+                    for rx in 0..n {
+                        if tx != rx && audible[tx * n + rx] {
+                            count += 1;
+                        }
+                    }
+                }
+                count
+            }
+        }
     }
 }
 
@@ -199,5 +405,57 @@ mod tests {
     fn topology_bounds_checked() {
         let t = Topology::full(2);
         let _ = t.in_range(0, 5);
+    }
+
+    #[test]
+    fn clustered_topology_partitions_audibility() {
+        let t = Topology::clusters(vec![0, 1, 0, 1]);
+        assert!(t.in_range(0, 2) && t.in_range(1, 3));
+        assert!(!t.in_range(0, 1) && !t.in_range(2, 3));
+        assert!(!t.in_range(1, 1), "never in range of self");
+        assert_eq!(t.link_loss(0, 2), 0.0);
+        assert_eq!(t.ordered_in_range_pairs(), 4);
+    }
+
+    #[test]
+    fn shards_group_components_by_smallest_member() {
+        let t = Topology::clusters(vec![7, 3, 7, 3, 9]);
+        assert_eq!(t.shards(), vec![vec![0, 2], vec![1, 3], vec![4]]);
+        assert_eq!(t.cluster_assignments(), vec![0, 1, 0, 1, 4]);
+
+        let full = Topology::full(3);
+        assert_eq!(full.shards(), vec![vec![0, 1, 2]]);
+        assert_eq!(full.cluster_assignments(), vec![0, 0, 0]);
+        assert_eq!(full.ordered_in_range_pairs(), 6);
+        assert!(Topology::full(0).shards().is_empty());
+    }
+
+    #[test]
+    fn subtopology_inherits_links() {
+        let t = Topology::clusters(vec![0, 1, 0]);
+        let sub = t.subtopology(&[0, 2]);
+        assert_eq!(sub.len(), 2);
+        assert!(sub.in_range(0, 1) && sub.in_range(1, 0));
+
+        let mut dense = Topology::full(3);
+        dense.set_link(0, 2, false);
+        dense.set_link_loss(2, 0, 0.25);
+        let sub = dense.subtopology(&[0, 2]);
+        assert!(!sub.in_range(0, 1), "0→2 cut survives the slice");
+        assert_eq!(sub.link_loss(1, 0), 0.25);
+    }
+
+    #[test]
+    fn dense_promotion_preserves_symbolic_links() {
+        // editing one link of a clustered topology must keep the rest
+        let mut t = Topology::clusters(vec![0, 0, 1]);
+        t.set_link(0, 2, true);
+        assert!(t.in_range(0, 1), "intra-cluster link survives promotion");
+        assert!(t.in_range(0, 2), "edited link applies");
+        assert!(!t.in_range(2, 0), "directed edit");
+        // components now merge across the bridge
+        assert_eq!(t.cluster_assignments(), vec![0, 0, 0]);
+        assert_eq!(t.shards().len(), 1);
+        assert_eq!(t.ordered_in_range_pairs(), 3);
     }
 }

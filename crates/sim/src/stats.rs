@@ -5,7 +5,7 @@ use nd_core::params::RadioParams;
 use nd_core::time::Tick;
 
 /// Energy/airtime accounting for one device.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct DeviceStats {
     /// Protocol label (from the behaviour).
     pub label: String,
@@ -62,7 +62,7 @@ impl DeviceStats {
 /// sender)` is the start instant of the first beacon from `sender` that
 /// `receiver` successfully received (the paper's Definition 3.4 latency,
 /// neglecting the final packet's airtime per §3.2/A.4).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DiscoveryMatrix {
     n: usize,
     first: Vec<Option<Tick>>,
@@ -157,7 +157,7 @@ pub enum LossReason {
 }
 
 /// Aggregate packet counters for one run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PacketCounters {
     /// Beacons transmitted (per transmission, not per receiver).
     pub sent: u64,
