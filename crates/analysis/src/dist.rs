@@ -53,13 +53,17 @@ impl LatencyDistribution {
         let m_b = beacons.n_beacons();
         let starts: Vec<usize> = if uniform { vec![0] } else { (0..m_b).collect() };
         let t_b = beacons.period().as_secs_f64();
+        // residue-fold saturation bound, shared across all starting phases
+        let base = model_offsets(cfg.model, windows, cfg.omega)?;
+        let ultimate =
+            crate::residue::ultimate_covered_measure(&base, beacons, windows.period());
 
         let mut components = Vec::with_capacity(starts.len());
         let mut worst = Tick::ZERO;
         let mut any_uncovered = false;
         for &k in &starts {
             let gap = gaps[(k + m_b - 1) % m_b];
-            let map = expand_map(beacons, windows, k, cfg)?;
+            let map = expand_map(beacons, windows, k, ultimate, cfg)?;
             let profile = map.first_hit_profile();
             let undiscovered =
                 profile.uncovered_measure().as_nanos() as f64 / windows.period().as_nanos() as f64;
@@ -167,13 +171,14 @@ impl LatencyDistribution {
     }
 }
 
-/// Expand the coverage map from beacon `k` until fully covered or until
-/// the distinct-image budget is exhausted (same policy as the exact
-/// engine).
+/// Expand the coverage map from beacon `k` until fully covered, saturated
+/// at the residue-fold bound `ultimate`, or until the distinct-image
+/// budget is exhausted (same policy as the exact engine).
 fn expand_map(
     beacons: &BeaconSeq,
     windows: &ReceptionWindows,
     k: usize,
+    ultimate: Tick,
     cfg: &AnalysisConfig,
 ) -> Result<CoverageMap, NdError> {
     let period_c = windows.period();
@@ -201,6 +206,9 @@ fn expand_map(
         covered = covered.union(&base.shift_mod(-(r.as_nanos() as i128), period_c));
         rel.push(r);
         n += 1;
+        if covered.measure() >= ultimate {
+            break; // saturated: the remaining gaps are permanent
+        }
     }
     Ok(CoverageMap::build(&rel, windows, cfg.omega, cfg.model))
 }

@@ -134,6 +134,14 @@ pub fn one_way_coverage(
     // which starting beacons to analyze: with uniform gaps every start is
     // equivalent
     let starts: Vec<usize> = if uniform { vec![0] } else { (0..m_b).collect() };
+    // the largest measure any expansion can ever cover — start-independent,
+    // so compute the fold once and share it across phases
+    let base = cfg.model.reception_offsets(windows, cfg.omega);
+    let ultimate = if base.is_empty() {
+        Tick::ZERO
+    } else {
+        crate::residue::ultimate_covered_measure(&base, beacons, windows.period())
+    };
 
     let mut worst = Tick::ZERO;
     let mut worst_l_star = Tick::ZERO;
@@ -147,7 +155,7 @@ pub fn one_way_coverage(
         // the gap preceding beacon k (wrap-around: gaps[i] is the gap
         // *after* beacon i)
         let prev_gap = gaps[(k + m_b - 1) % m_b];
-        let profile = phase_profile(beacons, windows, k, cfg)?;
+        let profile = phase_profile(beacons, windows, k, ultimate, cfg)?;
         if let Some(l_star) = profile.worst {
             worst_l_star = worst_l_star.max(l_star);
             worst = worst.max(prev_gap + l_star);
@@ -176,13 +184,18 @@ struct PhaseProfile {
 }
 
 /// Build the coverage map starting from beacon `k`, expanding lazily until
-/// either the whole period is covered or the set of distinct shift images
-/// has been exhausted (shifts repeat after `m_B · lcm(T_B,T_C)/T_B`
-/// beacons), and extract the first-hit profile.
+/// the running union saturates at `ultimate` (the residue-fold bound on
+/// what any expansion can cover — see [`crate::residue`]), the whole
+/// period is covered, or the set of distinct shift images has been
+/// exhausted (shifts repeat after `m_B · lcm(T_B,T_C)/T_B` beacons), and
+/// extract the first-hit profile. Stopping at saturation is exact: a
+/// beacon arriving after the union stops growing cannot be any offset's
+/// first hit.
 fn phase_profile(
     beacons: &BeaconSeq,
     windows: &ReceptionWindows,
     k: usize,
+    ultimate: Tick,
     cfg: &AnalysisConfig,
 ) -> Result<PhaseProfile, NdError> {
     let period_c = windows.period();
@@ -223,6 +236,9 @@ fn phase_profile(
         covered = covered.union(&image);
         rel.push(r);
         n += 1;
+        if covered.measure() >= ultimate {
+            break; // saturated: the remaining gaps are permanent
+        }
     }
     let map = CoverageMap::build(&rel, windows, cfg.omega, cfg.model);
     let profile = map.first_hit_profile();

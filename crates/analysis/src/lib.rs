@@ -11,6 +11,9 @@
 //!   just the worst case;
 //! * [`montecarlo`] — randomized-phase simulation campaigns on top of
 //!   `nd-sim`, for collisions, fault injection and reactive protocols;
+//! * [`residue`] — residue-class gap folding: the ultimate coverage of an
+//!   expansion, computed from one fold per beacon so prime-pair schedules
+//!   with huge hyperperiods stop expanding the moment coverage saturates;
 //! * [`verify`] — cross-validation of the exact engine, a naive oracle
 //!   and the simulator against each other.
 
@@ -20,6 +23,7 @@
 pub mod dist;
 pub mod exact;
 pub mod montecarlo;
+pub mod residue;
 pub mod verify;
 
 pub use dist::LatencyDistribution;
@@ -30,4 +34,5 @@ pub use exact::{
 pub use montecarlo::{
     group_success_rate, group_success_rate_factory, pair_trials, LatencySummary, PairMetric,
 };
+pub use residue::ultimate_covered_measure;
 pub use verify::{cross_validate, Verification};

@@ -287,6 +287,36 @@ impl IntervalSet {
         self.complement(period)
     }
 
+    /// Fold the set modulo `d`: the image of every point under
+    /// `t ↦ t mod d`, as a canonical set inside `[0, d)`.
+    ///
+    /// This is the residue-class view of a coverage set: when beacon
+    /// shifts walk an arithmetic progression with common difference `d`
+    /// (the gcd of the two schedule periods), the union of all shifted
+    /// images of a set `S` tiles the period with `fold_mod(S, d)` — so
+    /// the *ultimate* coverage of an infinite expansion is computable
+    /// from one fold instead of enumerating every residue class.
+    pub fn fold_mod(&self, d: Tick) -> IntervalSet {
+        assert!(!d.is_zero(), "zero modulus");
+        let mut parts = Vec::with_capacity(self.ivs.len() + 1);
+        for iv in &self.ivs {
+            if iv.measure() >= d {
+                // a span of at least one full residue period covers all classes
+                return IntervalSet::single(Tick::ZERO, d);
+            }
+            let s = Tick(iv.start.0 % d.0);
+            let e = s + iv.measure();
+            if e.0 <= d.0 {
+                parts.push(Interval::new(s, e));
+            } else {
+                // straddles the fold point: split
+                parts.push(Interval::new(s, d));
+                parts.push(Interval::new(Tick::ZERO, Tick(e.0 - d.0)));
+            }
+        }
+        IntervalSet::from_intervals(parts)
+    }
+
     /// All endpoint ticks (starts and ends) of the canonical intervals.
     ///
     /// These are the breakpoints at which coverage membership can change —
@@ -456,6 +486,23 @@ mod tests {
         let s = set(&[(2, 4), (6, 9)]);
         let bp: Vec<Tick> = s.breakpoints().collect();
         assert_eq!(bp, vec![Tick(2), Tick(4), Tick(6), Tick(9)]);
+    }
+
+    #[test]
+    fn fold_mod_wraps_into_residue_classes() {
+        // [8, 12) mod 5 → [3, 5) ∪ [0, 2)
+        let s = set(&[(8, 12)]);
+        assert_eq!(s.fold_mod(Tick(5)).intervals(), &[iv(0, 2), iv(3, 5)]);
+        // an interval spanning a full modulus covers every class
+        assert!(set(&[(7, 13)]).fold_mod(Tick(5)).covers(Tick(5)));
+        assert!(set(&[(7, 12)]).fold_mod(Tick(5)).covers(Tick(5)));
+        // overlapping images merge canonically
+        let s = set(&[(0, 2), (10, 12), (23, 24)]);
+        assert_eq!(s.fold_mod(Tick(10)).intervals(), &[iv(0, 2), iv(3, 4)]);
+        // folding by a period the set already lives in is the identity
+        let s = set(&[(1, 3), (6, 9)]);
+        assert_eq!(s.fold_mod(Tick(10)), s);
+        assert!(IntervalSet::empty().fold_mod(Tick(10)).is_empty());
     }
 
     #[test]

@@ -78,6 +78,13 @@ SEARCH (ad-hoc with --protocol, or overriding a --spec file):
     --eta-min F        restrict the duty-cycle search range from below
                        (both roles, with --pair)
     --eta-max F        restrict the duty-cycle search range from above
+    --adaptive         adaptive trial allocation (montecarlo/netsim
+                       backends; a no-op on exact): screen every new
+                       candidate at a reduced trial budget and promote
+                       only those whose domination the screening results
+                       cannot settle — same front, fewer trials
+    --screen-trials N  trials per screening evaluation (implies
+                       --adaptive; default: max(2, trials/8))
 
 OPTIONS:
     --out-dir DIR      write <name>.csv/.json here (default: ., front only)
@@ -89,9 +96,12 @@ OPTIONS:
     --quiet            suppress per-point detail
 
 OBSERVABILITY:
-    --stats            (front) append a deterministic JSON metrics
-                       snapshot (opt.evals, opt.cache_hits, censor
-                       reasons, pool latency, …) to stdout
+    --stats            append a deterministic JSON metrics snapshot
+                       (opt.evals, opt.cache_hits, censor reasons — total,
+                       per round and at the screening budget, adaptive
+                       screened/promoted/early-stop counts, pool latency,
+                       …) to stdout, preceded by a per-round censoring
+                       breakdown per protocol
     --trace-out PATH   write a JSONL span trace of the whole search
                        (overrides $ND_TRACE; see the README's
                        Observability section for the line schema)
@@ -129,6 +139,8 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
     let mut max_evals: Option<usize> = None;
     let mut nodes: Option<u32> = None;
     let mut pair = false;
+    let mut adaptive = false;
+    let mut screen_trials: Option<usize> = None;
     let mut eta_min: Option<f64> = None;
     let mut eta_max: Option<f64> = None;
     let mut opts = OptOptions::default();
@@ -173,6 +185,10 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             "--max-evals" => max_evals = Some(parse_pos(value("--max-evals")?, "--max-evals")?),
             "--nodes" => nodes = Some(parse_pos(value("--nodes")?, "--nodes")? as u32),
             "--pair" => pair = true,
+            "--adaptive" => adaptive = true,
+            "--screen-trials" => {
+                screen_trials = Some(parse_pos(value("--screen-trials")?, "--screen-trials")?)
+            }
             "--eta-min" => eta_min = Some(parse_unit(value("--eta-min")?, "--eta-min")?),
             "--eta-max" => eta_max = Some(parse_unit(value("--eta-max")?, "--eta-max")?),
             "--budget" => {
@@ -240,6 +256,12 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
     if pair {
         spec.pair = true;
     }
+    if adaptive || screen_trials.is_some() {
+        spec.adaptive.enabled = true;
+    }
+    if screen_trials.is_some() {
+        spec.adaptive.screen_trials = screen_trials;
+    }
     if eta_min.is_some() || eta_max.is_some() {
         // one-sided restrictions leave the other bound open (the protocol
         // space's own limits clamp it)
@@ -295,6 +317,12 @@ fn summary(outcome: &OptOutcome) {
             f.errors,
             percent(max_gap),
         );
+        if f.screened > 0 {
+            println!(
+                "      adaptive: {} screened, {} promoted, {} early-stopped",
+                f.screened, f.promoted, f.early_stops,
+            );
+        }
     }
     println!(
         "{}: {} protocols, {} executed, {} cached in {:.2?}  [spec {}, backend {}, objective {} → {}]",
@@ -308,6 +336,25 @@ fn summary(outcome: &OptOutcome) {
         outcome.objective,
         outcome.latency_metric,
     );
+}
+
+/// The `--stats` per-round censoring breakdown: *when* a candidate was
+/// censored matters for debugging adaptive runs (screening censors
+/// construction errors in round 0 aggressively), not just the totals.
+fn stats_detail(outcome: &OptOutcome) {
+    for f in &outcome.fronts {
+        for (round, reasons) in f.censored_rounds.iter().enumerate() {
+            if reasons.is_empty() {
+                continue;
+            }
+            let detail = reasons
+                .iter()
+                .map(|(reason, count)| format!("{count} {reason}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            println!("  {}: round {round}: censored {detail}", f.protocol);
+        }
+    }
 }
 
 fn percent(x: f64) -> String {
@@ -397,6 +444,7 @@ fn cmd_front(args: &[String]) -> ExitCode {
     }
     summary(&outcome);
     if cli.stats {
+        stats_detail(&outcome);
         print!("{}", nd_obs::metrics::snapshot().to_json());
     }
     if let Some(code) = check_empty_fronts(&outcome) {
@@ -455,6 +503,7 @@ fn cmd_best(args: &[String]) -> ExitCode {
     }
     summary(&outcome);
     if cli.stats {
+        stats_detail(&outcome);
         print!("{}", nd_obs::metrics::snapshot().to_json());
     }
     if !found {
@@ -505,6 +554,7 @@ fn cmd_gap(args: &[String]) -> ExitCode {
     }
     summary(&outcome);
     if cli.stats {
+        stats_detail(&outcome);
         print!("{}", nd_obs::metrics::snapshot().to_json());
     }
     if let Some(code) = check_empty_fronts(&outcome) {

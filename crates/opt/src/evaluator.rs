@@ -356,6 +356,30 @@ pub fn evaluator_for(spec: &OptSpec) -> Result<Box<dyn Evaluator>, SpecError> {
     })
 }
 
+/// The reduced-budget evaluator for adaptive screening, or `None` when
+/// screening cannot help: adaptive is off, the backend is exact (its
+/// results do not depend on a trial count, so a screening pass would just
+/// pay for every candidate twice), or the resolved screening budget is
+/// not actually smaller than the full one.
+///
+/// The screening evaluator is built from a clone of the spec with
+/// `sim.trials` reduced ([`ScenarioSpec::with_trials`]), so its jobs live
+/// in their own content-hash universe: distinct cache keys, distinct
+/// derived RNG streams, zero interference with full-budget results.
+pub fn screening_evaluator(spec: &OptSpec) -> Result<Option<Box<dyn Evaluator>>, SpecError> {
+    if !spec.adaptive.enabled || spec.base.backend == Backend::Exact {
+        return Ok(None);
+    }
+    let full = spec.base.sim.trials;
+    let screen = spec.adaptive.resolved_screen_trials(full);
+    if screen >= full {
+        return Ok(None);
+    }
+    let mut reduced = spec.clone();
+    reduced.base = spec.base.with_trials(screen);
+    Ok(Some(evaluator_for(&reduced)?))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -496,6 +520,33 @@ mod tests {
         doctored.insert("cross_discovered_frac".to_string(), 1.0);
         doctored.insert("cross_max_s".to_string(), 1.0);
         assert!(ev.interpret(&c, doctored, false).is_ok());
+    }
+
+    #[test]
+    fn screening_evaluator_gates_and_rehashes() {
+        // off by default
+        let plain = opt_spec("backend = \"montecarlo\"\n[opt]\nprotocols = [\"optimal\"]\n");
+        assert!(screening_evaluator(&plain).unwrap().is_none());
+        // structurally a no-op on the exact backend
+        let exact =
+            opt_spec("backend = \"exact\"\n[opt]\nprotocols = [\"optimal\"]\n[opt.adaptive]\n");
+        assert!(screening_evaluator(&exact).unwrap().is_none());
+        // no-op when the screen budget cannot undercut the full one
+        let tiny = opt_spec(
+            "backend = \"montecarlo\"\n[sim]\ntrials = 2\n\
+             [opt]\nprotocols = [\"optimal\"]\n[opt.adaptive]\nscreen_trials = 50\n",
+        );
+        assert!(screening_evaluator(&tiny).unwrap().is_none());
+        // enabled: a real evaluator whose jobs hash in their own universe
+        let on = opt_spec(
+            "backend = \"montecarlo\"\n[sim]\ntrials = 40\n\
+             [opt]\nprotocols = [\"optimal\"]\n[opt.adaptive]\nscreen_trials = 4\n",
+        );
+        let screen = screening_evaluator(&on).unwrap().expect("screening on");
+        let full = evaluator_for(&on).unwrap();
+        assert_eq!(screen.backend_name(), "montecarlo");
+        let c = cand(0.05);
+        assert_ne!(screen.cache_key(&c), full.cache_key(&c));
     }
 
     #[test]

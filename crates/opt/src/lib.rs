@@ -50,11 +50,11 @@ pub mod optimizer;
 pub mod pareto;
 pub mod spec;
 
-pub use evaluator::{evaluator_for, Candidate, Evaluation, Evaluator};
+pub use evaluator::{evaluator_for, screening_evaluator, Candidate, Evaluation, Evaluator};
 pub use export::{to_csv, to_json};
 pub use optimizer::{
     censor_reason, run_opt, FrontPoint, FrontResult, OptError, OptOptions, OptOutcome,
     CORRUPT_CACHE,
 };
-pub use pareto::{dominates, front_indices, is_valid_front};
-pub use spec::{normalize_protocol, Objective, OptSpec};
+pub use pareto::{dominates, front_indices, hypervolume, is_valid_front};
+pub use spec::{normalize_protocol, AdaptiveSpec, Objective, OptSpec};

@@ -8,21 +8,29 @@
 //!    linearly spaced as the space declares),
 //! 2. evaluates all feasible candidates in parallel on `nd-sweep`'s
 //!    worker pool, serving repeats from the content-addressed result
-//!    cache,
+//!    cache — with optional **adaptive trial allocation**
+//!    (`[opt.adaptive]`): every new candidate is first *screened* with a
+//!    reduced trial budget, and only candidates whose domination is not
+//!    statistically settled are *promoted* to the full budget,
 //! 3. extracts the Pareto front over (duty cycle, latency) and spends the
-//!    remaining budget on *refinement*: the scale-appropriate midpoint
-//!    between each pair of adjacent front points (plus an extension
-//!    beyond each end of the front), for `rounds` rounds,
+//!    remaining budget on *refinement*: end extensions plus the
+//!    scale-appropriate midpoint between each pair of adjacent front
+//!    points, ranked by the front area the gap could close (exact 2-D
+//!    [`hypervolume`] rectangles), for `rounds` rounds,
 //! 4. reports each front point's gap to the paper's closed-form
 //!    optimality bound at its achieved duty cycle.
 //!
 //! The whole search is deterministic: seeding grids, refinement midpoints
 //! and every backend evaluation are pure functions of the spec, so
 //! re-running a spec replays the identical candidate sequence — and is
-//! served entirely from cache.
+//! served entirely from cache. The adaptive stage keeps that contract:
+//! screening verdicts are pure functions of content-hashed evaluation
+//! results (never wall clock, never thread interleaving — `run_parallel`
+//! returns results in input order), so cached and fresh runs, at any
+//! thread count, produce identical fronts.
 
-use crate::evaluator::{evaluator_for, Candidate, Evaluation, Evaluator};
-use crate::pareto::front_indices;
+use crate::evaluator::{evaluator_for, screening_evaluator, Candidate, Evaluation, Evaluator};
+use crate::pareto::{front_indices, hypervolume};
 use crate::spec::OptSpec;
 use nd_core::bounds::{optimal_discovery_bound, BoundMetric};
 use nd_protocols::{ParamSpace, ProtocolKind};
@@ -129,6 +137,18 @@ pub struct FrontResult {
     /// diagnostic an empty front prints so users see *why* nothing
     /// survived.
     pub censored: BTreeMap<&'static str, usize>,
+    /// The censored counts broken down per search round (index = round,
+    /// 0 = seeding). Adaptive screening censors aggressively at low trial
+    /// counts, so the *when* matters for debugging, not just the total.
+    pub censored_rounds: Vec<BTreeMap<&'static str, usize>>,
+    /// Candidates evaluated at the reduced screening budget (adaptive
+    /// runs only; 0 when screening is off or structurally a no-op).
+    pub screened: usize,
+    /// Screened candidates promoted to the full trial budget.
+    pub promoted: usize,
+    /// Screened candidates dropped because their domination was
+    /// statistically settled at the screening budget.
+    pub early_stops: usize,
 }
 
 /// Classify a candidate-evaluation error into a censoring reason for
@@ -186,6 +206,10 @@ pub fn run_opt(spec: &OptSpec, opts: &OptOptions) -> Result<OptOutcome, OptError
     let _span = nd_obs::span!("opt.run", name = spec.base.name.as_str());
     let start = Instant::now();
     let evaluator = evaluator_for(spec).map_err(|e| OptError(e.to_string()))?;
+    let screen = screening_evaluator(spec).map_err(|e| OptError(e.to_string()))?;
+    let margin = spec
+        .adaptive
+        .margin(spec.adaptive.resolved_screen_trials(spec.base.sim.trials));
     let cache = opts.use_cache.then(|| {
         ResultCache::at(
             opts.cache_dir
@@ -201,6 +225,8 @@ pub fn run_opt(spec: &OptSpec, opts: &OptOptions) -> Result<OptOutcome, OptError
             protocol,
             spec,
             evaluator.as_ref(),
+            screen.as_deref(),
+            margin,
             cache.as_ref(),
             threads,
             opts.strict_cache,
@@ -222,23 +248,38 @@ pub fn run_opt(spec: &OptSpec, opts: &OptOptions) -> Result<OptOutcome, OptError
 
 /// Translate a parameter-space point into a concrete candidate. The
 /// optimizer understands the axes the sweep grammar names: `eta`
-/// (mandatory, every space's first parameter) and `slot_us` (slotted
-/// protocols).
-fn candidate_at(protocol: &str, space: &ParamSpace, point: &[f64]) -> Candidate {
-    Candidate {
+/// (mandatory for a duty-cycle front) and `slot_us` (slotted protocols).
+///
+/// A space without an `eta` axis is a typed, infeasible-search error —
+/// not a panic: callers (in particular `nd-serve`) surface it as an
+/// infeasible spec, never as an internal failure.
+fn candidate_at(protocol: &str, space: &ParamSpace, point: &[f64]) -> Result<Candidate, OptError> {
+    let eta = space.value_of("eta", point).ok_or_else(|| {
+        OptError(format!(
+            "{protocol}: parameter space declares no `eta` axis, so a duty-cycle \
+             front cannot be searched over it (infeasible search space)"
+        ))
+    })?;
+    Ok(Candidate {
         protocol: protocol.to_string(),
-        eta: space.value_of("eta", point).expect("every space has eta"),
+        eta,
         slot_us: space.value_of("slot_us", point),
         eta_b: space.value_of("eta_b", point),
         slot_us_b: space.value_of("slot_us_b", point),
-    }
+    })
 }
 
 /// The search for one protocol; see the module docs for the algorithm.
+/// `screen` is the reduced-budget evaluator of an adaptive run (`None`
+/// when screening is off or structurally a no-op), `margin` the relative
+/// domination margin of the sequential test.
+#[allow(clippy::too_many_arguments)]
 fn front_for_protocol(
     protocol: &str,
     spec: &OptSpec,
     evaluator: &dyn Evaluator,
+    screen: Option<&dyn Evaluator>,
+    margin: f64,
     cache: Option<&ResultCache>,
     threads: usize,
     strict_cache: bool,
@@ -277,6 +318,15 @@ fn front_for_protocol(
     let mut cache_hits = 0usize;
     let mut errors = 0usize;
     let mut censored: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut censored_rounds: Vec<BTreeMap<&'static str, usize>> = Vec::new();
+    let mut screened = 0usize;
+    let mut promoted = 0usize;
+    let mut early_stops = 0usize;
+    // hypervolume accounting: the reference corner is fixed once the
+    // first successful evaluations exist (full duty cycle, twice the
+    // worst latency seen then), so per-round gains are comparable
+    let mut hv_ref: Option<(f64, f64)> = None;
+    let mut hv_prev = 0.0;
 
     // round 0: the coarse seeding grid; rounds 1..=rounds: refinement
     let mut batch: Vec<Vec<f64>> = space
@@ -287,12 +337,14 @@ fn front_for_protocol(
 
     for round in 0..=spec.rounds {
         // dedupe against everything already evaluated, respect the budget
+        // (strictly: a candidate counts the moment it is admitted, so no
+        // batch — seeding included — can straddle `max_evals`)
         let mut fresh: Vec<(Vec<f64>, Candidate)> = Vec::new();
         for point in batch.drain(..) {
             if evaluated + fresh.len() >= spec.max_evals {
                 break;
             }
-            let cand = candidate_at(protocol, &space, &point);
+            let cand = candidate_at(protocol, &space, &point)?;
             if seen.insert(evaluator.cache_key(&cand)) {
                 fresh.push((point, cand));
             }
@@ -300,53 +352,159 @@ fn front_for_protocol(
         if fresh.is_empty() {
             break;
         }
-
-        let results = {
-            let _span = nd_obs::span!("opt.round", round = round, candidates = fresh.len());
-            run_parallel(&fresh, threads, |_, (_, cand)| {
-                evaluate_one(cand, evaluator, cache, strict_cache)
-            })
-        };
         evaluated += fresh.len();
         nd_obs::metrics::add("opt.evals", fresh.len() as u64);
         nd_obs::metrics::observe("opt.round_evals", fresh.len() as u64);
-        for ((point, _), (result, from_cache)) in fresh.into_iter().zip(results) {
-            if from_cache {
-                cache_hits += 1;
-                nd_obs::metrics::inc("opt.cache_hits");
-            } else {
-                executed += 1;
-                nd_obs::metrics::inc("opt.executed");
-            }
-            match result {
-                Ok(eval) => {
-                    points.push(point);
-                    evals.push(eval);
+        let mut round_censored: BTreeMap<&'static str, usize> = BTreeMap::new();
+        let censor = |e: &str,
+                      round_censored: &mut BTreeMap<&'static str, usize>,
+                      errors: &mut usize,
+                      censored: &mut BTreeMap<&'static str, usize>| {
+            *errors += 1;
+            nd_obs::metrics::inc("opt.errors");
+            let reason = censor_reason(e);
+            nd_obs::metrics::inc(&format!("opt.censored.{reason}"));
+            nd_obs::metrics::inc(&format!("opt.round{round}.censored.{reason}"));
+            *censored.entry(reason).or_insert(0) += 1;
+            *round_censored.entry(reason).or_insert(0) += 1;
+        };
+
+        // stage 1 (adaptive runs only): screen every candidate at the
+        // reduced trial budget; drop candidates whose domination the
+        // sequential test settles, promote the rest
+        let stage: Vec<(Vec<f64>, Candidate)> = if let Some(screen_ev) = screen {
+            let results = {
+                let _span = nd_obs::span!("opt.screen", round = round, candidates = fresh.len());
+                run_parallel(&fresh, threads, |_, (_, cand)| {
+                    evaluate_one(cand, screen_ev, cache, strict_cache)
+                })
+            };
+            screened += fresh.len();
+            nd_obs::metrics::add("opt.screened", fresh.len() as u64);
+            // candidates that survive to the domination test, with their
+            // screening objectives (None = censored at the screen budget)
+            let mut cands: Vec<(Vec<f64>, Candidate)> = Vec::with_capacity(fresh.len());
+            let mut screen_objs: Vec<Option<(f64, f64)>> = Vec::with_capacity(fresh.len());
+            for ((point, cand), (result, from_cache)) in fresh.into_iter().zip(results) {
+                if from_cache {
+                    cache_hits += 1;
+                    nd_obs::metrics::inc("opt.cache_hits");
+                } else {
+                    executed += 1;
+                    nd_obs::metrics::inc("opt.executed");
                 }
-                // strict-mode cache corruption is search-fatal, not a
-                // censored candidate: the caller asked to be told
-                Err(e) if e.starts_with(CORRUPT_CACHE) => return Err(OptError(e)),
-                Err(e) => {
-                    errors += 1;
-                    nd_obs::metrics::inc("opt.errors");
-                    let reason = censor_reason(&e);
-                    nd_obs::metrics::inc(&format!("opt.censored.{reason}"));
-                    *censored.entry(reason).or_insert(0) += 1;
+                match result {
+                    Ok(eval) => {
+                        screen_objs.push(Some((eval.duty_cycle, eval.latency_s)));
+                        cands.push((point, cand));
+                    }
+                    Err(e) if e.starts_with(CORRUPT_CACHE) => return Err(OptError(e)),
+                    Err(e) => {
+                        let reason = censor_reason(&e);
+                        nd_obs::metrics::inc(&format!("opt.screen.censored.{reason}"));
+                        if reason == "construction-error" {
+                            // building the schedule does not depend on the
+                            // trial count: censor finally without spending
+                            // the full budget
+                            censor(&e, &mut round_censored, &mut errors, &mut censored);
+                        } else {
+                            // statistical censoring at a few trials proves
+                            // nothing — promote for the full-budget verdict
+                            screen_objs.push(None);
+                            cands.push((point, cand));
+                        }
+                    }
                 }
             }
+            // the sequential test: candidate i is settled-dominated iff
+            // some trusted full-budget evaluation or co-screened candidate
+            // j is no worse on duty cycle and beats i's latency by the
+            // relative margin on both sides. Pure function of
+            // content-hashed results: deterministic at any thread count
+            // and any cache state.
+            let all: Vec<(f64, f64)> = evals
+                .iter()
+                .map(|e| (e.duty_cycle, e.latency_s))
+                .chain(screen_objs.iter().flatten().copied())
+                .collect();
+            let mut survivors: Vec<(Vec<f64>, Candidate)> = Vec::with_capacity(cands.len());
+            for (entry, obj) in cands.into_iter().zip(screen_objs) {
+                let settled = obj.is_some_and(|(dc_i, lat_i)| {
+                    all.iter().any(|&(dc_j, lat_j)| {
+                        dc_j <= dc_i && lat_j * (1.0 + margin) < lat_i * (1.0 - margin)
+                    })
+                });
+                if settled {
+                    early_stops += 1;
+                    nd_obs::metrics::inc("opt.early_stops");
+                } else {
+                    survivors.push(entry);
+                }
+            }
+            promoted += survivors.len();
+            nd_obs::metrics::add("opt.promoted", survivors.len() as u64);
+            survivors
+        } else {
+            fresh
+        };
+
+        // stage 2: the full trial budget (the only stage when screening
+        // is off)
+        if !stage.is_empty() {
+            let results = {
+                let _span = nd_obs::span!("opt.round", round = round, candidates = stage.len());
+                run_parallel(&stage, threads, |_, (_, cand)| {
+                    evaluate_one(cand, evaluator, cache, strict_cache)
+                })
+            };
+            for ((point, _), (result, from_cache)) in stage.into_iter().zip(results) {
+                if from_cache {
+                    cache_hits += 1;
+                    nd_obs::metrics::inc("opt.cache_hits");
+                } else {
+                    executed += 1;
+                    nd_obs::metrics::inc("opt.executed");
+                }
+                match result {
+                    Ok(eval) => {
+                        points.push(point);
+                        evals.push(eval);
+                    }
+                    // strict-mode cache corruption is search-fatal, not a
+                    // censored candidate: the caller asked to be told
+                    Err(e) if e.starts_with(CORRUPT_CACHE) => return Err(OptError(e)),
+                    Err(e) => censor(&e, &mut round_censored, &mut errors, &mut censored),
+                }
+            }
+        }
+        censored_rounds.push(round_censored);
+
+        // hypervolume bookkeeping: how much front area this round bought
+        let objs: Vec<(f64, f64)> = evals.iter().map(|e| (e.duty_cycle, e.latency_s)).collect();
+        if hv_ref.is_none() {
+            let worst_lat = objs.iter().map(|o| o.1).fold(0.0, f64::max);
+            if worst_lat > 0.0 {
+                hv_ref = Some((1.0, 2.0 * worst_lat));
+            }
+        }
+        if let Some(reference) = hv_ref {
+            let hv = hypervolume(&objs, reference);
+            let gain_ppm = ((hv - hv_prev) / (reference.0 * reference.1) * 1e6).max(0.0);
+            nd_obs::metrics::add("opt.hv_gain", gain_ppm as u64);
+            hv_prev = hv;
         }
 
         if round == spec.rounds || evaluated >= spec.max_evals {
             break;
         }
 
-        // refinement: midpoints between adjacent front points, plus an
-        // extension beyond each end of the front toward the range limits
-        let objs: Vec<(f64, f64)> = evals.iter().map(|e| (e.duty_cycle, e.latency_s)).collect();
+        // refinement, hypervolume-guided: extensions beyond each end of
+        // the front first (they open new territory the staircase cannot
+        // price), then the midpoint of every adjacent front pair, ranked
+        // by the exact rectangle of front area the gap could close — so
+        // when the budget truncates the batch, it truncates the flattest
+        // gaps
         let front = front_indices(&objs);
-        for w in front.windows(2) {
-            batch.push(space.midpoint(&points[w[0]], &points[w[1]]));
-        }
         if let (Some(&first), Some(&last)) = (front.first(), front.last()) {
             for (idx, end_of_range) in [(first, false), (last, true)] {
                 let mut limit = points[idx].clone();
@@ -357,6 +515,16 @@ fn front_for_protocol(
                 batch.push(space.midpoint(&points[idx], &limit));
             }
         }
+        let mut gaps: Vec<(f64, Vec<f64>)> = front
+            .windows(2)
+            .map(|w| {
+                let (a, b) = (objs[w[0]], objs[w[1]]);
+                let closable = (b.0 - a.0) * (a.1 - b.1);
+                (closable, space.midpoint(&points[w[0]], &points[w[1]]))
+            })
+            .collect();
+        gaps.sort_by(|x, y| y.0.total_cmp(&x.0));
+        batch.extend(gaps.into_iter().map(|(_, p)| p));
         batch.retain(|p| space.feasible(p, omega));
     }
 
@@ -407,6 +575,10 @@ fn front_for_protocol(
         cache_hits,
         errors,
         censored,
+        censored_rounds,
+        screened,
+        promoted,
+        early_stops,
     })
 }
 
@@ -573,6 +745,70 @@ mod tests {
         let f = &out.fronts[0];
         assert!(f.front.is_empty(), "no slotted config covers all offsets");
         assert_eq!(f.errors, f.evaluated);
+    }
+
+    #[test]
+    fn missing_eta_axis_is_a_typed_infeasible_error() {
+        // a space with no duty-cycle axis cannot be searched for a
+        // duty-cycle front — a typed OptError, never a panic, so serving
+        // callers can classify it as an infeasible spec
+        let space = ParamSpace {
+            params: vec![nd_protocols::ParamDef {
+                name: "slot_us",
+                range: nd_protocols::ParamRange::LinRange { lo: 1.0, hi: 2.0 },
+            }],
+            constraints: vec![],
+        };
+        let err = candidate_at("custom", &space, &[1.5]).unwrap_err();
+        assert!(
+            err.0.contains("no `eta` axis"),
+            "typed, descriptive: {err}"
+        );
+        assert!(err.0.contains("infeasible"), "classifiable: {err}");
+    }
+
+    #[test]
+    fn budget_equal_to_seed_grid_admits_exactly_the_seeds() {
+        // the cap is strictly hard at the boundary: a budget exactly the
+        // seeding-grid size admits every seed and nothing else, however
+        // many refinement rounds the spec asks for
+        let s = spec(
+            "backend = \"exact\"\nmetric = \"two-way\"\n\
+             [opt]\nprotocols = [\"optimal\"]\nseeds_per_axis = 5\nrounds = 3\nmax_evals = 5\n",
+        );
+        let out = run_opt(&s, &OptOptions::uncached()).unwrap();
+        assert_eq!(out.fronts[0].evaluated, 5);
+    }
+
+    #[test]
+    fn budget_one_past_the_seed_grid_admits_one_refinement() {
+        let s = spec(
+            "backend = \"exact\"\nmetric = \"two-way\"\n\
+             [opt]\nprotocols = [\"optimal\"]\nseeds_per_axis = 5\nrounds = 3\nmax_evals = 6\n",
+        );
+        let out = run_opt(&s, &OptOptions::uncached()).unwrap();
+        assert_eq!(out.fronts[0].evaluated, 6);
+    }
+
+    #[test]
+    fn censor_counts_are_attributed_to_rounds() {
+        // the slotted worst-case search censors every candidate; the
+        // per-round breakdown must tile the total
+        let s = spec(
+            "backend = \"exact\"\nmetric = \"one-way\"\npercentiles = false\n\
+             [opt]\nprotocols = [\"code-based\"]\nseeds_per_axis = 2\nrounds = 1\neta_min = 0.05\n",
+        );
+        let out = run_opt(&s, &OptOptions::uncached()).unwrap();
+        let f = &out.fronts[0];
+        assert!(f.errors > 0);
+        assert!(!f.censored_rounds.is_empty());
+        let mut total: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for round in &f.censored_rounds {
+            for (reason, count) in round {
+                *total.entry(reason).or_insert(0) += count;
+            }
+        }
+        assert_eq!(total, f.censored, "rounds tile the total censor counts");
     }
 
     #[test]

@@ -62,6 +62,35 @@ pub fn is_valid_front(points: &[Objectives]) -> bool {
         .all(|w| w[0].0 < w[1].0 && w[0].1 > w[1].1)
 }
 
+/// Exact 2-D hypervolume of a point set with respect to `reference`: the
+/// measure of the region dominated by at least one point and dominating
+/// the reference corner (both objectives minimized, so the reference is a
+/// worst-acceptable corner at the top right).
+///
+/// Points at or beyond the reference in either objective contribute
+/// nothing; the input need not be a front (dominated points add no
+/// volume). For a front this is the staircase area — the standard scalar
+/// measure of front quality, and the quantity the optimizer's refinement
+/// stage maximizes per evaluation spent.
+pub fn hypervolume(points: &[Objectives], reference: Objectives) -> f64 {
+    let front = front_indices(points);
+    let mut hv = 0.0;
+    // the front is sorted by duty cycle ascending with latency strictly
+    // descending, so the dominated region decomposes into vertical
+    // strips: within [dc_i, dc_{i+1}) the best latency is lat_i
+    for (pos, &i) in front.iter().enumerate() {
+        let (dc, lat) = points[i];
+        let next_dc = front
+            .get(pos + 1)
+            .map(|&j| points[j].0)
+            .unwrap_or(reference.0);
+        let width = next_dc.min(reference.0) - dc.min(reference.0);
+        let height = (reference.1 - lat).max(0.0);
+        hv += width * height;
+    }
+    hv
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,6 +132,39 @@ mod tests {
     fn non_finite_points_never_front() {
         let pts = [(0.1, f64::NAN), (f64::INFINITY, 1.0), (0.2, 2.0)];
         assert_eq!(front_indices(&pts), vec![2]);
+    }
+
+    #[test]
+    fn hypervolume_is_the_staircase_area() {
+        let reference = (1.0, 10.0);
+        // one point: a single rectangle
+        assert!((hypervolume(&[(0.2, 4.0)], reference) - 0.8 * 6.0).abs() < 1e-12);
+        // a two-step staircase
+        let pts = [(0.2, 4.0), (0.5, 1.0)];
+        let expected = (0.5 - 0.2) * (10.0 - 4.0) + (1.0 - 0.5) * (10.0 - 1.0);
+        assert!((hypervolume(&pts, reference) - expected).abs() < 1e-12);
+        // dominated points add nothing
+        let with_dominated = [(0.2, 4.0), (0.5, 1.0), (0.3, 5.0), (0.6, 2.0)];
+        assert!((hypervolume(&with_dominated, reference) - expected).abs() < 1e-12);
+        // input order is irrelevant
+        let shuffled = [(0.5, 1.0), (0.2, 4.0)];
+        assert!((hypervolume(&shuffled, reference) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypervolume_clips_at_the_reference() {
+        let reference = (1.0, 10.0);
+        // a point at/beyond the reference contributes nothing
+        assert_eq!(hypervolume(&[(1.0, 1.0)], reference), 0.0);
+        assert_eq!(hypervolume(&[(0.5, 10.0)], reference), 0.0);
+        assert_eq!(hypervolume(&[], reference), 0.0);
+        // a point past the reference duty cycle never shrinks the total
+        let inside = [(0.2, 4.0)];
+        let with_outside = [(0.2, 4.0), (1.5, 0.5)];
+        assert!(hypervolume(&with_outside, reference) >= hypervolume(&inside, reference));
+        // adding any non-dominated in-range point grows the volume
+        let more = [(0.2, 4.0), (0.6, 2.0)];
+        assert!(hypervolume(&more, reference) > hypervolume(&inside, reference));
     }
 
     #[test]

@@ -85,6 +85,60 @@ pub fn normalize_protocol(name: &str) -> Result<String, SpecError> {
     }
 }
 
+/// Adaptive trial-allocation settings (the `[opt.adaptive]` table).
+///
+/// When enabled, the simulation evaluators (montecarlo/netsim) evaluate
+/// every new candidate twice: once with a small screening trial count,
+/// then — only for candidates whose domination is not statistically
+/// settled — with the full `sim.trials` budget. Screening results come
+/// from an independent partial-budget job universe (distinct content
+/// hashes, distinct RNG streams; see `ScenarioSpec::with_trials`), so the
+/// promotion decision is a pure function of content-hashed evaluation
+/// results: cached and fresh runs, at any thread count, produce identical
+/// fronts. The exact backend is deterministic at any trial count, so
+/// screening is a structural no-op there.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdaptiveSpec {
+    /// Master switch (default off: fixed-budget evaluation).
+    pub enabled: bool,
+    /// Trials for the screening pass. Defaults to `max(2, trials/8)`,
+    /// clamped to the full budget.
+    pub screen_trials: Option<usize>,
+    /// Sequential-test strictness: a screened candidate is dropped as
+    /// settled-dominated only if some co-screened candidate beats it on
+    /// duty cycle and beats its latency by the relative margin
+    /// `m = confidence / sqrt(screen_trials)` on *both* sides
+    /// (`lat_other·(1+m) < lat_this·(1−m)`). Larger values promote more
+    /// candidates to the full budget.
+    pub confidence: f64,
+}
+
+impl Default for AdaptiveSpec {
+    fn default() -> Self {
+        AdaptiveSpec {
+            enabled: false,
+            screen_trials: None,
+            confidence: 1.0,
+        }
+    }
+}
+
+impl AdaptiveSpec {
+    /// The screening trial count for a given full budget.
+    pub fn resolved_screen_trials(&self, full_trials: usize) -> usize {
+        self.screen_trials
+            .unwrap_or_else(|| (full_trials / 8).max(2))
+            .min(full_trials)
+            .max(1)
+    }
+
+    /// The relative domination margin of the sequential test at a given
+    /// screening trial count.
+    pub fn margin(&self, screen_trials: usize) -> f64 {
+        self.confidence / (screen_trials as f64).sqrt()
+    }
+}
+
 /// A complete, validated optimization spec.
 #[derive(Clone, Debug, PartialEq)]
 pub struct OptSpec {
@@ -115,6 +169,9 @@ pub struct OptSpec {
     /// `[eta_min, eta_max]`. Bounds the expensive low-η corner, or
     /// focuses the search on a target budget regime.
     pub eta_range: Option<(f64, f64)>,
+    /// Adaptive trial allocation (screen cheaply, promote near-front
+    /// survivors to the full budget).
+    pub adaptive: AdaptiveSpec,
 }
 
 impl OptSpec {
@@ -138,6 +195,7 @@ impl OptSpec {
             nodes: 2,
             pair: false,
             eta_range: None,
+            adaptive: AdaptiveSpec::default(),
         };
         spec.validate()?;
         Ok(spec)
@@ -202,10 +260,11 @@ impl OptSpec {
                     | "pair"
                     | "eta_min"
                     | "eta_max"
+                    | "adaptive"
             ) {
                 return Err(SpecError(format!(
                     "unknown key `{key}` in [opt] (allowed: protocols, objective, \
-                     seeds_per_axis, rounds, max_evals, nodes, pair, eta_min, eta_max)"
+                     seeds_per_axis, rounds, max_evals, nodes, pair, eta_min, eta_max, adaptive)"
                 )));
             }
         }
@@ -263,6 +322,11 @@ impl OptSpec {
                 .ok_or_else(|| SpecError("`opt.pair` must be a boolean".into()))?,
         };
 
+        let adaptive = match opt_table.get("adaptive") {
+            None => AdaptiveSpec::default(),
+            Some(v) => parse_adaptive(v)?,
+        };
+
         let spec = OptSpec {
             base,
             protocols,
@@ -273,6 +337,7 @@ impl OptSpec {
             nodes: pos_int("nodes", 2)? as u32,
             pair,
             eta_range,
+            adaptive,
         };
         spec.validate()?;
         Ok(spec)
@@ -324,6 +389,19 @@ impl OptSpec {
                 )));
             }
         }
+        if self.adaptive.enabled {
+            if !(self.adaptive.confidence.is_finite() && self.adaptive.confidence > 0.0) {
+                return Err(SpecError(format!(
+                    "adaptive.confidence = {} must be a positive number",
+                    self.adaptive.confidence
+                )));
+            }
+            if self.adaptive.screen_trials == Some(0) {
+                return Err(SpecError(
+                    "adaptive.screen_trials must be a positive integer".into(),
+                ));
+            }
+        }
         match (self.base.backend, self.objective) {
             (Backend::Exact, Objective::P95 | Objective::P99) => {
                 if self.base.metric != Metric::OneWay {
@@ -367,8 +445,58 @@ impl OptSpec {
         self.pair.encode(&mut bytes);
         self.eta_range.map(|(lo, _)| lo).encode(&mut bytes);
         self.eta_range.map(|(_, hi)| hi).encode(&mut bytes);
+        // the adaptive knobs are search knobs like rounds/max_evals; only
+        // encoded when enabled so every pre-adaptive spec keeps its hash
+        if self.adaptive.enabled {
+            "adaptive".encode(&mut bytes);
+            self.adaptive.screen_trials.encode(&mut bytes);
+            self.adaptive.confidence.encode(&mut bytes);
+        }
         nd_sweep::hash::sha256_hex(&bytes)
     }
+}
+
+/// Parse the `[opt.adaptive]` table.
+fn parse_adaptive(v: &Value) -> Result<AdaptiveSpec, SpecError> {
+    let table = v
+        .as_table()
+        .ok_or_else(|| SpecError("`opt.adaptive` must be a table".into()))?;
+    for key in table.keys() {
+        if !matches!(key.as_str(), "enabled" | "screen_trials" | "confidence") {
+            return Err(SpecError(format!(
+                "unknown key `{key}` in [opt.adaptive] (allowed: enabled, screen_trials, \
+                 confidence)"
+            )));
+        }
+    }
+    let enabled = match table.get("enabled") {
+        None => true, // writing the table at all opts in
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| SpecError("`opt.adaptive.enabled` must be a boolean".into()))?,
+    };
+    let screen_trials = match table.get("screen_trials") {
+        None => None,
+        Some(v) => match v.as_i64() {
+            Some(n) if n > 0 => Some(n as usize),
+            _ => {
+                return Err(SpecError(
+                    "`opt.adaptive.screen_trials` must be a positive integer".into(),
+                ))
+            }
+        },
+    };
+    let confidence = match table.get("confidence") {
+        None => AdaptiveSpec::default().confidence,
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| SpecError("`opt.adaptive.confidence` must be a number".into()))?,
+    };
+    Ok(AdaptiveSpec {
+        enabled,
+        screen_trials,
+        confidence,
+    })
 }
 
 #[cfg(test)]
@@ -483,6 +611,84 @@ max_evals = 64
         .unwrap_err()
         .to_string();
         assert!(err.contains("alpha"), "{err}");
+    }
+
+    #[test]
+    fn adaptive_table_parses_defaults_and_rejections() {
+        // no table: off, and hashes exactly like the pre-adaptive grammar
+        let plain = OptSpec::from_toml_str(DEMO).unwrap();
+        assert!(!plain.adaptive.enabled);
+
+        // writing the table opts in; knobs resolve sensibly
+        let s = OptSpec::from_toml_str(
+            "backend = \"montecarlo\"\n[opt]\nprotocols = [\"optimal\"]\n\
+             [opt.adaptive]\nscreen_trials = 5\nconfidence = 0.5\n",
+        )
+        .unwrap();
+        assert!(s.adaptive.enabled);
+        assert_eq!(s.adaptive.screen_trials, Some(5));
+        assert_eq!(s.adaptive.confidence, 0.5);
+        assert_eq!(s.adaptive.resolved_screen_trials(100), 5);
+        // the resolved count never exceeds the full budget
+        assert_eq!(s.adaptive.resolved_screen_trials(3), 3);
+        // default screening budget: trials/8, at least 2
+        let d = AdaptiveSpec {
+            enabled: true,
+            ..AdaptiveSpec::default()
+        };
+        assert_eq!(d.resolved_screen_trials(100), 12);
+        assert_eq!(d.resolved_screen_trials(8), 2);
+        assert!((d.margin(4) - 0.5).abs() < 1e-12);
+
+        // explicit disable round-trips
+        let off = OptSpec::from_toml_str(
+            "backend = \"montecarlo\"\n[opt]\nprotocols = [\"optimal\"]\n\
+             [opt.adaptive]\nenabled = false\n",
+        )
+        .unwrap();
+        assert!(!off.adaptive.enabled);
+
+        for (bad, needle) in [
+            (
+                "backend = \"montecarlo\"\n[opt]\nprotocols = [\"optimal\"]\n\
+                 [opt.adaptive]\nscreen_trials = 0\n",
+                "positive integer",
+            ),
+            (
+                "backend = \"montecarlo\"\n[opt]\nprotocols = [\"optimal\"]\n\
+                 [opt.adaptive]\nconfidence = -1.0\n",
+                "positive",
+            ),
+            (
+                "backend = \"montecarlo\"\n[opt]\nprotocols = [\"optimal\"]\n\
+                 [opt.adaptive]\ntypo = 1\n",
+                "unknown key",
+            ),
+        ] {
+            let err = OptSpec::from_toml_str(bad).unwrap_err().to_string();
+            assert!(err.contains(needle), "`{bad}` → `{err}`");
+        }
+    }
+
+    #[test]
+    fn adaptive_knobs_feed_the_provenance_hash() {
+        let plain = OptSpec::from_toml_str(DEMO).unwrap();
+        // a disabled table hashes identically to no table at all, so every
+        // pre-adaptive spec keeps its provenance hash
+        let mut off = plain.clone();
+        off.adaptive = AdaptiveSpec {
+            enabled: false,
+            screen_trials: Some(5),
+            confidence: 0.25,
+        };
+        assert_eq!(plain.content_hash(), off.content_hash());
+        // enabled knobs are search knobs: they change the hash
+        let mut on = plain.clone();
+        on.adaptive.enabled = true;
+        assert_ne!(plain.content_hash(), on.content_hash());
+        let mut tighter = on.clone();
+        tighter.adaptive.confidence = 2.0;
+        assert_ne!(on.content_hash(), tighter.content_hash());
     }
 
     #[test]

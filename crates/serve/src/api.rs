@@ -390,4 +390,19 @@ mod tests {
         assert_eq!(infeasible.code(), "infeasible");
         assert_eq!(infeasible.status(), 422);
     }
+
+    #[test]
+    fn infeasible_search_spaces_never_surface_as_server_errors() {
+        // the optimizer's typed missing-`eta` error (a parameter space
+        // with no duty-cycle axis cannot host a duty-cycle front) must
+        // cross the wire as 422 infeasible, never as a 500 — the exact
+        // message nd-opt's candidate translation produces
+        let err = ApiError::from_opt_error(
+            "optimization failed: custom: parameter space declares no `eta` axis, \
+             so a duty-cycle front cannot be searched over it (infeasible search space)",
+        );
+        assert_eq!(err.code(), "infeasible");
+        assert_eq!(err.status(), 422);
+        assert_ne!(err.status(), 500);
+    }
 }

@@ -429,6 +429,19 @@ impl ScenarioSpec {
         Ok(spec)
     }
 
+    /// A copy of this spec with the Monte-Carlo trial budget replaced.
+    ///
+    /// `sim.trials` is part of every job's canonical bytes, so the
+    /// partial-budget clone's jobs hash — and therefore cache and seed —
+    /// independently of the full-budget spec's: a low-trial screening
+    /// pass can never collide with (or poison) full-budget results, and
+    /// its RNG streams are derived from its own content hash.
+    pub fn with_trials(&self, trials: usize) -> ScenarioSpec {
+        let mut spec = self.clone();
+        spec.sim.trials = trials;
+        spec
+    }
+
     /// Cross-field validation: axes that only one backend honors are
     /// rejected elsewhere instead of being silently ignored.
     pub fn validate(&self) -> Result<(), SpecError> {
@@ -942,6 +955,30 @@ deadline = "predicted"
         let mut axis = a.clone();
         axis.grid.eta.push(0.10);
         assert_ne!(a.content_hash(), axis.content_hash());
+    }
+
+    #[test]
+    fn partial_budget_jobs_hash_and_seed_independently() {
+        // the adaptive screening contract: a reduced-trials clone of a
+        // spec produces jobs with distinct cache keys AND distinct RNG
+        // seeds, so screening results can never collide with — or leak
+        // into — the full-budget universe
+        let full = ScenarioSpec::from_toml_str(DEMO).unwrap();
+        let screen = full.with_trials(3);
+        assert_eq!(screen.sim.trials, 3);
+        assert_eq!(full.sim.trials, 10, "with_trials must not mutate self");
+        let full_jobs = crate::grid::expand(&full);
+        let screen_jobs = crate::grid::expand(&screen);
+        assert_eq!(full_jobs.len(), screen_jobs.len());
+        for (f, s) in full_jobs.iter().zip(&screen_jobs) {
+            assert_ne!(f.content_hash(&full), s.content_hash(&screen));
+            assert_ne!(f.seed(&full), s.seed(&screen));
+        }
+        // and the same budget round-trips to the same hashes
+        let same = full.with_trials(full.sim.trials);
+        for (f, s) in full_jobs.iter().zip(crate::grid::expand(&same).iter()) {
+            assert_eq!(f.content_hash(&full), s.content_hash(&same));
+        }
     }
 
     #[test]
